@@ -1,0 +1,147 @@
+//! Epoch management for continuous aggregation (ref \[12\], §4.2 "restart").
+//!
+//! A single averaging instance converges once and then goes stale: nodes
+//! that join later, or whose local values change, are never reflected. Ref
+//! \[12\] runs aggregation in fixed-length *epochs* — every `T` rounds the
+//! estimate is archived and the state reseeded from the current local value.
+//! The archived value is the freshest *completed* estimate, so consumers
+//! never observe a half-converged one.
+//!
+//! The slicing paper's ranking algorithm solves the analogous staleness
+//! problem with its sliding window (§5.3.4); the bench harness contrasts the
+//! two mechanisms under the same churn.
+
+use crate::protocol::{AggregateKind, AggregationState};
+
+/// An aggregation state that restarts itself every `epoch_len` rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochedAggregator {
+    state: AggregationState,
+    epoch_len: usize,
+    round_in_epoch: usize,
+    epoch: u64,
+    completed: Option<f64>,
+}
+
+impl EpochedAggregator {
+    /// Creates an epoched aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(kind: AggregateKind, initial: f64, epoch_len: usize) -> Self {
+        assert!(epoch_len > 0, "epoch length must be positive");
+        EpochedAggregator {
+            state: AggregationState::new(kind, initial),
+            epoch_len,
+            round_in_epoch: 0,
+            epoch: 0,
+            completed: None,
+        }
+    }
+
+    /// The live (possibly half-converged) estimate of the current epoch.
+    pub fn live_value(&self) -> f64 {
+        self.state.value()
+    }
+
+    /// The estimate of the last *completed* epoch, if any.
+    pub fn completed_value(&self) -> Option<f64> {
+        self.completed
+    }
+
+    /// The current epoch number (starts at 0).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rounds elapsed within the current epoch.
+    pub fn round_in_epoch(&self) -> usize {
+        self.round_in_epoch
+    }
+
+    /// Mutable access to the state for driving exchanges.
+    pub fn state_mut(&mut self) -> &mut AggregationState {
+        &mut self.state
+    }
+
+    /// Advances the epoch clock by one round. When the epoch completes, the
+    /// live value is archived and the state reseeded with `fresh_local`
+    /// (the node's *current* local reading — this is how value changes and
+    /// churn enter the next estimate).
+    ///
+    /// Returns `true` when a new epoch just started.
+    pub fn tick(&mut self, fresh_local: f64) -> bool {
+        self.round_in_epoch += 1;
+        if self.round_in_epoch >= self.epoch_len {
+            self.completed = Some(self.state.value());
+            self.state.reset(fresh_local);
+            self.round_in_epoch = 0;
+            self.epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swarm::Swarm;
+
+    #[test]
+    fn completes_epochs_on_schedule() {
+        let mut agg = EpochedAggregator::new(AggregateKind::Average, 5.0, 3);
+        assert_eq!(agg.epoch(), 0);
+        assert!(agg.completed_value().is_none());
+        assert!(!agg.tick(5.0));
+        assert!(!agg.tick(5.0));
+        assert!(agg.tick(5.0), "third tick completes the epoch");
+        assert_eq!(agg.epoch(), 1);
+        assert_eq!(agg.completed_value(), Some(5.0));
+        assert_eq!(agg.round_in_epoch(), 0);
+    }
+
+    #[test]
+    fn restart_picks_up_changed_local_value() {
+        let mut agg = EpochedAggregator::new(AggregateKind::Average, 5.0, 2);
+        agg.tick(5.0);
+        agg.tick(9.0); // epoch completes; reseed with the *new* local value
+        assert_eq!(agg.live_value(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_length_panics() {
+        let _ = EpochedAggregator::new(AggregateKind::Average, 1.0, 0);
+    }
+
+    #[test]
+    fn epoched_population_tracks_a_moving_mean() {
+        // Population values drift upward between epochs; the completed
+        // estimate of each later epoch must track the drift.
+        let n = 128;
+        let epoch_len = 25;
+        let mut locals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut swarm = Swarm::new(AggregateKind::Average, &locals, 11);
+        let mut epochs: Vec<f64> = Vec::new();
+        for epoch in 0..3 {
+            for _ in 0..epoch_len {
+                swarm.round();
+            }
+            // Archive the converged estimate (all nodes agree by now).
+            let estimate = swarm.mean();
+            epochs.push(estimate);
+            // Drift: everyone's local value grows by 100 between epochs.
+            for v in &mut locals {
+                *v += 100.0;
+            }
+            swarm.reset(&locals);
+            let _ = epoch;
+        }
+        assert!((epochs[0] - 63.5).abs() < 1e-6);
+        assert!((epochs[1] - 163.5).abs() < 1e-6);
+        assert!((epochs[2] - 263.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,241 @@
+//! Aggregation over a real peer-sampling overlay.
+//!
+//! [`Swarm`](crate::Swarm) pairs nodes uniformly at random — the idealized
+//! model of ref \[12\]'s analysis. Deployments don't have that oracle: they
+//! pick partners from a bounded gossip view. Ref \[12\] reports (and the
+//! slicing paper leans on, via Fig. 6(b)) that a good peer-sampling overlay
+//! is *as good as* the oracle for aggregation; [`OverlaySwarm`] makes that
+//! claim testable here by running the same push–pull exchanges with
+//! partners drawn from per-node [`PeerSampler`] views.
+//!
+//! The pairing quality of the substrate is now part of the convergence
+//! rate: Cyclon's swap-based shuffling approaches the oracle's
+//! `1/(2√e)`-per-round variance decay, while a poorly-mixed overlay slows
+//! it down — the same ordering the `ablation-sampler-ranking` table shows
+//! for the slicing protocols.
+
+use crate::protocol::{AggregateKind, AggregationState};
+use dslice_core::{Attribute, NodeId, ViewEntry};
+use dslice_gossip::{build_sampler, PeerSampler, SamplerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A population of aggregation states whose gossip partners come from a
+/// peer-sampling overlay rather than a uniform oracle.
+pub struct OverlaySwarm {
+    nodes: Vec<AggregationState>,
+    samplers: Vec<Box<dyn PeerSampler>>,
+    rng: StdRng,
+    rounds: usize,
+}
+
+impl std::fmt::Debug for OverlaySwarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OverlaySwarm")
+            .field("population", &self.nodes.len())
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+impl OverlaySwarm {
+    /// Builds the swarm: one aggregation state and one sampler per node,
+    /// views bootstrapped with `bootstrap_degree` random neighbors each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `view_size` is zero.
+    pub fn new(
+        kind: AggregateKind,
+        initial: &[f64],
+        sampler: SamplerKind,
+        view_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!initial.is_empty(), "swarm needs at least one node");
+        let n = initial.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samplers: Vec<Box<dyn PeerSampler>> = (0..n)
+            .map(|i| {
+                build_sampler(sampler, NodeId::new(i as u64), view_size)
+                    .expect("non-zero view size")
+            })
+            .collect();
+        // Bootstrap: 3 random neighbors each (or fewer in tiny swarms).
+        let degree = 3.min(n.saturating_sub(1)).min(view_size);
+        for (i, sampler) in samplers.iter_mut().enumerate() {
+            let mut entries = Vec::new();
+            while entries.len() < degree {
+                let j = rng.gen_range(0..n);
+                if j != i && !entries.iter().any(|e: &ViewEntry| e.id == NodeId::new(j as u64)) {
+                    entries.push(Self::descriptor(j, initial[j]));
+                }
+            }
+            sampler.bootstrap(&entries);
+        }
+        OverlaySwarm {
+            nodes: initial
+                .iter()
+                .map(|&v| AggregationState::new(kind, v))
+                .collect(),
+            samplers,
+            rng,
+            rounds: 0,
+        }
+    }
+
+    fn descriptor(i: usize, value: f64) -> ViewEntry {
+        ViewEntry::new(
+            NodeId::new(i as u64),
+            Attribute::new(i as f64).expect("finite"),
+            value,
+        )
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the swarm is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Current estimates.
+    pub fn values(&self) -> Vec<f64> {
+        self.nodes.iter().map(|n| n.value()).collect()
+    }
+
+    /// Empirical variance of the estimates.
+    pub fn variance(&self) -> f64 {
+        let mean: f64 =
+            self.nodes.iter().map(|n| n.value()).sum::<f64>() / self.nodes.len() as f64;
+        self.nodes
+            .iter()
+            .map(|n| {
+                let d = n.value() - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.nodes.len() as f64
+    }
+
+    /// One synchronous round: every node (random order) first runs its
+    /// membership exchange, then a push–pull aggregation exchange with a
+    /// partner drawn from its *view*.
+    pub fn round(&mut self) {
+        let n = self.nodes.len();
+        if n < 2 {
+            self.rounds += 1;
+            return;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            // Membership step (atomic, as in the cycle simulator).
+            let self_entry = Self::descriptor(i, self.nodes[i].value());
+            if let Some(req) = self.samplers[i].initiate(self_entry, &mut self.rng) {
+                let p = req.partner.as_u64() as usize;
+                let partner_entry = Self::descriptor(p, self.nodes[p].value());
+                let reply = self.samplers[p].handle_request(
+                    partner_entry,
+                    NodeId::new(i as u64),
+                    &req.entries,
+                );
+                self.samplers[i].handle_reply(req.partner, &reply);
+            }
+            // Aggregation exchange with a view partner.
+            let Some(partner) = self.samplers[i].view().random(&mut self.rng).map(|e| e.id)
+            else {
+                continue;
+            };
+            let p = partner.as_u64() as usize;
+            let pushed = self.nodes[i].push_value();
+            let reply = self.nodes[p].respond(pushed);
+            self.nodes[i].absorb_reply(reply);
+        }
+        self.rounds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn converges_on_cyclon_views() {
+        let values = ramp(256);
+        let exact = AggregateKind::Average.exact(values.iter().copied()).unwrap();
+        let mut swarm =
+            OverlaySwarm::new(AggregateKind::Average, &values, SamplerKind::Cyclon, 8, 1);
+        for _ in 0..60 {
+            swarm.round();
+        }
+        for v in swarm.values() {
+            assert!(
+                (v - exact).abs() < 0.5,
+                "estimate {v} far from mean {exact} on Cyclon views"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclon_views_approach_oracle_rate() {
+        // Variance decay on Cyclon views within 3× of the uniform oracle's
+        // (ref [12]'s overlay-vs-oracle claim, Fig. 6(b)'s analogue).
+        use crate::swarm::Swarm;
+        let values = ramp(512);
+        let mut oracle = Swarm::new(AggregateKind::Average, &values, 2);
+        let mut overlay =
+            OverlaySwarm::new(AggregateKind::Average, &values, SamplerKind::Cyclon, 8, 2);
+        for _ in 0..15 {
+            oracle.round();
+            overlay.round();
+        }
+        let v0 = values.iter().map(|v| (v - 255.5) * (v - 255.5)).sum::<f64>() / 512.0;
+        let oracle_rate = (oracle.variance() / v0).powf(1.0 / 15.0);
+        let overlay_rate = (overlay.variance() / v0).powf(1.0 / 15.0);
+        assert!(
+            overlay_rate < oracle_rate.powf(1.0 / 3.0),
+            "Cyclon-view decay {overlay_rate:.3}/round too far from oracle {oracle_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn min_spreads_on_lpbcast_views() {
+        let values = ramp(200);
+        let mut swarm =
+            OverlaySwarm::new(AggregateKind::Min, &values, SamplerKind::Lpbcast, 8, 3);
+        for _ in 0..80 {
+            swarm.round();
+        }
+        let holders = swarm.values().iter().filter(|&&v| v == 0.0).count();
+        assert!(
+            holders > 180,
+            "min reached only {holders}/200 nodes over Lpbcast"
+        );
+    }
+
+    #[test]
+    fn single_node_is_a_fixpoint() {
+        let mut swarm =
+            OverlaySwarm::new(AggregateKind::Average, &[7.0], SamplerKind::Cyclon, 4, 4);
+        swarm.round();
+        assert_eq!(swarm.values(), vec![7.0]);
+        assert_eq!(swarm.len(), 1);
+        assert!(!swarm.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! The push–pull aggregation state machine of ref \[12\].
+//!
+//! One [`AggregationState`] lives on each node. An exchange is two messages:
+//! the initiator pushes its current estimate, the responder replies with its
+//! own pre-merge estimate, and both apply the same merge function. For the
+//! average function this conserves the global sum exactly (*mass
+//! conservation*), which is the invariant all of ref \[12\]'s correctness
+//! rests on; the property tests pin it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which aggregate a gossip instance computes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// Pairwise averaging: converges to the network mean.
+    Average,
+    /// Pairwise minimum: epidemic spread of the global minimum.
+    Min,
+    /// Pairwise maximum: epidemic spread of the global maximum.
+    Max,
+}
+
+impl AggregateKind {
+    /// The merge function applied by *both* ends of an exchange.
+    ///
+    /// Returns the post-merge value given the two pre-merge values. The
+    /// function is symmetric, so both ends compute the same result.
+    pub fn merge(self, a: f64, b: f64) -> f64 {
+        match self {
+            AggregateKind::Average => (a + b) / 2.0,
+            AggregateKind::Min => a.min(b),
+            AggregateKind::Max => a.max(b),
+        }
+    }
+
+    /// The exact aggregate of a value multiset, for convergence checks.
+    pub fn exact<I: IntoIterator<Item = f64>>(self, values: I) -> Option<f64> {
+        let mut count = 0usize;
+        let mut acc: Option<f64> = None;
+        for v in values {
+            count += 1;
+            acc = Some(match (self, acc) {
+                (AggregateKind::Average, Some(s)) => s + v,
+                (AggregateKind::Min, Some(s)) => s.min(v),
+                (AggregateKind::Max, Some(s)) => s.max(v),
+                (_, None) => v,
+            });
+        }
+        match self {
+            AggregateKind::Average => acc.map(|s| s / count as f64),
+            _ => acc,
+        }
+    }
+}
+
+impl fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateKind::Average => write!(f, "average"),
+            AggregateKind::Min => write!(f, "min"),
+            AggregateKind::Max => write!(f, "max"),
+        }
+    }
+}
+
+/// What happened during one exchange, as seen by the initiator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExchangeOutcome {
+    /// The initiator's estimate before the exchange.
+    pub before: f64,
+    /// The initiator's estimate after the exchange.
+    pub after: f64,
+}
+
+impl ExchangeOutcome {
+    /// Absolute change effected by the exchange.
+    pub fn delta(&self) -> f64 {
+        (self.after - self.before).abs()
+    }
+}
+
+/// Per-node aggregation state: the current estimate and the merge function.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AggregationState {
+    kind: AggregateKind,
+    value: f64,
+}
+
+impl AggregationState {
+    /// Creates a state seeded with this node's local value.
+    pub fn new(kind: AggregateKind, initial: f64) -> Self {
+        AggregationState {
+            kind,
+            value: initial,
+        }
+    }
+
+    /// The current estimate.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The aggregate being computed.
+    pub fn kind(&self) -> AggregateKind {
+        self.kind
+    }
+
+    /// Resets the estimate to a fresh local value (epoch restart).
+    pub fn reset(&mut self, initial: f64) {
+        self.value = initial;
+    }
+
+    /// Initiator side: the value to push to the chosen peer.
+    pub fn push_value(&self) -> f64 {
+        self.value
+    }
+
+    /// Responder side: absorb the pushed value, reply with the pre-merge
+    /// local estimate (the *pull* half).
+    pub fn respond(&mut self, pushed: f64) -> f64 {
+        let reply = self.value;
+        self.value = self.kind.merge(self.value, pushed);
+        reply
+    }
+
+    /// Initiator side: absorb the responder's reply, completing the
+    /// push–pull exchange.
+    pub fn absorb_reply(&mut self, reply: f64) -> ExchangeOutcome {
+        let before = self.value;
+        self.value = self.kind.merge(self.value, reply);
+        ExchangeOutcome {
+            before,
+            after: self.value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merge_functions() {
+        assert_eq!(AggregateKind::Average.merge(1.0, 3.0), 2.0);
+        assert_eq!(AggregateKind::Min.merge(1.0, 3.0), 1.0);
+        assert_eq!(AggregateKind::Max.merge(1.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let vs = [3.0, 1.0, 2.0];
+        assert_eq!(AggregateKind::Average.exact(vs), Some(2.0));
+        assert_eq!(AggregateKind::Min.exact(vs), Some(1.0));
+        assert_eq!(AggregateKind::Max.exact(vs), Some(3.0));
+        assert_eq!(AggregateKind::Average.exact(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn push_pull_exchange_averages_both_ends() {
+        let mut a = AggregationState::new(AggregateKind::Average, 10.0);
+        let mut b = AggregationState::new(AggregateKind::Average, 2.0);
+        let pushed = a.push_value();
+        let reply = b.respond(pushed);
+        let outcome = a.absorb_reply(reply);
+        assert_eq!(a.value(), 6.0);
+        assert_eq!(b.value(), 6.0);
+        assert_eq!(outcome.before, 10.0);
+        assert_eq!(outcome.after, 6.0);
+        assert_eq!(outcome.delta(), 4.0);
+    }
+
+    #[test]
+    fn reset_restarts_epoch() {
+        let mut s = AggregationState::new(AggregateKind::Average, 1.0);
+        s.respond(3.0);
+        assert_ne!(s.value(), 1.0);
+        s.reset(5.0);
+        assert_eq!(s.value(), 5.0);
+    }
+
+    proptest! {
+        /// Mass conservation: an averaging exchange never changes the sum of
+        /// the two estimates (up to float rounding).
+        #[test]
+        fn averaging_conserves_mass(x in -1e9f64..1e9, y in -1e9f64..1e9) {
+            let mut a = AggregationState::new(AggregateKind::Average, x);
+            let mut b = AggregationState::new(AggregateKind::Average, y);
+            let reply = b.respond(a.push_value());
+            a.absorb_reply(reply);
+            let sum_before = x + y;
+            let sum_after = a.value() + b.value();
+            prop_assert!((sum_before - sum_after).abs() <= 1e-6 * sum_before.abs().max(1.0));
+        }
+
+        /// Min/max exchanges are monotone in the right direction and
+        /// idempotent at the fixpoint.
+        #[test]
+        fn extrema_are_monotone(x in -1e9f64..1e9, y in -1e9f64..1e9) {
+            for kind in [AggregateKind::Min, AggregateKind::Max] {
+                let mut a = AggregationState::new(kind, x);
+                let mut b = AggregationState::new(kind, y);
+                let reply = b.respond(a.push_value());
+                a.absorb_reply(reply);
+                let expected = kind.merge(x, y);
+                prop_assert_eq!(a.value(), expected);
+                prop_assert_eq!(b.value(), expected);
+                // Re-exchanging changes nothing.
+                let mut a2 = a;
+                let mut b2 = b;
+                let reply = b2.respond(a2.push_value());
+                a2.absorb_reply(reply);
+                prop_assert_eq!(a2.value(), expected);
+                prop_assert_eq!(b2.value(), expected);
+            }
+        }
+
+        /// The merge is symmetric: both ends land on the same value.
+        #[test]
+        fn exchange_is_symmetric(x in -1e9f64..1e9, y in -1e9f64..1e9) {
+            for kind in [AggregateKind::Average, AggregateKind::Min, AggregateKind::Max] {
+                let mut a = AggregationState::new(kind, x);
+                let mut b = AggregationState::new(kind, y);
+                let reply = b.respond(a.push_value());
+                a.absorb_reply(reply);
+                prop_assert_eq!(a.value(), b.value());
+            }
+        }
+    }
+}

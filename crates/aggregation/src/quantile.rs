@@ -1,0 +1,252 @@
+//! Gossip-based φ-quantile search (ref \[13\], Kempe–Dobra–Gehrke style).
+//!
+//! The related-work baseline the paper positions slicing against (§2): find
+//! the attribute value whose normalized rank is φ. The classic gossip
+//! construction is bisection over the attribute range, with each probe's
+//! rank measured by averaging an indicator (`1` if `a_i ≤ candidate`, else
+//! `0`) across the network — the averaged value *is* the candidate's
+//! normalized rank.
+//!
+//! The contrast the paper draws, which this module makes measurable:
+//!
+//! * quantile search answers a **global** question — *one* value per run,
+//!   costing a full averaging epoch per probe — whereas slicing answers a
+//!   **per-node** question (every node learns its slice) in a single
+//!   continuously-running protocol;
+//! * the bisection needs the global attribute *range* to start from, and
+//!   rank-to-count conversions need a *size estimate* (§2: "use an
+//!   approximation of the system size"), both of which are extra gossip
+//!   machinery slicing never needs.
+//!
+//! [`QuantileSearch::run`] counts every gossip round it consumes so benches
+//! can put the two approaches on the same cost axis.
+
+use crate::protocol::AggregateKind;
+use crate::swarm::Swarm;
+
+/// Configuration for a φ-quantile search.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantileSearch {
+    /// Target normalized rank φ ∈ (0, 1].
+    pub phi: f64,
+    /// Stop once the probe's measured rank is within this distance of φ.
+    pub tolerance: f64,
+    /// Averaging rounds per probe (per ref \[12\], ~`log n` rounds give all
+    /// nodes the epoch mean to high precision).
+    pub rounds_per_probe: usize,
+    /// Bisection probe budget.
+    pub max_probes: usize,
+}
+
+impl QuantileSearch {
+    /// A search for `phi` with defaults tuned for 10³–10⁴ node populations.
+    pub fn new(phi: f64) -> Self {
+        QuantileSearch {
+            phi,
+            tolerance: 0.005,
+            rounds_per_probe: 30,
+            max_probes: 40,
+        }
+    }
+}
+
+/// Outcome of a quantile search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantileResult {
+    /// The attribute value the search settled on.
+    pub value: f64,
+    /// The measured normalized rank of `value` (should be ≈ φ).
+    pub measured_rank: f64,
+    /// Bisection probes executed.
+    pub probes: usize,
+    /// Total gossip rounds consumed (range discovery + all probes).
+    pub gossip_rounds: usize,
+}
+
+impl QuantileSearch {
+    /// Runs the search over a static population holding `values`.
+    ///
+    /// The measured rank is read from a *single* node (node 0) after each
+    /// probe epoch — the information any one participant actually has —
+    /// rather than from the exact population average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `phi` is outside `(0, 1]`.
+    pub fn run(&self, values: &[f64], seed: u64) -> QuantileResult {
+        assert!(!values.is_empty(), "quantile of an empty population");
+        assert!(
+            self.phi > 0.0 && self.phi <= 1.0,
+            "phi must lie in (0, 1], got {}",
+            self.phi
+        );
+        let mut gossip_rounds = 0;
+
+        // Phase 1: discover the attribute range by epidemic min/max. The
+        // extremum reaches every node in O(log n) rounds; we run the same
+        // budget as an averaging epoch and read node 0's values.
+        let mut min_swarm = Swarm::new(AggregateKind::Min, values, seed ^ 0x5151);
+        let mut max_swarm = Swarm::new(AggregateKind::Max, values, seed ^ 0xA3A3);
+        for _ in 0..self.rounds_per_probe {
+            min_swarm.round();
+            max_swarm.round();
+        }
+        gossip_rounds += 2 * self.rounds_per_probe;
+        let mut lo = min_swarm.values()[0];
+        let mut hi = max_swarm.values()[0];
+
+        // Phase 2: bisection, one indicator-averaging epoch per probe.
+        let mut best = (lo, 0.0, f64::INFINITY); // (value, rank, |rank − φ|)
+        let mut probes = 0;
+        while probes < self.max_probes {
+            let candidate = (lo + hi) / 2.0;
+            let indicator: Vec<f64> = values
+                .iter()
+                .map(|&v| if v <= candidate { 1.0 } else { 0.0 })
+                .collect();
+            let mut swarm = Swarm::new(
+                AggregateKind::Average,
+                &indicator,
+                seed.wrapping_add(probes as u64),
+            );
+            for _ in 0..self.rounds_per_probe {
+                swarm.round();
+            }
+            gossip_rounds += self.rounds_per_probe;
+            let rank = swarm.values()[0];
+            probes += 1;
+
+            let err = (rank - self.phi).abs();
+            if err < best.2 {
+                best = (candidate, rank, err);
+            }
+            if err <= self.tolerance {
+                break;
+            }
+            if rank < self.phi {
+                lo = candidate;
+            } else {
+                hi = candidate;
+            }
+            if (hi - lo).abs() < f64::EPSILON * lo.abs().max(1.0) {
+                break; // range exhausted (discrete value distributions)
+            }
+        }
+
+        QuantileResult {
+            value: best.0,
+            measured_rank: best.1,
+            probes,
+            gossip_rounds,
+        }
+    }
+}
+
+/// The exact φ-quantile of a value multiset (the `⌈φ·n⌉`-th smallest),
+/// for verifying search results.
+pub fn exact_quantile(values: &[f64], phi: f64) -> f64 {
+    assert!(!values.is_empty());
+    assert!(phi > 0.0 && phi <= 1.0);
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let k = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_quantile_on_small_sets() {
+        let vs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(exact_quantile(&vs, 0.25), 10.0);
+        assert_eq!(exact_quantile(&vs, 0.5), 20.0);
+        assert_eq!(exact_quantile(&vs, 0.75), 30.0);
+        assert_eq!(exact_quantile(&vs, 1.0), 40.0);
+        assert_eq!(exact_quantile(&vs, 0.01), 10.0);
+    }
+
+    #[test]
+    fn finds_the_median_of_a_uniform_population() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let values: Vec<f64> = (0..1000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let result = QuantileSearch::new(0.5).run(&values, 9);
+        let exact = exact_quantile(&values, 0.5);
+        assert!(
+            (result.value - exact).abs() < 2.0,
+            "search {:.2} vs exact {exact:.2}",
+            result.value
+        );
+        assert!((result.measured_rank - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn finds_tail_quantiles_of_a_skewed_population() {
+        // Heavy-tailed (Pareto-like) values: the regime slicing targets.
+        let mut rng = StdRng::seed_from_u64(22);
+        let values: Vec<f64> = (0..2000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0001..1.0);
+                u.powf(-1.0 / 1.5) // Pareto(α = 1.5)
+            })
+            .collect();
+        for phi in [0.1, 0.9] {
+            let result = QuantileSearch::new(phi).run(&values, 23);
+            assert!(
+                (result.measured_rank - phi).abs() < 0.02,
+                "phi = {phi}: measured rank {:.3}",
+                result.measured_rank
+            );
+        }
+    }
+
+    #[test]
+    fn counts_gossip_rounds() {
+        let values: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let search = QuantileSearch::new(0.5);
+        let result = search.run(&values, 5);
+        // 2 epochs for range discovery + ≥1 probe epoch.
+        assert!(result.gossip_rounds >= 3 * search.rounds_per_probe);
+        assert!(result.probes >= 1);
+        assert_eq!(
+            result.gossip_rounds,
+            (2 + result.probes) * search.rounds_per_probe
+        );
+    }
+
+    #[test]
+    fn respects_the_probe_budget() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let search = QuantileSearch {
+            phi: 0.5,
+            tolerance: 0.0, // unreachable: forces budget exhaustion
+            rounds_per_probe: 10,
+            max_probes: 5,
+        };
+        let result = search.run(&values, 6);
+        assert_eq!(result.probes, 5);
+    }
+
+    #[test]
+    fn constant_population_terminates() {
+        let values = vec![7.0; 50];
+        let result = QuantileSearch::new(0.5).run(&values, 8);
+        assert_eq!(result.value, 7.0);
+        assert!((result.measured_rank - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let _ = QuantileSearch::new(0.5).run(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must lie")]
+    fn bad_phi_panics() {
+        let _ = QuantileSearch::new(1.5).run(&[1.0], 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Rank estimators: how a node aggregates the attribute samples it observes.
+//!
+//! The ranking algorithm (Fig. 5) estimates a node's normalized rank as the
+//! fraction of observed attribute values that are ≤ its own. Two
+//! accumulation policies exist in the paper:
+//!
+//! * [`CounterEstimator`] — the unbounded counters `ℓ_i / g_i` of Fig. 5:
+//!   every sample ever seen counts forever.
+//! * [`WindowEstimator`] — the sliding-window enrichment of §5.3.4: only the
+//!   freshest `W` samples count (one bit each), so the estimate tracks a
+//!   drifting attribute distribution under churn.
+
+use crate::window::BitWindow;
+use serde::{Deserialize, Serialize};
+
+/// An accumulator of "was the observed attribute ≤ mine?" samples.
+pub trait RankEstimator: Send + std::fmt::Debug {
+    /// Folds one observation in: `lower` is true iff the observed attribute
+    /// value was ≤ the owner's.
+    fn absorb(&mut self, lower: bool);
+
+    /// The current rank estimate `∈ [0, 1]`, or `None` before any sample.
+    fn estimate(&self) -> Option<f64>;
+
+    /// Total number of samples currently contributing to the estimate.
+    fn samples(&self) -> usize;
+
+    /// Resets the estimator to its initial state.
+    fn reset(&mut self);
+}
+
+/// The unbounded counters of Fig. 5: `g_i` observations, `ℓ_i` of them lower.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterEstimator {
+    /// `g_i`: the counter of encountered attribute values.
+    total: u64,
+    /// `ℓ_i`: the counter of lower (or equal) attribute values.
+    lower: u64,
+}
+
+impl CounterEstimator {
+    /// A fresh estimator with zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `g_i` counter.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `ℓ_i` counter.
+    pub fn lower(&self) -> u64 {
+        self.lower
+    }
+}
+
+impl RankEstimator for CounterEstimator {
+    fn absorb(&mut self, lower: bool) {
+        self.total += 1;
+        if lower {
+            self.lower += 1;
+        }
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.lower as f64 / self.total as f64)
+        }
+    }
+
+    fn samples(&self) -> usize {
+        self.total as usize
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// The sliding-window estimator of §5.3.4: one bit per sample, FIFO.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowEstimator {
+    window: BitWindow,
+}
+
+impl WindowEstimator {
+    /// Creates an estimator retaining the freshest `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        WindowEstimator {
+            window: BitWindow::new(capacity),
+        }
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.window.capacity()
+    }
+}
+
+impl RankEstimator for WindowEstimator {
+    fn absorb(&mut self, lower: bool) {
+        self.window.push(lower);
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.window.fraction()
+    }
+
+    fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_estimates_fraction() {
+        let mut e = CounterEstimator::new();
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.samples(), 0);
+        e.absorb(true);
+        e.absorb(true);
+        e.absorb(false);
+        e.absorb(false);
+        assert_eq!(e.estimate(), Some(0.5));
+        assert_eq!(e.samples(), 4);
+        assert_eq!(e.total(), 4);
+        assert_eq!(e.lower(), 2);
+    }
+
+    #[test]
+    fn counter_reset() {
+        let mut e = CounterEstimator::new();
+        e.absorb(true);
+        e.reset();
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.samples(), 0);
+    }
+
+    #[test]
+    fn counter_never_forgets() {
+        // 100 lows then 100 highs → estimate 0.5 (all history counts).
+        let mut e = CounterEstimator::new();
+        for _ in 0..100 {
+            e.absorb(true);
+        }
+        for _ in 0..100 {
+            e.absorb(false);
+        }
+        assert_eq!(e.estimate(), Some(0.5));
+    }
+
+    #[test]
+    fn window_forgets_old_samples() {
+        // Same stream as above, window of 100 → only the highs remain.
+        let mut e = WindowEstimator::new(100);
+        for _ in 0..100 {
+            e.absorb(true);
+        }
+        for _ in 0..100 {
+            e.absorb(false);
+        }
+        assert_eq!(e.estimate(), Some(0.0));
+        assert_eq!(e.samples(), 100);
+        assert_eq!(e.capacity(), 100);
+    }
+
+    #[test]
+    fn window_reset() {
+        let mut e = WindowEstimator::new(10);
+        e.absorb(true);
+        e.reset();
+        assert_eq!(e.estimate(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn counter_matches_reference(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let mut e = CounterEstimator::new();
+            for &b in &bits {
+                e.absorb(b);
+            }
+            let expect = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+            prop_assert!((e.estimate().unwrap() - expect).abs() < 1e-12);
+        }
+
+        #[test]
+        fn window_estimate_is_suffix_fraction(
+            cap in 1usize..64,
+            bits in proptest::collection::vec(any::<bool>(), 1..300),
+        ) {
+            let mut e = WindowEstimator::new(cap);
+            for &b in &bits {
+                e.absorb(b);
+            }
+            let tail: Vec<bool> = bits.iter().rev().take(cap).copied().collect();
+            let expect = tail.iter().filter(|&&b| b).count() as f64 / tail.len() as f64;
+            prop_assert!((e.estimate().unwrap() - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Protocol selection: one enum naming the four algorithm variants.
+//!
+//! Runtimes (the cycle simulator, the network runtime, the benches) pick a
+//! protocol by [`ProtocolKind`] and instantiate nodes through
+//! [`ProtocolKind::build`], which hides the per-variant constructor details
+//! behind `Box<dyn SliceProtocol>`.
+
+use crate::{Ordering, Ranking, SlidingRanking};
+use dslice_core::protocol::SliceProtocol;
+use dslice_core::{Attribute, NodeId, Partition};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which slicing protocol to run — one of the four algorithm variants the
+/// paper evaluates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The baseline JK ordering algorithm (random misplaced partner).
+    Jk,
+    /// The paper's improved ordering algorithm (gain-maximizing partner).
+    ModJk,
+    /// The ranking algorithm with unbounded counters (Fig. 5).
+    Ranking,
+    /// The ranking algorithm with both `UPD` targets uniformly random —
+    /// the boundary-targeting ablation (no `j1` heuristic).
+    RankingUniform,
+    /// The sliding-window ranking algorithm (§5.3.4).
+    SlidingRanking {
+        /// Number of freshest samples retained.
+        window: usize,
+    },
+}
+
+impl ProtocolKind {
+    /// Short label for output files and run records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::Jk => "jk",
+            ProtocolKind::ModJk => "mod-jk",
+            ProtocolKind::Ranking => "ranking",
+            ProtocolKind::RankingUniform => "ranking-uniform",
+            ProtocolKind::SlidingRanking { .. } => "sliding-ranking",
+        }
+    }
+
+    /// Whether this is an ordering-family protocol (swaps random values).
+    pub fn is_ordering(&self) -> bool {
+        matches!(self, ProtocolKind::Jk | ProtocolKind::ModJk)
+    }
+
+    /// Instantiates a protocol node. The initial random value (used directly
+    /// by the ordering algorithms, and as the pre-sample fallback by the
+    /// ranking ones) is drawn from `rng`.
+    pub fn build<R: Rng + ?Sized>(
+        &self,
+        id: NodeId,
+        attribute: Attribute,
+        partition: &Partition,
+        rng: &mut R,
+    ) -> Box<dyn SliceProtocol> {
+        let initial = 1.0 - rng.gen::<f64>(); // (0, 1]
+        match *self {
+            ProtocolKind::Jk => Box::new(Ordering::jk(id, attribute, initial)),
+            ProtocolKind::ModJk => Box::new(Ordering::mod_jk(id, attribute, initial)),
+            ProtocolKind::Ranking => {
+                Box::new(Ranking::new(id, attribute, initial, partition.clone()))
+            }
+            ProtocolKind::RankingUniform => Box::new(
+                Ranking::new(id, attribute, initial, partition.clone())
+                    .with_targeting(crate::ranking::Targeting::TwoRandom),
+            ),
+            ProtocolKind::SlidingRanking { window } => Box::new(SlidingRanking::with_window(
+                id,
+                attribute,
+                initial,
+                partition.clone(),
+                window,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtocolKind::Jk.label(), "jk");
+        assert_eq!(ProtocolKind::ModJk.label(), "mod-jk");
+        assert_eq!(ProtocolKind::Ranking.label(), "ranking");
+        assert_eq!(
+            ProtocolKind::SlidingRanking { window: 100 }.label(),
+            "sliding-ranking"
+        );
+    }
+
+    #[test]
+    fn family_split() {
+        assert!(ProtocolKind::Jk.is_ordering());
+        assert!(ProtocolKind::ModJk.is_ordering());
+        assert!(!ProtocolKind::Ranking.is_ordering());
+        assert!(!ProtocolKind::SlidingRanking { window: 1 }.is_ordering());
+    }
+
+    #[test]
+    fn build_produces_working_protocols() {
+        let part = Partition::equal(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [
+            ProtocolKind::Jk,
+            ProtocolKind::ModJk,
+            ProtocolKind::Ranking,
+            ProtocolKind::SlidingRanking { window: 64 },
+        ] {
+            let p = kind.build(
+                NodeId::new(7),
+                Attribute::new(3.0).unwrap(),
+                &part,
+                &mut rng,
+            );
+            assert_eq!(p.id(), NodeId::new(7));
+            assert_eq!(p.attribute().value(), 3.0);
+            let e = p.estimate();
+            assert!(e > 0.0 && e <= 1.0, "initial estimate {e} out of range");
+        }
+    }
+
+    #[test]
+    fn kind_serializes() {
+        let kind = ProtocolKind::SlidingRanking { window: 128 };
+        let json = serde_json::to_string(&kind).unwrap();
+        let parsed: ProtocolKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, kind);
+    }
+}

@@ -1,0 +1,662 @@
+//! Multi-attribute slicing — the paper's declared future work.
+//!
+//! §3.1 scopes the paper to one attribute: "The sorting along several
+//! attributes is out of the scope of this report." This module implements
+//! the natural generalization the ranking algorithm admits: a node holds a
+//! *vector* of attributes (say bandwidth, storage, uptime), runs one rank
+//! estimator **per dimension** over the same gossip stream (a single `UPD`
+//! message carries the whole vector, so the message cost is unchanged up to
+//! payload size), and a [`CompositePolicy`] maps the per-dimension rank
+//! estimates to a final assignment:
+//!
+//! * [`CompositePolicy::Grid`] — slice each dimension independently; the
+//!   assignment is the tuple of per-dimension slices (a cell of the grid).
+//!   This is the "allocate nodes that are in the top 20% of bandwidth *and*
+//!   the top 50% of storage" reading.
+//! * [`CompositePolicy::Weighted`] — scalarize: the composite rank is the
+//!   weighted mean of the per-dimension ranks, sliced against one
+//!   partition. Heterogeneous capabilities trade off against each other.
+//! * [`CompositePolicy::Bottleneck`] — the composite rank is the *minimum*
+//!   per-dimension rank: a node is only as capable as its scarcest
+//!   resource. The conservative choice for admission-style allocation.
+//!
+//! Everything reuses the single-attribute machinery: estimates are still
+//! `ℓ/g` fractions per dimension, so Theorem 5.1's sample-size bound applies
+//! dimension-wise unchanged.
+//!
+//! ## Example
+//!
+//! ```
+//! use dslice_algorithms::multi::{CompositePolicy, CompositeSlice};
+//! use dslice_core::Partition;
+//!
+//! // "Top third of bandwidth AND top third of storage."
+//! let grid = CompositePolicy::Grid(vec![
+//!     Partition::equal(3).unwrap(),
+//!     Partition::equal(3).unwrap(),
+//! ]);
+//! let CompositeSlice::Cell(cell) = grid.assign(&[0.9, 0.4]) else { unreachable!() };
+//! assert_eq!(cell[0].as_usize(), 2); // premium bandwidth
+//! assert_eq!(cell[1].as_usize(), 1); // mid-tier storage
+//!
+//! // "A node is only as good as its scarcest resource."
+//! let bottleneck = CompositePolicy::Bottleneck(Partition::equal(10).unwrap());
+//! let CompositeSlice::Scalar(s) = bottleneck.assign(&[0.9, 0.4]) else { unreachable!() };
+//! assert_eq!(s.as_usize(), 3);
+//! ```
+
+use crate::estimator::{CounterEstimator, RankEstimator};
+use dslice_core::{Attribute, NodeId, Partition, SliceIndex};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A fixed-arity vector of attribute values, one per dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributeVector(Vec<Attribute>);
+
+impl AttributeVector {
+    /// Creates a vector; at least one dimension is required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn new(values: Vec<Attribute>) -> Self {
+        assert!(!values.is_empty(), "attribute vector needs ≥ 1 dimension");
+        AttributeVector(values)
+    }
+
+    /// Number of dimensions.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value in dimension `d`.
+    pub fn get(&self, d: usize) -> Attribute {
+        self.0[d]
+    }
+
+    /// Iterates over the dimensions.
+    pub fn iter(&self) -> impl Iterator<Item = Attribute> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// How per-dimension ranks combine into a final assignment.
+#[derive(Clone, Debug)]
+pub enum CompositePolicy {
+    /// Independent per-dimension partitions; assignment = grid cell.
+    Grid(Vec<Partition>),
+    /// Weighted mean of the per-dimension ranks against one partition.
+    Weighted {
+        /// Per-dimension weights (must match the arity; need not sum to 1 —
+        /// they are normalized internally).
+        weights: Vec<f64>,
+        /// The partition the scalarized rank is sliced against.
+        partition: Partition,
+    },
+    /// Minimum per-dimension rank against one partition.
+    Bottleneck(Partition),
+}
+
+/// A composite slice assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompositeSlice {
+    /// One slice per dimension (grid cell).
+    Cell(Vec<SliceIndex>),
+    /// A single slice (scalarizing policies).
+    Scalar(SliceIndex),
+}
+
+impl CompositePolicy {
+    /// The arity this policy expects.
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            CompositePolicy::Grid(parts) => Some(parts.len()),
+            CompositePolicy::Weighted { weights, .. } => Some(weights.len()),
+            CompositePolicy::Bottleneck(_) => None, // any arity
+        }
+    }
+
+    /// Maps per-dimension normalized ranks to the composite assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is empty or its length contradicts the policy.
+    pub fn assign(&self, ranks: &[f64]) -> CompositeSlice {
+        assert!(!ranks.is_empty(), "no rank estimates");
+        match self {
+            CompositePolicy::Grid(parts) => {
+                assert_eq!(parts.len(), ranks.len(), "arity mismatch");
+                CompositeSlice::Cell(
+                    parts
+                        .iter()
+                        .zip(ranks)
+                        .map(|(p, &r)| p.slice_of(clamp_rank(r)))
+                        .collect(),
+                )
+            }
+            CompositePolicy::Weighted { weights, partition } => {
+                assert_eq!(weights.len(), ranks.len(), "arity mismatch");
+                let total: f64 = weights.iter().sum();
+                assert!(total > 0.0, "weights must have positive mass");
+                let rank: f64 = weights
+                    .iter()
+                    .zip(ranks)
+                    .map(|(w, r)| w * r)
+                    .sum::<f64>()
+                    / total;
+                CompositeSlice::Scalar(partition.slice_of(clamp_rank(rank)))
+            }
+            CompositePolicy::Bottleneck(partition) => {
+                let rank = ranks.iter().copied().fold(f64::INFINITY, f64::min);
+                CompositeSlice::Scalar(partition.slice_of(clamp_rank(rank)))
+            }
+        }
+    }
+}
+
+/// Slice lookup requires a value in `(0, 1]`; an all-lower estimate of 0 is
+/// mapped to the smallest representable rank.
+fn clamp_rank(r: f64) -> f64 {
+    if r <= 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        r.min(1.0)
+    }
+}
+
+/// One node's multi-attribute ranking state: a [`CounterEstimator`] per
+/// dimension over the shared gossip stream.
+#[derive(Clone, Debug)]
+pub struct MultiRanking {
+    id: NodeId,
+    attrs: AttributeVector,
+    estimators: Vec<CounterEstimator>,
+    /// Provisional per-dimension ranks used before the first sample.
+    initial: f64,
+}
+
+impl MultiRanking {
+    /// Creates a node with the given attribute vector.
+    pub fn new(id: NodeId, attrs: AttributeVector, initial: f64) -> Self {
+        let arity = attrs.arity();
+        MultiRanking {
+            id,
+            attrs,
+            estimators: vec![CounterEstimator::new(); arity],
+            initial,
+        }
+    }
+
+    /// The owning node.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's attribute vector.
+    pub fn attributes(&self) -> &AttributeVector {
+        &self.attrs
+    }
+
+    /// Folds one observed attribute vector into the per-dimension
+    /// estimators. Ties are broken by node id exactly as in the
+    /// single-attribute protocol (§3.1: `a_j < a_i`, or equal and `j < i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch — mixed-arity populations are a deployment
+    /// error this library surfaces loudly.
+    pub fn observe(&mut self, from: NodeId, observed: &AttributeVector) {
+        assert_eq!(
+            observed.arity(),
+            self.attrs.arity(),
+            "attribute arity mismatch"
+        );
+        for (d, estimator) in self.estimators.iter_mut().enumerate() {
+            let (a_j, a_i) = (observed.get(d), self.attrs.get(d));
+            let lower = a_j < a_i || (a_j == a_i && from <= self.id);
+            estimator.absorb(lower);
+        }
+    }
+
+    /// Per-dimension rank estimates.
+    pub fn ranks(&self) -> Vec<f64> {
+        self.estimators
+            .iter()
+            .map(|e| e.estimate().unwrap_or(self.initial))
+            .collect()
+    }
+
+    /// Samples folded in so far (identical across dimensions).
+    pub fn samples(&self) -> usize {
+        self.estimators.first().map_or(0, RankEstimator::samples)
+    }
+
+    /// The composite assignment under `policy`.
+    pub fn slice(&self, policy: &CompositePolicy) -> CompositeSlice {
+        policy.assign(&self.ranks())
+    }
+}
+
+/// Exact per-dimension normalized ranks of a population — the ground truth
+/// the estimates converge to. Returns, for each node, its rank vector
+/// `α_i/n` per dimension (ties broken by id, as in §3.1).
+pub fn true_rank_vectors(
+    population: &[(NodeId, AttributeVector)],
+) -> BTreeMap<NodeId, Vec<f64>> {
+    let n = population.len();
+    let mut result: BTreeMap<NodeId, Vec<f64>> = population
+        .iter()
+        .map(|(id, _)| (*id, Vec::new()))
+        .collect();
+    if n == 0 {
+        return result;
+    }
+    let arity = population[0].1.arity();
+    for d in 0..arity {
+        let mut order: Vec<(Attribute, NodeId)> = population
+            .iter()
+            .map(|(id, v)| (v.get(d), *id))
+            .collect();
+        order.sort_by(|(a1, i1), (a2, i2)| {
+            a1.partial_cmp(a2)
+                .expect("attributes are finite")
+                .then_with(|| i1.cmp(i2))
+        });
+        for (rank0, (_, id)) in order.into_iter().enumerate() {
+            result
+                .get_mut(&id)
+                .expect("id from population")
+                .push((rank0 + 1) as f64 / n as f64);
+        }
+    }
+    result
+}
+
+/// A synchronous gossip driver for a multi-attribute population, mirroring
+/// the ranking algorithm's push pattern (two `UPD` targets per node per
+/// round, drawn uniformly — the `j1` boundary heuristic generalizes poorly
+/// to several simultaneous partitions, so the multi-attribute variant uses
+/// two uniform targets; the ablation bench quantifies the cost).
+#[derive(Debug)]
+pub struct MultiSwarm {
+    nodes: Vec<MultiRanking>,
+}
+
+impl MultiSwarm {
+    /// Builds a population from `(id, attributes)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty or arities are inconsistent.
+    pub fn new(population: Vec<(NodeId, AttributeVector)>, initial: f64) -> Self {
+        assert!(!population.is_empty(), "empty population");
+        let arity = population[0].1.arity();
+        for (_, v) in &population {
+            assert_eq!(v.arity(), arity, "inconsistent attribute arity");
+        }
+        MultiSwarm {
+            nodes: population
+                .into_iter()
+                .map(|(id, v)| MultiRanking::new(id, v, initial))
+                .collect(),
+        }
+    }
+
+    /// The population.
+    pub fn nodes(&self) -> &[MultiRanking] {
+        &self.nodes
+    }
+
+    /// One synchronous round: every node, in random order, observes its
+    /// gossip view (here: `fanout` random peers) and pushes its vector to
+    /// two random peers.
+    pub fn round<R: Rng>(&mut self, fanout: usize, rng: &mut R) {
+        let n = self.nodes.len();
+        if n < 2 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        for &i in &order {
+            // Scan: fold `fanout` random peers' vectors in (Fig. 5 lines
+            // 5–11, with the view replaced by a uniform draw).
+            for _ in 0..fanout {
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let (from, observed) = (self.nodes[j].id(), self.nodes[j].attributes().clone());
+                self.nodes[i].observe(from, &observed);
+            }
+            // Push to two random targets (lines 12–14 with j1 uniform).
+            for _ in 0..2 {
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let (from, observed) = (self.nodes[i].id(), self.nodes[i].attributes().clone());
+                self.nodes[j].observe(from, &observed);
+            }
+        }
+    }
+
+    /// Fraction of nodes whose composite assignment matches ground truth.
+    pub fn accuracy(&self, policy: &CompositePolicy) -> f64 {
+        let population: Vec<(NodeId, AttributeVector)> = self
+            .nodes
+            .iter()
+            .map(|n| (n.id(), n.attributes().clone()))
+            .collect();
+        let truth = true_rank_vectors(&population);
+        let correct = self
+            .nodes
+            .iter()
+            .filter(|n| {
+                let true_assignment = policy.assign(&truth[&n.id()]);
+                n.slice(policy) == true_assignment
+            })
+            .count();
+        correct as f64 / self.nodes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn attr(v: f64) -> Attribute {
+        Attribute::new(v).unwrap()
+    }
+
+    fn vector(values: &[f64]) -> AttributeVector {
+        AttributeVector::new(values.iter().map(|&v| attr(v)).collect())
+    }
+
+    fn id(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "1 dimension")]
+    fn empty_vector_panics() {
+        let _ = AttributeVector::new(Vec::new());
+    }
+
+    #[test]
+    fn grid_policy_assigns_cells() {
+        let policy = CompositePolicy::Grid(vec![
+            Partition::equal(2).unwrap(),
+            Partition::equal(4).unwrap(),
+        ]);
+        let cell = policy.assign(&[0.9, 0.3]);
+        let CompositeSlice::Cell(slices) = cell else {
+            panic!("grid must produce a cell");
+        };
+        assert_eq!(slices[0].as_usize(), 1);
+        assert_eq!(slices[1].as_usize(), 1);
+    }
+
+    #[test]
+    fn weighted_policy_scalarizes() {
+        let policy = CompositePolicy::Weighted {
+            weights: vec![1.0, 1.0],
+            partition: Partition::equal(10).unwrap(),
+        };
+        // (0.8 + 0.5)/2 = 0.65 → slice 6 of 10 (interval (0.6, 0.7]).
+        let CompositeSlice::Scalar(s) = policy.assign(&[0.8, 0.5]) else {
+            panic!("weighted must produce a scalar");
+        };
+        assert_eq!(s.as_usize(), 6);
+    }
+
+    #[test]
+    fn bottleneck_policy_takes_the_minimum() {
+        let policy = CompositePolicy::Bottleneck(Partition::equal(10).unwrap());
+        let CompositeSlice::Scalar(s) = policy.assign(&[0.95, 0.15, 0.7]) else {
+            panic!("bottleneck must produce a scalar");
+        };
+        assert_eq!(s.as_usize(), 1, "min rank 0.15 → slice 1");
+    }
+
+    #[test]
+    fn zero_rank_is_clamped_into_the_domain() {
+        let policy = CompositePolicy::Bottleneck(Partition::equal(2).unwrap());
+        let CompositeSlice::Scalar(s) = policy.assign(&[0.0]) else {
+            panic!()
+        };
+        assert_eq!(s.as_usize(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn grid_arity_mismatch_panics() {
+        let policy = CompositePolicy::Grid(vec![Partition::equal(2).unwrap()]);
+        let _ = policy.assign(&[0.5, 0.5]);
+    }
+
+    #[test]
+    fn observe_updates_every_dimension_with_tiebreak() {
+        let mut node = MultiRanking::new(id(5), vector(&[10.0, 10.0]), 0.5);
+        // Equal attributes, lower id → counts as lower (j ≤ i).
+        node.observe(id(3), &vector(&[10.0, 20.0]));
+        let ranks = node.ranks();
+        assert_eq!(ranks[0], 1.0, "tie from lower id counts as lower");
+        assert_eq!(ranks[1], 0.0, "20 > 10");
+        // Equal attributes, higher id → counts as higher.
+        node.observe(id(9), &vector(&[10.0, 5.0]));
+        let ranks = node.ranks();
+        assert_eq!(ranks[0], 0.5);
+        assert_eq!(ranks[1], 0.5);
+        assert_eq!(node.samples(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn observe_arity_mismatch_panics() {
+        let mut node = MultiRanking::new(id(1), vector(&[1.0]), 0.5);
+        node.observe(id(2), &vector(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn true_rank_vectors_rank_each_dimension_independently() {
+        // Node 1: best in dim 0, worst in dim 1. Node 3: the reverse.
+        let population = vec![
+            (id(1), vector(&[30.0, 1.0])),
+            (id(2), vector(&[20.0, 2.0])),
+            (id(3), vector(&[10.0, 3.0])),
+        ];
+        let truth = true_rank_vectors(&population);
+        assert_eq!(truth[&id(1)], vec![1.0, 1.0 / 3.0]);
+        assert_eq!(truth[&id(2)], vec![2.0 / 3.0, 2.0 / 3.0]);
+        assert_eq!(truth[&id(3)], vec![1.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn true_ranks_break_ties_by_id() {
+        let population = vec![(id(2), vector(&[5.0])), (id(1), vector(&[5.0]))];
+        let truth = true_rank_vectors(&population);
+        assert_eq!(truth[&id(1)], vec![0.5], "lower id ranks first on ties");
+        assert_eq!(truth[&id(2)], vec![1.0]);
+    }
+
+    fn anti_correlated_population(n: usize) -> Vec<(NodeId, AttributeVector)> {
+        // Dimension 0 ascending, dimension 1 descending: forces genuinely
+        // different per-dimension ranks for every node.
+        (0..n)
+            .map(|i| {
+                (
+                    id(i as u64),
+                    vector(&[i as f64, (n - i) as f64]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swarm_estimates_converge_to_true_ranks() {
+        let n = 200;
+        let mut swarm = MultiSwarm::new(anti_correlated_population(n), 0.5);
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..60 {
+            swarm.round(8, &mut rng);
+        }
+        let population: Vec<(NodeId, AttributeVector)> = swarm
+            .nodes()
+            .iter()
+            .map(|node| (node.id(), node.attributes().clone()))
+            .collect();
+        let truth = true_rank_vectors(&population);
+        let mut worst: f64 = 0.0;
+        for node in swarm.nodes() {
+            for (est, exact) in node.ranks().iter().zip(&truth[&node.id()]) {
+                worst = worst.max((est - exact).abs());
+            }
+        }
+        assert!(worst < 0.08, "worst per-dimension rank error {worst:.3}");
+    }
+
+    #[test]
+    fn grid_accuracy_improves_with_rounds() {
+        let n = 150;
+        let policy = CompositePolicy::Grid(vec![
+            Partition::equal(3).unwrap(),
+            Partition::equal(3).unwrap(),
+        ]);
+        let mut swarm = MultiSwarm::new(anti_correlated_population(n), 0.5);
+        let mut rng = StdRng::seed_from_u64(43);
+        swarm.round(4, &mut rng);
+        let early = swarm.accuracy(&policy);
+        for _ in 0..80 {
+            swarm.round(4, &mut rng);
+        }
+        let late = swarm.accuracy(&policy);
+        assert!(
+            late > early,
+            "accuracy must improve: {early:.3} -> {late:.3}"
+        );
+        assert!(late > 0.8, "converged grid accuracy {late:.3} too low");
+    }
+
+    #[test]
+    fn bottleneck_accuracy_converges() {
+        let n = 150;
+        let policy = CompositePolicy::Bottleneck(Partition::equal(4).unwrap());
+        let mut swarm = MultiSwarm::new(anti_correlated_population(n), 0.5);
+        let mut rng = StdRng::seed_from_u64(47);
+        for _ in 0..80 {
+            swarm.round(4, &mut rng);
+        }
+        assert!(swarm.accuracy(&policy) > 0.75);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn ranks(arity: usize) -> impl Strategy<Value = Vec<f64>> {
+            proptest::collection::vec(0.0f64..=1.0, arity..=arity)
+        }
+
+        proptest! {
+            /// Every policy is total over valid rank vectors and produces
+            /// indices within its partitions.
+            #[test]
+            fn policies_are_total(r in ranks(3)) {
+                let grid = CompositePolicy::Grid(vec![
+                    Partition::equal(4).unwrap(),
+                    Partition::equal(2).unwrap(),
+                    Partition::equal(7).unwrap(),
+                ]);
+                if let CompositeSlice::Cell(cell) = grid.assign(&r) {
+                    prop_assert!(cell[0].as_usize() < 4);
+                    prop_assert!(cell[1].as_usize() < 2);
+                    prop_assert!(cell[2].as_usize() < 7);
+                } else {
+                    prop_assert!(false, "grid must yield a cell");
+                }
+                let weighted = CompositePolicy::Weighted {
+                    weights: vec![1.0, 2.0, 3.0],
+                    partition: Partition::equal(5).unwrap(),
+                };
+                let CompositeSlice::Scalar(s) = weighted.assign(&r) else {
+                    return Err(TestCaseError::fail("weighted must yield a scalar"));
+                };
+                prop_assert!(s.as_usize() < 5);
+                let bottleneck = CompositePolicy::Bottleneck(Partition::equal(5).unwrap());
+                let CompositeSlice::Scalar(s) = bottleneck.assign(&r) else {
+                    return Err(TestCaseError::fail("bottleneck must yield a scalar"));
+                };
+                prop_assert!(s.as_usize() < 5);
+            }
+
+            /// The bottleneck slice never exceeds any single dimension's
+            /// slice under the same partition.
+            #[test]
+            fn bottleneck_is_a_lower_bound(r in ranks(3)) {
+                let part = Partition::equal(6).unwrap();
+                let bottleneck = CompositePolicy::Bottleneck(part.clone());
+                let CompositeSlice::Scalar(b) = bottleneck.assign(&r) else {
+                    return Err(TestCaseError::fail("scalar expected"));
+                };
+                for &rank in &r {
+                    let clamped = if rank <= 0.0 { f64::MIN_POSITIVE } else { rank.min(1.0) };
+                    let per_dim = part.slice_of(clamped);
+                    prop_assert!(b.as_usize() <= per_dim.as_usize());
+                }
+            }
+
+            /// The weighted rank is monotone: raising any dimension's rank
+            /// never lowers the composite slice.
+            #[test]
+            fn weighted_is_monotone(r in ranks(2), bump in 0.0f64..0.5) {
+                let policy = CompositePolicy::Weighted {
+                    weights: vec![1.0, 1.0],
+                    partition: Partition::equal(10).unwrap(),
+                };
+                let CompositeSlice::Scalar(before) = policy.assign(&r) else {
+                    return Err(TestCaseError::fail("scalar expected"));
+                };
+                let bumped = vec![(r[0] + bump).min(1.0), r[1]];
+                let CompositeSlice::Scalar(after) = policy.assign(&bumped) else {
+                    return Err(TestCaseError::fail("scalar expected"));
+                };
+                prop_assert!(after.as_usize() >= before.as_usize());
+            }
+
+            /// true_rank_vectors produces, in every dimension, a permutation
+            /// of {1/n, 2/n, …, 1}.
+            #[test]
+            fn true_ranks_are_permutations(values in proptest::collection::vec((0u64..1000, -1e6f64..1e6, -1e6f64..1e6), 1..30)) {
+                let mut population: Vec<(NodeId, AttributeVector)> = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                for (id, a, b) in values {
+                    if seen.insert(id) {
+                        population.push((NodeId::new(id), vector(&[a, b])));
+                    }
+                }
+                let n = population.len();
+                let truth = true_rank_vectors(&population);
+                for d in 0..2 {
+                    let mut ranks: Vec<f64> = truth.values().map(|v| v[d]).collect();
+                    ranks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    for (i, r) in ranks.iter().enumerate() {
+                        prop_assert!((r - (i + 1) as f64 / n as f64).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_swarm_is_stable() {
+        let mut swarm = MultiSwarm::new(vec![(id(1), vector(&[1.0, 2.0]))], 0.5);
+        let mut rng = StdRng::seed_from_u64(49);
+        swarm.round(4, &mut rng);
+        assert_eq!(swarm.nodes()[0].samples(), 0);
+        assert_eq!(swarm.nodes()[0].ranks(), vec![0.5, 0.5]);
+    }
+}

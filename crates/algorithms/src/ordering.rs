@@ -1,0 +1,602 @@
+//! The ordering algorithms: JK and mod-JK (paper §4, Fig. 2).
+//!
+//! Every node draws a uniform random value `r_i ∈ (0, 1]`. Misplaced
+//! neighbor pairs — `(a_j − a_i)(r_j − r_i) < 0` — swap random values until
+//! the random order matches the attribute order; each node's slice is then
+//! determined by its current random value.
+//!
+//! The two variants differ *only* in how the swap partner is selected among
+//! the misplaced neighbors in the view:
+//!
+//! * **JK** picks one uniformly at random (the behavior of the original
+//!   algorithm of Jelasity & Kermarrec).
+//! * **mod-JK** picks the one maximizing the gain `G_{i,j}` of Eq. (1) —
+//!   equivalently the score `ℓα_i·ℓρ_j + ℓα_j·ℓρ_i − ℓα_j·ℓρ_j` (Eq. 2) —
+//!   computed over the local sequences of `N_i ∪ {i}`.
+//!
+//! ## Message flow (Fig. 2)
+//!
+//! ```text
+//! i: active    send(REQ, r_i, a_i) → j
+//! j: passive   send(ACK, r_j)      → i ; if misplaced: r_j ← r_i
+//! i: passive   on ACK: if misplaced (recheck with current r_i): r_i ← r_j
+//! ```
+//!
+//! The recheck on both sides is what makes stale messages *unsuccessful
+//! swaps* under concurrency (§4.5.2): if either side's value changed while
+//! the message was in flight, the predicate may no longer hold and the swap
+//! is abandoned (counted via [`Event::SwapUseless`]).
+
+use dslice_core::attribute::misplaced;
+use dslice_core::metrics::{gain_score, local_ranks};
+use dslice_core::protocol::{Context, Event, SliceProtocol};
+use dslice_core::{Attribute, NodeId, ProtocolMsg, View};
+use rand::Rng;
+
+/// Swap-partner selection policy: the one knob distinguishing JK and mod-JK.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SwapSelection {
+    /// JK: a uniformly random misplaced neighbor.
+    RandomMisplaced,
+    /// mod-JK: the misplaced neighbor maximizing the gain of Eq. (1).
+    MaxGain,
+}
+
+impl SwapSelection {
+    /// Short label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwapSelection::RandomMisplaced => "jk",
+            SwapSelection::MaxGain => "mod-jk",
+        }
+    }
+}
+
+/// An ordering-algorithm node: the state of Fig. 2.
+#[derive(Clone, Debug)]
+pub struct Ordering {
+    id: NodeId,
+    attribute: Attribute,
+    /// The current random value `r_i` — swapped, never redrawn.
+    r: f64,
+    selection: SwapSelection,
+    /// The partner of the in-flight swap proposal, with its attribute
+    /// (attributes are immutable, so caching it at send time is safe even if
+    /// the view rotates before the ACK returns).
+    pending: Option<(NodeId, Attribute)>,
+}
+
+impl Ordering {
+    /// Creates a JK node with initial random value `r ∈ (0, 1]`.
+    pub fn jk(id: NodeId, attribute: Attribute, r: f64) -> Self {
+        Self::with_selection(id, attribute, r, SwapSelection::RandomMisplaced)
+    }
+
+    /// Creates a mod-JK node with initial random value `r ∈ (0, 1]`.
+    pub fn mod_jk(id: NodeId, attribute: Attribute, r: f64) -> Self {
+        Self::with_selection(id, attribute, r, SwapSelection::MaxGain)
+    }
+
+    /// Creates a node with an explicit selection policy.
+    pub fn with_selection(
+        id: NodeId,
+        attribute: Attribute,
+        r: f64,
+        selection: SwapSelection,
+    ) -> Self {
+        debug_assert!(r > 0.0 && r <= 1.0, "random value must lie in (0, 1]");
+        Ordering {
+            id,
+            attribute,
+            r,
+            selection,
+            pending: None,
+        }
+    }
+
+    /// Creates a node drawing its initial random value from `rng`
+    /// (line 1 of Fig. 2: `r_i, a random value chosen in (0, 1]`).
+    pub fn with_rng<R: Rng + ?Sized>(
+        id: NodeId,
+        attribute: Attribute,
+        selection: SwapSelection,
+        rng: &mut R,
+    ) -> Self {
+        // gen() yields [0, 1); map to (0, 1].
+        let r = 1.0 - rng.gen::<f64>();
+        Self::with_selection(id, attribute, r, selection)
+    }
+
+    /// The current random value.
+    pub fn random_value(&self) -> f64 {
+        self.r
+    }
+
+    /// The selection policy of this node.
+    pub fn selection(&self) -> SwapSelection {
+        self.selection
+    }
+
+    /// Selects the swap partner among the misplaced neighbors of `view`,
+    /// per the node's policy. `None` if no neighbor is misplaced.
+    fn select_partner(&self, view: &View, ctx: &mut dyn Context) -> Option<NodeId> {
+        let misplaced_neighbors: Vec<_> = view
+            .iter()
+            .filter(|e| misplaced(self.attribute, self.r, e.attribute, e.value))
+            .collect();
+        if misplaced_neighbors.is_empty() {
+            return None;
+        }
+        match self.selection {
+            SwapSelection::RandomMisplaced => {
+                let idx = ctx.rng().gen_range(0..misplaced_neighbors.len());
+                Some(misplaced_neighbors[idx].id)
+            }
+            SwapSelection::MaxGain => {
+                // Local sequences over N_i ∪ {i} (Fig. 2 lines 4–8).
+                let members: Vec<(NodeId, Attribute, f64)> = view
+                    .iter()
+                    .map(|e| (e.id, e.attribute, e.value))
+                    .chain(std::iter::once((self.id, self.attribute, self.r)))
+                    .collect();
+                let ranks = local_ranks(&members);
+                let me = ranks[&self.id];
+                misplaced_neighbors
+                    .iter()
+                    .max_by(|a, b| {
+                        gain_score(me, ranks[&a.id])
+                            .partial_cmp(&gain_score(me, ranks[&b.id]))
+                            .expect("gain scores are finite")
+                            // Deterministic tie-break.
+                            .then_with(|| b.id.cmp(&a.id))
+                    })
+                    .map(|e| e.id)
+            }
+        }
+    }
+}
+
+impl SliceProtocol for Ordering {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn attribute(&self) -> Attribute {
+        self.attribute
+    }
+
+    fn estimate(&self) -> f64 {
+        self.r
+    }
+
+    /// Fig. 2 lines 2–14: pick the partner, propose a swap.
+    ///
+    /// The swap itself completes in the passive threads; under the atomic
+    /// cycle model (messages delivered immediately) the whole exchange
+    /// happens within this step.
+    fn on_active(&mut self, view: &View, ctx: &mut dyn Context) {
+        let Some(partner) = self.select_partner(view, ctx) else {
+            return;
+        };
+        let partner_attr = view.get(partner).expect("partner from view").attribute;
+        self.pending = Some((partner, partner_attr));
+        ctx.record(Event::SwapProposed);
+        ctx.send(
+            partner,
+            ProtocolMsg::SwapReq {
+                from: self.id,
+                r: self.r,
+                a: self.attribute,
+            },
+        );
+    }
+
+    fn on_message(&mut self, _view: &View, msg: ProtocolMsg, ctx: &mut dyn Context) {
+        match msg {
+            // Fig. 2 lines 15–19 (passive thread at j).
+            ProtocolMsg::SwapReq { from, r: r_i, a: a_i } => {
+                ctx.send(
+                    from,
+                    ProtocolMsg::SwapAck {
+                        from: self.id,
+                        r: self.r,
+                    },
+                );
+                if misplaced(self.attribute, self.r, a_i, r_i) {
+                    self.r = r_i;
+                    ctx.record(Event::SwapApplied);
+                } else {
+                    // The proposal was computed against a stale snapshot of
+                    // our value: an unsuccessful swap (§4.5.2).
+                    ctx.record(Event::SwapUseless);
+                }
+            }
+            // Fig. 2 lines 10–14 (completion at the initiator).
+            ProtocolMsg::SwapAck { from, r: r_j } => {
+                let Some((expected, a_j)) = self.pending.take() else {
+                    return; // No proposal outstanding; stray ACK.
+                };
+                if expected != from {
+                    self.pending = Some((expected, a_j));
+                    return;
+                }
+                if misplaced(self.attribute, self.r, a_j, r_j) {
+                    self.r = r_j;
+                    ctx.record(Event::SwapApplied);
+                } else {
+                    ctx.record(Event::SwapUseless);
+                }
+            }
+            // Ordering nodes ignore ranking/membership traffic.
+            _ => {}
+        }
+    }
+
+    /// Transactional swap (simulator delivery semantics, §4.5.2): adopt
+    /// `other_value` and surrender the current value iff the pair is still
+    /// misplaced at delivery time.
+    fn try_atomic_swap(&mut self, other_attr: Attribute, other_value: f64) -> Option<f64> {
+        if misplaced(self.attribute, self.r, other_attr, other_value) {
+            let old = self.r;
+            self.r = other_value;
+            Some(old)
+        } else {
+            None
+        }
+    }
+
+    fn adopt_value(&mut self, value: f64) {
+        self.r = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dslice_core::protocol::MockContext;
+    use dslice_core::{Partition, ViewEntry};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn attr(v: f64) -> Attribute {
+        Attribute::new(v).unwrap()
+    }
+
+    fn view_of(entries: &[(u64, f64, f64)]) -> View {
+        let mut v = View::new(entries.len().max(1)).unwrap();
+        for &(id, a, r) in entries {
+            v.insert(ViewEntry::new(NodeId::new(id), attr(a), r));
+        }
+        v
+    }
+
+    fn ctx() -> MockContext<StdRng> {
+        MockContext::new(StdRng::seed_from_u64(42))
+    }
+
+    /// Runs one atomic cycle over a complete graph of nodes: each node in
+    /// turn recomputes its (complete) view from the others' live values,
+    /// runs the active step, and every message is delivered immediately —
+    /// the paper's cycle-based simulation model in miniature.
+    fn atomic_cycle(nodes: &mut [Ordering]) {
+        let empty = view_of(&[]);
+        for idx in 0..nodes.len() {
+            let view = {
+                let me = &nodes[idx];
+                let others: Vec<(u64, f64, f64)> = nodes
+                    .iter()
+                    .filter(|n| n.id() != me.id())
+                    .map(|n| (n.id().as_u64(), n.attribute().value(), n.random_value()))
+                    .collect();
+                view_of(&others)
+            };
+            let mut c = ctx();
+            nodes[idx].on_active(&view, &mut c);
+            // Deliver messages (and the replies they trigger) immediately.
+            let mut queue = c.take_sent();
+            while let Some((to, msg)) = queue.pop() {
+                let target = nodes.iter_mut().find(|n| n.id() == to).unwrap();
+                target.on_message(&empty, msg, &mut c);
+                queue.extend(c.take_sent());
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_converges_to_sorted_values() {
+        // §4.1: a = (50, 120, 25), r = (0.85, 0.1, 0.35) must end as
+        // r = (0.35, 0.85, 0.1).
+        let mut nodes = vec![
+            Ordering::mod_jk(NodeId::new(1), attr(50.0), 0.85),
+            Ordering::mod_jk(NodeId::new(2), attr(120.0), 0.10),
+            Ordering::mod_jk(NodeId::new(3), attr(25.0), 0.35),
+        ];
+        for _ in 0..6 {
+            atomic_cycle(&mut nodes);
+        }
+        assert_eq!(nodes[0].random_value(), 0.35);
+        assert_eq!(nodes[1].random_value(), 0.85);
+        assert_eq!(nodes[2].random_value(), 0.10);
+    }
+
+    #[test]
+    fn jk_also_converges_on_complete_views() {
+        let mut nodes: Vec<Ordering> = (0..8)
+            .map(|i| {
+                Ordering::jk(
+                    NodeId::new(i),
+                    attr(i as f64 * 10.0),
+                    // Reversed initial values: maximal disorder.
+                    1.0 - (i as f64 + 1.0) / 10.0,
+                )
+            })
+            .collect();
+        for _ in 0..40 {
+            atomic_cycle(&mut nodes);
+        }
+        // Fully sorted: values increase with the attribute.
+        for w in nodes.windows(2) {
+            assert!(
+                w[0].random_value() < w[1].random_value(),
+                "values must end sorted along attributes"
+            );
+        }
+    }
+
+    #[test]
+    fn no_message_when_no_neighbor_misplaced() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.5);
+        // Neighbor with larger attribute and larger value: ordered.
+        let view = view_of(&[(2, 120.0, 0.9)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        assert!(c.sent.is_empty());
+        assert_eq!(c.count(Event::SwapProposed), 0);
+    }
+
+    #[test]
+    fn jk_proposes_to_some_misplaced_neighbor() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.9);
+        // Two misplaced (larger attribute, smaller value), one ordered.
+        let view = view_of(&[(2, 120.0, 0.1), (3, 100.0, 0.2), (4, 10.0, 0.05)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        assert_eq!(c.sent.len(), 1);
+        let to = c.sent[0].0.as_u64();
+        assert!(to == 2 || to == 3, "partner must be misplaced, got {to}");
+    }
+
+    #[test]
+    fn mod_jk_picks_the_gain_maximizing_partner() {
+        // Node 1: a = 50, r = 0.9. Neighbors: node 2 (a=120, r=0.1) is far
+        // more misplaced than node 3 (a=60, r=0.85). The gain heuristic must
+        // pick node 2 (swapping with the most-displaced pair gains most).
+        let mut node = Ordering::mod_jk(NodeId::new(1), attr(50.0), 0.9);
+        let view = view_of(&[(2, 120.0, 0.1), (3, 60.0, 0.85)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        assert_eq!(c.sent.len(), 1);
+        assert_eq!(c.sent[0].0, NodeId::new(2));
+    }
+
+    #[test]
+    fn swap_req_applies_when_misplaced_and_acks_old_value() {
+        let mut node = Ordering::jk(NodeId::new(2), attr(120.0), 0.1);
+        let view = view_of(&[]);
+        let mut c = ctx();
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapReq {
+                from: NodeId::new(1),
+                r: 0.85,
+                a: attr(50.0),
+            },
+            &mut c,
+        );
+        // ACK carries the pre-swap value 0.1.
+        assert!(matches!(
+            c.sent[0].1,
+            ProtocolMsg::SwapAck { r, .. } if r == 0.1
+        ));
+        assert_eq!(node.random_value(), 0.85);
+        assert_eq!(c.count(Event::SwapApplied), 1);
+    }
+
+    #[test]
+    fn swap_req_rejected_when_stale() {
+        // Node's value moved such that the predicate no longer holds:
+        // unsuccessful swap, value unchanged, ACK still sent.
+        let mut node = Ordering::jk(NodeId::new(2), attr(120.0), 0.95);
+        let view = view_of(&[]);
+        let mut c = ctx();
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapReq {
+                from: NodeId::new(1),
+                r: 0.85,
+                a: attr(50.0),
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.95);
+        assert_eq!(c.count(Event::SwapUseless), 1);
+        assert_eq!(c.sent.len(), 1, "ACK is sent regardless");
+    }
+
+    #[test]
+    fn ack_applies_with_cached_attribute() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        let view = view_of(&[(2, 120.0, 0.1)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c); // proposes to 2, pending set
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapAck {
+                from: NodeId::new(2),
+                r: 0.1,
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.1);
+        assert_eq!(c.count(Event::SwapApplied), 1);
+    }
+
+    #[test]
+    fn ack_rejected_when_own_value_changed_meanwhile() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        let view = view_of(&[(2, 120.0, 0.1)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        // Meanwhile another REQ swapped our value to something small.
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapReq {
+                from: NodeId::new(9),
+                r: 0.05,
+                a: attr(200.0),
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.05);
+        // Now the original ACK arrives: 0.1 vs our 0.05 with a_j = 120 > 50
+        // → (a_j - a_i)(r_j - r_i) = (+)(+) ≥ 0: no longer misplaced.
+        let events_before = c.count(Event::SwapUseless);
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapAck {
+                from: NodeId::new(2),
+                r: 0.1,
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.05, "stale ACK must not apply");
+        assert_eq!(c.count(Event::SwapUseless), events_before + 1);
+    }
+
+    #[test]
+    fn stray_ack_is_ignored() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        let view = view_of(&[]);
+        let mut c = ctx();
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapAck {
+                from: NodeId::new(7),
+                r: 0.2,
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.85);
+        assert!(c.events.is_empty());
+    }
+
+    #[test]
+    fn ack_from_unexpected_sender_preserves_pending() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        let view = view_of(&[(2, 120.0, 0.1)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c); // pending = node 2
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapAck {
+                from: NodeId::new(3),
+                r: 0.01,
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.85, "ACK from wrong sender ignored");
+        // The genuine ACK still completes.
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapAck {
+                from: NodeId::new(2),
+                r: 0.1,
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.1);
+    }
+
+    #[test]
+    fn update_messages_are_ignored_by_ordering_nodes() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        let view = view_of(&[]);
+        let mut c = ctx();
+        node.on_message(
+            &view,
+            ProtocolMsg::Update {
+                from: NodeId::new(2),
+                a: attr(10.0),
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.85);
+        assert!(c.sent.is_empty());
+    }
+
+    #[test]
+    fn slice_follows_random_value() {
+        let part = Partition::equal(10).unwrap();
+        let node = Ordering::jk(NodeId::new(1), attr(5.0), 0.42);
+        assert_eq!(node.slice(&part).as_usize(), 4);
+    }
+
+    #[test]
+    fn with_rng_draws_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let node = Ordering::with_rng(
+                NodeId::new(1),
+                attr(1.0),
+                SwapSelection::RandomMisplaced,
+                &mut rng,
+            );
+            assert!(node.random_value() > 0.0 && node.random_value() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SwapSelection::RandomMisplaced.label(), "jk");
+        assert_eq!(SwapSelection::MaxGain.label(), "mod-jk");
+    }
+
+    #[test]
+    fn atomic_swap_applies_only_when_misplaced() {
+        let mut node = Ordering::mod_jk(NodeId::new(1), attr(50.0), 0.85);
+        // Proposer with larger attribute but smaller value: misplaced.
+        let taken = node.try_atomic_swap(attr(120.0), 0.10);
+        assert_eq!(taken, Some(0.85), "callee surrenders its pre-swap value");
+        assert_eq!(node.random_value(), 0.10, "callee adopted the proposal");
+        // Now the pair would be ordered: a second identical proposal aborts.
+        let again = node.try_atomic_swap(attr(120.0), 0.85);
+        assert_eq!(again, None);
+        assert_eq!(node.random_value(), 0.10, "aborted swap changes nothing");
+    }
+
+    #[test]
+    fn adopt_value_overwrites() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        node.adopt_value(0.33);
+        assert_eq!(node.random_value(), 0.33);
+    }
+
+    #[test]
+    fn atomic_swap_pair_is_conservative() {
+        // A full transactional exchange between two nodes conserves the
+        // value pair and orders it.
+        let mut i = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        let mut j = Ordering::jk(NodeId::new(2), attr(120.0), 0.10);
+        if let Some(pre) = j.try_atomic_swap(i.attribute(), i.random_value()) {
+            i.adopt_value(pre);
+        }
+        assert_eq!(i.random_value(), 0.10);
+        assert_eq!(j.random_value(), 0.85);
+        assert!(!misplaced(
+            i.attribute(),
+            i.random_value(),
+            j.attribute(),
+            j.random_value()
+        ));
+    }
+}

@@ -1,0 +1,473 @@
+//! The ranking algorithm (paper §5, Fig. 5).
+//!
+//! Instead of sorting random values, each node *estimates its rank* along the
+//! attribute axis from the attribute values it observes: the estimate is the
+//! fraction of observed values that were ≤ its own (`ℓ_i / g_i`). Gossip
+//! provides the sample stream:
+//!
+//! * every cycle the node scans its (freshly shuffled) view and folds every
+//!   neighbor's attribute into the estimate (Fig. 5 lines 5–11);
+//! * it then pushes its own attribute to two neighbors (lines 12–14): `j1`,
+//!   the neighbor whose published rank estimate is **closest to a slice
+//!   boundary** — boundary nodes need the most samples (Theorem 5.1) — and
+//!   `j2`, a uniformly random neighbor;
+//! * received `UPD` messages are folded in on arrival (lines 17–21).
+//!
+//! Unlike the ordering algorithms, communication is one-way and payloads
+//! (attribute values) never go stale, so concurrency cannot produce useless
+//! messages (§5, "Concurrency side-effect") — and the estimate keeps
+//! sharpening forever instead of plateauing at the accuracy of the initial
+//! random spread.
+//!
+//! The generic parameter selects the accumulator: [`Ranking`] uses the
+//! unbounded counters of Fig. 5, [`SlidingRanking`] the sliding-window
+//! variant of §5.3.4.
+
+use crate::estimator::{CounterEstimator, RankEstimator, WindowEstimator};
+use dslice_core::protocol::{Context, Event, SliceProtocol};
+use dslice_core::{Attribute, NodeId, Partition, ProtocolMsg, View};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the two `UPD` targets of Fig. 5 lines 12–14 are chosen.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum Targeting {
+    /// The paper's heuristic: `j1` = the neighbor whose published rank
+    /// estimate is closest to a slice boundary (boundary nodes need the
+    /// most samples, Theorem 5.1), `j2` = uniformly random.
+    #[default]
+    BoundaryPlusRandom,
+    /// Ablation: both targets uniformly random. Isolates the value of the
+    /// boundary bias (`bench/ablations` quantifies the difference).
+    TwoRandom,
+}
+
+/// A ranking-algorithm node, generic over the sample accumulator.
+#[derive(Clone, Debug)]
+pub struct RankingProtocol<E: RankEstimator> {
+    id: NodeId,
+    attribute: Attribute,
+    /// Initial estimate used before the first sample (Fig. 5 line 1 draws a
+    /// random value in `(0, 1]`).
+    initial: f64,
+    estimator: E,
+    partition: Partition,
+    targeting: Targeting,
+}
+
+/// The ranking algorithm with unbounded counters (Fig. 5).
+pub type Ranking = RankingProtocol<CounterEstimator>;
+
+/// The sliding-window ranking algorithm (§5.3.4).
+pub type SlidingRanking = RankingProtocol<WindowEstimator>;
+
+impl Ranking {
+    /// Creates a counter-based ranking node. `initial` is the provisional
+    /// estimate before any sample arrives, drawn in `(0, 1]`.
+    pub fn new(id: NodeId, attribute: Attribute, initial: f64, partition: Partition) -> Self {
+        RankingProtocol {
+            id,
+            attribute,
+            initial,
+            estimator: CounterEstimator::new(),
+            partition,
+            targeting: Targeting::default(),
+        }
+    }
+
+    /// Creates a counter-based ranking node with an RNG-drawn initial value.
+    pub fn with_rng<R: Rng + ?Sized>(
+        id: NodeId,
+        attribute: Attribute,
+        partition: Partition,
+        rng: &mut R,
+    ) -> Self {
+        let initial = 1.0 - rng.gen::<f64>();
+        Self::new(id, attribute, initial, partition)
+    }
+}
+
+impl SlidingRanking {
+    /// Creates a sliding-window ranking node retaining the freshest
+    /// `window` samples.
+    pub fn with_window(
+        id: NodeId,
+        attribute: Attribute,
+        initial: f64,
+        partition: Partition,
+        window: usize,
+    ) -> Self {
+        RankingProtocol {
+            id,
+            attribute,
+            initial,
+            estimator: WindowEstimator::new(window),
+            partition,
+            targeting: Targeting::default(),
+        }
+    }
+}
+
+impl<E: RankEstimator> RankingProtocol<E> {
+    /// Overrides the `UPD` target-selection policy (builder style).
+    pub fn with_targeting(mut self, targeting: Targeting) -> Self {
+        self.targeting = targeting;
+        self
+    }
+
+    /// The target-selection policy in use.
+    pub fn targeting(&self) -> Targeting {
+        self.targeting
+    }
+
+    /// The number of samples currently contributing to the estimate.
+    pub fn samples(&self) -> usize {
+        self.estimator.samples()
+    }
+
+    /// Read access to the accumulator.
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+
+    /// The partition this node slices against.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Folds one observed attribute value into the estimate
+    /// (lines 6–7 / 18–19 of Fig. 5: `if a_j ≤ a_i then ℓ_i ← ℓ_i + 1`).
+    fn observe(&mut self, a: Attribute, ctx: &mut dyn Context) {
+        self.estimator.absorb(a <= self.attribute);
+        ctx.record(Event::SampleAbsorbed);
+    }
+}
+
+impl<E: RankEstimator> SliceProtocol for RankingProtocol<E> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn attribute(&self) -> Attribute {
+        self.attribute
+    }
+
+    /// `r_i ← ℓ_i / g_i` (line 15), falling back to the initial random value
+    /// before the first sample.
+    fn estimate(&self) -> f64 {
+        self.estimator.estimate().unwrap_or(self.initial)
+    }
+
+    /// Fig. 5 lines 2–16.
+    fn on_active(&mut self, view: &View, ctx: &mut dyn Context) {
+        // Lines 5–11: absorb every neighbor's attribute; track the neighbor
+        // whose *published rank estimate* is closest to a slice boundary.
+        let mut boundary: Option<(NodeId, f64)> = None;
+        for entry in view.iter() {
+            self.observe(entry.attribute, ctx);
+            let dist = self.partition.boundary_distance(entry.value);
+            match boundary {
+                Some((_, best)) if dist >= best => {}
+                _ => boundary = Some((entry.id, dist)),
+            }
+        }
+        let j1 = match self.targeting {
+            Targeting::BoundaryPlusRandom => boundary.map(|(id, _)| id),
+            Targeting::TwoRandom => view.random(ctx.rng()).map(|e| e.id),
+        };
+        // Line 12: a uniformly random second target.
+        let j2 = view.random(ctx.rng()).map(|e| e.id);
+
+        // Lines 13–14: one-way attribute pushes.
+        for target in [j1, j2].into_iter().flatten() {
+            ctx.send(
+                target,
+                ProtocolMsg::Update {
+                    from: self.id,
+                    a: self.attribute,
+                },
+            );
+            ctx.record(Event::UpdateSent);
+        }
+    }
+
+    fn set_partition(&mut self, partition: &Partition) {
+        self.partition = partition.clone();
+    }
+
+    /// Fig. 5 lines 17–21.
+    fn on_message(&mut self, _view: &View, msg: ProtocolMsg, ctx: &mut dyn Context) {
+        // A ranking node reacts only to UPD samples; swap proposals are
+        // ignored (the families are not mixed within one experiment).
+        if let ProtocolMsg::Update { a, .. } = msg {
+            self.observe(a, ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dslice_core::protocol::MockContext;
+    use dslice_core::ViewEntry;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn attr(v: f64) -> Attribute {
+        Attribute::new(v).unwrap()
+    }
+
+    fn part(k: usize) -> Partition {
+        Partition::equal(k).unwrap()
+    }
+
+    fn view_of(entries: &[(u64, f64, f64)]) -> View {
+        let mut v = View::new(entries.len().max(1)).unwrap();
+        for &(id, a, r) in entries {
+            v.insert(ViewEntry::new(NodeId::new(id), attr(a), r));
+        }
+        v
+    }
+
+    fn ctx() -> MockContext<StdRng> {
+        MockContext::new(StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn initial_estimate_before_any_sample() {
+        let node = Ranking::new(NodeId::new(1), attr(5.0), 0.42, part(10));
+        assert_eq!(node.estimate(), 0.42);
+        assert_eq!(node.samples(), 0);
+    }
+
+    #[test]
+    fn active_step_absorbs_every_neighbor() {
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.5, part(10));
+        // Two lower, one higher.
+        let view = view_of(&[(2, 10.0, 0.1), (3, 20.0, 0.2), (4, 90.0, 0.9)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        assert_eq!(node.samples(), 3);
+        assert!((node.estimate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.count(Event::SampleAbsorbed), 3);
+    }
+
+    #[test]
+    fn equal_attribute_counts_as_lower() {
+        // Line 7 uses `a_j' ≤ a_i`.
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.5, part(10));
+        let view = view_of(&[(2, 50.0, 0.5)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        assert_eq!(node.estimate(), 1.0);
+    }
+
+    #[test]
+    fn sends_to_boundary_closest_and_random_neighbor() {
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.5, part(10));
+        // Boundaries at 0.1, 0.2, …; neighbor 3's estimate 0.199 is closest.
+        let view = view_of(&[(2, 10.0, 0.55), (3, 20.0, 0.199), (4, 90.0, 0.74)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        assert_eq!(c.count(Event::UpdateSent), 2);
+        let targets: Vec<NodeId> = c.sent.iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets[0], NodeId::new(3), "j1 = boundary-closest");
+        assert!(
+            view.contains(targets[1]),
+            "j2 must be a view member, got {:?}",
+            targets[1]
+        );
+        for (_, msg) in &c.sent {
+            assert!(matches!(
+                msg,
+                ProtocolMsg::Update { from, a } if *from == NodeId::new(1) && *a == attr(50.0)
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_view_sends_nothing() {
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.5, part(10));
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        node.on_active(&view, &mut c);
+        assert!(c.sent.is_empty());
+        assert_eq!(node.samples(), 0);
+    }
+
+    #[test]
+    fn update_message_refines_estimate() {
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.5, part(10));
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        node.on_message(
+            &view,
+            ProtocolMsg::Update {
+                from: NodeId::new(2),
+                a: attr(10.0),
+            },
+            &mut c,
+        );
+        node.on_message(
+            &view,
+            ProtocolMsg::Update {
+                from: NodeId::new(3),
+                a: attr(99.0),
+            },
+            &mut c,
+        );
+        assert_eq!(node.samples(), 2);
+        assert_eq!(node.estimate(), 0.5);
+    }
+
+    #[test]
+    fn swap_messages_are_ignored() {
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.5, part(10));
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapReq {
+                from: NodeId::new(2),
+                r: 0.4,
+                a: attr(10.0),
+            },
+            &mut c,
+        );
+        assert!(c.sent.is_empty());
+        assert_eq!(node.samples(), 0);
+    }
+
+    #[test]
+    fn estimate_converges_to_true_normalized_rank() {
+        // Node with attribute 70 in a population 0..99: true rank fraction
+        // P(a ≤ 70) = 71/100. Stream uniform samples from the population.
+        let mut node = Ranking::new(NodeId::new(1000), attr(70.0), 0.5, part(10));
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5000 {
+            let a = attr(rand::Rng::gen_range(&mut rng, 0..100) as f64);
+            node.on_message(
+                &view,
+                ProtocolMsg::Update {
+                    from: NodeId::new(2),
+                    a,
+                },
+                &mut c,
+            );
+        }
+        assert!((node.estimate() - 0.71).abs() < 0.03);
+    }
+
+    #[test]
+    fn sliding_variant_tracks_distribution_shift() {
+        let mut node = SlidingRanking::with_window(
+            NodeId::new(1),
+            attr(50.0),
+            0.5,
+            part(10),
+            100,
+        );
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        // Phase 1: all samples lower → estimate 1.0.
+        for _ in 0..200 {
+            node.on_message(
+                &view,
+                ProtocolMsg::Update {
+                    from: NodeId::new(2),
+                    a: attr(1.0),
+                },
+                &mut c,
+            );
+        }
+        assert_eq!(node.estimate(), 1.0);
+        // Phase 2 (churn shifted the population upward): all samples higher.
+        // The window forgets phase 1 entirely after 100 samples.
+        for _ in 0..100 {
+            node.on_message(
+                &view,
+                ProtocolMsg::Update {
+                    from: NodeId::new(3),
+                    a: attr(99.0),
+                },
+                &mut c,
+            );
+        }
+        assert_eq!(node.estimate(), 0.0);
+        assert_eq!(node.samples(), 100);
+    }
+
+    #[test]
+    fn slice_uses_estimate() {
+        let p = part(4);
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.9, p.clone());
+        assert_eq!(node.slice(&p).as_usize(), 3, "initial estimate");
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        // One lower, three higher → estimate 0.25 → slice 0.
+        for a in [10.0, 90.0, 95.0, 99.0] {
+            node.on_message(
+                &view,
+                ProtocolMsg::Update {
+                    from: NodeId::new(2),
+                    a: attr(a),
+                },
+                &mut c,
+            );
+        }
+        assert_eq!(node.slice(&p).as_usize(), 0);
+    }
+
+    #[test]
+    fn ranking_refuses_atomic_swaps() {
+        // Estimate-based protocols hold no swappable value: the simulator's
+        // transactional hook must refuse and adopt_value must be inert.
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.42, part(10));
+        assert_eq!(node.try_atomic_swap(attr(120.0), 0.1), None);
+        node.adopt_value(0.99);
+        assert_eq!(node.estimate(), 0.42, "adopt_value is a no-op for ranking");
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_is_always_a_probability(
+            samples in proptest::collection::vec(-1e3f64..1e3, 0..200),
+        ) {
+            let mut node = Ranking::new(NodeId::new(1), attr(0.0), 0.5, part(5));
+            let view = View::new(4).unwrap();
+            let mut c = ctx();
+            for a in samples {
+                node.on_message(
+                    &view,
+                    ProtocolMsg::Update { from: NodeId::new(2), a: attr(a) },
+                    &mut c,
+                );
+                let e = node.estimate();
+                prop_assert!((0.0..=1.0).contains(&e));
+            }
+        }
+
+        #[test]
+        fn counter_estimate_equals_empirical_cdf(
+            my_attr in -100f64..100.0,
+            samples in proptest::collection::vec(-100f64..100.0, 1..100),
+        ) {
+            let mut node = Ranking::new(NodeId::new(1), attr(my_attr), 0.5, part(5));
+            let view = View::new(4).unwrap();
+            let mut c = ctx();
+            for &a in &samples {
+                node.on_message(
+                    &view,
+                    ProtocolMsg::Update { from: NodeId::new(2), a: attr(a) },
+                    &mut c,
+                );
+            }
+            let expect = samples.iter().filter(|&&a| a <= my_attr).count() as f64
+                / samples.len() as f64;
+            prop_assert!((node.estimate() - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! A fixed-capacity FIFO window of bits.
+//!
+//! §5.3.4 of the paper observes that "the only necessary relevant
+//! information of a message is simply whether it contains a lower attribute
+//! value than the attribute value of `i`, or not. Consequently, a single bit
+//! per message would be sufficient" — e.g. 10⁴ samples fit in
+//! `10⁴ / 8 / 1000 = 1.25 kB`.
+//!
+//! [`BitWindow`] is that structure: a ring buffer of single bits packed into
+//! `u64` words, with O(1) push and a running popcount so the rank estimate
+//! `ones / len` is O(1) too.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity ring buffer of bits with a running count of ones.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitWindow {
+    words: Vec<u64>,
+    capacity: usize,
+    /// Number of bits currently stored (≤ capacity).
+    len: usize,
+    /// Ring head: index of the slot the next push writes to.
+    head: usize,
+    /// Running number of set bits among the stored ones.
+    ones: usize,
+}
+
+impl BitWindow {
+    /// Creates a window holding up to `capacity ≥ 1` bits.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BitWindow capacity must be at least 1");
+        BitWindow {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+            head: 0,
+            ones: 0,
+        }
+    }
+
+    /// The maximal number of bits retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of bits currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits are stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the window has wrapped (old bits are being discarded).
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Number of set bits currently stored.
+    pub fn ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Fraction of set bits, or `None` when empty.
+    pub fn fraction(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.ones as f64 / self.len as f64)
+        }
+    }
+
+    /// Pushes a bit, evicting the oldest one if the window is full.
+    pub fn push(&mut self, bit: bool) {
+        let idx = self.head;
+        let (word, mask) = (idx / 64, 1u64 << (idx % 64));
+        if self.len == self.capacity {
+            // Evict the bit currently stored in this slot.
+            if self.words[word] & mask != 0 {
+                self.ones -= 1;
+            }
+        } else {
+            self.len += 1;
+        }
+        if bit {
+            self.words[word] |= mask;
+            self.ones += 1;
+        } else {
+            self.words[word] &= !mask;
+        }
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// Clears all stored bits.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+        self.head = 0;
+        self.ones = 0;
+    }
+
+    /// Approximate heap footprint in bytes — the paper's 1.25 kB check.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = BitWindow::new(0);
+    }
+
+    #[test]
+    fn push_and_count_before_wrap() {
+        let mut w = BitWindow::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.fraction(), None);
+        w.push(true);
+        w.push(false);
+        w.push(true);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.ones(), 2);
+        assert!((w.fraction().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_evicts_oldest() {
+        let mut w = BitWindow::new(3);
+        w.push(true);
+        w.push(true);
+        w.push(false);
+        assert!(w.is_full());
+        assert_eq!(w.ones(), 2);
+        w.push(false); // evicts the first `true`
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.ones(), 1);
+        w.push(false); // evicts the second `true`
+        assert_eq!(w.ones(), 0);
+        w.push(true); // evicts a `false`
+        assert_eq!(w.ones(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = BitWindow::new(4);
+        w.push(true);
+        w.push(true);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.ones(), 0);
+        assert_eq!(w.fraction(), None);
+        w.push(false);
+        assert_eq!(w.fraction(), Some(0.0));
+    }
+
+    #[test]
+    fn paper_footprint_10k_samples() {
+        // §5.3.4: 10⁴ bits ≈ 1.25 kB.
+        let w = BitWindow::new(10_000);
+        assert_eq!(w.size_bytes(), 10_000usize.div_ceil(64) * 8);
+        assert!(w.size_bytes() <= 1256, "10k bits must fit in ~1.25 kB");
+    }
+
+    #[test]
+    fn capacity_not_multiple_of_64() {
+        let mut w = BitWindow::new(65);
+        for i in 0..130 {
+            w.push(i % 2 == 0);
+        }
+        assert_eq!(w.len(), 65);
+        // Alternating bits: ceil or floor of half.
+        assert!(w.ones() == 32 || w.ones() == 33);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_deque(
+            cap in 1usize..200,
+            bits in proptest::collection::vec(any::<bool>(), 0..500),
+        ) {
+            let mut w = BitWindow::new(cap);
+            let mut reference: VecDeque<bool> = VecDeque::new();
+            for b in bits {
+                w.push(b);
+                reference.push_back(b);
+                if reference.len() > cap {
+                    reference.pop_front();
+                }
+                prop_assert_eq!(w.len(), reference.len());
+                let expect_ones = reference.iter().filter(|&&x| x).count();
+                prop_assert_eq!(w.ones(), expect_ones);
+            }
+        }
+    }
+}

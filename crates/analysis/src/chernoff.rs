@@ -1,0 +1,150 @@
+//! Lemma 4.1: Chernoff bounds on slice populations.
+//!
+//! The ordering algorithms assign slices through the *positions of the
+//! uniform random values*, so a slice of length `p` holds a
+//! `Binomial(n, p)`-distributed number of nodes rather than exactly `np`.
+//! Lemma 4.1 bounds the deviation:
+//!
+//! > For any `β ∈ (0, 1]`, a slice `S_p` of length `p ∈ (0, 1]` has a number
+//! > of peers `X ∈ [(1−β)np, (1+β)np]` with probability at least `1 − ε` as
+//! > long as `p ≥ 3/(β²n) · ln(2/ε)`.
+//!
+//! via the two Chernoff bounds
+//! `Pr[X ≥ (1+β)np] ≤ exp(−β²np/3)` and `Pr[X ≤ (1−β)np] ≤ exp(−β²np/2)`.
+
+/// The combined Chernoff bound of Lemma 4.1:
+/// `Pr[|X − np| ≥ βnp] ≤ 2·exp(−β²np/3)` (capped at 1).
+///
+/// # Panics
+/// Panics unless `β ∈ (0, 1]`, `p ∈ (0, 1]` and `n ≥ 1`.
+pub fn deviation_probability_bound(beta: f64, n: usize, p: f64) -> f64 {
+    assert!(beta > 0.0 && beta <= 1.0, "β must lie in (0, 1], got {beta}");
+    assert!(p > 0.0 && p <= 1.0, "p must lie in (0, 1], got {p}");
+    assert!(n >= 1, "population must be non-empty");
+    let bound = 2.0 * (-beta * beta * n as f64 * p / 3.0).exp();
+    bound.min(1.0)
+}
+
+/// The lemma's admissibility threshold: the smallest slice length `p` for
+/// which the deviation `|X − np| ≤ βnp` holds with probability at least
+/// `1 − ε` in a population of `n` nodes:
+/// `p_min = 3·ln(2/ε) / (β²·n)`.
+///
+/// A value above 1 means no slice of that precision exists at this scale —
+/// the population is simply too small.
+///
+/// # Panics
+/// Panics unless `β ∈ (0, 1]`, `ε ∈ (0, 1)` and `n ≥ 1`.
+pub fn min_slice_length(beta: f64, epsilon: f64, n: usize) -> f64 {
+    assert!(beta > 0.0 && beta <= 1.0, "β must lie in (0, 1], got {beta}");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "ε must lie in (0, 1), got {epsilon}"
+    );
+    assert!(n >= 1, "population must be non-empty");
+    3.0 * (2.0 / epsilon).ln() / (beta * beta * n as f64)
+}
+
+/// Convenience: does a slice of length `p` satisfy the lemma's premise for
+/// `(β, ε, n)` — i.e. is the `1 − ε` guarantee in force?
+pub fn lemma_applies(beta: f64, epsilon: f64, n: usize, p: f64) -> bool {
+    p >= min_slice_length(beta, epsilon, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bound_shrinks_with_n_and_beta() {
+        let loose = deviation_probability_bound(0.1, 1000, 0.1);
+        let tighter_n = deviation_probability_bound(0.1, 10_000, 0.1);
+        let tighter_beta = deviation_probability_bound(0.3, 1000, 0.1);
+        assert!(tighter_n < loose);
+        assert!(tighter_beta < loose);
+    }
+
+    #[test]
+    fn bound_is_capped_at_one() {
+        assert_eq!(deviation_probability_bound(0.01, 10, 0.01), 1.0);
+    }
+
+    #[test]
+    fn threshold_matches_formula() {
+        // β = 0.5, ε = 0.05, n = 10^4: p_min = 3·ln(40)/(0.25·10^4).
+        let p = min_slice_length(0.5, 0.05, 10_000);
+        let expect = 3.0 * (40.0f64).ln() / 2500.0;
+        assert!((p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_premise_check() {
+        // 100 equal slices of 10^4 nodes: p = 0.01.
+        assert!(lemma_applies(1.0, 0.05, 10_000, 0.01));
+        // The same slice cannot promise β = 0.1 at ε = 0.05.
+        assert!(!lemma_applies(0.1, 0.05, 10_000, 0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "β must lie")]
+    fn rejects_bad_beta() {
+        min_slice_length(0.0, 0.05, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must lie")]
+    fn rejects_bad_epsilon() {
+        min_slice_length(0.5, 0.0, 100);
+    }
+
+    /// Monte-Carlo check of the lemma: when `p ≥ p_min(β, ε, n)`, the
+    /// empirical deviation probability stays below ε.
+    #[test]
+    fn monte_carlo_validates_lemma() {
+        let n = 2000usize;
+        let beta = 0.5;
+        let epsilon = 0.05;
+        let p = min_slice_length(beta, epsilon, n).min(0.5);
+        assert!(p < 0.5, "premise must be satisfiable at this scale");
+
+        let mut rng = StdRng::seed_from_u64(41);
+        let trials = 2000;
+        let mut violations = 0usize;
+        for _ in 0..trials {
+            let x = (0..n).filter(|_| rng.gen::<f64>() < p).count() as f64;
+            if (x - n as f64 * p).abs() >= beta * n as f64 * p {
+                violations += 1;
+            }
+        }
+        let rate = violations as f64 / trials as f64;
+        assert!(
+            rate <= epsilon,
+            "empirical violation rate {rate} exceeds ε = {epsilon}"
+        );
+    }
+
+    /// The Chernoff *bound* must upper-bound the empirical tail for a range
+    /// of parameters.
+    #[test]
+    fn monte_carlo_validates_bound() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for &(n, p, beta) in &[(500usize, 0.2f64, 0.3f64), (1000, 0.1, 0.5), (2000, 0.05, 0.8)] {
+            let bound = deviation_probability_bound(beta, n, p);
+            let trials = 1500;
+            let mut hits = 0usize;
+            for _ in 0..trials {
+                let x = (0..n).filter(|_| rng.gen::<f64>() < p).count() as f64;
+                if (x - n as f64 * p).abs() >= beta * n as f64 * p {
+                    hits += 1;
+                }
+            }
+            let rate = hits as f64 / trials as f64;
+            assert!(
+                rate <= bound + 0.02,
+                "empirical {rate} above bound {bound} for n={n} p={p} β={beta}"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # dslice-analysis
+//!
+//! Executable versions of the paper's analytic results, plus the numeric
+//! machinery (normal distribution, log-gamma, binomial) they need:
+//!
+//! * [`normal`] — `erf`, the standard normal CDF `Φ`, its inverse and the
+//!   two-sided critical value `Z_{α/2}` used throughout §5.2.
+//! * [`chernoff`] — **Lemma 4.1**: a slice of length `p` holds
+//!   `[(1−β)np, (1+β)np]` of the `n` uniform random values with probability
+//!   at least `1 − ε` as long as `p ≥ 3·ln(2/ε)/(β²n)`; with the underlying
+//!   Chernoff tail bounds.
+//! * [`slice_stats`] — the §4.4 characterization of slice-assignment
+//!   inaccuracy: binomial slice populations, the relative expected deviation
+//!   `√((1−p)/(np))`, and the `≈ √(2/(nπ))` probability that `n` random
+//!   values split exactly evenly between two slices.
+//! * [`theorem51`] — **Theorem 5.1**: the number of samples a node at
+//!   estimated rank `p̂`, at distance `d` from the closest slice boundary,
+//!   needs before its slice estimate is exact with confidence `1 − α`:
+//!   `k ≥ (Z_{α/2}·√(p̂(1−p̂)) / d)²`; with the Wald interval it derives from.
+//!
+//! * [`uniformity`] — a one-sample Kolmogorov–Smirnov test against
+//!   `U(0, 1]`, for checking the §4.4 uniformity assumption on live
+//!   random-value multisets (and detecting the §5 churn-induced skew).
+//!
+//! Every result carries Monte-Carlo validation tests, and the
+//! `lemma41`/`thm51` figure binaries in `dslice-bench` regenerate the
+//! numeric experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod chernoff;
+pub mod normal;
+pub mod slice_stats;
+pub mod theorem51;
+pub mod uniformity;
+
+pub use chernoff::{deviation_probability_bound, min_slice_length};
+pub use normal::{erf, normal_cdf, normal_quantile, z_alpha_2};
+pub use slice_stats::{
+    even_split_probability, expected_slice_population, relative_expected_deviation,
+};
+pub use theorem51::{required_samples, wald_interval, SliceConfidence};
+pub use uniformity::{ks_critical, ks_p_value, ks_statistic, ks_test, KsOutcome};

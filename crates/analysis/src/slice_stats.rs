@@ -1,0 +1,201 @@
+//! §4.4: how inaccurate is slicing by uniform random values?
+//!
+//! > consider a slice `S_p` of length `p`. In a network of `n` nodes, the
+//! > number of nodes that will fall into this slice is a random variable `X`
+//! > with a binomial distribution with parameters `n` and `p`. The standard
+//! > deviation of `X` is therefore `√(np(1−p))`. This means that the
+//! > relative proportional expected difference from the mean can be
+//! > approximated as `√((1−p)/(np))` […] it is simple to show that, in
+//! > general, the probability of dividing `n` peers into two slices of the
+//! > same size is less than `√(2/nπ)`.
+//!
+//! These are the facts that motivate the ranking algorithm: even a perfectly
+//! ordered set of random values yields slice populations that are only
+//! *approximately* proportional.
+
+/// Moments of the binomial slice population `X ~ Binomial(n, p)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlicePopulation {
+    /// Expected population `np`.
+    pub mean: f64,
+    /// Standard deviation `√(np(1−p))`.
+    pub std_dev: f64,
+    /// Relative proportional expected deviation `≈ √((1−p)/(np))`.
+    pub relative_deviation: f64,
+}
+
+/// The §4.4 characterization for a slice of length `p` in a network of `n`.
+///
+/// # Panics
+/// Panics unless `p ∈ (0, 1]` and `n ≥ 1`.
+pub fn expected_slice_population(n: usize, p: f64) -> SlicePopulation {
+    assert!(p > 0.0 && p <= 1.0, "slice length must lie in (0, 1], got {p}");
+    assert!(n >= 1, "population must be non-empty");
+    let nf = n as f64;
+    SlicePopulation {
+        mean: nf * p,
+        std_dev: (nf * p * (1.0 - p)).sqrt(),
+        relative_deviation: ((1.0 - p) / (nf * p)).sqrt(),
+    }
+}
+
+/// The relative proportional expected deviation `√((1−p)/(np))` alone —
+/// "very large if `p` is small […] goes to infinity as `p` tends to zero".
+pub fn relative_expected_deviation(n: usize, p: f64) -> f64 {
+    expected_slice_population(n, p).relative_deviation
+}
+
+/// Natural log of the Gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = G[0];
+    let t = x + 7.5;
+    for (i, &g) in G.iter().enumerate().skip(1) {
+        a += g / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` via log-gamma (stable for large `n`).
+fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// The binomial probability mass `Pr[X = k]` for `X ~ Binomial(n, p)`.
+pub fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// The exact probability that `n` uniform random values split into two
+/// equal slices — `Pr[X = n/2]` for `X ~ Binomial(n, 1/2)` — together with
+/// the paper's `√(2/(nπ))` upper bound. For odd `n` the probability is 0.
+pub fn even_split_probability(n: usize) -> (f64, f64) {
+    assert!(n >= 1, "population must be non-empty");
+    let bound = (2.0 / (n as f64 * std::f64::consts::PI)).sqrt();
+    if n % 2 != 0 {
+        return (0.0, bound);
+    }
+    (binomial_pmf(n, n / 2, 0.5), bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn population_moments_match_binomial() {
+        let s = expected_slice_population(10_000, 0.2);
+        assert!((s.mean - 2000.0).abs() < 1e-9);
+        assert!((s.std_dev - (10_000f64 * 0.2 * 0.8).sqrt()).abs() < 1e-9);
+        assert!((s.relative_deviation - (0.8f64 / 2000.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_deviation_explodes_for_small_p() {
+        let tiny = relative_expected_deviation(10_000, 1e-4);
+        let normal = relative_expected_deviation(10_000, 0.2);
+        assert!(tiny > normal * 10.0, "tiny slices are proportionally noisy");
+        // And a very large n compensates (paper's remark).
+        let big_n = relative_expected_deviation(100_000_000, 1e-4);
+        assert!(big_n < tiny / 50.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-10); // 0! = 1
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10); // 4! = 24
+        assert!((ln_gamma(0.5) - (std::f64::consts::PI.sqrt()).ln()).abs() < 1e-10);
+        assert!((ln_gamma(11.0) - 3628800.0f64.ln()).abs() < 1e-9); // 10!
+    }
+
+    #[test]
+    fn pmf_small_cases_exact() {
+        // Binomial(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|x| x / 16.0);
+        for (k, &e) in expect.iter().enumerate() {
+            assert!((binomial_pmf(4, k, 0.5) - e).abs() < 1e-12, "k = {k}");
+        }
+        assert_eq!(binomial_pmf(4, 5, 0.5), 0.0);
+        assert_eq!(binomial_pmf(4, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(4, 4, 1.0), 1.0);
+    }
+
+    #[test]
+    fn even_split_is_rare_and_below_bound() {
+        for &n in &[10usize, 100, 1000, 10_000] {
+            let (exact, bound) = even_split_probability(n);
+            assert!(exact <= bound, "exact {exact} above bound {bound} at n={n}");
+            // The bound is asymptotically tight: within 10% for large n.
+            if n >= 1000 {
+                assert!(exact > bound * 0.9);
+            }
+        }
+        // Paper: "This value is very small even for moderate values of n."
+        let (exact, _) = even_split_probability(10_000);
+        assert!(exact < 0.01);
+        // Odd populations can never split evenly.
+        assert_eq!(even_split_probability(11).0, 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_even_split() {
+        let n = 100usize;
+        let (exact, _) = even_split_probability(n);
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 40_000;
+        let hits = (0..trials)
+            .filter(|_| (0..n).filter(|_| rng.gen::<bool>()).count() == n / 2)
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!(
+            (rate - exact).abs() < 0.01,
+            "empirical {rate} vs exact {exact}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn pmf_sums_to_one(n in 1usize..60, p in 0.01f64..0.99) {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        }
+
+        #[test]
+        fn pmf_mean_matches(n in 1usize..60, p in 0.01f64..0.99) {
+            let mean: f64 = (0..=n).map(|k| k as f64 * binomial_pmf(n, k, p)).sum();
+            prop_assert!((mean - n as f64 * p).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Theorem 5.1: how many samples does a node need to trust its slice?
+//!
+//! > Let `p` be the normalized rank of `i` and let `p̂` be its estimate. For
+//! > node `i` to exactly estimate its slice with confidence coefficient
+//! > `100(1−α)%`, the number of messages `i` must receive is
+//! > `(Z_{α/2}·√(p̂(1−p̂)) / d)²`, where `d` is the distance between the rank
+//! > estimate of `i` and the closest slice boundary.
+//!
+//! The theorem is the Wald large-sample normal test in the binomial case:
+//! the rank estimate `p̂ = ℓ/g` has standard error `√(p̂(1−p̂)/k)`, and the
+//! slice estimate is trustworthy once the whole confidence interval fits
+//! inside the slice. It also explains the ranking algorithm's `j1` policy:
+//! nodes near a boundary (small `d`) need quadratically more samples, so
+//! they are preferentially fed.
+
+use crate::normal::z_alpha_2;
+
+/// The Wald `100(1−α)%` confidence interval for a proportion estimated as
+/// `p_hat` from `k` samples: `p̂ ± Z_{α/2}·√(p̂(1−p̂)/k)`, clamped to
+/// `[0, 1]`.
+///
+/// # Panics
+/// Panics if `p_hat ∉ [0, 1]`, `k == 0`, or `alpha ∉ (0, 1)`.
+pub fn wald_interval(p_hat: f64, k: usize, alpha: f64) -> (f64, f64) {
+    assert!(
+        (0.0..=1.0).contains(&p_hat),
+        "estimate must lie in [0, 1], got {p_hat}"
+    );
+    assert!(k > 0, "need at least one sample");
+    let z = z_alpha_2(alpha);
+    let half_width = z * (p_hat * (1.0 - p_hat) / k as f64).sqrt();
+    ((p_hat - half_width).max(0.0), (p_hat + half_width).min(1.0))
+}
+
+/// Theorem 5.1's sample count: the number of observations after which a node
+/// whose rank estimate is `p_hat`, at distance `d` from the closest interior
+/// slice boundary, pins its slice down with confidence `100(1−α)%`:
+/// `k = ⌈(Z_{α/2}·√(p̂(1−p̂)) / d)²⌉`.
+///
+/// Returns 0 when `p̂(1−p̂) = 0` (a degenerate estimate pinned at an
+/// endpoint has no sampling variance under the Wald model).
+///
+/// # Panics
+/// Panics if `p_hat ∉ [0, 1]`, `d ≤ 0`, or `alpha ∉ (0, 1)`.
+pub fn required_samples(p_hat: f64, d: f64, alpha: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&p_hat),
+        "estimate must lie in [0, 1], got {p_hat}"
+    );
+    assert!(d > 0.0, "boundary distance must be positive, got {d}");
+    let z = z_alpha_2(alpha);
+    let k = (z * (p_hat * (1.0 - p_hat)).sqrt() / d).powi(2);
+    k.ceil() as u64
+}
+
+/// The full confidence report for one node: interval, boundary distance and
+/// whether the slice estimate is already trustworthy at level `1 − α`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SliceConfidence {
+    /// The Wald interval around the rank estimate.
+    pub interval: (f64, f64),
+    /// Samples the node has absorbed.
+    pub samples: usize,
+    /// Samples Theorem 5.1 requires for this `(p̂, d, α)`.
+    pub required: u64,
+    /// Whether the interval lies within `(l, u]` — the slice estimate is
+    /// exact with the requested confidence.
+    pub confident: bool,
+}
+
+impl SliceConfidence {
+    /// Evaluates Theorem 5.1 for a node with rank estimate `p_hat` from
+    /// `samples` observations, inside the slice `(l, u]`, at confidence
+    /// `100(1−α)%`.
+    ///
+    /// # Panics
+    /// Panics on the same domain violations as [`wald_interval`] /
+    /// [`required_samples`], or if `p_hat` lies outside `(l, u]`.
+    pub fn evaluate(p_hat: f64, samples: usize, l: f64, u: f64, alpha: f64) -> Self {
+        assert!(
+            l < p_hat && p_hat <= u,
+            "estimate {p_hat} must lie inside its slice ({l}, {u}]"
+        );
+        let interval = wald_interval(p_hat, samples.max(1), alpha);
+        let d = (p_hat - l).min(u - p_hat);
+        let required = if d > 0.0 {
+            required_samples(p_hat, d, alpha)
+        } else {
+            u64::MAX
+        };
+        // The paper's condition: p̂ − Zσ > l and p̂ + Zσ ≤ u.
+        let confident = samples > 0 && interval.0 > l && interval.1 <= u;
+        SliceConfidence {
+            interval,
+            samples,
+            required,
+            confident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn interval_width_shrinks_with_samples() {
+        let (lo1, hi1) = wald_interval(0.5, 100, 0.05);
+        let (lo2, hi2) = wald_interval(0.5, 10_000, 0.05);
+        assert!(hi2 - lo2 < (hi1 - lo1) / 5.0);
+        assert!(lo1 < 0.5 && 0.5 < hi1);
+        assert!(lo2 < 0.5 && 0.5 < hi2);
+    }
+
+    #[test]
+    fn interval_textbook_value() {
+        // p̂ = 0.5, k = 100, 95%: half-width ≈ 1.96·0.05 = 0.098.
+        let (lo, hi) = wald_interval(0.5, 100, 0.05);
+        assert!((hi - lo - 0.196).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interval_clamps_to_unit_range() {
+        let (lo, hi) = wald_interval(0.01, 5, 0.05);
+        assert!(lo >= 0.0);
+        let (lo2, hi2) = wald_interval(0.99, 5, 0.05);
+        assert!(hi2 <= 1.0);
+        assert!(lo < hi && lo2 < hi2);
+    }
+
+    #[test]
+    fn required_samples_textbook_value() {
+        // p̂ = 0.5, d = 0.005 (mid-slice of 100 equal slices), 95%:
+        // k = (1.96·0.5/0.005)² ≈ 38 416 — the order of the paper's
+        // "10⁴ messages" remark in §5.3.4.
+        let k = required_samples(0.5, 0.005, 0.05);
+        assert!((38_000..39_000).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn boundary_nodes_need_more_samples() {
+        // Theorem's punchline: smaller d → more samples, quadratically.
+        let far = required_samples(0.5, 0.05, 0.05);
+        let near = required_samples(0.5, 0.005, 0.05);
+        assert!(
+            near >= far * 90 && near <= far * 110,
+            "10x closer must need ~100x samples: {far} vs {near}"
+        );
+    }
+
+    #[test]
+    fn degenerate_estimates_need_no_samples() {
+        assert_eq!(required_samples(0.0, 0.1, 0.05), 0);
+        assert_eq!(required_samples(1.0, 0.1, 0.05), 0);
+    }
+
+    #[test]
+    fn confidence_report() {
+        // Node at p̂ = 0.55 inside (0.5, 0.6] with plenty of samples.
+        let c = SliceConfidence::evaluate(0.55, 100_000, 0.5, 0.6, 0.05);
+        assert!(c.confident);
+        assert!(c.samples as u64 >= c.required);
+        // Same node with few samples: not confident.
+        let c = SliceConfidence::evaluate(0.55, 10, 0.5, 0.6, 0.05);
+        assert!(!c.confident);
+        assert!((c.samples as u64) < c.required);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary distance")]
+    fn rejects_zero_distance() {
+        required_samples(0.5, 0.0, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside its slice")]
+    fn evaluate_rejects_estimate_outside_slice() {
+        SliceConfidence::evaluate(0.7, 10, 0.5, 0.6, 0.05);
+    }
+
+    /// Monte-Carlo validation of the theorem: nodes sampling at the
+    /// prescribed rate identify their slice correctly at least `1 − α` of
+    /// the time (the normal approximation is conservative here).
+    #[test]
+    fn monte_carlo_validates_theorem() {
+        let alpha = 0.05;
+        // True rank p = 0.47 in a 10-slice partition: slice (0.4, 0.5],
+        // boundary distance d = 0.03.
+        let p = 0.47;
+        let d: f64 = 0.03;
+        let k = required_samples(p, d, alpha) as usize;
+        let mut rng = StdRng::seed_from_u64(29);
+        let trials = 1000;
+        let mut correct = 0usize;
+        for _ in 0..trials {
+            let hits = (0..k).filter(|_| rng.gen::<f64>() < p).count();
+            let p_hat = hits as f64 / k as f64;
+            // Slice estimate from p̂: the (0.4, 0.5] slice iff 0.4 < p̂ ≤ 0.5.
+            if 0.4 < p_hat && p_hat <= 0.5 {
+                correct += 1;
+            }
+        }
+        let rate = correct as f64 / trials as f64;
+        assert!(
+            rate >= 1.0 - alpha - 0.02,
+            "correct-slice rate {rate} below confidence {}",
+            1.0 - alpha
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn required_samples_monotone_in_distance(
+            p_hat in 0.05f64..0.95,
+            d1 in 0.001f64..0.2,
+            d2 in 0.001f64..0.2,
+        ) {
+            if d1 < d2 {
+                prop_assert!(
+                    required_samples(p_hat, d1, 0.05) >= required_samples(p_hat, d2, 0.05)
+                );
+            }
+        }
+
+        #[test]
+        fn interval_contains_estimate(
+            p_hat in 0.0f64..=1.0,
+            k in 1usize..10_000,
+        ) {
+            let (lo, hi) = wald_interval(p_hat, k, 0.05);
+            prop_assert!(lo <= p_hat && p_hat <= hi);
+        }
+
+        #[test]
+        fn tighter_confidence_needs_more_samples(
+            p_hat in 0.05f64..0.95,
+            d in 0.001f64..0.2,
+        ) {
+            let k95 = required_samples(p_hat, d, 0.05);
+            let k99 = required_samples(p_hat, d, 0.01);
+            prop_assert!(k99 >= k95);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Uniformity testing for the ordering algorithms' random values.
+//!
+//! The accuracy of JK/mod-JK slice assignment "fully depends on the
+//! uniformity of the random value spread between 0 and 1" (§4.4), and §5
+//! argues attribute-correlated churn skews that spread irrecoverably
+//! ("eventually the distribution of random values will be skewed towards
+//! high values"). This module provides the one-sample
+//! **Kolmogorov–Smirnov** test against `U(0, 1]` so both claims are
+//! checkable on live protocol state:
+//!
+//! * [`ks_statistic`] — the max distance `D_n` between the empirical CDF
+//!   and the uniform CDF;
+//! * [`ks_critical`] — the asymptotic critical value
+//!   `c(α)·√(1/n)` with `c(α) = √(−ln(α/2)/2)`;
+//! * [`ks_test`] — the verdict, plus an approximate p-value from the
+//!   Kolmogorov distribution's series expansion.
+//!
+//! The churn integration tests use this to show the random-value multiset
+//! of an ordering run *fails* uniformity after a correlated churn burst
+//! while a fresh draw passes — the mechanism behind Fig. 6(c).
+
+/// The one-sample KS statistic `D_n` of `values` against `U(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains values outside `[0, 1]`.
+pub fn ks_statistic(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "KS statistic of an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        assert!(
+            (0.0..=1.0).contains(&x),
+            "value {x} outside [0, 1] — not a normalized random value"
+        );
+        // CDF of U(0,1] at x is x; empirical CDF steps at (i+1)/n.
+        let above = (i as f64 + 1.0) / n - x;
+        let below = x - i as f64 / n;
+        d = d.max(above).max(below);
+    }
+    d
+}
+
+/// The asymptotic critical value for significance level `alpha`:
+/// reject uniformity when `D_n > ks_critical(alpha, n)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha < 1` and `n > 0`.
+pub fn ks_critical(alpha: f64, n: usize) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+    assert!(n > 0, "empty sample");
+    ((-(alpha / 2.0).ln()) / 2.0).sqrt() / (n as f64).sqrt()
+}
+
+/// Approximate p-value of an observed statistic `d` at sample size `n`,
+/// via the Kolmogorov distribution series
+/// `Q(t) = 2·Σ_{k≥1} (−1)^{k−1}·exp(−2k²t²)` with the Stephens
+/// finite-sample correction `t = d·(√n + 0.12 + 0.11/√n)`.
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    assert!(n > 0, "empty sample");
+    let sqrt_n = (n as f64).sqrt();
+    let t = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+    if t < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        sum += if k % 2 == 1 { term } else { -term };
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Result of a KS uniformity test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsOutcome {
+    /// The observed statistic `D_n`.
+    pub statistic: f64,
+    /// The critical value at the requested level.
+    pub critical: f64,
+    /// Approximate p-value.
+    pub p_value: f64,
+    /// Whether uniformity is rejected at the requested level.
+    pub rejected: bool,
+}
+
+/// Runs the full test of `values` against `U(0, 1]` at level `alpha`.
+pub fn ks_test(values: &[f64], alpha: f64) -> KsOutcome {
+    let statistic = ks_statistic(values);
+    let critical = ks_critical(alpha, values.len());
+    KsOutcome {
+        statistic,
+        critical,
+        p_value: ks_p_value(statistic, values.len()),
+        rejected: statistic > critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn statistic_of_perfect_grid_is_small() {
+        // Midpoints i/n − 1/(2n): the best possible spread, D = 1/(2n).
+        let n = 100;
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&values);
+        assert!((d - 0.005).abs() < 1e-12, "grid D = {d}");
+    }
+
+    #[test]
+    fn statistic_of_constant_sample_is_large() {
+        let values = vec![0.5; 50];
+        assert!(ks_statistic(&values) >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn critical_of_empty_sample_panics() {
+        let _ = ks_critical(0.05, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_values_panic() {
+        let _ = ks_statistic(&[0.5, 1.5]);
+    }
+
+    #[test]
+    fn critical_value_matches_tables() {
+        // Classic large-sample values: c(0.05) = 1.3581, c(0.01) = 1.6276.
+        let n = 10_000;
+        let sqrt_n = (n as f64).sqrt();
+        assert!((ks_critical(0.05, n) * sqrt_n - 1.3581).abs() < 1e-3);
+        assert!((ks_critical(0.01, n) * sqrt_n - 1.6276).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniform_samples_pass_at_the_stated_rate() {
+        // False-positive rate of the α = 0.05 test over many uniform draws
+        // must be near 5%.
+        let mut rng = StdRng::seed_from_u64(71);
+        let trials = 400;
+        let rejections = (0..trials)
+            .filter(|_| {
+                let values: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+                ks_test(&values, 0.05).rejected
+            })
+            .count();
+        let rate = rejections as f64 / trials as f64;
+        assert!(
+            (0.01..=0.10).contains(&rate),
+            "false-positive rate {rate} far from nominal 5%"
+        );
+    }
+
+    #[test]
+    fn skewed_samples_are_rejected() {
+        // The §5 churn skew: values concentrated toward 1.
+        let mut rng = StdRng::seed_from_u64(73);
+        let values: Vec<f64> = (0..500).map(|_| rng.gen::<f64>().sqrt()).collect();
+        let outcome = ks_test(&values, 0.01);
+        assert!(outcome.rejected, "sqrt-skewed sample must fail: {outcome:?}");
+        assert!(outcome.p_value < 0.01);
+    }
+
+    #[test]
+    fn p_value_is_monotone_in_the_statistic() {
+        let n = 200;
+        let p_small = ks_p_value(0.02, n);
+        let p_big = ks_p_value(0.15, n);
+        assert!(p_small > p_big);
+        assert!(p_small > 0.5);
+        assert!(p_big < 0.01);
+    }
+
+    #[test]
+    fn p_value_near_critical_is_near_alpha() {
+        let n = 1_000;
+        let d = ks_critical(0.05, n);
+        let p = ks_p_value(d, n);
+        assert!(
+            (p - 0.05).abs() < 0.02,
+            "p-value at the 5% critical value is {p}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Microbenchmarks for the aggregation substrate (refs [12]/[13]): cost of
+//! one push–pull averaging round at several population sizes, and one full
+//! φ-quantile probe epoch. Establishes the per-round budget behind the
+//! `baseline_quantile` cost table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslice_aggregation::{AggregateKind, QuantileSearch, Swarm};
+use std::hint::black_box;
+
+fn ramp(n: usize) -> Vec<f64> {
+    (0..n).map(|i| i as f64).collect()
+}
+
+fn bench_swarm_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_round");
+    for &n in &[100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("average", n), &n, |b, &n| {
+            let values = ramp(n);
+            b.iter_batched(
+                || Swarm::new(AggregateKind::Average, &values, 1),
+                |mut swarm| {
+                    swarm.round();
+                    black_box(swarm.variance())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("max", n), &n, |b, &n| {
+            let values = ramp(n);
+            b.iter_batched(
+                || Swarm::new(AggregateKind::Max, &values, 2),
+                |mut swarm| {
+                    swarm.round();
+                    black_box(swarm.mean())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_search");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("median", n), &n, |b, &n| {
+            let values = ramp(n);
+            let search = QuantileSearch {
+                phi: 0.5,
+                tolerance: 0.01,
+                rounds_per_probe: 20,
+                max_probes: 20,
+            };
+            b.iter(|| black_box(search.run(&values, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swarm_round, bench_quantile_search);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Per-cycle cost of the full engine for each protocol.
+//!
+//! This is the throughput number that decides how long a `Paper`-scale
+//! figure run takes; the ordering algorithms pay for the local-rank gain
+//! computation, the ranking algorithms for the per-neighbor sample folding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslice_core::Partition;
+use dslice_sim::{Engine, ProtocolKind, SimConfig};
+
+fn engine(kind: ProtocolKind, n: usize) -> Engine {
+    let cfg = SimConfig {
+        n,
+        view_size: 20,
+        partition: Partition::equal(10).unwrap(),
+        seed: 42,
+        ..SimConfig::default()
+    };
+    let mut e = Engine::new(cfg, kind).unwrap();
+    // Warm the overlay so the measured cycles are steady-state.
+    for _ in 0..5 {
+        e.step();
+    }
+    e
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cycle");
+    group.sample_size(10);
+    for kind in [
+        ProtocolKind::Jk,
+        ProtocolKind::ModJk,
+        ProtocolKind::Ranking,
+        ProtocolKind::RankingUniform,
+        ProtocolKind::SlidingRanking { window: 1000 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("n1000", kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut e = engine(kind, 1000);
+                b.iter(|| e.step());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

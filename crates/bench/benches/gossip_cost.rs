@@ -1,0 +1,98 @@
+//! Cost of one peer-sampling exchange (Cyclon variant vs Newscast vs
+//! Lpbcast) — the membership traffic every protocol pays each cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslice_core::{Attribute, NodeId, ViewEntry};
+use dslice_gossip::{CyclonSampler, LpbcastSampler, NewscastSampler, PeerSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn seeded<S: PeerSampler>(mut sampler: S, c: usize, rng: &mut StdRng) -> S {
+    for _ in 0..c {
+        let id = rng.gen_range(1..10_000u64);
+        sampler.view_mut().insert(ViewEntry::with_age(
+            NodeId::new(id),
+            rng.gen_range(0..5),
+            Attribute::new(id as f64).unwrap(),
+            rng.gen_range(0.0001..1.0),
+        ));
+    }
+    sampler
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_exchange");
+    for &view_size in &[10usize, 20, 40] {
+        group.bench_with_input(
+            BenchmarkId::new("cyclon", view_size),
+            &view_size,
+            |b, &vs| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut a = seeded(CyclonSampler::new(NodeId::new(0), vs).unwrap(), vs, &mut rng);
+                let mut p = seeded(CyclonSampler::new(NodeId::new(1), vs).unwrap(), vs, &mut rng);
+                let desc_a = ViewEntry::new(NodeId::new(0), Attribute::new(0.0).unwrap(), 0.5);
+                let desc_p = ViewEntry::new(NodeId::new(1), Attribute::new(1.0).unwrap(), 0.5);
+                b.iter(|| {
+                    if let Some(req) = a.initiate(desc_a, &mut rng) {
+                        let reply = p.handle_request(desc_p, NodeId::new(0), &req.entries);
+                        a.handle_reply(req.partner, &reply);
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("newscast", view_size),
+            &view_size,
+            |b, &vs| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut a = seeded(
+                    NewscastSampler::new(NodeId::new(0), vs).unwrap(),
+                    vs,
+                    &mut rng,
+                );
+                let mut p = seeded(
+                    NewscastSampler::new(NodeId::new(1), vs).unwrap(),
+                    vs,
+                    &mut rng,
+                );
+                let desc_a = ViewEntry::new(NodeId::new(0), Attribute::new(0.0).unwrap(), 0.5);
+                let desc_p = ViewEntry::new(NodeId::new(1), Attribute::new(1.0).unwrap(), 0.5);
+                b.iter(|| {
+                    if let Some(req) = a.initiate(desc_a, &mut rng) {
+                        let reply = p.handle_request(desc_p, NodeId::new(0), &req.entries);
+                        a.handle_reply(req.partner, &reply);
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lpbcast", view_size),
+            &view_size,
+            |b, &vs| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut a = seeded(
+                    LpbcastSampler::new(NodeId::new(0), vs).unwrap(),
+                    vs,
+                    &mut rng,
+                );
+                let mut p = seeded(
+                    LpbcastSampler::new(NodeId::new(1), vs).unwrap(),
+                    vs,
+                    &mut rng,
+                );
+                let desc_a = ViewEntry::new(NodeId::new(0), Attribute::new(0.0).unwrap(), 0.5);
+                let desc_p = ViewEntry::new(NodeId::new(1), Attribute::new(1.0).unwrap(), 0.5);
+                b.iter(|| {
+                    if let Some(req) = a.initiate(desc_a, &mut rng) {
+                        let reply = p.handle_request(desc_p, NodeId::new(0), &req.entries);
+                        a.handle_reply(req.partner, &reply);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

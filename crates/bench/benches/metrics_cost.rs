@@ -1,0 +1,56 @@
+//! Cost of the evaluation oracles (GDM, SDM) and the node-local gain
+//! machinery (LDM, local ranks) that mod-JK runs every cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslice_core::{metrics, Attribute, NodeId, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn population(n: usize, seed: u64) -> Vec<(NodeId, Attribute, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            (
+                NodeId::new(i as u64),
+                Attribute::new(rng.gen_range(0.0..1e6)).unwrap(),
+                rng.gen_range(0.0001..1.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_global_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_metrics");
+    for &n in &[1_000usize, 10_000] {
+        let pop = population(n, 7);
+        let part = Partition::equal(100).unwrap();
+        group.bench_with_input(BenchmarkId::new("gdm", n), &pop, |b, pop| {
+            b.iter(|| metrics::gdm(pop));
+        });
+        group.bench_with_input(BenchmarkId::new("sdm", n), &pop, |b, pop| {
+            b.iter(|| metrics::sdm(&part, pop));
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_metrics");
+    for &c_size in &[10usize, 20, 40] {
+        let members = population(c_size + 1, 9);
+        group.bench_with_input(BenchmarkId::new("ldm", c_size), &members, |b, m| {
+            b.iter(|| metrics::ldm(m));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("local_ranks", c_size),
+            &members,
+            |b, m| {
+                b.iter(|| metrics::local_ranks(m));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_metrics, bench_local_metrics);
+criterion_main!(benches);

@@ -1,0 +1,443 @@
+//! Ablation studies: one function per design choice DESIGN.md calls out.
+//!
+//! The paper's evaluation fixes several parameters (view size 20/10, 10 or
+//! 100 slices, the Cyclon substrate, the `j1` boundary-targeting heuristic,
+//! no message loss). Each ablation varies exactly one of them so the cost
+//! of each choice is measurable in isolation. All functions follow the
+//! [`experiments`](crate::experiments) conventions: deterministic given
+//! `(scale, seed)`, returning a [`Table`] the `figures` binary writes as
+//! CSV.
+
+use crate::experiments::Scale;
+use crate::table::Table;
+use dslice_aggregation::{quantile::exact_quantile, QuantileSearch};
+use dslice_core::Partition;
+use dslice_gossip::SamplerKind;
+use dslice_sim::{
+    churn::ChurnSchedule, AttributeDistribution, CorrelatedChurn, Engine, ProtocolKind, SimConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn base_config(scale: Scale, slices: usize, view_size: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        n: scale.n(),
+        view_size,
+        partition: Partition::equal(slices).expect("slices > 0"),
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Appends `cycles` rows of `[cycle, curves[0][i], curves[1][i], …]`.
+fn push_indexed(table: &mut Table, cycles: usize, curves: &[Vec<f64>]) {
+    for i in 0..cycles {
+        let mut row = Vec::with_capacity(curves.len() + 1);
+        row.push((i + 1) as f64);
+        for curve in curves {
+            row.push(curve[i]);
+        }
+        table.push(row);
+    }
+}
+
+/// Runs an engine, returning per-cycle SDM.
+fn sdm_curve(cfg: SimConfig, kind: ProtocolKind, cycles: usize) -> Vec<f64> {
+    Engine::new(cfg, kind)
+        .expect("valid config")
+        .run(cycles)
+        .cycles
+        .into_iter()
+        .map(|c| c.sdm)
+        .collect()
+}
+
+/// Runs an engine, returning per-cycle slice-assignment accuracy.
+fn accuracy_curve(cfg: SimConfig, kind: ProtocolKind, cycles: usize) -> Vec<f64> {
+    let mut engine = Engine::new(cfg, kind).expect("valid config");
+    (0..cycles)
+        .map(|_| {
+            engine.step();
+            engine.accuracy()
+        })
+        .collect()
+}
+
+/// View-size ablation: mod-JK with `c ∈ {5, 10, 20, 40}` (the paper fixes
+/// c = 20). Larger views see more misplaced candidates per cycle, so
+/// convergence accelerates — with diminishing returns that this table makes
+/// visible.
+///
+/// Columns: `cycle, sdm_c5, sdm_c10, sdm_c20, sdm_c40`.
+pub fn ablation_view_size(scale: Scale, seed: u64) -> Table {
+    let cycles = scale.ordering_cycles();
+    let curves: Vec<Vec<f64>> = [5usize, 10, 20, 40]
+        .iter()
+        .map(|&c| sdm_curve(base_config(scale, 10, c, seed), ProtocolKind::ModJk, cycles))
+        .collect();
+    let mut table = Table::new(
+        "ablation_view_size",
+        &["cycle", "sdm_c5", "sdm_c10", "sdm_c20", "sdm_c40"],
+    );
+    push_indexed(&mut table, cycles, &curves);
+    table
+}
+
+/// Slice-count ablation: ranking accuracy with `k ∈ {2, 10, 50, 100}`
+/// slices. More slices mean tighter boundaries, so per Theorem 5.1 each
+/// node needs more samples before its assignment stabilizes: accuracy at a
+/// fixed cycle count degrades as `k` grows.
+///
+/// Columns: `cycle, acc_k2, acc_k10, acc_k50, acc_k100`.
+pub fn ablation_slice_count(scale: Scale, seed: u64) -> Table {
+    let cycles = scale.ordering_cycles();
+    let slice_counts = [2usize, 10, 50, 100];
+    let curves: Vec<Vec<f64>> = slice_counts
+        .iter()
+        .map(|&k| {
+            accuracy_curve(
+                base_config(scale, k, 10, seed),
+                ProtocolKind::Ranking,
+                cycles,
+            )
+        })
+        .collect();
+    let mut table = Table::new(
+        "ablation_slice_count",
+        &["cycle", "acc_k2", "acc_k10", "acc_k50", "acc_k100"],
+    );
+    push_indexed(&mut table, cycles, &curves);
+    table
+}
+
+/// Message-loss ablation: both families under `loss ∈ {0, 5%, 20%}`.
+/// Ordering exchanges are request/reply (a lost ACK aborts the swap), so
+/// loss slows them roughly proportionally; ranking messages are one-way
+/// samples, so loss only thins the sample stream.
+///
+/// Columns: `cycle, modjk_l0, modjk_l5, modjk_l20, ranking_l0, ranking_l5,
+/// ranking_l20`.
+pub fn ablation_loss(scale: Scale, seed: u64) -> Table {
+    let cycles = scale.ordering_cycles();
+    let losses = [0.0f64, 0.05, 0.20];
+    let run = |kind: ProtocolKind, loss: f64| {
+        let mut cfg = base_config(scale, 10, 20, seed);
+        cfg.loss_rate = loss;
+        sdm_curve(cfg, kind, cycles)
+    };
+    let modjk: Vec<Vec<f64>> = losses.iter().map(|&l| run(ProtocolKind::ModJk, l)).collect();
+    let ranking: Vec<Vec<f64>> = losses
+        .iter()
+        .map(|&l| run(ProtocolKind::Ranking, l))
+        .collect();
+    let mut table = Table::new(
+        "ablation_loss",
+        &[
+            "cycle",
+            "modjk_l0",
+            "modjk_l5",
+            "modjk_l20",
+            "ranking_l0",
+            "ranking_l5",
+            "ranking_l20",
+        ],
+    );
+    for i in 0..cycles {
+        table.push(vec![
+            (i + 1) as f64,
+            modjk[0][i],
+            modjk[1][i],
+            modjk[2][i],
+            ranking[0][i],
+            ranking[1][i],
+            ranking[2][i],
+        ]);
+    }
+    table
+}
+
+/// Targeting ablation: the ranking algorithm's `j1` boundary heuristic
+/// (Fig. 5 lines 8–10) vs two uniformly random targets. The heuristic
+/// shifts samples toward boundary nodes — exactly the nodes Theorem 5.1
+/// says need them — so the heuristic's SDM should dominate late in the run.
+///
+/// Columns: `cycle, sdm_boundary, sdm_uniform_targets`.
+pub fn ablation_targeting(scale: Scale, seed: u64) -> Table {
+    let cycles = scale.ranking_cycles();
+    let slices = scale.many_slices();
+    let boundary = sdm_curve(
+        base_config(scale, slices, 10, seed),
+        ProtocolKind::Ranking,
+        cycles,
+    );
+    let uniform = sdm_curve(
+        base_config(scale, slices, 10, seed),
+        ProtocolKind::RankingUniform,
+        cycles,
+    );
+    let mut table = Table::new(
+        "ablation_targeting",
+        &["cycle", "sdm_boundary", "sdm_uniform_targets"],
+    );
+    for i in 0..cycles {
+        table.push(vec![(i + 1) as f64, boundary[i], uniform[i]]);
+    }
+    table
+}
+
+/// Substrate ablation for the ranking algorithm: Cyclon variant vs Newscast
+/// vs Lpbcast vs the uniform oracle. Extends Fig. 6(b) (which compares only
+/// Cyclon against the oracle) to every sampler in the workspace.
+///
+/// Columns: `cycle, sdm_cyclon, sdm_newscast, sdm_lpbcast, sdm_oracle`.
+pub fn ablation_sampler_ranking(scale: Scale, seed: u64) -> Table {
+    let cycles = scale.ordering_cycles();
+    let slices = scale.many_slices();
+    let run = |sampler: SamplerKind| {
+        let mut cfg = base_config(scale, slices, 10, seed);
+        cfg.sampler = sampler;
+        sdm_curve(cfg, ProtocolKind::Ranking, cycles)
+    };
+    let cyclon = run(SamplerKind::Cyclon);
+    let newscast = run(SamplerKind::Newscast);
+    let lpbcast = run(SamplerKind::Lpbcast);
+    let oracle = run(SamplerKind::UniformOracle);
+    let mut table = Table::new(
+        "ablation_sampler_ranking",
+        &[
+            "cycle",
+            "sdm_cyclon",
+            "sdm_newscast",
+            "sdm_lpbcast",
+            "sdm_oracle",
+        ],
+    );
+    for i in 0..cycles {
+        table.push(vec![
+            (i + 1) as f64,
+            cyclon[i],
+            newscast[i],
+            lpbcast[i],
+            oracle[i],
+        ]);
+    }
+    table
+}
+
+/// Window-size ablation: the sliding-window ranking under the Fig. 6(d)
+/// regular correlated churn with `W ∈ {scale/8, scale/2, 2·scale}` samples
+/// (around the Fig. 6(d) default). Small windows track drift fastest but
+/// are noisy (Theorem 5.1 needs `k` samples for tight estimates); large
+/// windows approach the unbounded counter's staleness.
+///
+/// Columns: `cycle, sdm_small, sdm_medium, sdm_large`.
+pub fn ablation_window(scale: Scale, seed: u64) -> Table {
+    let cycles = scale.ranking_cycles();
+    let slices = scale.many_slices();
+    let medium = match scale {
+        Scale::Paper => 2_000usize,
+        Scale::Small => 1_200,
+        Scale::Tiny => 400,
+    };
+    let windows = [medium / 4, medium, medium * 4];
+    let curves: Vec<Vec<f64>> = windows
+        .iter()
+        .map(|&window| {
+            let churn = Box::new(CorrelatedChurn::new(ChurnSchedule::regular(), 1.0));
+            Engine::new(
+                base_config(scale, slices, 10, seed),
+                ProtocolKind::SlidingRanking { window },
+            )
+            .expect("valid config")
+            .with_churn(churn)
+            .run(cycles)
+            .cycles
+            .into_iter()
+            .map(|c| c.sdm)
+            .collect()
+        })
+        .collect();
+    let mut table = Table::new(
+        "ablation_window",
+        &["cycle", "sdm_small", "sdm_medium", "sdm_large"],
+    );
+    push_indexed(&mut table, cycles, &curves);
+    table
+}
+
+/// Latency ablation: both families under cross-cycle message delays
+/// (uniform 1–4 cycles vs the paper's within-cycle model). Ordering
+/// proposals go stale over multi-cycle flight (an extreme §4.5.2), while
+/// the ranking family's one-way samples are delay-insensitive: an attribute
+/// value is as correct late as it was on time.
+///
+/// Columns: `cycle, modjk_zero, modjk_lat, ranking_zero, ranking_lat`.
+pub fn ablation_latency(scale: Scale, seed: u64) -> Table {
+    use dslice_sim::LatencyModel;
+    let cycles = scale.ordering_cycles();
+    let run = |kind: ProtocolKind, latency: LatencyModel| {
+        let mut cfg = base_config(scale, 10, 20, seed);
+        cfg.latency = latency;
+        sdm_curve(cfg, kind, cycles)
+    };
+    let lat = LatencyModel::Uniform { min: 1, max: 4 };
+    let modjk_zero = run(ProtocolKind::ModJk, LatencyModel::Zero);
+    let modjk_lat = run(ProtocolKind::ModJk, lat);
+    let ranking_zero = run(ProtocolKind::Ranking, LatencyModel::Zero);
+    let ranking_lat = run(ProtocolKind::Ranking, lat);
+    let mut table = Table::new(
+        "ablation_latency",
+        &["cycle", "modjk_zero", "modjk_lat", "ranking_zero", "ranking_lat"],
+    );
+    for i in 0..cycles {
+        table.push(vec![
+            (i + 1) as f64,
+            modjk_zero[i],
+            modjk_lat[i],
+            ranking_zero[i],
+            ranking_lat[i],
+        ]);
+    }
+    table
+}
+
+/// Baseline comparison against gossip φ-quantile search (ref \[13\]).
+///
+/// Slicing with `k` slices defines `k − 1` boundary values; the
+/// quantile-search way to locate them is one bisection run per boundary,
+/// each probe costing a full averaging epoch. The table reports, per
+/// boundary: the probes used, the gossip rounds consumed, and the absolute
+/// error of the found value — against the cycles the ranking algorithm
+/// needs to bring *every node* to ≥ 95% correct assignment (one number,
+/// repeated per row for plotting convenience).
+///
+/// The point the paper makes in §2, quantified: quantile search answers `k−1`
+/// global questions at a cost that *scales with k*, while slicing answers
+/// `n` per-node questions at a k-independent gossip cost.
+///
+/// Columns: `phi, probes, gossip_rounds, abs_error, ranking_cycles_to_95`.
+pub fn baseline_quantile(scale: Scale, seed: u64) -> Table {
+    let slices = 10usize;
+    let n = scale.n().min(2_000); // quantile swarms are O(n) per round
+
+    // A shared attribute population.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let distribution = AttributeDistribution::default();
+    let values: Vec<f64> = (0..n).map(|_| distribution.sample(&mut rng).value()).collect();
+
+    // Ranking cost: cycles to 95% correct assignment on the same population
+    // size (its cost is independent of which boundary you care about).
+    let cfg = base_config(scale, slices, 10, seed);
+    let mut engine = Engine::new(
+        SimConfig {
+            n,
+            ..cfg
+        },
+        ProtocolKind::Ranking,
+    )
+    .expect("valid config");
+    let mut ranking_cycles = scale.ranking_cycles();
+    for cycle in 1..=scale.ranking_cycles() {
+        engine.step();
+        if engine.accuracy() >= 0.95 {
+            ranking_cycles = cycle;
+            break;
+        }
+    }
+
+    let mut table = Table::new(
+        "baseline_quantile",
+        &["phi", "probes", "gossip_rounds", "abs_error", "ranking_cycles_to_95"],
+    );
+    for b in 1..slices {
+        let phi = b as f64 / slices as f64;
+        let result = QuantileSearch::new(phi).run(&values, seed ^ b as u64);
+        let exact = exact_quantile(&values, phi);
+        table.push(vec![
+            phi,
+            result.probes as f64,
+            result.gossip_rounds as f64,
+            (result.value - exact).abs(),
+            ranking_cycles as f64,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_size_speeds_convergence() {
+        let t = ablation_view_size(Scale::Tiny, 3);
+        let c5 = t.column("sdm_c5").unwrap();
+        let c40 = t.column("sdm_c40").unwrap();
+        // Compare mid-run: bigger views must be ahead.
+        let mid = c5.len() / 3;
+        assert!(
+            c40[mid] < c5[mid],
+            "c=40 ({}) should beat c=5 ({}) at cycle {mid}",
+            c40[mid],
+            c5[mid]
+        );
+    }
+
+    #[test]
+    fn more_slices_is_harder() {
+        let t = ablation_slice_count(Scale::Tiny, 5);
+        let k2 = t.column("acc_k2").unwrap();
+        let k100 = t.column("acc_k100").unwrap();
+        let last = k2.len() - 1;
+        assert!(
+            k2[last] > k100[last],
+            "2 slices ({}) must be easier than 100 ({})",
+            k2[last],
+            k100[last]
+        );
+    }
+
+    #[test]
+    fn loss_degrades_but_does_not_break() {
+        let t = ablation_loss(Scale::Tiny, 7);
+        let last = t.rows.len() - 1;
+        let l0 = t.column("ranking_l0").unwrap();
+        let l20 = t.column("ranking_l20").unwrap();
+        let first = l0[0].max(l20[0]);
+        // Both converge to well below the starting disorder.
+        assert!(l0[last] < first / 3.0);
+        assert!(l20[last] < first / 3.0, "20% loss must still converge");
+    }
+
+    #[test]
+    fn latency_hurts_ordering_more_than_ranking() {
+        let t = ablation_latency(Scale::Tiny, 13);
+        let mid = t.rows.len() / 2;
+        let modjk_zero = t.column("modjk_zero").unwrap();
+        let modjk_lat = t.column("modjk_lat").unwrap();
+        let ranking_zero = t.column("ranking_zero").unwrap();
+        let ranking_lat = t.column("ranking_lat").unwrap();
+        let modjk_slowdown = modjk_lat[mid] / modjk_zero[mid].max(1.0);
+        let ranking_slowdown = ranking_lat[mid] / ranking_zero[mid].max(1.0);
+        assert!(
+            modjk_slowdown > ranking_slowdown,
+            "ordering should suffer more from latency: modjk ×{modjk_slowdown:.2} vs ranking ×{ranking_slowdown:.2}"
+        );
+    }
+
+    #[test]
+    fn quantile_baseline_is_costly_and_accurate() {
+        let t = baseline_quantile(Scale::Tiny, 11);
+        assert_eq!(t.rows.len(), 9, "one row per internal boundary");
+        for row in &t.rows {
+            let gossip_rounds = row[2];
+            assert!(
+                gossip_rounds >= 90.0,
+                "each boundary costs ≥ 3 epochs of 30 rounds"
+            );
+        }
+        let errors = t.column("abs_error").unwrap();
+        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean_err < 0.1, "quantile search should be accurate");
+    }
+}

@@ -1,0 +1,183 @@
+//! Regenerates the paper's figures as CSV files.
+//!
+//! ```text
+//! figures [--fig <id>] [--scale paper|small|tiny] [--seed N] [--out DIR]
+//! ```
+//!
+//! `--fig all` (the default) runs every experiment; individual ids are
+//! `4a 4b 4c 4d 6a 6b 6c 6d lemma41 thm51 ablation-sampler ablation-dist`.
+//! CSVs land in `--out` (default `target/figures`), next to a `manifest.json`
+//! recording the exact parameters of the run.
+
+use dslice_bench::ablations;
+use dslice_bench::experiments::{self, Scale};
+use dslice_bench::Table;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    figs: Vec<String>,
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+}
+
+const ALL_FIGS: &[&str] = &[
+    "4a", "4b", "4b-banded", "4c", "4d", "6a", "6b", "6c", "6d", "lemma41", "thm51", "ablation-sampler",
+    "ablation-dist", "ablation-view-size", "ablation-slice-count", "ablation-loss",
+    "ablation-targeting", "ablation-sampler-ranking", "ablation-window", "ablation-latency",
+    "baseline-quantile",
+];
+
+fn parse_args() -> Result<Args, String> {
+    let mut figs = Vec::new();
+    let mut scale = Scale::Small;
+    let mut seed = 0xD51CE;
+    let mut out = PathBuf::from("target/figures");
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need_value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} requires a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--fig" => {
+                let v = need_value(i)?;
+                if v == "all" {
+                    figs = ALL_FIGS.iter().map(|s| s.to_string()).collect();
+                } else {
+                    figs.push(v.clone());
+                }
+                i += 2;
+            }
+            "--scale" => {
+                let v = need_value(i)?;
+                scale = Scale::parse(v).ok_or_else(|| format!("unknown scale {v:?}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                let v = need_value(i)?;
+                seed = v.parse().map_err(|e| format!("bad seed {v:?}: {e}"))?;
+                i += 2;
+            }
+            "--out" => {
+                out = PathBuf::from(need_value(i)?);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: figures [--fig <id>|all] [--scale paper|small|tiny] \
+                     [--seed N] [--out DIR]\n  figure ids: {}",
+                    ALL_FIGS.join(" ")
+                ));
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if figs.is_empty() {
+        figs = ALL_FIGS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(Args {
+        figs,
+        scale,
+        seed,
+        out,
+    })
+}
+
+fn run_fig(id: &str, scale: Scale, seed: u64) -> Result<Table, String> {
+    Ok(match id {
+        "4a" => experiments::fig4a(scale, seed),
+        "4b" => experiments::fig4b(scale, seed),
+        "4b-banded" => experiments::fig4b_banded(scale, &[seed, seed + 1, seed + 2]),
+        "4c" => experiments::fig4c(scale, seed),
+        "4d" => experiments::fig4d(scale, seed),
+        "6a" => experiments::fig6a(scale, seed),
+        "6b" => experiments::fig6b(scale, seed),
+        "6c" => experiments::fig6c(scale, seed),
+        "6d" => experiments::fig6d(scale, seed),
+        "lemma41" => experiments::lemma41(seed),
+        "thm51" => experiments::thm51(seed),
+        "ablation-sampler" => experiments::ablation_sampler(scale, seed),
+        "ablation-dist" => experiments::ablation_distribution(scale, seed),
+        "ablation-view-size" => ablations::ablation_view_size(scale, seed),
+        "ablation-slice-count" => ablations::ablation_slice_count(scale, seed),
+        "ablation-loss" => ablations::ablation_loss(scale, seed),
+        "ablation-targeting" => ablations::ablation_targeting(scale, seed),
+        "ablation-sampler-ranking" => ablations::ablation_sampler_ranking(scale, seed),
+        "ablation-window" => ablations::ablation_window(scale, seed),
+        "ablation-latency" => ablations::ablation_latency(scale, seed),
+        "baseline-quantile" => ablations::baseline_quantile(scale, seed),
+        other => return Err(format!("unknown figure id {other:?}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = fs::create_dir_all(&args.out) {
+        eprintln!("cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut manifest = Vec::new();
+    for id in &args.figs {
+        let started = Instant::now();
+        eprint!("fig {id} ({:?}, seed {}) … ", args.scale, args.seed);
+        let table = match run_fig(id, args.scale, args.seed) {
+            Ok(t) => t,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = args.out.join(format!("{}.csv", table.name));
+        let file = match fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = table.write_csv(file) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let elapsed = started.elapsed();
+        eprintln!("{} rows -> {} ({elapsed:.2?})", table.rows.len(), path.display());
+        manifest.push(serde_json::json!({
+            "fig": id,
+            "csv": path.display().to_string(),
+            "rows": table.rows.len(),
+            "columns": table.columns,
+            "scale": format!("{:?}", args.scale),
+            "seed": args.seed,
+            "elapsed_ms": elapsed.as_millis() as u64,
+        }));
+    }
+
+    let manifest_path = args.out.join("manifest.json");
+    match serde_json::to_string_pretty(&manifest) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&manifest_path, json) {
+                eprintln!("cannot write manifest: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot serialize manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("manifest -> {}", manifest_path.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,513 @@
+//! One function per figure of the paper's evaluation.
+//!
+//! Every experiment is deterministic given `(scale, seed)`. The `Paper`
+//! scale replays the published setup (10⁴ nodes); `Small` and `Tiny` shrink
+//! the population for CI and integration tests while preserving every
+//! qualitative shape the paper reports.
+
+use crate::table::Table;
+use dslice_analysis as analysis;
+use dslice_core::Partition;
+use dslice_sim::{
+    churn::ChurnSchedule, AttributeDistribution, Concurrency, CorrelatedChurn, Engine,
+    ProtocolKind, SimConfig,
+};
+use dslice_gossip::SamplerKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Experiment scale: the paper's setup or a shrunken replica.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// The published setup: n = 10⁴ (view 20/10, 10 or 100 slices).
+    Paper,
+    /// n = 2 000 — minutes-level full sweep.
+    Small,
+    /// n = 300 — seconds-level, used by the integration tests.
+    Tiny,
+}
+
+impl Scale {
+    /// Population size.
+    pub fn n(self) -> usize {
+        match self {
+            Scale::Paper => 10_000,
+            Scale::Small => 2_000,
+            Scale::Tiny => 300,
+        }
+    }
+
+    /// Cycles for the ordering experiments (Fig. 4).
+    pub fn ordering_cycles(self) -> usize {
+        match self {
+            Scale::Paper => 100,
+            Scale::Small => 100,
+            Scale::Tiny => 60,
+        }
+    }
+
+    /// Cycles for the ranking experiments (Fig. 6 runs 1 000 cycles).
+    pub fn ranking_cycles(self) -> usize {
+        match self {
+            Scale::Paper => 1_000,
+            Scale::Small => 600,
+            Scale::Tiny => 200,
+        }
+    }
+
+    /// Slice count for the 100-slice experiments, kept ≥ ~10 nodes/slice.
+    pub fn many_slices(self) -> usize {
+        match self {
+            Scale::Paper => 100,
+            Scale::Small => 100,
+            Scale::Tiny => 20,
+        }
+    }
+
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" | "full" => Some(Scale::Paper),
+            "small" => Some(Scale::Small),
+            "tiny" => Some(Scale::Tiny),
+            _ => None,
+        }
+    }
+}
+
+fn ordering_config(scale: Scale, slices: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        n: scale.n(),
+        view_size: 20,
+        partition: Partition::equal(slices).expect("slices > 0"),
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn ranking_config(scale: Scale, seed: u64) -> SimConfig {
+    SimConfig {
+        n: scale.n(),
+        view_size: 10,
+        partition: Partition::equal(scale.many_slices()).expect("slices > 0"),
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Fig. 4(a): evolution of GDM and SDM for mod-JK — the GDM reaches 0 while
+/// the SDM plateaus at a positive floor (§4.5.1).
+///
+/// Columns: `cycle, gdm, sdm`.
+pub fn fig4a(scale: Scale, seed: u64) -> Table {
+    let cfg = ordering_config(scale, scale.many_slices(), seed);
+    let mut engine = Engine::new(cfg, ProtocolKind::ModJk).expect("valid config");
+    let record = engine.run(scale.ordering_cycles());
+    let mut table = Table::new("fig4a", &["cycle", "gdm", "sdm"]);
+    for c in &record.cycles {
+        table.push(vec![c.cycle as f64, c.gdm, c.sdm]);
+    }
+    table
+}
+
+/// Fig. 4(b): SDM over time, JK vs mod-JK, 10 equal slices — mod-JK
+/// converges significantly faster; both share the same SDM floor (they sort
+/// the same multiset of random values).
+///
+/// Columns: `cycle, sdm_jk, sdm_modjk`.
+pub fn fig4b(scale: Scale, seed: u64) -> Table {
+    let jk = Engine::new(ordering_config(scale, 10, seed), ProtocolKind::Jk)
+        .expect("valid config")
+        .run(scale.ordering_cycles());
+    let modjk = Engine::new(ordering_config(scale, 10, seed), ProtocolKind::ModJk)
+        .expect("valid config")
+        .run(scale.ordering_cycles());
+    let mut table = Table::new("fig4b", &["cycle", "sdm_jk", "sdm_modjk"]);
+    for (a, b) in jk.cycles.iter().zip(&modjk.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm]);
+    }
+    table
+}
+
+/// Fig. 4(c): percentage of unsuccessful swaps for JK and mod-JK under half
+/// and full concurrency — concurrency wastes messages, and mod-JK (which
+/// concentrates proposals on the most misplaced nodes) wastes more than JK.
+///
+/// Columns: `cycle, jk_half, jk_full, modjk_half, modjk_full`.
+pub fn fig4c(scale: Scale, seed: u64) -> Table {
+    let run = |kind: ProtocolKind, conc: Concurrency| {
+        let mut cfg = ordering_config(scale, 10, seed);
+        cfg.concurrency = conc;
+        Engine::new(cfg, kind)
+            .expect("valid config")
+            .run(scale.ordering_cycles())
+    };
+    let jk_half = run(ProtocolKind::Jk, Concurrency::Half);
+    let jk_full = run(ProtocolKind::Jk, Concurrency::Full);
+    let modjk_half = run(ProtocolKind::ModJk, Concurrency::Half);
+    let modjk_full = run(ProtocolKind::ModJk, Concurrency::Full);
+
+    let mut table = Table::new(
+        "fig4c",
+        &["cycle", "jk_half", "jk_full", "modjk_half", "modjk_full"],
+    );
+    for i in 0..jk_half.cycles.len() {
+        table.push(vec![
+            jk_half.cycles[i].cycle as f64,
+            jk_half.cycles[i].unsuccessful_swap_pct(),
+            jk_full.cycles[i].unsuccessful_swap_pct(),
+            modjk_half.cycles[i].unsuccessful_swap_pct(),
+            modjk_full.cycles[i].unsuccessful_swap_pct(),
+        ]);
+    }
+    table
+}
+
+/// Fig. 4(d): mod-JK convergence, no concurrency vs full concurrency — full
+/// concurrency slows convergence only slightly.
+///
+/// Columns: `cycle, sdm_none, sdm_full`.
+pub fn fig4d(scale: Scale, seed: u64) -> Table {
+    let none = Engine::new(
+        ordering_config(scale, scale.many_slices(), seed),
+        ProtocolKind::ModJk,
+    )
+    .expect("valid config")
+    .run(scale.ordering_cycles());
+    let mut cfg = ordering_config(scale, scale.many_slices(), seed);
+    cfg.concurrency = Concurrency::Full;
+    let full = Engine::new(cfg, ProtocolKind::ModJk)
+        .expect("valid config")
+        .run(scale.ordering_cycles());
+
+    let mut table = Table::new("fig4d", &["cycle", "sdm_none", "sdm_full"]);
+    for (a, b) in none.cycles.iter().zip(&full.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm]);
+    }
+    table
+}
+
+/// Fig. 6(a): ranking vs ordering in the static case — the ordering SDM is
+/// lower-bounded by the random-value floor while the ranking SDM keeps
+/// decreasing.
+///
+/// Columns: `cycle, sdm_ranking, sdm_ordering`.
+pub fn fig6a(scale: Scale, seed: u64) -> Table {
+    let ranking = Engine::new(ranking_config(scale, seed), ProtocolKind::Ranking)
+        .expect("valid config")
+        .run(scale.ranking_cycles());
+    let ordering = Engine::new(ranking_config(scale, seed), ProtocolKind::ModJk)
+        .expect("valid config")
+        .run(scale.ranking_cycles());
+    let mut table = Table::new("fig6a", &["cycle", "sdm_ranking", "sdm_ordering"]);
+    for (a, b) in ranking.cycles.iter().zip(&ordering.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm]);
+    }
+    table
+}
+
+/// Fig. 6(b): the ranking algorithm on the idealized uniform sampler vs the
+/// Cyclon variant — the two SDM curves nearly coincide (deviation within a
+/// few percent).
+///
+/// Columns: `cycle, sdm_uniform, sdm_views, deviation_pct`.
+pub fn fig6b(scale: Scale, seed: u64) -> Table {
+    let mut uniform_cfg = ranking_config(scale, seed);
+    uniform_cfg.sampler = SamplerKind::UniformOracle;
+    let uniform = Engine::new(uniform_cfg, ProtocolKind::Ranking)
+        .expect("valid config")
+        .run(scale.ranking_cycles());
+    let views = Engine::new(ranking_config(scale, seed), ProtocolKind::Ranking)
+        .expect("valid config")
+        .run(scale.ranking_cycles());
+
+    let mut table = Table::new(
+        "fig6b",
+        &["cycle", "sdm_uniform", "sdm_views", "deviation_pct"],
+    );
+    for (a, b) in uniform.cycles.iter().zip(&views.cycles) {
+        let deviation = if a.sdm > 0.0 {
+            100.0 * (b.sdm - a.sdm) / a.sdm
+        } else {
+            0.0
+        };
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm, deviation]);
+    }
+    table
+}
+
+/// Fig. 6(c): a churn burst correlated with the attribute (0.1% of the
+/// lowest-attribute nodes leave and 0.1% join above the maximum, every cycle
+/// for the first 200 cycles) — after the burst stops, the ranking SDM
+/// resumes its decrease while the ordering SDM stays stuck.
+///
+/// Columns: `cycle, sdm_ranking, sdm_jk`.
+pub fn fig6c(scale: Scale, seed: u64) -> Table {
+    let burst = || {
+        let schedule = ChurnSchedule {
+            rate: 0.001,
+            period: 1,
+            stop_after: Some(200.min(scale.ranking_cycles() / 2)),
+        };
+        Box::new(CorrelatedChurn::new(schedule, 1.0))
+    };
+    let ranking = Engine::new(ranking_config(scale, seed), ProtocolKind::Ranking)
+        .expect("valid config")
+        .with_churn(burst())
+        .run(scale.ranking_cycles());
+    let jk = Engine::new(ranking_config(scale, seed), ProtocolKind::Jk)
+        .expect("valid config")
+        .with_churn(burst())
+        .run(scale.ranking_cycles());
+
+    let mut table = Table::new("fig6c", &["cycle", "sdm_ranking", "sdm_jk"]);
+    for (a, b) in ranking.cycles.iter().zip(&jk.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm]);
+    }
+    table
+}
+
+/// Fig. 6(d): low, regular, attribute-correlated churn (0.1% every 10
+/// cycles, indefinitely) — the ordering SDM inflects upward early, the
+/// ranking SDM much later, and the sliding-window ranking suppresses the
+/// increase.
+///
+/// Columns: `cycle, sdm_ordering, sdm_ranking, sdm_sliding`.
+pub fn fig6d(scale: Scale, seed: u64) -> Table {
+    let regular = || Box::new(CorrelatedChurn::new(ChurnSchedule::regular(), 1.0));
+    // The paper does not state the window size used in Fig. 6(d). The
+    // operative trade-off is drift tracking: a node absorbs ~12 samples per
+    // cycle, so a window of W samples remembers ~W/12 cycles of history and
+    // the estimator's churn-induced lag is bounded by (drift rate)·W/24
+    // instead of growing with the run length. These windows span roughly a
+    // sixth of each run.
+    let window = match scale {
+        Scale::Paper => 2_000,
+        Scale::Small => 1_200,
+        Scale::Tiny => 400,
+    };
+    let ordering = Engine::new(ranking_config(scale, seed), ProtocolKind::ModJk)
+        .expect("valid config")
+        .with_churn(regular())
+        .run(scale.ranking_cycles());
+    let ranking = Engine::new(ranking_config(scale, seed), ProtocolKind::Ranking)
+        .expect("valid config")
+        .with_churn(regular())
+        .run(scale.ranking_cycles());
+    let sliding = Engine::new(
+        ranking_config(scale, seed),
+        ProtocolKind::SlidingRanking { window },
+    )
+    .expect("valid config")
+    .with_churn(regular())
+    .run(scale.ranking_cycles());
+
+    let mut table = Table::new(
+        "fig6d",
+        &["cycle", "sdm_ordering", "sdm_ranking", "sdm_sliding"],
+    );
+    for ((a, b), c) in ordering.cycles.iter().zip(&ranking.cycles).zip(&sliding.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm, c.sdm]);
+    }
+    table
+}
+
+/// Lemma 4.1: Monte-Carlo slice populations vs the Chernoff bound. For each
+/// `(n, p, β)` the table reports the bound `2·exp(−β²np/3)`, the empirical
+/// probability that `|X − np| ≥ βnp`, and whether the lemma's premise
+/// `p ≥ 3·ln(2/ε)/(β²n)` holds at ε = 0.05.
+///
+/// Columns: `n, p, beta, bound, empirical, premise_ok`.
+pub fn lemma41(seed: u64) -> Table {
+    lemma41_with(seed, 1_000, &[1_000, 10_000])
+}
+
+/// [`lemma41`] with explicit Monte-Carlo budget (used by fast tests).
+pub fn lemma41_with(seed: u64, trials: usize, ns: &[usize]) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = Table::new(
+        "lemma41",
+        &["n", "p", "beta", "bound", "empirical", "premise_ok"],
+    );
+    for &n in ns {
+        for &p in &[0.01f64, 0.05, 0.2] {
+            for &beta in &[0.2f64, 0.5, 1.0] {
+                let bound = analysis::deviation_probability_bound(beta, n, p);
+                let mut hits = 0usize;
+                for _ in 0..trials {
+                    let x = (0..n).filter(|_| rng.gen::<f64>() < p).count() as f64;
+                    if (x - n as f64 * p).abs() >= beta * n as f64 * p {
+                        hits += 1;
+                    }
+                }
+                let empirical = hits as f64 / trials as f64;
+                let premise = analysis::chernoff::lemma_applies(beta, 0.05, n, p);
+                table.push(vec![
+                    n as f64,
+                    p,
+                    beta,
+                    bound,
+                    empirical,
+                    if premise { 1.0 } else { 0.0 },
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// Theorem 5.1: nodes at decreasing boundary distance `d` sample at the
+/// prescribed rate `k = (Z_{α/2}·√(p̂(1−p̂))/d)²` and the table reports the
+/// empirical probability of naming the correct slice, which must reach the
+/// requested confidence (95%).
+///
+/// Columns: `d, required_k, empirical_correct, confidence`.
+pub fn thm51(seed: u64) -> Table {
+    thm51_with(seed, 400, &[0.04, 0.02, 0.01, 0.005])
+}
+
+/// [`thm51`] with explicit Monte-Carlo budget (used by fast tests).
+pub fn thm51_with(seed: u64, trials: usize, ds: &[f64]) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alpha = 0.05;
+    let mut table = Table::new(
+        "thm51",
+        &["d", "required_k", "empirical_correct", "confidence"],
+    );
+    // True rank p placed at distance d inside the slice (0.4, 0.5].
+    for &d in ds {
+        let p = 0.5 - d; // boundary at 0.5 is the closest
+        let k = analysis::required_samples(p, d, alpha) as usize;
+        let correct = (0..trials)
+            .filter(|_| {
+                let hits = (0..k).filter(|_| rng.gen::<f64>() < p).count();
+                let p_hat = hits as f64 / k as f64;
+                0.4 < p_hat && p_hat <= 0.5
+            })
+            .count();
+        table.push(vec![
+            d,
+            k as f64,
+            correct as f64 / trials as f64,
+            1.0 - alpha,
+        ]);
+    }
+    table
+}
+
+
+/// Fig. 4(b) with confidence bands: JK vs mod-JK aggregated over several
+/// seeds (mean ± std of the SDM per cycle) — the single-trajectory curves
+/// of the paper, made statistically honest.
+///
+/// Columns: `cycle, jk_mean, jk_std, modjk_mean, modjk_std`.
+pub fn fig4b_banded(scale: Scale, seeds: &[u64]) -> Table {
+    use dslice_sim::run_seeds;
+    let cfg = ordering_config(scale, 10, 0);
+    let jk = run_seeds(&cfg, ProtocolKind::Jk, scale.ordering_cycles(), seeds, || None)
+        .expect("valid config");
+    let modjk = run_seeds(&cfg, ProtocolKind::ModJk, scale.ordering_cycles(), seeds, || None)
+        .expect("valid config");
+    let mut table = Table::new(
+        "fig4b_banded",
+        &["cycle", "jk_mean", "jk_std", "modjk_mean", "modjk_std"],
+    );
+    for (a, b) in jk.cycles.iter().zip(&modjk.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm_mean, a.sdm_std, b.sdm_mean, b.sdm_std]);
+    }
+    table
+}
+
+/// Ablation: mod-JK running on the Cyclon variant vs Newscast — the §6.2
+/// "perspective" question of how the peer-sampling substrate parameterizes
+/// convergence.
+///
+/// Columns: `cycle, sdm_cyclon, sdm_newscast`.
+pub fn ablation_sampler(scale: Scale, seed: u64) -> Table {
+    let cyclon = Engine::new(ordering_config(scale, 10, seed), ProtocolKind::ModJk)
+        .expect("valid config")
+        .run(scale.ordering_cycles());
+    let mut cfg = ordering_config(scale, 10, seed);
+    cfg.sampler = SamplerKind::Newscast;
+    let newscast = Engine::new(cfg, ProtocolKind::ModJk)
+        .expect("valid config")
+        .run(scale.ordering_cycles());
+    let mut table = Table::new("ablation_sampler", &["cycle", "sdm_cyclon", "sdm_newscast"]);
+    for (a, b) in cyclon.cycles.iter().zip(&newscast.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm]);
+    }
+    table
+}
+
+/// Ablation: ranking convergence under heavy-tailed (Pareto) vs uniform
+/// attribute distributions — slicing is rank-based, so the attribute shape
+/// must not matter (§3.2's argument for slices over absolute thresholds).
+///
+/// Columns: `cycle, sdm_uniform, sdm_pareto`.
+pub fn ablation_distribution(scale: Scale, seed: u64) -> Table {
+    let uniform = Engine::new(ranking_config(scale, seed), ProtocolKind::Ranking)
+        .expect("valid config")
+        .run(scale.ranking_cycles());
+    let mut cfg = ranking_config(scale, seed);
+    cfg.distribution = AttributeDistribution::Pareto {
+        scale: 1.0,
+        shape: 1.5,
+    };
+    let pareto = Engine::new(cfg, ProtocolKind::Ranking)
+        .expect("valid config")
+        .run(scale.ranking_cycles());
+    let mut table = Table::new(
+        "ablation_distribution",
+        &["cycle", "sdm_uniform", "sdm_pareto"],
+    );
+    for (a, b) in uniform.cycles.iter().zip(&pareto.cycles) {
+        table.push(vec![a.cycle as f64, a.sdm, b.sdm]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scale_parameters_are_sane() {
+        for s in [Scale::Paper, Scale::Small, Scale::Tiny] {
+            assert!(s.n() >= 100);
+            assert!(s.ordering_cycles() >= 10);
+            assert!(s.ranking_cycles() >= s.ordering_cycles());
+            assert!(s.n() / s.many_slices() >= 10, "≥10 nodes per slice");
+        }
+    }
+
+    #[test]
+    fn lemma41_table_bound_holds() {
+        let t = lemma41_with(7, 300, &[1_000]);
+        let bounds = t.column("bound").unwrap();
+        let empirical = t.column("empirical").unwrap();
+        for (b, e) in bounds.iter().zip(&empirical) {
+            assert!(
+                e <= &(b + 0.05),
+                "empirical {e} above Chernoff bound {b} (+ MC slack)"
+            );
+        }
+    }
+
+    #[test]
+    fn thm51_table_reaches_confidence() {
+        let t = thm51_with(11, 150, &[0.04, 0.02]);
+        let correct = t.column("empirical_correct").unwrap();
+        for c in correct {
+            assert!(c >= 0.90, "correct-slice rate {c} below requested band");
+        }
+    }
+}

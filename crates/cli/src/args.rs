@@ -1,0 +1,556 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use dslice_sim::churn::ChurnSchedule;
+use dslice_sim::{AttributeDistribution, Concurrency, LatencyModel, ProtocolKind, SamplerKind};
+
+/// Top-level command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a simulation.
+    Sim(SimArgs),
+    /// Evaluate one of the paper's analytic bounds.
+    Analyze(AnalyzeArgs),
+    /// Map a normalized rank to its slice.
+    SliceOf {
+        /// Number of equal slices.
+        slices: usize,
+        /// The normalized rank in (0, 1].
+        rank: f64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `dslice-cli sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimArgs {
+    pub protocol: ProtocolKind,
+    pub sampler: SamplerKind,
+    pub n: usize,
+    pub slices: usize,
+    pub view: usize,
+    pub cycles: usize,
+    pub seed: u64,
+    pub concurrency: Concurrency,
+    pub latency: LatencyModel,
+    pub churn: ChurnSpec,
+    pub distribution: AttributeDistribution,
+    pub csv: Option<String>,
+    pub json: Option<String>,
+    pub quiet: bool,
+}
+
+impl Default for SimArgs {
+    fn default() -> Self {
+        SimArgs {
+            protocol: ProtocolKind::Ranking,
+            sampler: SamplerKind::Cyclon,
+            n: 1000,
+            slices: 10,
+            view: 10,
+            cycles: 100,
+            seed: 0xD51CE,
+            concurrency: Concurrency::None,
+            latency: LatencyModel::Zero,
+            churn: ChurnSpec::None,
+            distribution: AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            csv: None,
+            json: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Churn selection for the CLI.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnSpec {
+    None,
+    /// Attribute-correlated churn: `rate` per event, every `period` cycles.
+    Correlated { rate: f64, period: usize },
+    /// Uncorrelated churn with the run's base distribution.
+    Uncorrelated { rate: f64, period: usize },
+}
+
+impl ChurnSpec {
+    pub fn schedule(rate: f64, period: usize) -> ChurnSchedule {
+        ChurnSchedule {
+            rate,
+            period,
+            stop_after: None,
+        }
+    }
+}
+
+/// Arguments of `dslice-cli analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeArgs {
+    /// Lemma 4.1: minimal admissible slice length + probability bound.
+    Lemma41 { beta: f64, epsilon: f64, n: usize, p: Option<f64> },
+    /// Theorem 5.1: samples required for a confident slice estimate.
+    Samples { p: f64, d: f64, alpha: f64 },
+    /// Slice population moments (§4.4).
+    Population { n: usize, p: f64 },
+}
+
+pub const USAGE: &str = "\
+dslice-cli — distributed slicing from the shell
+
+USAGE:
+  dslice-cli sim [--protocol jk|mod-jk|ranking|ranking-uniform|sliding:<window>]
+                 [--sampler cyclon|newscast|lpbcast|uniform]
+                 [--n N] [--slices K] [--view C] [--cycles T] [--seed S]
+                 [--concurrency none|half|full]
+                 [--latency zero|fixed:<cycles>|uniform:<min>:<max>|geometric:<p>]
+                 [--churn none|correlated:<rate>:<period>|uncorrelated:<rate>:<period>]
+                 [--distribution uniform|pareto:<scale>:<shape>|normal:<mean>:<std>|exp:<rate>]
+                 [--csv FILE] [--json FILE] [--quiet]
+  dslice-cli analyze lemma41 --beta B --epsilon E --n N [--p P]
+  dslice-cli analyze samples --p P --d D [--alpha A]
+  dslice-cli analyze population --n N --p P
+  dslice-cli slice-of --slices K --rank R
+  dslice-cli help";
+
+fn value(argv: &[String], i: usize) -> Result<&str, String> {
+    argv.get(i + 1)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{} requires a value", argv[i]))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| format!("invalid value for {flag}: {raw:?} ({e})"))
+}
+
+pub fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
+    match raw {
+        "jk" => Ok(ProtocolKind::Jk),
+        "mod-jk" | "modjk" => Ok(ProtocolKind::ModJk),
+        "ranking" => Ok(ProtocolKind::Ranking),
+        "ranking-uniform" => Ok(ProtocolKind::RankingUniform),
+        other => {
+            if let Some(window) = other.strip_prefix("sliding:") {
+                let window = parse_num("--protocol sliding", window)?;
+                Ok(ProtocolKind::SlidingRanking { window })
+            } else if other == "sliding" {
+                Ok(ProtocolKind::SlidingRanking { window: 10_000 })
+            } else {
+                Err(format!("unknown protocol {other:?}"))
+            }
+        }
+    }
+}
+
+pub fn parse_sampler(raw: &str) -> Result<SamplerKind, String> {
+    match raw {
+        "cyclon" => Ok(SamplerKind::Cyclon),
+        "newscast" => Ok(SamplerKind::Newscast),
+        "lpbcast" => Ok(SamplerKind::Lpbcast),
+        "uniform" | "oracle" => Ok(SamplerKind::UniformOracle),
+        other => Err(format!("unknown sampler {other:?}")),
+    }
+}
+
+pub fn parse_latency(raw: &str) -> Result<LatencyModel, String> {
+    if raw == "zero" {
+        return Ok(LatencyModel::Zero);
+    }
+    let parts: Vec<&str> = raw.split(':').collect();
+    match parts[0] {
+        "fixed" if parts.len() == 2 => Ok(LatencyModel::Fixed {
+            cycles: parse_num("--latency fixed", parts[1])?,
+        }),
+        "uniform" if parts.len() == 3 => Ok(LatencyModel::Uniform {
+            min: parse_num("--latency uniform min", parts[1])?,
+            max: parse_num("--latency uniform max", parts[2])?,
+        }),
+        "geometric" if parts.len() == 2 => {
+            let p: f64 = parse_num("--latency geometric", parts[1])?;
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("geometric p must lie in [0, 1), got {p}"));
+            }
+            Ok(LatencyModel::Geometric { p })
+        }
+        _ => Err(format!("unknown latency spec {raw:?}")),
+    }
+}
+
+pub fn parse_concurrency(raw: &str) -> Result<Concurrency, String> {
+    match raw {
+        "none" => Ok(Concurrency::None),
+        "half" => Ok(Concurrency::Half),
+        "full" => Ok(Concurrency::Full),
+        other => Err(format!("unknown concurrency {other:?}")),
+    }
+}
+
+pub fn parse_churn(raw: &str) -> Result<ChurnSpec, String> {
+    if raw == "none" {
+        return Ok(ChurnSpec::None);
+    }
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!(
+            "churn spec must be none or <kind>:<rate>:<period>, got {raw:?}"
+        ));
+    }
+    let rate: f64 = parse_num("--churn rate", parts[1])?;
+    let period: usize = parse_num("--churn period", parts[2])?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("churn rate must lie in [0, 1], got {rate}"));
+    }
+    if period == 0 {
+        return Err("churn period must be at least 1".into());
+    }
+    match parts[0] {
+        "correlated" => Ok(ChurnSpec::Correlated { rate, period }),
+        "uncorrelated" => Ok(ChurnSpec::Uncorrelated { rate, period }),
+        other => Err(format!("unknown churn kind {other:?}")),
+    }
+}
+
+pub fn parse_distribution(raw: &str) -> Result<AttributeDistribution, String> {
+    if raw == "uniform" {
+        return Ok(AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 });
+    }
+    let parts: Vec<&str> = raw.split(':').collect();
+    let dist = match parts[0] {
+        "pareto" if parts.len() == 3 => AttributeDistribution::Pareto {
+            scale: parse_num("--distribution pareto scale", parts[1])?,
+            shape: parse_num("--distribution pareto shape", parts[2])?,
+        },
+        "normal" if parts.len() == 3 => AttributeDistribution::Normal {
+            mean: parse_num("--distribution normal mean", parts[1])?,
+            std_dev: parse_num("--distribution normal std", parts[2])?,
+        },
+        "exp" if parts.len() == 2 => AttributeDistribution::Exponential {
+            rate: parse_num("--distribution exp rate", parts[1])?,
+        },
+        _ => return Err(format!("unknown distribution spec {raw:?}")),
+    };
+    dist.validate().map_err(|e| e.to_string())?;
+    Ok(dist)
+}
+
+fn parse_sim(argv: &[String]) -> Result<SimArgs, String> {
+    let mut args = SimArgs::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--latency" => {
+                args.latency = parse_latency(value(argv, i)?)?;
+                i += 2;
+            }
+            "--sampler" => {
+                args.sampler = parse_sampler(value(argv, i)?)?;
+                i += 2;
+            }
+            "--protocol" => {
+                args.protocol = parse_protocol(value(argv, i)?)?;
+                i += 2;
+            }
+            "--n" => {
+                args.n = parse_num("--n", value(argv, i)?)?;
+                i += 2;
+            }
+            "--slices" => {
+                args.slices = parse_num("--slices", value(argv, i)?)?;
+                i += 2;
+            }
+            "--view" => {
+                args.view = parse_num("--view", value(argv, i)?)?;
+                i += 2;
+            }
+            "--cycles" => {
+                args.cycles = parse_num("--cycles", value(argv, i)?)?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = parse_num("--seed", value(argv, i)?)?;
+                i += 2;
+            }
+            "--concurrency" => {
+                args.concurrency = parse_concurrency(value(argv, i)?)?;
+                i += 2;
+            }
+            "--churn" => {
+                args.churn = parse_churn(value(argv, i)?)?;
+                i += 2;
+            }
+            "--distribution" => {
+                args.distribution = parse_distribution(value(argv, i)?)?;
+                i += 2;
+            }
+            "--csv" => {
+                args.csv = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--json" => {
+                args.json = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--quiet" => {
+                args.quiet = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown sim argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_analyze(argv: &[String]) -> Result<AnalyzeArgs, String> {
+    let Some(kind) = argv.first() else {
+        return Err(format!("analyze requires a sub-command\n\n{USAGE}"));
+    };
+    let mut flags = std::collections::HashMap::new();
+    let rest = &argv[1..];
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i].clone();
+        let val = value(rest, i)?.to_string();
+        flags.insert(key, val);
+        i += 2;
+    }
+    let get = |name: &str| -> Result<&String, String> {
+        flags
+            .get(name)
+            .ok_or_else(|| format!("analyze {kind} requires {name}"))
+    };
+    match kind.as_str() {
+        "lemma41" => Ok(AnalyzeArgs::Lemma41 {
+            beta: parse_num("--beta", get("--beta")?)?,
+            epsilon: parse_num("--epsilon", get("--epsilon")?)?,
+            n: parse_num("--n", get("--n")?)?,
+            p: flags
+                .get("--p")
+                .map(|v| parse_num("--p", v))
+                .transpose()?,
+        }),
+        "samples" => Ok(AnalyzeArgs::Samples {
+            p: parse_num("--p", get("--p")?)?,
+            d: parse_num("--d", get("--d")?)?,
+            alpha: flags
+                .get("--alpha")
+                .map(|v| parse_num("--alpha", v))
+                .transpose()?
+                .unwrap_or(0.05),
+        }),
+        "population" => Ok(AnalyzeArgs::Population {
+            n: parse_num("--n", get("--n")?)?,
+            p: parse_num("--p", get("--p")?)?,
+        }),
+        other => Err(format!("unknown analyze sub-command {other:?}\n\n{USAGE}")),
+    }
+}
+
+/// Parses the full command line.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    match argv.first().map(|s| s.as_str()) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("sim") => Ok(Command::Sim(parse_sim(&argv[1..])?)),
+        Some("analyze") => Ok(Command::Analyze(parse_analyze(&argv[1..])?)),
+        Some("slice-of") => {
+            let rest = &argv[1..];
+            let mut slices = None;
+            let mut rank = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--slices" => {
+                        slices = Some(parse_num("--slices", value(rest, i)?)?);
+                        i += 2;
+                    }
+                    "--rank" => {
+                        rank = Some(parse_num("--rank", value(rest, i)?)?);
+                        i += 2;
+                    }
+                    other => return Err(format!("unknown slice-of argument {other:?}")),
+                }
+            }
+            Ok(Command::SliceOf {
+                slices: slices.ok_or("slice-of requires --slices")?,
+                rank: rank.ok_or("slice-of requires --rank")?,
+            })
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_full_sim_command() {
+        let cmd = parse(&argv(
+            "sim --protocol mod-jk --n 500 --slices 20 --view 15 --cycles 50 \
+             --seed 9 --concurrency full --churn correlated:0.01:5 \
+             --distribution pareto:1:1.5 --quiet",
+        ))
+        .unwrap();
+        let Command::Sim(a) = cmd else { panic!("not sim") };
+        assert_eq!(a.protocol, ProtocolKind::ModJk);
+        assert_eq!(a.n, 500);
+        assert_eq!(a.slices, 20);
+        assert_eq!(a.view, 15);
+        assert_eq!(a.cycles, 50);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.concurrency, Concurrency::Full);
+        assert_eq!(
+            a.churn,
+            ChurnSpec::Correlated {
+                rate: 0.01,
+                period: 5
+            }
+        );
+        assert!(matches!(
+            a.distribution,
+            AttributeDistribution::Pareto { .. }
+        ));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn protocol_specs() {
+        assert_eq!(parse_protocol("jk").unwrap(), ProtocolKind::Jk);
+        assert_eq!(parse_protocol("modjk").unwrap(), ProtocolKind::ModJk);
+        assert_eq!(
+            parse_protocol("sliding:512").unwrap(),
+            ProtocolKind::SlidingRanking { window: 512 }
+        );
+        assert_eq!(
+            parse_protocol("sliding").unwrap(),
+            ProtocolKind::SlidingRanking { window: 10_000 }
+        );
+        assert!(parse_protocol("raft").is_err());
+        assert!(parse_protocol("sliding:x").is_err());
+    }
+
+    #[test]
+    fn ranking_uniform_and_sampler_specs() {
+        assert_eq!(
+            parse_protocol("ranking-uniform").unwrap(),
+            ProtocolKind::RankingUniform
+        );
+        assert_eq!(parse_sampler("cyclon").unwrap(), SamplerKind::Cyclon);
+        assert_eq!(parse_sampler("newscast").unwrap(), SamplerKind::Newscast);
+        assert_eq!(parse_sampler("lpbcast").unwrap(), SamplerKind::Lpbcast);
+        assert_eq!(parse_sampler("uniform").unwrap(), SamplerKind::UniformOracle);
+        assert_eq!(parse_sampler("oracle").unwrap(), SamplerKind::UniformOracle);
+        assert!(parse_sampler("chord").is_err());
+    }
+
+    #[test]
+    fn latency_specs() {
+        assert_eq!(parse_latency("zero").unwrap(), LatencyModel::Zero);
+        assert_eq!(
+            parse_latency("fixed:3").unwrap(),
+            LatencyModel::Fixed { cycles: 3 }
+        );
+        assert_eq!(
+            parse_latency("uniform:1:4").unwrap(),
+            LatencyModel::Uniform { min: 1, max: 4 }
+        );
+        assert_eq!(
+            parse_latency("geometric:0.5").unwrap(),
+            LatencyModel::Geometric { p: 0.5 }
+        );
+        assert!(parse_latency("geometric:1.5").is_err(), "p out of range");
+        assert!(parse_latency("fixed").is_err());
+        assert!(parse_latency("warp:9").is_err());
+    }
+
+    #[test]
+    fn sim_accepts_new_flags_together() {
+        let cmd = parse(&argv(
+            "sim --protocol ranking-uniform --sampler lpbcast --latency uniform:1:3 --n 100",
+        ))
+        .unwrap();
+        let Command::Sim(a) = cmd else { panic!("not sim") };
+        assert_eq!(a.protocol, ProtocolKind::RankingUniform);
+        assert_eq!(a.sampler, SamplerKind::Lpbcast);
+        assert_eq!(a.latency, LatencyModel::Uniform { min: 1, max: 3 });
+        assert_eq!(a.n, 100);
+    }
+
+    #[test]
+    fn churn_specs() {
+        assert_eq!(parse_churn("none").unwrap(), ChurnSpec::None);
+        assert!(matches!(
+            parse_churn("uncorrelated:0.001:10").unwrap(),
+            ChurnSpec::Uncorrelated { .. }
+        ));
+        assert!(parse_churn("correlated:2.0:10").is_err(), "rate > 1");
+        assert!(parse_churn("correlated:0.1:0").is_err(), "period 0");
+        assert!(parse_churn("correlated:0.1").is_err(), "missing field");
+        assert!(parse_churn("bogus:0.1:1").is_err());
+    }
+
+    #[test]
+    fn distribution_specs() {
+        assert!(matches!(
+            parse_distribution("uniform").unwrap(),
+            AttributeDistribution::Uniform { .. }
+        ));
+        assert!(matches!(
+            parse_distribution("normal:170:10").unwrap(),
+            AttributeDistribution::Normal { .. }
+        ));
+        assert!(matches!(
+            parse_distribution("exp:0.5").unwrap(),
+            AttributeDistribution::Exponential { .. }
+        ));
+        assert!(parse_distribution("pareto:0:1").is_err(), "invalid scale");
+        assert!(parse_distribution("pareto:1").is_err(), "missing shape");
+        assert!(parse_distribution("zipf:1").is_err());
+    }
+
+    #[test]
+    fn analyze_commands() {
+        let cmd = parse(&argv("analyze lemma41 --beta 0.5 --epsilon 0.05 --n 10000")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Analyze(AnalyzeArgs::Lemma41 { p: None, .. })
+        ));
+        let cmd = parse(&argv("analyze samples --p 0.45 --d 0.05")).unwrap();
+        let Command::Analyze(AnalyzeArgs::Samples { alpha, .. }) = cmd else {
+            panic!("not samples")
+        };
+        assert_eq!(alpha, 0.05);
+        assert!(parse(&argv("analyze samples --p 0.45")).is_err());
+        assert!(parse(&argv("analyze nothing")).is_err());
+    }
+
+    #[test]
+    fn slice_of_command() {
+        let cmd = parse(&argv("slice-of --slices 100 --rank 0.423")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::SliceOf {
+                slices: 100,
+                rank: 0.423
+            }
+        );
+        assert!(parse(&argv("slice-of --slices 100")).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&argv("sim --frobnicate 3")).is_err());
+        assert!(parse(&argv("teleport")).is_err());
+    }
+}

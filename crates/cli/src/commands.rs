@@ -1,0 +1,327 @@
+//! Command execution.
+
+use crate::args::{AnalyzeArgs, ChurnSpec, Command, SimArgs, USAGE};
+use dslice_analysis as analysis;
+use dslice_core::Partition;
+use dslice_sim::{ChurnModel, CorrelatedChurn, Engine, SimConfig, UncorrelatedChurn};
+use std::fs::File;
+
+/// Runs a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Sim(args) => run_sim(args),
+        Command::Analyze(args) => run_analyze(args),
+        Command::SliceOf { slices, rank } => run_slice_of(slices, rank),
+    }
+}
+
+fn run_sim(args: SimArgs) -> Result<(), String> {
+    let cfg = SimConfig {
+        n: args.n,
+        view_size: args.view,
+        partition: Partition::equal(args.slices).map_err(|e| e.to_string())?,
+        sampler: args.sampler,
+        concurrency: args.concurrency,
+        latency: args.latency,
+        distribution: args.distribution,
+        seed: args.seed,
+        ..SimConfig::default()
+    };
+    cfg.validate().map_err(|e| e.to_string())?;
+
+    let mut engine = Engine::new(cfg, args.protocol).map_err(|e| e.to_string())?;
+    let churn: Option<Box<dyn ChurnModel>> = match args.churn {
+        ChurnSpec::None => None,
+        ChurnSpec::Correlated { rate, period } => Some(Box::new(CorrelatedChurn::new(
+            ChurnSpec::schedule(rate, period),
+            1.0,
+        ))),
+        ChurnSpec::Uncorrelated { rate, period } => Some(Box::new(UncorrelatedChurn::new(
+            ChurnSpec::schedule(rate, period),
+            args.distribution,
+        ))),
+    };
+    if let Some(churn) = churn {
+        engine = engine.with_churn(churn);
+    }
+
+    if !args.quiet {
+        eprintln!(
+            "running {} | n = {} | {} slices | view {} | {} cycles | seed {} | concurrency {}",
+            args.protocol.label(),
+            args.n,
+            args.slices,
+            args.view,
+            args.cycles,
+            args.seed,
+            args.concurrency,
+        );
+    }
+    let record = engine.run(args.cycles);
+
+    if !args.quiet {
+        let checkpoints: Vec<usize> = [1usize, 5, 10, 25, 50, 100, 250, 500, 1000]
+            .into_iter()
+            .filter(|&c| c <= args.cycles)
+            .collect();
+        println!("cycle      n        SDM          GDM   unsuccessful%");
+        for &c in &checkpoints {
+            let s = &record.cycles[c - 1];
+            println!(
+                "{:>5} {:>6} {:>10.1} {:>12.3} {:>14.1}",
+                s.cycle,
+                s.n,
+                s.sdm,
+                s.gdm,
+                s.unsuccessful_swap_pct()
+            );
+        }
+        if checkpoints.last() != Some(&args.cycles) {
+            let s = record.cycles.last().expect("at least one cycle");
+            println!(
+                "{:>5} {:>6} {:>10.1} {:>12.3} {:>14.1}",
+                s.cycle,
+                s.n,
+                s.sdm,
+                s.gdm,
+                s.unsuccessful_swap_pct()
+            );
+        }
+    }
+
+    if !args.quiet {
+        println!("\nSDM trajectory: {}", sparkline(&record));
+        println!(
+            "final: SDM {:.1}, GDM {:.3}, accuracy {:.1}%",
+            record.final_sdm().unwrap_or(0.0),
+            record.final_gdm().unwrap_or(0.0),
+            engine.accuracy() * 100.0
+        );
+        let hist = engine.slice_histogram();
+        println!(
+            "believed slice populations: [{}]",
+            hist.iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    if let Some(path) = &args.csv {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        record
+            .write_csv(file)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("per-cycle CSV -> {path}");
+        }
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, record.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("run record JSON -> {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Renders the run's SDM trajectory as a unicode sparkline (log-scaled,
+/// downsampled to at most 60 columns).
+fn sparkline(record: &dslice_sim::RunRecord) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let sdm: Vec<f64> = record.cycles.iter().map(|c| c.sdm).collect();
+    if sdm.is_empty() {
+        return String::new();
+    }
+    // Downsample by taking bucket means.
+    let cols = sdm.len().min(60);
+    let bucket = sdm.len().div_ceil(cols);
+    let samples: Vec<f64> = sdm
+        .chunks(bucket)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let logs: Vec<f64> = samples.iter().map(|v| (v + 1.0).ln()).collect();
+    let max = logs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = logs.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-9);
+    logs.iter()
+        .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn run_analyze(args: AnalyzeArgs) -> Result<(), String> {
+    match args {
+        AnalyzeArgs::Lemma41 { beta, epsilon, n, p } => {
+            if !(beta > 0.0 && beta <= 1.0) {
+                return Err(format!("--beta must lie in (0, 1], got {beta}"));
+            }
+            if !(epsilon > 0.0 && epsilon < 1.0) {
+                return Err(format!("--epsilon must lie in (0, 1), got {epsilon}"));
+            }
+            if n == 0 {
+                return Err("--n must be positive".into());
+            }
+            let p_min = analysis::min_slice_length(beta, epsilon, n);
+            println!("Lemma 4.1  (β = {beta}, ε = {epsilon}, n = {n})");
+            println!(
+                "  minimal slice length for the (1±{beta})·np guarantee: p ≥ {p_min:.6}"
+            );
+            println!(
+                "  i.e. at most {} equal slices at this population",
+                if p_min <= 1.0 {
+                    ((1.0 / p_min).floor() as usize).max(1).to_string()
+                } else {
+                    "0 (population too small)".to_string()
+                }
+            );
+            if let Some(p) = p {
+                if !(p > 0.0 && p <= 1.0) {
+                    return Err(format!("--p must lie in (0, 1], got {p}"));
+                }
+                let bound = analysis::deviation_probability_bound(beta, n, p);
+                let pop = analysis::expected_slice_population(n, p);
+                println!("  slice of length p = {p}:");
+                println!("    Pr[|X − np| ≥ βnp] ≤ {bound:.6}");
+                println!(
+                    "    E[X] = {:.1}, σ = {:.2}, relative deviation ≈ {:.4}",
+                    pop.mean, pop.std_dev, pop.relative_deviation
+                );
+                println!(
+                    "    premise {}",
+                    if p >= p_min { "HOLDS" } else { "does NOT hold" }
+                );
+            }
+            Ok(())
+        }
+        AnalyzeArgs::Samples { p, d, alpha } => {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("--p must lie in [0, 1], got {p}"));
+            }
+            if d <= 0.0 {
+                return Err(format!("--d must be positive, got {d}"));
+            }
+            if !(alpha > 0.0 && alpha < 1.0) {
+                return Err(format!("--alpha must lie in (0, 1), got {alpha}"));
+            }
+            let k = analysis::required_samples(p, d, alpha);
+            let z = analysis::z_alpha_2(alpha);
+            println!("Theorem 5.1  (p̂ = {p}, d = {d}, α = {alpha})");
+            println!("  Z_α/2 = {z:.4}");
+            println!(
+                "  messages required for a {:.0}%-confident slice estimate: k ≥ {k}",
+                (1.0 - alpha) * 100.0
+            );
+            println!(
+                "  sliding-window memory at 1 bit/sample: {:.2} kB",
+                k as f64 / 8.0 / 1000.0
+            );
+            Ok(())
+        }
+        AnalyzeArgs::Population { n, p } => {
+            if n == 0 {
+                return Err("--n must be positive".into());
+            }
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(format!("--p must lie in (0, 1], got {p}"));
+            }
+            let pop = analysis::expected_slice_population(n, p);
+            let (exact, bound) = analysis::even_split_probability(n);
+            println!("Slice population  (n = {n}, p = {p})   [§4.4]");
+            println!("  E[X] = {:.1}", pop.mean);
+            println!("  σ(X) = {:.2}", pop.std_dev);
+            println!("  relative expected deviation ≈ {:.4}", pop.relative_deviation);
+            println!(
+                "  P[even 2-way split of n] = {exact:.6} (bound √(2/nπ) = {bound:.6})"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn run_slice_of(slices: usize, rank: f64) -> Result<(), String> {
+    let partition = Partition::equal(slices).map_err(|e| e.to_string())?;
+    if !(rank > 0.0 && rank <= 1.0) {
+        return Err(format!("--rank must lie in (0, 1], got {rank}"));
+    }
+    let idx = partition.slice_of(rank);
+    let slice = partition.slice(idx).expect("index in range");
+    println!(
+        "rank {rank} -> slice {idx} = {slice} (distance to closest boundary: {:.4})",
+        partition.boundary_distance(rank)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn help_runs() {
+        run(Command::Help).unwrap();
+    }
+
+    #[test]
+    fn tiny_sim_runs_end_to_end() {
+        let cmd = parse(&argv(
+            "sim --protocol ranking --n 60 --slices 4 --view 5 --cycles 5 --quiet",
+        ))
+        .unwrap();
+        run(cmd).unwrap();
+    }
+
+    #[test]
+    fn sim_with_churn_and_outputs() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join("dslice_cli_test.csv");
+        let json = dir.join("dslice_cli_test.json");
+        let cmd = parse(&argv(&format!(
+            "sim --protocol mod-jk --n 60 --slices 4 --view 5 --cycles 5 --quiet \
+             --churn correlated:0.01:2 --csv {} --json {}",
+            csv.display(),
+            json.display()
+        )))
+        .unwrap();
+        run(cmd).unwrap();
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(csv_text.starts_with("cycle,n,sdm"));
+        let json_text = std::fs::read_to_string(&json).unwrap();
+        assert!(json_text.contains("\"label\": \"mod-jk\""));
+        let _ = std::fs::remove_file(csv);
+        let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn analyze_commands_run() {
+        run(parse(&argv("analyze lemma41 --beta 0.5 --epsilon 0.05 --n 10000 --p 0.01")).unwrap())
+            .unwrap();
+        run(parse(&argv("analyze samples --p 0.45 --d 0.05")).unwrap()).unwrap();
+        run(parse(&argv("analyze population --n 10000 --p 0.1")).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn analyze_rejects_bad_domains() {
+        assert!(run(parse(&argv("analyze lemma41 --beta 2 --epsilon 0.05 --n 10")).unwrap())
+            .is_err());
+        assert!(run(parse(&argv("analyze samples --p 2 --d 0.05")).unwrap()).is_err());
+        assert!(run(parse(&argv("analyze samples --p 0.4 --d -1")).unwrap()).is_err());
+        assert!(run(parse(&argv("analyze population --n 0 --p 0.1")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn slice_of_runs_and_validates() {
+        run(parse(&argv("slice-of --slices 100 --rank 0.423")).unwrap()).unwrap();
+        assert!(run(parse(&argv("slice-of --slices 100 --rank 1.5")).unwrap()).is_err());
+        assert!(run(parse(&argv("slice-of --slices 0 --rank 0.5")).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Attribute values and the total order over nodes.
+//!
+//! Each node `i` maintains an attribute value `a_i` reflecting its capability
+//! according to a specific metric (paper §3.1). Attribute values "might have
+//! an arbitrary skewed distribution"; the only structural requirement is a
+//! total order, with node identifiers breaking ties:
+//!
+//! > we let `i` precede `j` if and only if `a_i < a_j`, or `a_i = a_j` and
+//! > `i < j`.
+//!
+//! [`Attribute`] wraps a *finite* `f64` so the order is genuinely total (no
+//! NaN), and [`AttributeKey`] packages the `(attribute, id)` lexicographic
+//! pair that defines the paper's `A.sequence`.
+
+use crate::{Error, NodeId, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A finite, totally ordered attribute value.
+///
+/// Construction rejects NaN and infinities, which makes `Ord` sound.
+///
+/// ```
+/// use dslice_core::Attribute;
+/// let a = Attribute::new(50.0).unwrap();
+/// let b = Attribute::new(120.0).unwrap();
+/// assert!(a < b);
+/// assert!(Attribute::new(f64::NAN).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Attribute(f64);
+
+impl Attribute {
+    /// Creates an attribute value, rejecting non-finite numbers.
+    pub fn new(value: f64) -> Result<Self> {
+        if value.is_finite() {
+            Ok(Attribute(value))
+        } else {
+            Err(Error::NonFiniteAttribute(value))
+        }
+    }
+
+    /// Returns the underlying float.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Attribute {}
+
+impl PartialOrd for Attribute {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Attribute {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite by construction, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).expect("attributes are finite")
+    }
+}
+
+impl fmt::Debug for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Attribute {
+    type Error = Error;
+
+    fn try_from(value: f64) -> Result<Self> {
+        Attribute::new(value)
+    }
+}
+
+/// The lexicographic `(attribute, id)` key defining the paper's total order.
+///
+/// `A.sequence` is exactly the sorted order of `AttributeKey`s: node `i`
+/// precedes `j` iff `a_i < a_j`, or `a_i == a_j` and `i < j`.
+///
+/// ```
+/// use dslice_core::{Attribute, NodeId};
+/// use dslice_core::attribute::AttributeKey;
+///
+/// let tie_low = AttributeKey::new(NodeId::new(1), Attribute::new(5.0).unwrap());
+/// let tie_high = AttributeKey::new(NodeId::new(2), Attribute::new(5.0).unwrap());
+/// assert!(tie_low < tie_high); // equal attributes: id breaks the tie
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AttributeKey {
+    /// The attribute value (primary sort key).
+    pub attribute: Attribute,
+    /// The node identifier (tie-breaker).
+    pub id: NodeId,
+}
+
+impl AttributeKey {
+    /// Creates the ordering key for node `id` holding `attribute`.
+    pub const fn new(id: NodeId, attribute: Attribute) -> Self {
+        AttributeKey { attribute, id }
+    }
+}
+
+impl PartialOrd for AttributeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttributeKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.attribute
+            .cmp(&other.attribute)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Evaluates the paper's *misplacement predicate* (§4.2):
+/// neighbor `j` is misplaced with respect to `i` iff
+/// `(a_j − a_i)(r_j − r_i) < 0`.
+///
+/// The predicate is symmetric in `i` and `j` and is the trigger condition of
+/// the random-value swap in both JK and mod-JK.
+///
+/// ```
+/// use dslice_core::Attribute;
+/// use dslice_core::attribute::misplaced;
+/// let (a_i, a_j) = (Attribute::new(50.0).unwrap(), Attribute::new(120.0).unwrap());
+/// // i has the larger random value but the smaller attribute: misplaced.
+/// assert!(misplaced(a_i, 0.85, a_j, 0.10));
+/// assert!(!misplaced(a_i, 0.10, a_j, 0.85));
+/// ```
+pub fn misplaced(a_i: Attribute, r_i: f64, a_j: Attribute, r_j: f64) -> bool {
+    (a_j.value() - a_i.value()) * (r_j - r_i) < 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_nan_and_infinities() {
+        assert!(matches!(
+            Attribute::new(f64::NAN),
+            Err(Error::NonFiniteAttribute(v)) if v.is_nan()
+        ));
+        assert!(Attribute::new(f64::INFINITY).is_err());
+        assert!(Attribute::new(f64::NEG_INFINITY).is_err());
+        assert!(Attribute::new(0.0).is_ok());
+        assert!(Attribute::new(-123.5).is_ok());
+    }
+
+    #[test]
+    fn try_from_matches_new() {
+        assert_eq!(Attribute::try_from(3.0).unwrap().value(), 3.0);
+        assert!(Attribute::try_from(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn total_order_on_values() {
+        let small = Attribute::new(-1.0).unwrap();
+        let mid = Attribute::new(0.0).unwrap();
+        let big = Attribute::new(10.0).unwrap();
+        assert!(small < mid && mid < big);
+        assert_eq!(mid.cmp(&mid), Ordering::Equal);
+    }
+
+    #[test]
+    fn key_breaks_ties_by_id() {
+        let a = Attribute::new(7.0).unwrap();
+        let k1 = AttributeKey::new(NodeId::new(10), a);
+        let k2 = AttributeKey::new(NodeId::new(20), a);
+        assert!(k1 < k2);
+    }
+
+    #[test]
+    fn key_orders_primarily_by_attribute() {
+        let k_small = AttributeKey::new(NodeId::new(99), Attribute::new(1.0).unwrap());
+        let k_big = AttributeKey::new(NodeId::new(1), Attribute::new(2.0).unwrap());
+        assert!(k_small < k_big);
+    }
+
+    #[test]
+    fn misplacement_paper_example() {
+        // Paper §4.1: nodes 1,2,3 with a = (50, 120, 25), r = (0.85, 0.1, 0.35).
+        let a1 = Attribute::new(50.0).unwrap();
+        let a2 = Attribute::new(120.0).unwrap();
+        let a3 = Attribute::new(25.0).unwrap();
+        let (r1, r2, r3) = (0.85, 0.10, 0.35);
+        // 1 and 2 are mutually misplaced (a1 < a2 but r1 > r2).
+        assert!(misplaced(a1, r1, a2, r2));
+        // 1 and 3: a3 < a1 and r3 < r1 — correctly ordered.
+        assert!(!misplaced(a1, r1, a3, r3));
+        // 2 and 3: a3 < a2 but r3 > r2 — misplaced.
+        assert!(misplaced(a2, r2, a3, r3));
+    }
+
+    #[test]
+    fn misplacement_with_equal_attribute_or_rank_is_false() {
+        let a = Attribute::new(5.0).unwrap();
+        assert!(!misplaced(a, 0.2, a, 0.9));
+        let b = Attribute::new(9.0).unwrap();
+        assert!(!misplaced(a, 0.5, b, 0.5));
+    }
+
+    proptest! {
+        #[test]
+        fn misplacement_is_symmetric(
+            ai in -1e6f64..1e6, aj in -1e6f64..1e6,
+            ri in 0.0001f64..1.0, rj in 0.0001f64..1.0,
+        ) {
+            let (ai, aj) = (Attribute::new(ai).unwrap(), Attribute::new(aj).unwrap());
+            prop_assert_eq!(misplaced(ai, ri, aj, rj), misplaced(aj, rj, ai, ri));
+        }
+
+        #[test]
+        fn misplacement_fixed_by_swapping(
+            ai in -1e6f64..1e6, aj in -1e6f64..1e6,
+            ri in 0.0001f64..1.0, rj in 0.0001f64..1.0,
+        ) {
+            let (ai, aj) = (Attribute::new(ai).unwrap(), Attribute::new(aj).unwrap());
+            if misplaced(ai, ri, aj, rj) {
+                // After swapping random values the pair is in order.
+                prop_assert!(!misplaced(ai, rj, aj, ri));
+            }
+        }
+
+        #[test]
+        fn key_order_is_total_and_antisymmetric(
+            a in -1e3f64..1e3, b in -1e3f64..1e3,
+            ia in 0u64..50, ib in 0u64..50,
+        ) {
+            let ka = AttributeKey::new(NodeId::new(ia), Attribute::new(a).unwrap());
+            let kb = AttributeKey::new(NodeId::new(ib), Attribute::new(b).unwrap());
+            match ka.cmp(&kb) {
+                Ordering::Less => prop_assert_eq!(kb.cmp(&ka), Ordering::Greater),
+                Ordering::Greater => prop_assert_eq!(kb.cmp(&ka), Ordering::Less),
+                Ordering::Equal => {
+                    prop_assert_eq!(ka.id, kb.id);
+                    prop_assert_eq!(ka.attribute, kb.attribute);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenient result alias for fallible `dslice` operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the core model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An attribute value was not a finite number (NaN or infinite).
+    NonFiniteAttribute(f64),
+    /// A partition was requested with zero slices.
+    EmptyPartition,
+    /// Partition boundaries were not strictly increasing within `(0, 1)`.
+    InvalidBoundaries(String),
+    /// Slice fractions did not sum to 1 (within tolerance) or contained a
+    /// non-positive fraction.
+    InvalidFractions(String),
+    /// A normalized rank or random value fell outside `(0, 1]`.
+    OutOfRange {
+        /// Short description of the quantity that was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A view was created with a capacity of zero.
+    ZeroViewCapacity,
+    /// An operation referenced a node that does not exist.
+    UnknownNode(crate::NodeId),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NonFiniteAttribute(v) => {
+                write!(f, "attribute value must be finite, got {v}")
+            }
+            Error::EmptyPartition => write!(f, "a partition must contain at least one slice"),
+            Error::InvalidBoundaries(msg) => write!(f, "invalid partition boundaries: {msg}"),
+            Error::InvalidFractions(msg) => write!(f, "invalid slice fractions: {msg}"),
+            Error::OutOfRange { what, value } => {
+                write!(f, "{what} must lie in (0, 1], got {value}")
+            }
+            Error::ZeroViewCapacity => write!(f, "view capacity must be at least 1"),
+            Error::UnknownNode(id) => write!(f, "unknown node {id}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::NonFiniteAttribute(f64::NAN), "finite"),
+            (Error::EmptyPartition, "at least one"),
+            (
+                Error::InvalidBoundaries("0.5 repeated".into()),
+                "0.5 repeated",
+            ),
+            (Error::InvalidFractions("sum 0.9".into()), "sum 0.9"),
+            (
+                Error::OutOfRange {
+                    what: "random value",
+                    value: 1.5,
+                },
+                "random value",
+            ),
+            (Error::ZeroViewCapacity, "capacity"),
+            (Error::UnknownNode(NodeId::new(3)), "3"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>(_: &E) {}
+        assert_std_error(&Error::EmptyPartition);
+    }
+}

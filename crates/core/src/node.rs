@@ -1,0 +1,139 @@
+//! Node identities.
+//!
+//! The paper's system model (§3.1) considers "a set of `n` uniquely
+//! identified nodes"; the identifier doubles as the tie-breaker of the total
+//! order over attribute values: node `i` precedes node `j` iff
+//! `a_i < a_j`, or `a_i == a_j` and `i < j`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unique node identifier.
+///
+/// Identifiers are plain `u64`s. The simulator allocates them monotonically
+/// so that nodes joining under churn never reuse an identifier; the network
+/// runtime derives them from the listen address. Ordering on `NodeId` is the
+/// tie-breaking order of the paper's `A.sequence`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node identifier from a raw integer.
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw integer value of this identifier.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+/// A monotonically increasing allocator of [`NodeId`]s.
+///
+/// Churn models use this to hand out fresh identities to joining nodes;
+/// identifiers are never reused within one run, matching the paper's
+/// assumption that departing and arriving nodes are distinct entities.
+#[derive(Debug, Clone)]
+pub struct NodeIdAllocator {
+    next: u64,
+}
+
+impl NodeIdAllocator {
+    /// Creates an allocator whose first issued id is `first`.
+    pub const fn starting_at(first: u64) -> Self {
+        NodeIdAllocator { next: first }
+    }
+
+    /// Issues the next fresh identifier.
+    pub fn allocate(&mut self) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Issues `count` fresh identifiers.
+    pub fn allocate_many(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.allocate()).collect()
+    }
+
+    /// The id that the next call to [`allocate`](Self::allocate) will return.
+    pub const fn peek(&self) -> NodeId {
+        NodeId(self.next)
+    }
+}
+
+impl Default for NodeIdAllocator {
+    fn default() -> Self {
+        NodeIdAllocator::starting_at(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_u64() {
+        let id = NodeId::new(42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(NodeId::from(42u64), id);
+        assert_eq!(id.as_u64(), 42);
+    }
+
+    #[test]
+    fn node_id_ordering_is_numeric() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(NodeId::new(100) > NodeId::new(99));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn allocator_is_monotonic_and_never_reuses() {
+        let mut alloc = NodeIdAllocator::default();
+        let a = alloc.allocate();
+        let b = alloc.allocate();
+        let batch = alloc.allocate_many(3);
+        assert_eq!(a, NodeId::new(0));
+        assert_eq!(b, NodeId::new(1));
+        assert_eq!(batch, vec![NodeId::new(2), NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(alloc.peek(), NodeId::new(5));
+    }
+
+    #[test]
+    fn allocator_can_start_anywhere() {
+        let mut alloc = NodeIdAllocator::starting_at(1000);
+        assert_eq!(alloc.allocate(), NodeId::new(1000));
+    }
+
+    #[test]
+    fn debug_and_display_formats() {
+        let id = NodeId::new(9);
+        assert_eq!(format!("{id:?}"), "n9");
+        assert_eq!(format!("{id}"), "9");
+    }
+}

@@ -1,0 +1,246 @@
+//! Rank computations: `A.sequence`, `R.sequence` and normalized ranks.
+//!
+//! The paper defines two global sequences (§3.1, §4.1):
+//!
+//! * `A.sequence` — all nodes sorted by `(attribute, id)`; the index of node
+//!   `i` in it is its **attribute-based rank** `α_i ∈ {1, …, n}`.
+//! * `R.sequence` — all nodes sorted by their current random value; the index
+//!   of node `i` is `ρ_i(t)`.
+//!
+//! These are *global* quantities used by the evaluation metrics (GDM, SDM)
+//! and by oracle tests — protocol code never sees them.
+
+use crate::attribute::AttributeKey;
+use crate::{Attribute, NodeId, Partition, SliceIndex};
+use std::collections::HashMap;
+
+/// Computes attribute-based ranks `α_i` (1-based, per the paper).
+///
+/// Ties on the attribute value are broken by node id, making the rank a
+/// bijection onto `{1, …, n}`.
+///
+/// ```
+/// use dslice_core::{Attribute, NodeId};
+/// let nodes = [
+///     (NodeId::new(1), Attribute::new(50.0).unwrap()),
+///     (NodeId::new(2), Attribute::new(120.0).unwrap()),
+///     (NodeId::new(3), Attribute::new(25.0).unwrap()),
+/// ];
+/// let alpha = dslice_core::rank::attribute_ranks(nodes);
+/// assert_eq!(alpha[&NodeId::new(3)], 1);
+/// assert_eq!(alpha[&NodeId::new(1)], 2);
+/// assert_eq!(alpha[&NodeId::new(2)], 3);
+/// ```
+pub fn attribute_ranks<I>(nodes: I) -> HashMap<NodeId, usize>
+where
+    I: IntoIterator<Item = (NodeId, Attribute)>,
+{
+    let mut keys: Vec<AttributeKey> = nodes
+        .into_iter()
+        .map(|(id, a)| AttributeKey::new(id, a))
+        .collect();
+    keys.sort_unstable();
+    keys.iter()
+        .enumerate()
+        .map(|(idx, key)| (key.id, idx + 1))
+        .collect()
+}
+
+/// Computes random-value ranks `ρ_i` (1-based): the index of each node in
+/// `R.sequence`. Ties on the value are broken by node id so the result is a
+/// bijection even if values collide.
+pub fn value_ranks<I>(nodes: I) -> HashMap<NodeId, usize>
+where
+    I: IntoIterator<Item = (NodeId, f64)>,
+{
+    let mut pairs: Vec<(NodeId, f64)> = nodes.into_iter().collect();
+    pairs.sort_unstable_by(|(ia, ra), (ib, rb)| {
+        ra.partial_cmp(rb)
+            .expect("random values are finite")
+            .then_with(|| ia.cmp(ib))
+    });
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(idx, (id, _))| (*id, idx + 1))
+        .collect()
+}
+
+/// The normalized rank `α_i / n` of a 1-based rank in a population of `n`.
+///
+/// This is the quantity the slicing problem asks every node to locate inside
+/// the partition of `(0, 1]`.
+pub fn normalized(rank: usize, n: usize) -> f64 {
+    debug_assert!(n > 0 && rank >= 1 && rank <= n);
+    rank as f64 / n as f64
+}
+
+/// Computes the *true* slice of every node: sort by attribute, normalize the
+/// rank, and look the result up in the partition.
+///
+/// This is the oracle against which the slice disorder measure compares the
+/// protocol estimates.
+pub fn true_slices<I>(nodes: I, partition: &Partition) -> HashMap<NodeId, SliceIndex>
+where
+    I: IntoIterator<Item = (NodeId, Attribute)>,
+{
+    let ranks = attribute_ranks(nodes);
+    let n = ranks.len();
+    ranks
+        .into_iter()
+        .map(|(id, alpha)| (id, partition.slice_of(normalized(alpha, n))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn attr(v: f64) -> Attribute {
+        Attribute::new(v).unwrap()
+    }
+
+    #[test]
+    fn paper_running_example() {
+        // §3.1: a1 = 50, a2 = 120, a3 = 25 → α1 = 2.
+        let nodes = [
+            (NodeId::new(1), attr(50.0)),
+            (NodeId::new(2), attr(120.0)),
+            (NodeId::new(3), attr(25.0)),
+        ];
+        let alpha = attribute_ranks(nodes);
+        assert_eq!(alpha[&NodeId::new(1)], 2);
+        assert_eq!(alpha[&NodeId::new(2)], 3);
+        assert_eq!(alpha[&NodeId::new(3)], 1);
+    }
+
+    #[test]
+    fn value_ranks_paper_example() {
+        // §4.1: r1 = 0.85, r2 = 0.1, r3 = 0.35 → ρ1 = 3.
+        let nodes = [
+            (NodeId::new(1), 0.85),
+            (NodeId::new(2), 0.10),
+            (NodeId::new(3), 0.35),
+        ];
+        let rho = value_ranks(nodes);
+        assert_eq!(rho[&NodeId::new(1)], 3);
+        assert_eq!(rho[&NodeId::new(2)], 1);
+        assert_eq!(rho[&NodeId::new(3)], 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let nodes = [
+            (NodeId::new(9), attr(5.0)),
+            (NodeId::new(3), attr(5.0)),
+            (NodeId::new(6), attr(5.0)),
+        ];
+        let alpha = attribute_ranks(nodes);
+        assert_eq!(alpha[&NodeId::new(3)], 1);
+        assert_eq!(alpha[&NodeId::new(6)], 2);
+        assert_eq!(alpha[&NodeId::new(9)], 3);
+    }
+
+    #[test]
+    fn normalized_rank_endpoints() {
+        assert!((normalized(1, 4) - 0.25).abs() < 1e-12);
+        assert!((normalized(4, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_slices_of_height_example() {
+        // Fig. 1: 10 persons, 2 slices → 5 shortest in S1, 5 tallest in S2.
+        let heights = [1.5, 1.55, 1.6, 1.62, 1.65, 1.7, 1.75, 1.8, 1.9, 2.0];
+        let nodes: Vec<_> = heights
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (NodeId::new(i as u64 + 1), attr(h)))
+            .collect();
+        let part = Partition::equal(2).unwrap();
+        let slices = true_slices(nodes, &part);
+        for i in 1..=5u64 {
+            assert_eq!(slices[&NodeId::new(i)].as_usize(), 0, "person {i} short");
+        }
+        for i in 6..=10u64 {
+            assert_eq!(slices[&NodeId::new(i)].as_usize(), 1, "person {i} tall");
+        }
+    }
+
+    #[test]
+    fn empty_population_yields_empty_maps() {
+        let alpha = attribute_ranks(std::iter::empty());
+        assert!(alpha.is_empty());
+        let rho = value_ranks(std::iter::empty());
+        assert!(rho.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn attribute_ranks_are_a_bijection(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let nodes: Vec<_> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (NodeId::new(i as u64), attr(v)))
+                .collect();
+            let n = nodes.len();
+            let alpha = attribute_ranks(nodes);
+            let mut seen: Vec<usize> = alpha.values().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (1..=n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn ranks_respect_attribute_order(values in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+            let nodes: Vec<_> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (NodeId::new(i as u64), attr(v)))
+                .collect();
+            let alpha = attribute_ranks(nodes.iter().copied());
+            for (ia, aa) in &nodes {
+                for (ib, ab) in &nodes {
+                    if aa < ab {
+                        prop_assert!(alpha[ia] < alpha[ib]);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn value_ranks_are_a_bijection(values in proptest::collection::vec(0.0001f64..1.0, 1..200)) {
+            let nodes: Vec<_> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (NodeId::new(i as u64), v))
+                .collect();
+            let n = nodes.len();
+            let rho = value_ranks(nodes);
+            let mut seen: Vec<usize> = rho.values().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (1..=n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn true_slice_population_sizes_are_balanced(
+            n in 10usize..300,
+            k in 1usize..10,
+        ) {
+            // With n nodes and k slices of equal size, each slice holds
+            // floor(n/k) or ceil(n/k) nodes: ranks are exact, unlike random
+            // values (the paper's §4.4 inaccuracy does not exist here).
+            let nodes: Vec<_> = (0..n)
+                .map(|i| (NodeId::new(i as u64), attr(i as f64)))
+                .collect();
+            let part = Partition::equal(k).unwrap();
+            let slices = true_slices(nodes, &part);
+            let mut counts = vec![0usize; k];
+            for idx in slices.values() {
+                counts[idx.as_usize()] += 1;
+            }
+            for &c in &counts {
+                prop_assert!(c == n / k || c == n / k + 1 || c == n.div_ceil(k));
+            }
+        }
+    }
+}

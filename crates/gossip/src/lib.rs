@@ -1,0 +1,69 @@
+//! # dslice-gossip
+//!
+//! Peer-sampling substrates for the distributed slicing protocols.
+//!
+//! The slicing algorithms of the paper assume an underlying *peer sampling
+//! service* that keeps every node's bounded [`View`](dslice_core::View)
+//! stocked with a continuously refreshed, quasi-uniform sample of the live
+//! network (§4.3.1):
+//!
+//! > Several protocols may be used to provide a random and dynamic sampling
+//! > in a peer to peer system such as Newscast, Cyclon or Lpbcast. […] In
+//! > this report, we chose to use a variant of the Cyclon protocol […] as it
+//! > is reportedly the best approach to achieve a uniform random neighbor
+//! > set for all nodes.
+//!
+//! This crate provides four interchangeable samplers:
+//!
+//! * [`CyclonSampler`] — the paper's Cyclon variant (Fig. 3): swap the
+//!   *entire view* with the *oldest* neighbor each cycle.
+//! * [`NewscastSampler`] — a Newscast-style sampler (random partner,
+//!   freshness-based merge), the substrate used by the original JK paper.
+//! * [`LpbcastSampler`] — an Lpbcast-style sampler (push-only digests,
+//!   random eviction), the third substrate §4.3.1 names.
+//! * [`UniformOracle`] — an idealized sampler whose view is refilled with
+//!   uniformly random live nodes by the runtime each cycle; the "uniform"
+//!   baseline of Fig. 6(b).
+//!
+//! All three implement [`PeerSampler`], a three-phase message-level
+//! interface (`initiate` → `handle_request` → `handle_reply`) that the cycle
+//! simulator drives atomically and the network runtime drives over real
+//! sockets.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cyclon;
+pub mod lpbcast;
+pub mod newscast;
+pub mod sampler;
+pub mod uniform;
+
+pub use cyclon::CyclonSampler;
+pub use lpbcast::LpbcastSampler;
+pub use newscast::NewscastSampler;
+pub use sampler::{PeerSampler, SamplerConfig, SamplerKind};
+pub use uniform::UniformOracle;
+
+use dslice_core::{Attribute, NodeId, Result, ViewEntry};
+
+/// A boxed sampler, selected at runtime from a [`SamplerKind`].
+pub fn build_sampler(
+    kind: SamplerKind,
+    owner: NodeId,
+    capacity: usize,
+) -> Result<Box<dyn PeerSampler>> {
+    Ok(match kind {
+        SamplerKind::Cyclon => Box::new(CyclonSampler::new(owner, capacity)?),
+        SamplerKind::Newscast => Box::new(NewscastSampler::new(owner, capacity)?),
+        SamplerKind::Lpbcast => Box::new(LpbcastSampler::new(owner, capacity)?),
+        SamplerKind::UniformOracle => Box::new(UniformOracle::new(owner, capacity)?),
+    })
+}
+
+/// Convenience: the self-descriptor `⟨i, 0, a_i, r_i⟩` a node contributes to
+/// exchanges (line 3 of Fig. 3).
+pub fn self_descriptor(id: NodeId, attribute: Attribute, value: f64) -> ViewEntry {
+    ViewEntry::new(id, attribute, value)
+}

@@ -1,0 +1,135 @@
+//! The [`PeerSampler`] interface.
+//!
+//! A peer sampler owns a node's [`View`] and refreshes it by periodic
+//! pairwise exchanges. The interface is deliberately message-shaped — an
+//! exchange is `initiate` (active side) → `handle_request` (passive side) →
+//! `handle_reply` (active side) — so that:
+//!
+//! * the **cycle simulator** can run the three phases back-to-back, which is
+//!   exactly the atomic view exchange of the paper's PeerSim setup (§4.5);
+//! * the **network runtime** can ship the two payloads as real `ViewReq` /
+//!   `ViewAck` messages.
+
+use dslice_core::{NodeId, View, ViewEntry};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which peer-sampling substrate to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// The paper's Cyclon variant (Fig. 3): full-view swap with the oldest
+    /// neighbor. The default.
+    Cyclon,
+    /// Newscast-style: random partner, freshest-`c` merge.
+    Newscast,
+    /// Lpbcast-style: push-only digests, random eviction.
+    Lpbcast,
+    /// Idealized uniform sampler refilled by the runtime each cycle
+    /// (the "uniform" curve of Fig. 6(b)).
+    UniformOracle,
+}
+
+impl fmt::Display for SamplerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplerKind::Cyclon => write!(f, "cyclon"),
+            SamplerKind::Newscast => write!(f, "newscast"),
+            SamplerKind::Lpbcast => write!(f, "lpbcast"),
+            SamplerKind::UniformOracle => write!(f, "uniform"),
+        }
+    }
+}
+
+/// Static sampler configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SamplerConfig {
+    /// Which substrate to instantiate.
+    pub kind: SamplerKind,
+    /// View capacity `c`.
+    pub capacity: usize,
+}
+
+impl SamplerConfig {
+    /// The paper's default: Cyclon variant with view size `c`.
+    pub fn cyclon(capacity: usize) -> Self {
+        SamplerConfig {
+            kind: SamplerKind::Cyclon,
+            capacity,
+        }
+    }
+}
+
+/// The outcome of starting an exchange on the active side.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExchangeRequest {
+    /// The chosen gossip partner.
+    pub partner: NodeId,
+    /// The entries to send (`N_i \ {e_j} ∪ {⟨i,0,a_i,r_i⟩}` for Cyclon).
+    pub entries: Vec<ViewEntry>,
+}
+
+/// A peer-sampling service instance owned by one node.
+pub trait PeerSampler: Send {
+    /// The owning node.
+    fn owner(&self) -> NodeId;
+
+    /// Which substrate this is.
+    fn kind(&self) -> SamplerKind;
+
+    /// Read access to the current view.
+    fn view(&self) -> &View;
+
+    /// Mutable access to the current view (used by the runtime for value
+    /// refreshes and churn cleanup).
+    fn view_mut(&mut self) -> &mut View;
+
+    /// Active side, phase 1: age the view, pick a partner, build the request
+    /// payload. Returns `None` when the view is empty (isolated node) or the
+    /// substrate does not gossip (the uniform oracle).
+    fn initiate(&mut self, self_entry: ViewEntry, rng: &mut dyn RngCore)
+        -> Option<ExchangeRequest>;
+
+    /// Passive side: absorb the request payload, produce the reply payload
+    /// (the passive node's view, minus pointers to the requester).
+    fn handle_request(
+        &mut self,
+        self_entry: ViewEntry,
+        from: NodeId,
+        entries: &[ViewEntry],
+    ) -> Vec<ViewEntry>;
+
+    /// Active side, phase 2: absorb the reply payload.
+    fn handle_reply(&mut self, from: NodeId, entries: &[ViewEntry]);
+
+    /// Drops entries for nodes that are no longer alive. Runtimes call this
+    /// after churn so protocols never gossip with the departed.
+    fn remove_dead(&mut self, is_alive: &dyn Fn(NodeId) -> bool) {
+        self.view_mut().retain(is_alive);
+    }
+
+    /// Seeds the view with bootstrap entries (used at join time).
+    fn bootstrap(&mut self, entries: &[ViewEntry]) {
+        let owner = self.owner();
+        self.view_mut().merge(owner, entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(SamplerKind::Cyclon.to_string(), "cyclon");
+        assert_eq!(SamplerKind::Newscast.to_string(), "newscast");
+        assert_eq!(SamplerKind::UniformOracle.to_string(), "uniform");
+    }
+
+    #[test]
+    fn config_constructor() {
+        let cfg = SamplerConfig::cyclon(20);
+        assert_eq!(cfg.kind, SamplerKind::Cyclon);
+        assert_eq!(cfg.capacity, 20);
+    }
+}

@@ -1,0 +1,149 @@
+//! Overlay health of the Lpbcast-style sampler.
+//!
+//! Lpbcast is push-only with random eviction, so its failure modes differ
+//! from Cyclon's: descriptors can over-replicate (no swap conservation) and
+//! stale descriptors linger (no age-based purge). These tests check that at
+//! network scale the overlay nevertheless stays diverse, connected enough to
+//! feed the slicing protocols, and spreads fresh descriptors everywhere.
+
+use dslice_core::{Attribute, NodeId, ViewEntry};
+use dslice_gossip::{LpbcastSampler, PeerSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+fn descriptor(id: usize) -> ViewEntry {
+    ViewEntry::new(
+        NodeId::new(id as u64),
+        Attribute::new(id as f64).unwrap(),
+        0.5,
+    )
+}
+
+fn run_overlay(n: usize, c: usize, cycles: usize, seed: u64) -> Vec<LpbcastSampler> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samplers: Vec<LpbcastSampler> = (0..n)
+        .map(|i| LpbcastSampler::new(NodeId::new(i as u64), c).unwrap())
+        .collect();
+    // Bootstrap: each node knows 3 random others.
+    for (i, sampler) in samplers.iter_mut().enumerate() {
+        while sampler.view().len() < 3.min(c) {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                sampler.view_mut().insert(descriptor(j));
+            }
+        }
+    }
+    for _ in 0..cycles {
+        for i in 0..n {
+            let Some(req) = samplers[i].initiate(descriptor(i), &mut rng) else {
+                continue;
+            };
+            let p = req.partner.as_u64() as usize;
+            let reply =
+                samplers[p].handle_request(descriptor(p), NodeId::new(i as u64), &req.entries);
+            samplers[i].handle_reply(req.partner, &reply);
+        }
+    }
+    samplers
+}
+
+/// Size of the strongly-reachable set from node 0 following view edges.
+fn reachable_from_zero(samplers: &[LpbcastSampler]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    seen.insert(0);
+    queue.push_back(0);
+    while let Some(u) = queue.pop_front() {
+        for e in samplers[u as usize].view().iter() {
+            if seen.insert(e.id.as_u64()) {
+                queue.push_back(e.id.as_u64());
+            }
+        }
+    }
+    seen.len()
+}
+
+#[test]
+fn overlay_becomes_and_stays_connected() {
+    let n = 300;
+    let samplers = run_overlay(n, 10, 80, 23);
+    let reach = reachable_from_zero(&samplers);
+    assert!(
+        reach >= n * 95 / 100,
+        "only {reach}/{n} nodes reachable from node 0"
+    );
+}
+
+#[test]
+fn views_fill_and_hold_invariants() {
+    let n = 200;
+    let samplers = run_overlay(n, 8, 60, 29);
+    for (i, s) in samplers.iter().enumerate() {
+        s.view()
+            .check_invariants(Some(NodeId::new(i as u64)))
+            .unwrap();
+    }
+    let mean: f64 = samplers.iter().map(|s| s.view().len() as f64).sum::<f64>() / n as f64;
+    assert!(mean > 7.0, "views stayed thin: mean occupancy {mean:.2}");
+}
+
+#[test]
+fn no_descriptor_floods_the_network() {
+    // Random eviction without swap conservation can in principle let one
+    // descriptor over-replicate; verify in-degree stays bounded.
+    let n = 300;
+    let samplers = run_overlay(n, 10, 80, 31);
+    let mut indegree: HashMap<u64, usize> = HashMap::new();
+    for s in &samplers {
+        for e in s.view().iter() {
+            *indegree.entry(e.id.as_u64()).or_default() += 1;
+        }
+    }
+    let max = indegree.values().copied().max().unwrap_or(0);
+    let mean = indegree.values().sum::<usize>() as f64 / indegree.len() as f64;
+    assert!(
+        (max as f64) < mean * 8.0,
+        "hottest descriptor replicated {max} times (mean {mean:.1})"
+    );
+}
+
+#[test]
+fn observer_sees_most_of_the_network() {
+    let n = 150;
+    let c = 8;
+    let cycles = 300;
+    let mut rng = StdRng::seed_from_u64(37);
+    let mut samplers: Vec<LpbcastSampler> = (0..n)
+        .map(|i| LpbcastSampler::new(NodeId::new(i as u64), c).unwrap())
+        .collect();
+    for (i, sampler) in samplers.iter_mut().enumerate() {
+        while sampler.view().len() < 3 {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                sampler.view_mut().insert(descriptor(j));
+            }
+        }
+    }
+    let mut seen: HashSet<u64> = HashSet::new();
+    for _ in 0..cycles {
+        for i in 0..n {
+            let Some(req) = samplers[i].initiate(descriptor(i), &mut rng) else {
+                continue;
+            };
+            let p = req.partner.as_u64() as usize;
+            let reply =
+                samplers[p].handle_request(descriptor(p), NodeId::new(i as u64), &req.entries);
+            samplers[i].handle_reply(req.partner, &reply);
+        }
+        for e in samplers[0].view().iter() {
+            seen.insert(e.id.as_u64());
+        }
+    }
+    assert!(
+        seen.len() >= (n - 1) * 8 / 10,
+        "observer saw only {}/{} distinct peers",
+        seen.len(),
+        n - 1
+    );
+}

@@ -1,0 +1,124 @@
+//! Statistical quality of the Cyclon-variant peer sampler.
+//!
+//! The ranking algorithm's correctness rests on the sampler delivering a
+//! quasi-uniform stream of peers (§4.3.1, §5.3.2). This test runs a full
+//! overlay and checks, for a designated observer, that the long-run
+//! frequency with which each other node appears in its view is close to
+//! uniform — low coefficient of variation, no starving, no flooding.
+
+use dslice_core::{Attribute, NodeId, ViewEntry};
+use dslice_gossip::{CyclonSampler, PeerSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn descriptor(id: usize) -> ViewEntry {
+    ViewEntry::new(
+        NodeId::new(id as u64),
+        Attribute::new(id as f64).unwrap(),
+        0.5,
+    )
+}
+
+/// Runs an overlay of `n` Cyclon samplers for `cycles` cycles, returning
+/// how often each node id appeared in node 0's view (sampled once per
+/// cycle).
+fn observe(n: usize, c: usize, cycles: usize, seed: u64) -> HashMap<u64, usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samplers: Vec<CyclonSampler> = (0..n)
+        .map(|i| CyclonSampler::new(NodeId::new(i as u64), c).unwrap())
+        .collect();
+    for (i, sampler) in samplers.iter_mut().enumerate() {
+        while sampler.view().len() < c {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                sampler.view_mut().insert(descriptor(j));
+            }
+        }
+    }
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for _ in 0..cycles {
+        for i in 0..n {
+            let Some(req) = samplers[i].initiate(descriptor(i), &mut rng) else {
+                continue;
+            };
+            let p = req.partner.as_u64() as usize;
+            let reply = samplers[p].handle_request(descriptor(p), NodeId::new(i as u64), &req.entries);
+            samplers[i].handle_reply(req.partner, &reply);
+        }
+        for e in samplers[0].view().iter() {
+            *counts.entry(e.id.as_u64()).or_default() += 1;
+        }
+    }
+    counts
+}
+
+#[test]
+fn observer_sees_most_of_the_network_over_time() {
+    let n = 120;
+    let counts = observe(n, 8, 400, 11);
+    // Over 400 cycles with view 8, node 0 draws 3 200 view slots; nearly
+    // every other node should appear at least once.
+    let seen = counts.len();
+    assert!(
+        seen >= (n - 1) * 9 / 10,
+        "observer saw only {seen}/{} distinct peers",
+        n - 1
+    );
+}
+
+#[test]
+fn view_occupancy_is_close_to_uniform() {
+    let n = 120;
+    let cycles = 600;
+    let c = 8;
+    let counts = observe(n, c, cycles, 13);
+    let expected = (cycles * c) as f64 / (n - 1) as f64;
+
+    // Coefficient of variation of per-peer appearance counts. For an ideal
+    // uniform sampler the count is Binomial(cycles·c, 1/(n−1)) with
+    // CV = √((1−p)/(cycles·c·p)) ≈ 0.157; gossip correlations inflate it,
+    // but an order-of-magnitude blowup would mean the overlay is biased.
+    let mut values: Vec<f64> = (1..n as u64)
+        .map(|id| counts.get(&id).copied().unwrap_or(0) as f64)
+        .collect();
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / values.len() as f64;
+    let cv = var.sqrt() / mean;
+    assert!(
+        (mean - expected).abs() < expected * 0.1,
+        "mean occupancy {mean:.1} far from ideal {expected:.1}"
+    );
+    assert!(cv < 1.0, "occupancy CV {cv:.2} — the sampler is badly biased");
+
+    // No single node dominates: the hottest peer appears at most a small
+    // multiple of the expectation.
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let hottest = values.last().copied().unwrap();
+    assert!(
+        hottest < expected * 4.0,
+        "hottest peer appeared {hottest} times vs expected {expected:.0}"
+    );
+}
+
+#[test]
+fn uniformity_holds_across_view_sizes() {
+    for &c in &[4usize, 16] {
+        let n = 80;
+        let cycles = 400;
+        let counts = observe(n, c, cycles, 17 + c as u64);
+        let expected = (cycles * c) as f64 / (n - 1) as f64;
+        let mean = (1..n as u64)
+            .map(|id| counts.get(&id).copied().unwrap_or(0) as f64)
+            .sum::<f64>()
+            / (n - 1) as f64;
+        assert!(
+            (mean - expected).abs() < expected * 0.15,
+            "c = {c}: mean {mean:.1} vs expected {expected:.1}"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Wire-codec throughput: encode/decode cost for the three message shapes
+//! that dominate traffic (swap proposals, attribute updates, view
+//! exchanges).
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dslice_core::{Attribute, NodeId, ProtocolMsg, ViewEntry};
+use dslice_net::{decode_frame, encode_frame, WireMsg};
+
+fn swap_msg() -> WireMsg {
+    WireMsg {
+        reply_to: "127.0.0.1:40771".into(),
+        msg: ProtocolMsg::SwapReq {
+            from: NodeId::new(123),
+            r: 0.4217,
+            a: Attribute::new(98_765.432_1).unwrap(),
+        },
+    }
+}
+
+fn update_msg() -> WireMsg {
+    WireMsg {
+        reply_to: "127.0.0.1:40771".into(),
+        msg: ProtocolMsg::Update {
+            from: NodeId::new(123),
+            a: Attribute::new(98_765.432_1).unwrap(),
+        },
+    }
+}
+
+fn view_msg(entries: usize) -> WireMsg {
+    WireMsg {
+        reply_to: "127.0.0.1:40771".into(),
+        msg: ProtocolMsg::ViewReq {
+            from: NodeId::new(123),
+            entries: (0..entries)
+                .map(|i| {
+                    ViewEntry::with_age(
+                        NodeId::new(i as u64),
+                        i as u32,
+                        Attribute::new(i as f64 * 1.7).unwrap(),
+                        (i as f64 + 1.0) / (entries as f64 + 1.0),
+                    )
+                })
+                .collect(),
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let cases = [
+        ("swap_req", swap_msg()),
+        ("update", update_msg()),
+        ("view_20", view_msg(20)),
+        ("view_100", view_msg(100)),
+    ];
+    for (name, msg) in &cases {
+        let frame = encode_frame(msg).unwrap();
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", name), msg, |b, msg| {
+            b.iter(|| encode_frame(msg).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &frame, |b, frame| {
+            b.iter(|| {
+                let mut buf = BytesMut::from(&frame[..]);
+                decode_frame(&mut buf).unwrap().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! The wire format: length-prefixed JSON frames.
+//!
+//! Each frame is a 4-byte big-endian payload length followed by the JSON
+//! serialization of a [`WireMsg`]. JSON (rather than a binary format) keeps
+//! the frames debuggable with `tcpdump`/`nc` during development; the
+//! protocols exchange a handful of small messages per node per period, so
+//! encoding cost is irrelevant next to the network round trip.
+//!
+//! Frames are capped at [`MAX_FRAME_LEN`] to bound memory on malformed or
+//! hostile input.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dslice_core::ProtocolMsg;
+use serde::{Deserialize, Serialize};
+use std::io;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+/// Upper bound on an encoded frame payload (1 MiB); a view exchange with a
+/// few hundred entries fits in a few tens of kilobytes.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// The envelope actually shipped: the protocol message plus the sender's
+/// listen port, so the receiver can reply without a directory lookup.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireMsg {
+    /// The sender's listening address, as text (e.g. `127.0.0.1:4077`).
+    pub reply_to: String,
+    /// The protocol payload.
+    pub msg: ProtocolMsg,
+}
+
+/// Encodes a message into a length-prefixed frame.
+pub fn encode_frame(msg: &WireMsg) -> io::Result<Bytes> {
+    let payload = serde_json::to_vec(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame too large: {} bytes", payload.len()),
+        ));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(&payload);
+    Ok(buf.freeze())
+}
+
+/// Decodes one frame from `buf` if a complete one is available, advancing
+/// the buffer past it. Returns `Ok(None)` when more bytes are needed.
+pub fn decode_frame(buf: &mut BytesMut) -> io::Result<Option<WireMsg>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let payload = buf.split_to(len);
+    let msg = serde_json::from_slice(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(Some(msg))
+}
+
+/// Reads exactly one frame from an async stream.
+pub async fn read_frame<R: AsyncReadExt + Unpin>(reader: &mut R) -> io::Result<WireMsg> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf).await?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).await?;
+    serde_json::from_slice(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes one frame to an async stream.
+pub async fn write_frame<W: AsyncWriteExt + Unpin>(
+    writer: &mut W,
+    msg: &WireMsg,
+) -> io::Result<()> {
+    let frame = encode_frame(msg)?;
+    writer.write_all(&frame).await?;
+    writer.flush().await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dslice_core::{Attribute, NodeId, ViewEntry};
+    use proptest::prelude::*;
+
+    fn sample_msg() -> WireMsg {
+        WireMsg {
+            reply_to: "127.0.0.1:9000".into(),
+            msg: ProtocolMsg::SwapReq {
+                from: NodeId::new(3),
+                r: 0.25,
+                a: Attribute::new(17.5).unwrap(),
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let msg = sample_msg();
+        let frame = encode_frame(&msg).unwrap();
+        let mut buf = BytesMut::from(&frame[..]);
+        let decoded = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert!(buf.is_empty(), "frame fully consumed");
+    }
+
+    #[test]
+    fn roundtrip_view_exchange() {
+        let entries: Vec<ViewEntry> = (0..50)
+            .map(|i| {
+                ViewEntry::with_age(
+                    NodeId::new(i),
+                    i as u32,
+                    Attribute::new(i as f64).unwrap(),
+                    (i as f64 + 1.0) / 100.0,
+                )
+            })
+            .collect();
+        let msg = WireMsg {
+            reply_to: "127.0.0.1:1".into(),
+            msg: ProtocolMsg::ViewReq {
+                from: NodeId::new(9),
+                entries,
+            },
+        };
+        let frame = encode_frame(&msg).unwrap();
+        let mut buf = BytesMut::from(&frame[..]);
+        assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), msg);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more() {
+        let frame = encode_frame(&sample_msg()).unwrap();
+        // Feed the frame byte by byte: no spurious decode, exactly one at end.
+        let mut buf = BytesMut::new();
+        let mut decoded = 0;
+        for &b in frame.iter() {
+            buf.put_u8(b);
+            if decode_frame(&mut buf).unwrap().is_some() {
+                decoded += 1;
+            }
+        }
+        assert_eq!(decoded, 1);
+    }
+
+    #[test]
+    fn two_frames_in_one_buffer() {
+        let frame = encode_frame(&sample_msg()).unwrap();
+        let mut buf = BytesMut::new();
+        buf.put_slice(&frame);
+        buf.put_slice(&frame);
+        assert!(decode_frame(&mut buf).unwrap().is_some());
+        assert!(decode_frame(&mut buf).unwrap().is_some());
+        assert!(decode_frame(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAX_FRAME_LEN as u32 + 1);
+        buf.put_slice(&[0u8; 16]);
+        assert!(decode_frame(&mut buf).is_err());
+    }
+
+    #[test]
+    fn garbage_payload_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(4);
+        buf.put_slice(b"!!!!");
+        assert!(decode_frame(&mut buf).is_err());
+    }
+
+    #[tokio::test]
+    async fn async_roundtrip_over_duplex() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        let msg = sample_msg();
+        write_frame(&mut a, &msg).await.unwrap();
+        let got = read_frame(&mut b).await.unwrap();
+        assert_eq!(got, msg);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_update(
+            from in 0u64..1000,
+            a in -1e6f64..1e6,
+            port in 1u16..u16::MAX,
+        ) {
+            let msg = WireMsg {
+                reply_to: format!("127.0.0.1:{port}"),
+                msg: ProtocolMsg::Update {
+                    from: NodeId::new(from),
+                    a: Attribute::new(a).unwrap(),
+                },
+            };
+            let frame = encode_frame(&msg).unwrap();
+            let mut buf = BytesMut::from(&frame[..]);
+            prop_assert_eq!(decode_frame(&mut buf).unwrap().unwrap(), msg);
+        }
+    }
+}

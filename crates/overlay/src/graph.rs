@@ -1,0 +1,292 @@
+//! Connectivity analysis of slice overlays.
+//!
+//! The paper's service definition requires each slice to be a *connected*
+//! overlay network. These helpers measure whether a set of
+//! [`SliceOverlay`](crate::SliceOverlay) tables actually delivers that:
+//! connected components per slice (links treated as undirected — a link is
+//! usable by an application in either direction), the size of each slice's
+//! giant component, and the *precision* of the links (fraction pointing at
+//! peers that are truly, by attribute rank, in the same slice).
+
+use dslice_core::NodeId;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Undirected connected components of an adjacency list.
+///
+/// Nodes present only as link *targets* are treated as members too. Returns
+/// components sorted by descending size, each sorted by id.
+pub fn components(adjacency: &HashMap<NodeId, Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    // Symmetrize.
+    let mut undirected: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    for (&u, targets) in adjacency {
+        undirected.entry(u).or_default();
+        for &v in targets {
+            undirected.entry(u).or_default().insert(v);
+            undirected.entry(v).or_default().insert(u);
+        }
+    }
+
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut result: Vec<Vec<NodeId>> = Vec::new();
+    let mut order: Vec<NodeId> = undirected.keys().copied().collect();
+    order.sort_unstable();
+    for start in order {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            component.push(u);
+            if let Some(neighbors) = undirected.get(&u) {
+                for &v in neighbors {
+                    if seen.insert(v) {
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        component.sort_unstable();
+        result.push(component);
+    }
+    result.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    result
+}
+
+/// Connectivity of one slice's overlay graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SliceConnectivity {
+    /// Slice index.
+    pub slice: usize,
+    /// Members (nodes whose *true* slice this is).
+    pub members: usize,
+    /// Members with at least one overlay link.
+    pub linked_members: usize,
+    /// Number of connected components among the members.
+    pub component_count: usize,
+    /// Size of the largest component.
+    pub giant_component: usize,
+    /// Intra-slice links over total links from members (precision).
+    pub link_precision: f64,
+}
+
+impl SliceConnectivity {
+    /// Fraction of the slice's members inside the giant component.
+    pub fn giant_fraction(&self) -> f64 {
+        if self.members == 0 {
+            1.0
+        } else {
+            self.giant_component as f64 / self.members as f64
+        }
+    }
+
+    /// Whether the slice forms a single connected overlay.
+    pub fn is_connected(&self) -> bool {
+        self.members <= 1 || self.component_count == 1
+    }
+}
+
+/// Connectivity of every slice, from ground truth plus overlay tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConnectivityReport {
+    /// Per-slice connectivity, indexed by slice.
+    pub slices: Vec<SliceConnectivity>,
+}
+
+impl ConnectivityReport {
+    /// Builds the report.
+    ///
+    /// * `true_slice` — each node's ground-truth slice (by attribute rank);
+    /// * `links` — each node's current overlay neighbor list;
+    /// * `slice_count` — number of slices in the partition.
+    pub fn new(
+        true_slice: &BTreeMap<NodeId, usize>,
+        links: &HashMap<NodeId, Vec<NodeId>>,
+        slice_count: usize,
+    ) -> Self {
+        let mut slices = Vec::with_capacity(slice_count);
+        for s in 0..slice_count {
+            let members: Vec<NodeId> = true_slice
+                .iter()
+                .filter(|&(_, &slice)| slice == s)
+                .map(|(&id, _)| id)
+                .collect();
+            let member_set: HashSet<NodeId> = members.iter().copied().collect();
+
+            // The slice's internal graph: only links between true members.
+            let mut internal: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+            let mut total_links = 0usize;
+            let mut intra_links = 0usize;
+            let mut linked_members = 0usize;
+            for &m in &members {
+                internal.entry(m).or_default();
+                let Some(targets) = links.get(&m) else {
+                    continue;
+                };
+                if !targets.is_empty() {
+                    linked_members += 1;
+                }
+                for &t in targets {
+                    total_links += 1;
+                    if member_set.contains(&t) {
+                        intra_links += 1;
+                        internal.entry(m).or_default().push(t);
+                    }
+                }
+            }
+
+            let comps = components(&internal);
+            slices.push(SliceConnectivity {
+                slice: s,
+                members: members.len(),
+                linked_members,
+                component_count: comps.len(),
+                giant_component: comps.first().map_or(0, Vec::len),
+                link_precision: if total_links == 0 {
+                    1.0
+                } else {
+                    intra_links as f64 / total_links as f64
+                },
+            });
+        }
+        ConnectivityReport { slices }
+    }
+
+    /// Overall link precision across slices (links weighted equally is
+    /// impossible without the raw counts, so this averages per-slice
+    /// precisions over non-empty slices).
+    pub fn mean_precision(&self) -> f64 {
+        let non_empty: Vec<&SliceConnectivity> =
+            self.slices.iter().filter(|s| s.members > 0).collect();
+        if non_empty.is_empty() {
+            return 1.0;
+        }
+        non_empty.iter().map(|s| s.link_precision).sum::<f64>() / non_empty.len() as f64
+    }
+
+    /// Smallest giant-component fraction over non-trivial slices.
+    pub fn worst_giant_fraction(&self) -> f64 {
+        self.slices
+            .iter()
+            .filter(|s| s.members > 1)
+            .map(SliceConnectivity::giant_fraction)
+            .fold(1.0, f64::min)
+    }
+
+    /// Whether *every* slice is a single connected overlay.
+    pub fn all_connected(&self) -> bool {
+        self.slices.iter().all(SliceConnectivity::is_connected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn adj(edges: &[(u64, u64)]) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut map: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(u, v) in edges {
+            map.entry(id(u)).or_default().push(id(v));
+        }
+        map
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        assert!(components(&HashMap::new()).is_empty());
+    }
+
+    #[test]
+    fn components_partition_the_graph() {
+        // Two components: {1,2,3} via directed links, {4,5}.
+        let graph = adj(&[(1, 2), (3, 2), (4, 5)]);
+        let comps = components(&graph);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![id(1), id(2), id(3)]);
+        assert_eq!(comps[1], vec![id(4), id(5)]);
+    }
+
+    #[test]
+    fn directed_links_are_symmetrized() {
+        // 2 never links back to 1, yet they form one component.
+        let graph = adj(&[(1, 2)]);
+        let comps = components(&graph);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![id(1), id(2)]);
+    }
+
+    #[test]
+    fn isolated_node_is_its_own_component() {
+        let mut graph = adj(&[(1, 2)]);
+        graph.insert(id(9), Vec::new());
+        let comps = components(&graph);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[1], vec![id(9)]);
+    }
+
+    fn truth(pairs: &[(u64, usize)]) -> BTreeMap<NodeId, usize> {
+        pairs.iter().map(|&(i, s)| (id(i), s)).collect()
+    }
+
+    #[test]
+    fn report_on_fully_connected_slices() {
+        let truth = truth(&[(1, 0), (2, 0), (3, 0), (4, 1), (5, 1)]);
+        let links = adj(&[(1, 2), (2, 3), (4, 5)]);
+        let report = ConnectivityReport::new(&truth, &links, 2);
+        assert!(report.all_connected());
+        assert_eq!(report.slices[0].giant_component, 3);
+        assert_eq!(report.slices[1].giant_component, 2);
+        assert_eq!(report.mean_precision(), 1.0);
+        assert_eq!(report.worst_giant_fraction(), 1.0);
+    }
+
+    #[test]
+    fn report_detects_fragmentation() {
+        // Slice 0 = {1,2,3,4} but only 1–2 are linked: 3 components.
+        let truth = truth(&[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let links = adj(&[(1, 2)]);
+        let report = ConnectivityReport::new(&truth, &links, 1);
+        let s = &report.slices[0];
+        assert!(!s.is_connected());
+        assert_eq!(s.component_count, 3);
+        assert_eq!(s.giant_component, 2);
+        assert_eq!(s.giant_fraction(), 0.5);
+        assert_eq!(s.linked_members, 1);
+    }
+
+    #[test]
+    fn report_measures_link_precision() {
+        // Node 1 (slice 0) links to 2 (slice 0, correct) and 4 (slice 1,
+        // wrong): precision 1/2 for slice 0.
+        let truth = truth(&[(1, 0), (2, 0), (4, 1)]);
+        let links = adj(&[(1, 2), (1, 4)]);
+        let report = ConnectivityReport::new(&truth, &links, 2);
+        assert_eq!(report.slices[0].link_precision, 0.5);
+        // The cross-slice link does not connect slice 0 to slice 1's graph.
+        assert_eq!(report.slices[0].giant_component, 2);
+        assert_eq!(report.slices[1].giant_component, 1);
+    }
+
+    #[test]
+    fn empty_slice_is_trivially_connected() {
+        let truth = truth(&[(1, 0)]);
+        let links = HashMap::new();
+        let report = ConnectivityReport::new(&truth, &links, 2);
+        assert!(report.slices[1].is_connected());
+        assert_eq!(report.slices[1].members, 0);
+        assert_eq!(report.slices[1].giant_fraction(), 1.0);
+    }
+
+    #[test]
+    fn singleton_slice_is_connected() {
+        let truth = truth(&[(1, 0)]);
+        let report = ConnectivityReport::new(&truth, &HashMap::new(), 1);
+        assert!(report.all_connected());
+    }
+}

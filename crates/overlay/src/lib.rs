@@ -1,0 +1,52 @@
+//! # dslice-overlay
+//!
+//! Slice-connected overlay maintenance — the service layer the paper's
+//! definition of slicing promises:
+//!
+//! > The slicing service enables peers in a large-scale unstructured network
+//! > to self-organize into a partitioning, where partitions (slices) are
+//! > **connected overlay networks** that represent a given percentage of
+//! > some resource. Such slices can be allocated to specific applications
+//! > later on. (§1.1)
+//!
+//! The slicing protocols of `dslice-algorithms` give every node a *slice
+//! estimate*; this crate turns co-slice estimates into *links*. Each node
+//! runs a [`SliceOverlay`]: it watches the stream of `(peer, estimate)`
+//! pairs its peer-sampling view already delivers, keeps a bounded set of
+//! neighbors it believes share its slice, ages them out as estimates drift,
+//! and flushes itself when its own slice changes. No extra messages are
+//! required — the overlay is a pure consumer of the gossip the slicing
+//! protocol already pays for.
+//!
+//! [`graph`] provides the evaluation side: connected components, intra-slice
+//! link precision, and per-slice connectivity reports used by the tests and
+//! the `slice_overlay` example to verify that every slice indeed converges
+//! to (and stays) a connected overlay, including under churn.
+//!
+//! ## Example
+//!
+//! ```
+//! use dslice_core::{NodeId, Partition};
+//! use dslice_overlay::{OverlayConfig, SliceOverlay};
+//!
+//! let partition = Partition::equal(2).unwrap();
+//! let mut overlay = SliceOverlay::new(NodeId::new(1), OverlayConfig::default());
+//!
+//! // One maintenance round: my estimate 0.9 (upper slice); two candidates
+//! // from my gossip view, one co-slice, one not.
+//! overlay.observe(0.9, &partition, vec![
+//!     (NodeId::new(2), 0.8),  // upper slice → admitted
+//!     (NodeId::new(3), 0.2),  // lower slice → ignored
+//! ]);
+//! assert_eq!(overlay.neighbors().collect::<Vec<_>>(), vec![NodeId::new(2)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod maintainer;
+
+pub use graph::{components, ConnectivityReport, SliceConnectivity};
+pub use maintainer::{OverlayConfig, SliceOverlay};

@@ -1,0 +1,291 @@
+//! Per-node slice-overlay maintenance.
+//!
+//! A [`SliceOverlay`] is a bounded neighbor table holding peers the owner
+//! currently believes to be in *its own slice*. It is fed once per cycle
+//! with the owner's slice estimate and the `(peer, estimate)` pairs visible
+//! in the owner's peer-sampling view; it performs no communication of its
+//! own.
+//!
+//! Three rules keep the table honest under estimate drift and churn:
+//!
+//! 1. **Co-slice admission** — a candidate is admitted only if its published
+//!    estimate maps to the owner's current slice.
+//! 2. **Age-out** — entries not re-confirmed within `max_age` observations
+//!    are dropped: a peer that stopped appearing with a co-slice estimate
+//!    has moved slice, departed, or drifted.
+//! 3. **Flush on slice change** — when the owner's own slice estimate
+//!    changes, every link is dropped: links into the old slice are dead
+//!    weight for an application allocated to the new one.
+
+use dslice_core::{NodeId, Partition, SliceIndex};
+use serde::{Deserialize, Serialize};
+
+/// Overlay tuning parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OverlayConfig {
+    /// Maximum number of intra-slice neighbors to keep.
+    pub capacity: usize,
+    /// Observations after which an unconfirmed neighbor is dropped.
+    pub max_age: u32,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            capacity: 10,
+            max_age: 20,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OverlayNeighbor {
+    id: NodeId,
+    age: u32,
+}
+
+/// One node's slice-overlay state.
+#[derive(Debug, Clone)]
+pub struct SliceOverlay {
+    owner: NodeId,
+    cfg: OverlayConfig,
+    slice: Option<SliceIndex>,
+    neighbors: Vec<OverlayNeighbor>,
+    flushes: u64,
+}
+
+impl SliceOverlay {
+    /// Creates an empty overlay for `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.capacity` is zero (an overlay that can hold no
+    /// neighbor can never connect anything).
+    pub fn new(owner: NodeId, cfg: OverlayConfig) -> Self {
+        assert!(cfg.capacity > 0, "overlay capacity must be positive");
+        SliceOverlay {
+            owner,
+            cfg,
+            slice: None,
+            neighbors: Vec::with_capacity(cfg.capacity),
+            flushes: 0,
+        }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// The slice this overlay currently serves, if the owner has one.
+    pub fn slice(&self) -> Option<SliceIndex> {
+        self.slice
+    }
+
+    /// Current intra-slice neighbors.
+    pub fn neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors.iter().map(|n| n.id)
+    }
+
+    /// Number of current neighbors.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the overlay holds no neighbors.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// How many times the table was flushed by a slice change — a measure
+    /// of estimate instability the churn tests track.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// One maintenance round.
+    ///
+    /// `my_estimate` is the owner's current normalized-rank estimate;
+    /// `candidates` are the `(peer, published estimate)` pairs currently
+    /// visible in the owner's peer-sampling view. Self-pairs are ignored.
+    pub fn observe<I>(&mut self, my_estimate: f64, partition: &Partition, candidates: I)
+    where
+        I: IntoIterator<Item = (NodeId, f64)>,
+    {
+        let my_slice = partition.slice_of(my_estimate);
+        if self.slice != Some(my_slice) {
+            if self.slice.is_some() {
+                self.flushes += 1;
+            }
+            self.slice = Some(my_slice);
+            self.neighbors.clear();
+        }
+
+        for n in &mut self.neighbors {
+            n.age += 1;
+        }
+
+        for (id, estimate) in candidates {
+            if id == self.owner {
+                continue;
+            }
+            if partition.slice_of(estimate) != my_slice {
+                // A known neighbor now publishing a foreign estimate is
+                // evicted immediately rather than waiting for age-out.
+                if let Some(pos) = self.neighbors.iter().position(|n| n.id == id) {
+                    self.neighbors.swap_remove(pos);
+                }
+                continue;
+            }
+            match self.neighbors.iter_mut().find(|n| n.id == id) {
+                Some(existing) => existing.age = 0,
+                None => {
+                    if self.neighbors.len() >= self.cfg.capacity {
+                        self.evict_oldest();
+                    }
+                    self.neighbors.push(OverlayNeighbor { id, age: 0 });
+                }
+            }
+        }
+
+        self.neighbors.retain(|n| n.age <= self.cfg.max_age);
+    }
+
+    /// Drops neighbors that are no longer alive (churn cleanup).
+    pub fn remove_dead(&mut self, is_alive: &dyn Fn(NodeId) -> bool) {
+        self.neighbors.retain(|n| is_alive(n.id));
+    }
+
+    fn evict_oldest(&mut self) {
+        if let Some((idx, _)) = self
+            .neighbors
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.age.cmp(&b.age).then_with(|| a.id.cmp(&b.id)))
+        {
+            self.neighbors.swap_remove(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn overlay(capacity: usize, max_age: u32) -> SliceOverlay {
+        SliceOverlay::new(
+            id(0),
+            OverlayConfig {
+                capacity,
+                max_age,
+            },
+        )
+    }
+
+    fn two_slices() -> Partition {
+        Partition::equal(2).unwrap()
+    }
+
+    #[test]
+    fn admits_only_co_slice_candidates() {
+        let part = two_slices();
+        let mut ov = overlay(8, 10);
+        // Owner estimate 0.8 → upper slice. Candidates span both slices.
+        ov.observe(0.8, &part, vec![(id(1), 0.9), (id(2), 0.2), (id(3), 0.6)]);
+        let neighbors: Vec<NodeId> = ov.neighbors().collect();
+        assert!(neighbors.contains(&id(1)));
+        assert!(neighbors.contains(&id(3)));
+        assert!(!neighbors.contains(&id(2)), "0.2 is the lower slice");
+        assert_eq!(ov.slice().unwrap().as_usize(), 1);
+    }
+
+    #[test]
+    fn ignores_self_pairs() {
+        let part = two_slices();
+        let mut ov = overlay(8, 10);
+        ov.observe(0.8, &part, vec![(id(0), 0.8)]);
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn flushes_on_slice_change() {
+        let part = two_slices();
+        let mut ov = overlay(8, 10);
+        ov.observe(0.8, &part, vec![(id(1), 0.9)]);
+        assert_eq!(ov.len(), 1);
+        assert_eq!(ov.flushes(), 0);
+        // Estimate drifts into the lower slice: table must flush.
+        ov.observe(0.3, &part, vec![]);
+        assert!(ov.is_empty());
+        assert_eq!(ov.flushes(), 1);
+        assert_eq!(ov.slice().unwrap().as_usize(), 0);
+    }
+
+    #[test]
+    fn first_observation_is_not_a_flush() {
+        let part = two_slices();
+        let mut ov = overlay(8, 10);
+        ov.observe(0.8, &part, vec![]);
+        assert_eq!(ov.flushes(), 0);
+    }
+
+    #[test]
+    fn reconfirmation_resets_age_and_unconfirmed_age_out() {
+        let part = two_slices();
+        let mut ov = overlay(8, 2);
+        ov.observe(0.8, &part, vec![(id(1), 0.9), (id(2), 0.95)]);
+        // Keep confirming 1, never 2.
+        for _ in 0..3 {
+            ov.observe(0.8, &part, vec![(id(1), 0.9)]);
+        }
+        let neighbors: Vec<NodeId> = ov.neighbors().collect();
+        assert!(neighbors.contains(&id(1)), "confirmed neighbor kept");
+        assert!(!neighbors.contains(&id(2)), "unconfirmed neighbor aged out");
+    }
+
+    #[test]
+    fn neighbor_moving_slice_is_evicted_immediately() {
+        let part = two_slices();
+        let mut ov = overlay(8, 10);
+        ov.observe(0.8, &part, vec![(id(1), 0.9)]);
+        assert_eq!(ov.len(), 1);
+        // Node 1 now publishes a lower-slice estimate.
+        ov.observe(0.8, &part, vec![(id(1), 0.1)]);
+        assert!(ov.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_respected_with_oldest_evicted() {
+        let part = two_slices();
+        let mut ov = overlay(2, 10);
+        ov.observe(0.8, &part, vec![(id(1), 0.9)]);
+        ov.observe(0.8, &part, vec![(id(2), 0.9)]);
+        // Table full with 1 (age 1) and 2 (age 0); adding 3 evicts 1.
+        ov.observe(0.8, &part, vec![(id(3), 0.9)]);
+        let neighbors: Vec<NodeId> = ov.neighbors().collect();
+        assert_eq!(neighbors.len(), 2);
+        assert!(!neighbors.contains(&id(1)), "oldest evicted");
+        assert!(neighbors.contains(&id(2)));
+        assert!(neighbors.contains(&id(3)));
+    }
+
+    #[test]
+    fn remove_dead_prunes_departed() {
+        let part = two_slices();
+        let mut ov = overlay(8, 10);
+        ov.observe(0.8, &part, vec![(id(1), 0.9), (id(2), 0.95)]);
+        ov.remove_dead(&|n| n == id(2));
+        let neighbors: Vec<NodeId> = ov.neighbors().collect();
+        assert_eq!(neighbors, vec![id(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = overlay(0, 10);
+    }
+}

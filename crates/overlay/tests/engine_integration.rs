@@ -1,0 +1,187 @@
+//! End-to-end: slicing protocol + peer sampling + overlay maintenance.
+//!
+//! Runs the ranking protocol in the cycle simulator, feeds every node's view
+//! stream into a [`SliceOverlay`], and verifies the paper's service-level
+//! property: each slice converges to a *connected* overlay network with
+//! high link precision — and recovers after churn.
+
+use dslice_core::{NodeId, Partition};
+use dslice_overlay::{ConnectivityReport, OverlayConfig, SliceOverlay};
+use dslice_sim::{ChurnSchedule, CorrelatedChurn, Engine, ProtocolKind, SimConfig};
+use std::collections::{BTreeMap, HashMap};
+
+/// Drives `engine` for `cycles`, maintaining one overlay per live node.
+fn run_with_overlays(
+    engine: &mut Engine,
+    overlays: &mut HashMap<NodeId, SliceOverlay>,
+    cfg: OverlayConfig,
+    cycles: usize,
+) {
+    for _ in 0..cycles {
+        engine.step();
+
+        // Estimates of every live node, for candidate lookup.
+        let estimates: HashMap<NodeId, f64> = engine
+            .snapshot()
+            .into_iter()
+            .map(|(id, _, est)| (id, est))
+            .collect();
+
+        // Churn cleanup: drop overlays of departed nodes, create for joiners.
+        overlays.retain(|id, _| estimates.contains_key(id));
+        for ov in overlays.values_mut() {
+            ov.remove_dead(&|id| estimates.contains_key(&id));
+        }
+
+        let partition = engine.partition().clone();
+        for (owner, neighbor_ids) in engine.view_snapshot() {
+            let my_estimate = estimates[&owner];
+            let candidates: Vec<(NodeId, f64)> = neighbor_ids
+                .into_iter()
+                .filter_map(|id| estimates.get(&id).map(|&e| (id, e)))
+                .collect();
+            overlays
+                .entry(owner)
+                .or_insert_with(|| SliceOverlay::new(owner, cfg))
+                .observe(my_estimate, &partition, candidates);
+        }
+    }
+}
+
+fn report(engine: &Engine, overlays: &HashMap<NodeId, SliceOverlay>) -> ConnectivityReport {
+    let snapshot = engine.snapshot();
+    let truth_idx = dslice_core::rank::true_slices(
+        snapshot.iter().map(|&(id, a, _)| (id, a)),
+        engine.partition(),
+    );
+    let truth: BTreeMap<NodeId, usize> = truth_idx
+        .into_iter()
+        .map(|(id, s)| (id, s.as_usize()))
+        .collect();
+    let links: HashMap<NodeId, Vec<NodeId>> = overlays
+        .iter()
+        .map(|(&id, ov)| (id, ov.neighbors().collect()))
+        .collect();
+    ConnectivityReport::new(&truth, &links, engine.partition().len())
+}
+
+#[test]
+fn slices_become_connected_overlays() {
+    let slices = 4;
+    let cfg = SimConfig {
+        n: 400,
+        view_size: 12,
+        partition: Partition::equal(slices).unwrap(),
+        seed: 31,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
+    let mut overlays = HashMap::new();
+    let ov_cfg = OverlayConfig {
+        capacity: 10,
+        max_age: 15,
+    };
+    run_with_overlays(&mut engine, &mut overlays, ov_cfg, 120);
+
+    let report = report(&engine, &overlays);
+    assert!(
+        report.worst_giant_fraction() > 0.9,
+        "some slice fragmented: {:?}",
+        report
+            .slices
+            .iter()
+            .map(|s| (s.slice, s.giant_fraction()))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.mean_precision() > 0.8,
+        "too many cross-slice links: precision {:.3}",
+        report.mean_precision()
+    );
+    // Every node participates.
+    let linked: usize = report.slices.iter().map(|s| s.linked_members).sum();
+    assert!(
+        linked >= 400 * 95 / 100,
+        "only {linked}/400 nodes hold overlay links"
+    );
+}
+
+#[test]
+fn overlays_recover_after_correlated_churn_burst() {
+    let cfg = SimConfig {
+        n: 300,
+        view_size: 12,
+        partition: Partition::equal(3).unwrap(),
+        seed: 33,
+        ..SimConfig::default()
+    };
+    let schedule = ChurnSchedule {
+        rate: 0.01,
+        period: 1,
+        stop_after: Some(80), // burst during the first 80 cycles
+    };
+    // Sliding-window ranking: the variant §5.3.4 introduces precisely so
+    // rank estimates recover from attribute-correlated churn.
+    let mut engine = Engine::new(cfg, ProtocolKind::SlidingRanking { window: 400 })
+        .unwrap()
+        .with_churn(Box::new(CorrelatedChurn::new(schedule, 1.0)));
+    let mut overlays = HashMap::new();
+    let ov_cfg = OverlayConfig {
+        capacity: 10,
+        max_age: 12,
+    };
+
+    // Converge, churn burst, then recovery window.
+    run_with_overlays(&mut engine, &mut overlays, ov_cfg, 200);
+
+    let report = report(&engine, &overlays);
+    assert!(
+        report.worst_giant_fraction() > 0.85,
+        "post-churn fragmentation: {:?}",
+        report
+            .slices
+            .iter()
+            .map(|s| (s.slice, s.giant_fraction()))
+            .collect::<Vec<_>>()
+    );
+    // No overlay may reference a departed node.
+    let alive: HashMap<NodeId, ()> = engine
+        .snapshot()
+        .into_iter()
+        .map(|(id, _, _)| (id, ()))
+        .collect();
+    for (owner, ov) in &overlays {
+        assert!(alive.contains_key(owner));
+        for n in ov.neighbors() {
+            assert!(alive.contains_key(&n), "{owner} links departed node {n}");
+        }
+    }
+}
+
+#[test]
+fn slice_changes_flush_tables() {
+    // Under attribute-correlated churn, boundary nodes change slice and must
+    // flush; the flush counter provides visibility.
+    let cfg = SimConfig {
+        n: 200,
+        view_size: 10,
+        partition: Partition::equal(4).unwrap(),
+        seed: 35,
+        ..SimConfig::default()
+    };
+    let schedule = ChurnSchedule {
+        rate: 0.02,
+        period: 1,
+        stop_after: Some(50),
+    };
+    let mut engine = Engine::new(cfg, ProtocolKind::Ranking)
+        .unwrap()
+        .with_churn(Box::new(CorrelatedChurn::new(schedule, 1.0)));
+    let mut overlays = HashMap::new();
+    run_with_overlays(&mut engine, &mut overlays, OverlayConfig::default(), 100);
+    let total_flushes: u64 = overlays.values().map(SliceOverlay::flushes).sum();
+    assert!(
+        total_flushes > 0,
+        "correlated churn shifts ranks; some node must have changed slice"
+    );
+}

@@ -1,0 +1,121 @@
+//! Property tests: `SliceOverlay` invariants under arbitrary observation
+//! streams, and `components` graph laws.
+
+use dslice_core::{NodeId, Partition};
+use dslice_overlay::{components, OverlayConfig, SliceOverlay};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// An arbitrary observation: the owner's estimate plus up to 8 candidates.
+fn observation() -> impl Strategy<Value = (f64, Vec<(u64, f64)>)> {
+    (
+        0.001f64..=1.0,
+        proptest::collection::vec((0u64..32, 0.001f64..=1.0), 0..8),
+    )
+}
+
+proptest! {
+    /// Structural invariants hold after any sequence of observations:
+    /// bounded size, no self-pointer, and every neighbor admitted co-slice.
+    #[test]
+    fn overlay_invariants_under_random_streams(
+        capacity in 1usize..6,
+        max_age in 0u32..8,
+        slices in 2usize..6,
+        stream in proptest::collection::vec(observation(), 1..40),
+    ) {
+        let owner = NodeId::new(0);
+        let partition = Partition::equal(slices).unwrap();
+        let mut ov = SliceOverlay::new(owner, OverlayConfig { capacity, max_age });
+        for (estimate, candidates) in stream {
+            let cands: Vec<(NodeId, f64)> = candidates
+                .iter()
+                .map(|&(id, e)| (NodeId::new(id), e))
+                .collect();
+            ov.observe(estimate, &partition, cands);
+
+            prop_assert!(ov.len() <= capacity, "capacity violated");
+            let my_slice = ov.slice().unwrap();
+            prop_assert_eq!(my_slice, partition.slice_of(estimate));
+            let neighbors: Vec<NodeId> = ov.neighbors().collect();
+            prop_assert!(!neighbors.contains(&owner), "self-pointer");
+            // Distinct ids.
+            let mut ids = neighbors.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), neighbors.len(), "duplicate neighbor");
+        }
+    }
+
+    /// remove_dead is exactly a filter: keeps the alive, drops the rest,
+    /// changes nothing else.
+    #[test]
+    fn remove_dead_is_a_filter(
+        candidates in proptest::collection::vec((1u64..32, 0.55f64..=1.0), 0..12),
+        alive_mask in 0u32..,
+    ) {
+        let partition = Partition::equal(2).unwrap();
+        let mut ov = SliceOverlay::new(
+            NodeId::new(0),
+            OverlayConfig { capacity: 16, max_age: 10 },
+        );
+        let cands: Vec<(NodeId, f64)> = candidates
+            .iter()
+            .map(|&(id, e)| (NodeId::new(id), e))
+            .collect();
+        ov.observe(0.9, &partition, cands);
+        let before: Vec<NodeId> = ov.neighbors().collect();
+        let is_alive = |id: NodeId| (alive_mask >> (id.as_u64() % 32)) & 1 == 1;
+        ov.remove_dead(&is_alive);
+        let after: Vec<NodeId> = ov.neighbors().collect();
+        let expected: Vec<NodeId> = before.iter().copied().filter(|&id| is_alive(id)).collect();
+        prop_assert_eq!(after, expected);
+    }
+
+    /// Components partition the node set: disjoint, covering, and each
+    /// component's nodes are mutually reachable while distinct components
+    /// share no edge.
+    #[test]
+    fn components_partition_nodes(
+        edges in proptest::collection::vec((0u64..24, 0u64..24), 0..60),
+    ) {
+        let mut adjacency: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(u, v) in &edges {
+            adjacency.entry(NodeId::new(u)).or_default().push(NodeId::new(v));
+        }
+        let comps = components(&adjacency);
+
+        // Disjoint cover of every mentioned node.
+        let mut seen: Vec<NodeId> = comps.iter().flatten().copied().collect();
+        let total = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), total, "components overlap");
+        let mut mentioned: Vec<NodeId> = adjacency
+            .iter()
+            .flat_map(|(&u, vs)| std::iter::once(u).chain(vs.iter().copied()))
+            .collect();
+        mentioned.sort_unstable();
+        mentioned.dedup();
+        prop_assert_eq!(seen, mentioned, "components miss nodes");
+
+        // No cross-component edge (undirected reading).
+        let comp_of: HashMap<NodeId, usize> = comps
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.iter().map(move |&n| (n, i)))
+            .collect();
+        for &(u, v) in &edges {
+            prop_assert_eq!(
+                comp_of[&NodeId::new(u)],
+                comp_of[&NodeId::new(v)],
+                "edge {}-{} crosses components", u, v
+            );
+        }
+
+        // Sorted by descending size.
+        for w in comps.windows(2) {
+            prop_assert!(w[0].len() >= w[1].len());
+        }
+    }
+}

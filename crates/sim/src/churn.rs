@@ -1,0 +1,407 @@
+//! Churn models (§3.3, §5.3.3).
+//!
+//! Churn — "the continuous arrival and departure of nodes [—] is an
+//! intrinsic characteristic of peer to peer systems". The paper's key churn
+//! scenario *correlates* departures with the attribute value:
+//!
+//! > The leaving nodes are the nodes with the lowest attribute values while
+//! > the entering nodes have higher attribute values than all nodes already
+//! > in the system. The parameter choices are motivated by the need of
+//! > simulating a system in which the attribute value corresponds to the
+//! > session duration of nodes.
+//!
+//! Three models are provided:
+//!
+//! * [`NoChurn`] — the static case (Figs. 4, 6(a), 6(b)).
+//! * [`UncorrelatedChurn`] — uniform-random leavers, joiners drawn from the
+//!   base attribute distribution (the "easier case" of §3.3).
+//! * [`CorrelatedChurn`] — the paper's session-duration scenario: burst mode
+//!   (0.1% per cycle for the first 200 cycles, Fig. 6(c)) and regular mode
+//!   (0.1% every 10 cycles, Fig. 6(d)) are both configurations of it.
+
+use crate::distributions::AttributeDistribution;
+use dslice_core::{Attribute, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What the churn model decided for one cycle.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChurnPlan {
+    /// Nodes that leave (crash or depart — the model does not distinguish,
+    /// per §3.1).
+    pub leavers: Vec<NodeId>,
+    /// Attribute values of the joining nodes.
+    pub joiners: Vec<Attribute>,
+}
+
+impl ChurnPlan {
+    /// The empty plan: nothing happens.
+    pub fn quiet() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// Whether this plan changes the population.
+    pub fn is_quiet(&self) -> bool {
+        self.leavers.is_empty() && self.joiners.is_empty()
+    }
+}
+
+/// A churn model: decides, each cycle, who leaves and who joins.
+pub trait ChurnModel: Send {
+    /// Plans the churn for `cycle` given the live population
+    /// (`(id, attribute)` pairs, unordered).
+    fn plan(
+        &mut self,
+        cycle: usize,
+        population: &[(NodeId, Attribute)],
+        rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan;
+
+    /// A short label for experiment output.
+    fn label(&self) -> &'static str;
+}
+
+/// The static system: no churn at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoChurn;
+
+impl ChurnModel for NoChurn {
+    fn plan(
+        &mut self,
+        _cycle: usize,
+        _population: &[(NodeId, Attribute)],
+        _rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan {
+        ChurnPlan::quiet()
+    }
+
+    fn label(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Shared schedule parameters for the dynamic models.
+///
+/// `rate` is the fraction of the current population that leaves *and* joins
+/// at each churn event; events fire every `period` cycles, and stop after
+/// `stop_after` cycles if set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSchedule {
+    /// Fraction of the population replaced per event (e.g. `0.001` = 0.1%).
+    pub rate: f64,
+    /// Fire an event every `period` cycles (1 = every cycle).
+    pub period: usize,
+    /// Stop firing after this cycle (exclusive), if set.
+    pub stop_after: Option<usize>,
+}
+
+impl ChurnSchedule {
+    /// Fig. 6(c): 0.1% leave and 0.1% join *each cycle* during the first
+    /// 200 cycles.
+    pub fn burst() -> Self {
+        ChurnSchedule {
+            rate: 0.001,
+            period: 1,
+            stop_after: Some(200),
+        }
+    }
+
+    /// Fig. 6(d): 0.1% leave and join *every 10 cycles*, indefinitely.
+    pub fn regular() -> Self {
+        ChurnSchedule {
+            rate: 0.001,
+            period: 10,
+            stop_after: None,
+        }
+    }
+
+    /// Whether an event fires at `cycle` (cycles are 1-based).
+    pub fn fires_at(&self, cycle: usize) -> bool {
+        if cycle == 0 || cycle % self.period.max(1) != 0 {
+            return false;
+        }
+        match self.stop_after {
+            Some(stop) => cycle <= stop,
+            None => true,
+        }
+    }
+
+    /// Number of nodes affected at an event given the population size
+    /// (at least 1 whenever the rate is positive and the population
+    /// non-empty, so small test populations still churn).
+    pub fn count(&self, n: usize) -> usize {
+        if self.rate <= 0.0 || n == 0 {
+            return 0;
+        }
+        ((n as f64 * self.rate).round() as usize).max(1)
+    }
+}
+
+/// Uncorrelated churn: uniformly random leavers, joiners from the base
+/// attribute distribution (the population's shape is stationary).
+#[derive(Clone, Debug)]
+pub struct UncorrelatedChurn {
+    schedule: ChurnSchedule,
+    distribution: AttributeDistribution,
+}
+
+impl UncorrelatedChurn {
+    /// Creates the model from a schedule and the joiner distribution.
+    pub fn new(schedule: ChurnSchedule, distribution: AttributeDistribution) -> Self {
+        UncorrelatedChurn {
+            schedule,
+            distribution,
+        }
+    }
+}
+
+impl ChurnModel for UncorrelatedChurn {
+    fn plan(
+        &mut self,
+        cycle: usize,
+        population: &[(NodeId, Attribute)],
+        rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan {
+        if !self.schedule.fires_at(cycle) {
+            return ChurnPlan::quiet();
+        }
+        let count = self.schedule.count(population.len());
+        let mut rng = rng; // &mut dyn RngCore implements Rng via RngCore
+        let leavers: Vec<NodeId> = population
+            .choose_multiple(&mut rng, count)
+            .map(|(id, _)| *id)
+            .collect();
+        let joiners = (0..count).map(|_| self.distribution.sample(&mut rng)).collect();
+        ChurnPlan { leavers, joiners }
+    }
+
+    fn label(&self) -> &'static str {
+        "uncorrelated"
+    }
+}
+
+/// The paper's attribute-correlated churn (§5.3.3): the `count` nodes with
+/// the **lowest** attribute values leave; joiners arrive with attribute
+/// values **above every node currently in the system**, as when the
+/// attribute is the node's session duration.
+#[derive(Clone, Debug)]
+pub struct CorrelatedChurn {
+    schedule: ChurnSchedule,
+    /// Highest attribute value ever seen; joiners arrive strictly above it.
+    high_water: f64,
+    /// Spread of joiner values above the high-water mark.
+    step: f64,
+}
+
+impl CorrelatedChurn {
+    /// Creates the model. `step` controls how far above the current maximum
+    /// the joiners land (uniformly in `(max, max + step]`).
+    pub fn new(schedule: ChurnSchedule, step: f64) -> Self {
+        CorrelatedChurn {
+            schedule,
+            high_water: f64::NEG_INFINITY,
+            step: step.max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// The burst scenario of Fig. 6(c).
+    pub fn burst() -> Self {
+        Self::new(ChurnSchedule::burst(), 1.0)
+    }
+
+    /// The regular low-churn scenario of Fig. 6(d).
+    pub fn regular() -> Self {
+        Self::new(ChurnSchedule::regular(), 1.0)
+    }
+}
+
+impl ChurnModel for CorrelatedChurn {
+    fn plan(
+        &mut self,
+        cycle: usize,
+        population: &[(NodeId, Attribute)],
+        rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan {
+        if !self.schedule.fires_at(cycle) {
+            return ChurnPlan::quiet();
+        }
+        let count = self.schedule.count(population.len());
+        if count == 0 {
+            return ChurnPlan::quiet();
+        }
+
+        // Leavers: the `count` lowest attribute values (ties by id).
+        let mut by_attr: Vec<&(NodeId, Attribute)> = population.iter().collect();
+        by_attr.sort_unstable_by(|(ia, aa), (ib, ab)| aa.cmp(ab).then_with(|| ia.cmp(ib)));
+        let leavers: Vec<NodeId> = by_attr.iter().take(count).map(|(id, _)| *id).collect();
+
+        // Joiners: strictly above the current maximum (and above anything
+        // we previously issued, so the invariant holds even if the previous
+        // maximum just left).
+        let current_max = by_attr
+            .last()
+            .map(|(_, a)| a.value())
+            .unwrap_or(0.0)
+            .max(self.high_water);
+        self.high_water = self.high_water.max(current_max);
+        let mut joiners = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Each joiner lands strictly above everything seen so far —
+            // including earlier joiners of the same batch — so the
+            // "session duration" invariant holds across and within batches.
+            let v = self.high_water + rng.gen_range(f64::EPSILON..=self.step);
+            self.high_water = v;
+            joiners.push(Attribute::new(v).expect("finite"));
+        }
+        ChurnPlan { leavers, joiners }
+    }
+
+    fn label(&self) -> &'static str {
+        "correlated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(n: usize) -> Vec<(NodeId, Attribute)> {
+        (0..n)
+            .map(|i| (NodeId::new(i as u64), Attribute::new(i as f64).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn no_churn_is_quiet() {
+        let mut m = NoChurn;
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = m.plan(5, &population(100), &mut rng);
+        assert!(plan.is_quiet());
+        assert_eq!(m.label(), "none");
+    }
+
+    #[test]
+    fn schedule_burst_fires_first_200_cycles_only() {
+        let s = ChurnSchedule::burst();
+        assert!(!s.fires_at(0));
+        assert!(s.fires_at(1));
+        assert!(s.fires_at(200));
+        assert!(!s.fires_at(201));
+        assert!(!s.fires_at(1000));
+    }
+
+    #[test]
+    fn schedule_regular_fires_every_10_forever() {
+        let s = ChurnSchedule::regular();
+        assert!(!s.fires_at(1));
+        assert!(!s.fires_at(9));
+        assert!(s.fires_at(10));
+        assert!(!s.fires_at(11));
+        assert!(s.fires_at(20));
+        assert!(s.fires_at(10_000));
+    }
+
+    #[test]
+    fn count_is_at_least_one_when_firing() {
+        let s = ChurnSchedule::burst(); // 0.1%
+        assert_eq!(s.count(10_000), 10);
+        assert_eq!(s.count(100), 1, "rounds to ≥ 1");
+        assert_eq!(s.count(0), 0);
+        let quiet = ChurnSchedule {
+            rate: 0.0,
+            period: 1,
+            stop_after: None,
+        };
+        assert_eq!(quiet.count(10_000), 0);
+    }
+
+    #[test]
+    fn uncorrelated_replaces_same_count() {
+        let mut m = UncorrelatedChurn::new(
+            ChurnSchedule {
+                rate: 0.05,
+                period: 1,
+                stop_after: None,
+            },
+            AttributeDistribution::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = population(200);
+        let plan = m.plan(1, &pop, &mut rng);
+        assert_eq!(plan.leavers.len(), 10);
+        assert_eq!(plan.joiners.len(), 10);
+        // Leavers are actual population members, all distinct.
+        let mut ids: Vec<u64> = plan.leavers.iter().map(|id| id.as_u64()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+        assert!(ids.iter().all(|&id| id < 200));
+        assert_eq!(m.label(), "uncorrelated");
+    }
+
+    #[test]
+    fn correlated_removes_lowest_and_joins_above_max() {
+        let mut m = CorrelatedChurn::new(
+            ChurnSchedule {
+                rate: 0.02,
+                period: 1,
+                stop_after: None,
+            },
+            1.0,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = population(100); // attributes 0..99
+        let plan = m.plan(1, &pop, &mut rng);
+        assert_eq!(plan.leavers.len(), 2);
+        // The two lowest attributes are nodes 0 and 1.
+        let mut ids: Vec<u64> = plan.leavers.iter().map(|id| id.as_u64()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        for a in &plan.joiners {
+            assert!(a.value() > 99.0, "joiner {a} must exceed current max");
+        }
+        assert_eq!(m.label(), "correlated");
+    }
+
+    #[test]
+    fn correlated_high_water_mark_is_monotonic() {
+        let mut m = CorrelatedChurn::new(
+            ChurnSchedule {
+                rate: 0.02,
+                period: 1,
+                stop_after: None,
+            },
+            1.0,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = population(100);
+        let mut last_max = 99.0;
+        for cycle in 1..=20 {
+            let plan = m.plan(cycle, &pop, &mut rng);
+            for a in &plan.joiners {
+                assert!(a.value() > last_max);
+                last_max = last_max.max(a.value());
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_quiet_outside_schedule() {
+        let mut m = CorrelatedChurn::burst();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(m.plan(201, &population(50), &mut rng).is_quiet());
+        assert!(!m.plan(200, &population(50), &mut rng).is_quiet());
+    }
+
+    #[test]
+    fn empty_population_yields_quiet_plans() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = CorrelatedChurn::burst();
+        assert!(c.plan(1, &[], &mut rng).is_quiet());
+        let mut u = UncorrelatedChurn::new(ChurnSchedule::burst(), AttributeDistribution::default());
+        assert!(u.plan(1, &[], &mut rng).is_quiet());
+    }
+}

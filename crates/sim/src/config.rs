@@ -1,0 +1,169 @@
+//! Simulation configuration and protocol selection.
+
+use crate::concurrency::Concurrency;
+use crate::latency::LatencyModel;
+use crate::distributions::AttributeDistribution;
+use dslice_core::{Error, Partition, Result};
+pub use dslice_algorithms::ProtocolKind;
+pub use dslice_gossip::SamplerKind;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of a simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Initial population size `n`.
+    pub n: usize,
+    /// View size `c` (the paper uses 20 for the ordering experiments and 10
+    /// for the ranking ones).
+    pub view_size: usize,
+    /// The slice partition, global knowledge per §3.2.
+    pub partition: Partition,
+    /// Peer-sampling substrate.
+    pub sampler: SamplerKind,
+    /// Message concurrency model (§4.5.2).
+    pub concurrency: Concurrency,
+    /// Cross-cycle message latency (Zero = the paper's cycle model).
+    pub latency: LatencyModel,
+    /// Attribute-value distribution of the initial population (and of
+    /// uncorrelated joiners).
+    pub distribution: AttributeDistribution,
+    /// Probability that any protocol message is lost in transit (view
+    /// exchanges are not affected — the membership layer is the paper's
+    /// given substrate). Gossip tolerates loss by design; this knob lets
+    /// tests quantify how much.
+    pub loss_rate: f64,
+    /// RNG seed: `(config, seed)` fully determines the run.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n: 1000,
+            view_size: 20,
+            partition: Partition::equal(10).expect("10 > 0"),
+            sampler: SamplerKind::Cyclon,
+            concurrency: Concurrency::None,
+            latency: LatencyModel::Zero,
+            distribution: AttributeDistribution::default(),
+            loss_rate: 0.0,
+            seed: 0xD51CE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.n == 0 {
+            return Err(Error::InvalidFractions("population must be non-empty".into()));
+        }
+        if self.view_size == 0 {
+            return Err(Error::ZeroViewCapacity);
+        }
+        self.distribution.validate()?;
+        if !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(Error::InvalidFractions(format!(
+                "loss rate must lie in [0, 1], got {}",
+                self.loss_rate
+            )));
+        }
+        Ok(())
+    }
+
+    /// The paper's main ordering setup (§4.5.1): 10⁴ nodes, view size 20.
+    /// `slices` is 100 for Fig. 4(a)/(d) and 10 for Fig. 4(b).
+    pub fn paper_ordering(slices: usize, seed: u64) -> Self {
+        SimConfig {
+            n: 10_000,
+            view_size: 20,
+            partition: Partition::equal(slices).expect("slices > 0"),
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The paper's ranking setup (§5.3): 10⁴ nodes, view size 10,
+    /// 100 slices.
+    pub fn paper_ranking(seed: u64) -> Self {
+        SimConfig {
+            n: 10_000,
+            view_size: 10,
+            partition: Partition::equal(100).expect("100 > 0"),
+            seed,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+
+
+    #[test]
+    fn default_config_is_valid() {
+        SimConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let cfg = SimConfig {
+            n: 0,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            view_size: 0,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            distribution: AttributeDistribution::Uniform { lo: 2.0, hi: 1.0 },
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            loss_rate: 1.5,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn config_roundtrips_through_json() {
+        let cfg = SimConfig {
+            n: 123,
+            view_size: 7,
+            partition: Partition::from_fractions(&[0.25, 0.75]).unwrap(),
+            concurrency: Concurrency::Half,
+            distribution: AttributeDistribution::Pareto {
+                scale: 2.0,
+                shape: 1.25,
+            },
+            loss_rate: 0.05,
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let parsed: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.n, cfg.n);
+        assert_eq!(parsed.partition, cfg.partition);
+        assert_eq!(parsed.concurrency, cfg.concurrency);
+        assert_eq!(parsed.distribution, cfg.distribution);
+        assert_eq!(parsed.loss_rate, cfg.loss_rate);
+    }
+
+    #[test]
+    fn paper_presets() {
+        let ordering = SimConfig::paper_ordering(100, 1);
+        assert_eq!(ordering.n, 10_000);
+        assert_eq!(ordering.view_size, 20);
+        assert_eq!(ordering.partition.len(), 100);
+        let ranking = SimConfig::paper_ranking(1);
+        assert_eq!(ranking.view_size, 10);
+        assert_eq!(ranking.partition.len(), 100);
+    }
+}

@@ -1,0 +1,909 @@
+//! The cycle engine.
+//!
+//! One [`Engine::step`] reproduces a PeerSim cycle (§4.5):
+//!
+//! 1. **Churn** — the churn model removes leavers and injects joiners
+//!    (joiners bootstrap their view from random live nodes); every view is
+//!    pruned of departed neighbors.
+//! 2. **Active steps** — every live node, in freshly shuffled order, first
+//!    runs its membership shuffle (`recompute-view()`, executed atomically
+//!    as in the paper's simulation), then its protocol active thread.
+//! 3. **Message routing** — per the [`Concurrency`](crate::Concurrency) model: non-overlapping
+//!    messages are delivered immediately (atomic exchanges), overlapping
+//!    messages are deferred to an end-of-cycle drain in random order, where
+//!    stale payloads surface as unsuccessful swaps.
+//! 4. **Metrics** — SDM, GDM and event counters over the live population.
+//!
+//! Everything is driven by one seeded RNG: identical `(config, protocol,
+//! churn, seed)` yields identical runs, byte for byte.
+
+use crate::churn::{ChurnModel, NoChurn};
+use crate::config::{ProtocolKind, SimConfig};
+use crate::stats::{CycleStats, EventCounters, RunRecord};
+use dslice_core::node::NodeIdAllocator;
+use dslice_core::protocol::{Context, Event, SliceProtocol};
+use dslice_core::{metrics, Attribute, NodeId, Partition, ProtocolMsg, Result, ViewEntry};
+use dslice_gossip::{build_sampler, PeerSampler, SamplerKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngCore, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One simulated node: its protocol state plus its membership state.
+struct SimNode {
+    proto: Box<dyn SliceProtocol>,
+    sampler: Box<dyn PeerSampler>,
+}
+
+impl std::fmt::Debug for SimNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNode")
+            .field("id", &self.proto.id())
+            .field("attribute", &self.proto.attribute())
+            .field("estimate", &self.proto.estimate())
+            .finish()
+    }
+}
+
+impl SimNode {
+    fn self_entry(&self) -> ViewEntry {
+        ViewEntry::new(
+            self.proto.id(),
+            self.proto.attribute(),
+            self.proto.published_value(),
+        )
+    }
+}
+
+/// The [`Context`] handed to protocol callbacks: collects outgoing messages
+/// and statistics events.
+struct EngineCtx<'a> {
+    rng: &'a mut StdRng,
+    out: &'a mut Vec<(NodeId, ProtocolMsg)>,
+    counters: &'a mut EventCounters,
+}
+
+impl Context for EngineCtx<'_> {
+    fn send(&mut self, to: NodeId, msg: ProtocolMsg) {
+        self.out.push((to, msg));
+    }
+
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+
+    fn record(&mut self, event: Event) {
+        self.counters.record(event);
+    }
+}
+
+/// The deterministic cycle simulator.
+pub struct Engine {
+    cfg: SimConfig,
+    kind: ProtocolKind,
+    nodes: BTreeMap<NodeId, SimNode>,
+    alloc: NodeIdAllocator,
+    rng: StdRng,
+    cycle: usize,
+    churn: Box<dyn ChurnModel>,
+    /// §3.2 stability tracking: believed slices across cycles.
+    tracker: metrics::SliceTracker,
+    /// Messages delayed across cycles by the latency model:
+    /// `(deliver_at_cycle, recipient, payload)`.
+    in_flight: Vec<(usize, NodeId, ProtocolMsg)>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("protocol", &self.kind.label())
+            .field("cycle", &self.cycle)
+            .field("population", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds an engine with the given configuration and protocol, no churn.
+    pub fn new(cfg: SimConfig, kind: ProtocolKind) -> Result<Self> {
+        cfg.validate()?;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut alloc = NodeIdAllocator::default();
+        let mut nodes = BTreeMap::new();
+
+        // Create the initial population.
+        let ids = alloc.allocate_many(cfg.n);
+        for &id in &ids {
+            let attribute = cfg.distribution.sample(&mut rng);
+            let proto = kind.build(id, attribute, &cfg.partition, &mut rng);
+            let sampler = build_sampler(cfg.sampler, id, cfg.view_size)?;
+            nodes.insert(id, SimNode { proto, sampler });
+        }
+
+        let mut engine = Engine {
+            cfg,
+            kind,
+            nodes,
+            alloc,
+            rng,
+            cycle: 0,
+            churn: Box::new(NoChurn),
+            tracker: metrics::SliceTracker::new(),
+            in_flight: Vec::new(),
+        };
+        engine.bootstrap_views(&ids);
+        Ok(engine)
+    }
+
+    /// Replaces the churn model (builder style).
+    pub fn with_churn(mut self, churn: Box<dyn ChurnModel>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Seeds every listed node's view with up to `c` random other nodes.
+    fn bootstrap_views(&mut self, ids: &[NodeId]) {
+        let all: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for &id in ids {
+            let entries = self.random_entries(id, self.cfg.view_size, &all);
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.sampler.bootstrap(&entries);
+            }
+        }
+    }
+
+    /// Draws up to `count` distinct entries describing live nodes ≠ `owner`.
+    ///
+    /// Uses O(count) index sampling rather than an O(|pool|) reservoir —
+    /// this runs once per node per cycle for the uniform-oracle substrate,
+    /// so the naive approach would make those runs quadratic in `n`.
+    fn random_entries(&mut self, owner: NodeId, count: usize, pool: &[NodeId]) -> Vec<ViewEntry> {
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        let want = count.min(pool.len());
+        // Oversample by one slot so that filtering the owner out still
+        // leaves `count` candidates whenever the pool allows it.
+        let take = (want + 1).min(pool.len());
+        let mut chosen: Vec<NodeId> = rand::seq::index::sample(&mut self.rng, pool.len(), take)
+            .into_iter()
+            .map(|i| pool[i])
+            .filter(|&id| id != owner)
+            .take(count)
+            .collect();
+        chosen.sort_unstable();
+        chosen
+            .into_iter()
+            .filter_map(|id| self.nodes.get(&id).map(|n| n.self_entry()))
+            .collect()
+    }
+
+    /// The current cycle count (number of completed steps).
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// The current population size.
+    pub fn population(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The partition nodes slice against.
+    pub fn partition(&self) -> &Partition {
+        &self.cfg.partition
+    }
+
+    /// Installs a new slice partitioning on every live node (§3.2's global
+    /// knowledge, re-broadcast) — the platform re-allocating resources.
+    ///
+    /// Estimates are partition-independent, so assignments under the new
+    /// partitioning are immediately as accurate as the estimates were:
+    /// re-slicing costs zero protocol work. `tests/repartitioning.rs`
+    /// verifies exactly that.
+    pub fn set_partition(&mut self, partition: Partition) {
+        self.cfg.partition = partition;
+        for node in self.nodes.values_mut() {
+            node.proto.set_partition(&self.cfg.partition);
+        }
+        // Believed slices under the old partitioning are not comparable to
+        // the new one; restart stability tracking rather than report a
+        // spurious all-nodes-changed spike.
+        self.tracker = metrics::SliceTracker::new();
+    }
+
+    /// Snapshot of the live population: `(id, attribute, estimate)`.
+    pub fn snapshot(&self) -> Vec<(NodeId, Attribute, f64)> {
+        self.nodes
+            .values()
+            .map(|n| (n.proto.id(), n.proto.attribute(), n.proto.estimate()))
+            .collect()
+    }
+
+    /// The slice disorder measure of the current population.
+    pub fn sdm(&self) -> f64 {
+        metrics::sdm(&self.cfg.partition, &self.snapshot())
+    }
+
+    /// The global disorder measure of the current population.
+    pub fn gdm(&self) -> f64 {
+        metrics::gdm(&self.snapshot())
+    }
+
+    /// Fraction of nodes whose believed slice equals their true slice.
+    pub fn accuracy(&self) -> f64 {
+        let snapshot = self.snapshot();
+        if snapshot.is_empty() {
+            return 1.0;
+        }
+        let truth = dslice_core::rank::true_slices(
+            snapshot.iter().map(|&(id, a, _)| (id, a)),
+            &self.cfg.partition,
+        );
+        let correct = snapshot
+            .iter()
+            .filter(|(id, _, est)| self.cfg.partition.slice_of(*est) == truth[id])
+            .count();
+        correct as f64 / snapshot.len() as f64
+    }
+
+    /// Population of each slice according to the nodes' *current beliefs*
+    /// (index = slice index). Sums to the population size.
+    pub fn slice_histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cfg.partition.len()];
+        for (_, _, est) in self.snapshot() {
+            counts[self.cfg.partition.slice_of(est).as_usize()] += 1;
+        }
+        counts
+    }
+
+    /// Runs `cycles` steps and records per-cycle statistics.
+    pub fn run(&mut self, cycles: usize) -> RunRecord {
+        let mut record = RunRecord {
+            label: self.kind.label().to_string(),
+            seed: self.cfg.seed,
+            initial_n: self.cfg.n,
+            slices: self.cfg.partition.len(),
+            view_size: self.cfg.view_size,
+            cycles: Vec::with_capacity(cycles),
+        };
+        for _ in 0..cycles {
+            record.cycles.push(self.step());
+        }
+        record
+    }
+
+    /// Executes one full cycle and returns its statistics.
+    pub fn step(&mut self) -> CycleStats {
+        self.cycle += 1;
+        let (left, joined) = self.apply_churn();
+
+        let mut counters = EventCounters::default();
+        let mut dropped = 0u64;
+        let mut deferred: Vec<(NodeId, ProtocolMsg)> = Vec::new();
+
+        // Start-of-cycle drain: messages whose latency elapsed land now, in
+        // random order, before anyone's active step — the paper's staleness
+        // scenario stretched across cycles. Their responses re-enter the
+        // normal routing (and may themselves be delayed again).
+        let mut due: Vec<(NodeId, ProtocolMsg)> = Vec::new();
+        let mut still_flying: Vec<(usize, NodeId, ProtocolMsg)> = Vec::new();
+        for (at, to, msg) in self.in_flight.drain(..) {
+            if at <= self.cycle {
+                due.push((to, msg));
+            } else {
+                still_flying.push((at, to, msg));
+            }
+        }
+        self.in_flight = still_flying;
+        due.shuffle(&mut self.rng);
+        let mut due: VecDeque<(NodeId, ProtocolMsg)> = due.into();
+        while let Some((to, msg)) = due.pop_front() {
+            for (to2, msg2) in self.deliver(to, msg, &mut counters, &mut dropped) {
+                if let Some(now) = self.route(to2, msg2, &mut deferred, &mut dropped) {
+                    due.push_back(now);
+                }
+            }
+        }
+
+        // Active steps in freshly shuffled order.
+        let mut order: Vec<NodeId> = self.nodes.keys().copied().collect();
+        order.shuffle(&mut self.rng);
+
+        // The uniform-oracle substrate samples from the cycle's population;
+        // build that pool once (it is invariant within a cycle — churn only
+        // happens at cycle start).
+        let oracle_pool: Option<Vec<NodeId>> = (self.cfg.sampler == SamplerKind::UniformOracle)
+            .then(|| self.nodes.keys().copied().collect());
+
+        for id in order {
+            if !self.nodes.contains_key(&id) {
+                continue;
+            }
+            self.gossip_step(id, oracle_pool.as_deref());
+            if self.cfg.concurrency.fresh_views() {
+                self.refresh_view(id);
+            }
+
+            // Protocol active thread.
+            let mut node = self.nodes.remove(&id).expect("checked above");
+            let mut out = Vec::new();
+            {
+                let mut ctx = EngineCtx {
+                    rng: &mut self.rng,
+                    out: &mut out,
+                    counters: &mut counters,
+                };
+                node.proto.on_active(node.sampler.view(), &mut ctx);
+            }
+            self.nodes.insert(id, node);
+
+            // Route this step's messages.
+            let mut immediate: VecDeque<(NodeId, ProtocolMsg)> = VecDeque::new();
+            for (to, msg) in out {
+                if let Some(now) = self.route(to, msg, &mut deferred, &mut dropped) {
+                    immediate.push_back(now);
+                }
+            }
+            while let Some((to, msg)) = immediate.pop_front() {
+                for (to2, msg2) in self.deliver(to, msg, &mut counters, &mut dropped) {
+                    if let Some(now) = self.route(to2, msg2, &mut deferred, &mut dropped) {
+                        immediate.push_back(now);
+                    }
+                }
+            }
+        }
+
+        // End-of-cycle drain: overlapping messages land in random order;
+        // their responses are also in flight within this cycle (unless the
+        // latency model pushes them into a later one).
+        deferred.shuffle(&mut self.rng);
+        let mut queue: VecDeque<(NodeId, ProtocolMsg)> = deferred.into();
+        while let Some((to, msg)) = queue.pop_front() {
+            let mut late: Vec<(NodeId, ProtocolMsg)> = Vec::new();
+            for response in self.deliver(to, msg, &mut counters, &mut dropped) {
+                if let Some(now) = self.route(response.0, response.1, &mut late, &mut dropped) {
+                    queue.push_back(now);
+                }
+            }
+            // Responses that drew an "overlapping" coin inside the final
+            // drain have no later drain this cycle; they join the queue.
+            queue.extend(late);
+        }
+
+        let snapshot = self.snapshot();
+        let slice_changes = self.tracker.observe(&self.cfg.partition, &snapshot);
+        CycleStats {
+            cycle: self.cycle,
+            n: snapshot.len(),
+            sdm: metrics::sdm(&self.cfg.partition, &snapshot),
+            gdm: metrics::gdm(&snapshot),
+            events: counters,
+            dropped_messages: dropped,
+            left,
+            joined,
+            slice_changes,
+        }
+    }
+
+    /// Routes one outgoing message: drops it (loss), holds it across cycles
+    /// (latency), defers it within the cycle (overlap), or returns it for
+    /// immediate delivery.
+    fn route(
+        &mut self,
+        to: NodeId,
+        msg: ProtocolMsg,
+        deferred: &mut Vec<(NodeId, ProtocolMsg)>,
+        dropped: &mut u64,
+    ) -> Option<(NodeId, ProtocolMsg)> {
+        if self.lost(dropped) {
+            return None;
+        }
+        let delay = self.cfg.latency.sample(&mut self.rng);
+        if delay > 0 {
+            self.in_flight.push((self.cycle + delay as usize, to, msg));
+            return None;
+        }
+        if self.cfg.concurrency.overlaps(&mut self.rng) {
+            deferred.push((to, msg));
+            return None;
+        }
+        Some((to, msg))
+    }
+
+    /// Draws the loss coin for one message (counts a drop on loss).
+    fn lost(&mut self, dropped: &mut u64) -> bool {
+        use rand::Rng;
+        if self.cfg.loss_rate > 0.0 && self.rng.gen::<f64>() < self.cfg.loss_rate {
+            *dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies the churn plan for this cycle; returns `(left, joined)`.
+    fn apply_churn(&mut self) -> (usize, usize) {
+        let population: Vec<(NodeId, Attribute)> = self
+            .nodes
+            .values()
+            .map(|n| (n.proto.id(), n.proto.attribute()))
+            .collect();
+        let plan = self.churn.plan(self.cycle, &population, &mut self.rng);
+        if plan.is_quiet() {
+            return (0, 0);
+        }
+
+        let left = plan.leavers.len();
+        for id in &plan.leavers {
+            self.nodes.remove(id);
+        }
+
+        // Prune departed neighbors from every view before anyone gossips.
+        let alive: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let is_alive = |id: NodeId| alive.binary_search(&id).is_ok();
+        for node in self.nodes.values_mut() {
+            node.sampler.remove_dead(&is_alive);
+        }
+
+        // Joiners: fresh identity, fresh protocol state, bootstrapped view.
+        let joined = plan.joiners.len();
+        let pool: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let mut new_ids = Vec::with_capacity(joined);
+        for attribute in plan.joiners {
+            let id = self.alloc.allocate();
+            let proto = self
+                .kind
+                .build(id, attribute, &self.cfg.partition, &mut self.rng);
+            let sampler = build_sampler(self.cfg.sampler, id, self.cfg.view_size)
+                .expect("validated capacity");
+            self.nodes.insert(id, SimNode { proto, sampler });
+            new_ids.push(id);
+        }
+        for &id in &new_ids {
+            let entries = self.random_entries(id, self.cfg.view_size, &pool);
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.sampler.bootstrap(&entries);
+            }
+        }
+        (left, joined)
+    }
+
+    /// One membership step for `id`: the atomic `recompute-view()` of the
+    /// paper's cycle model (Fig. 3 driven to completion), or an oracle
+    /// refill for the uniform substrate.
+    fn gossip_step(&mut self, id: NodeId, oracle_pool: Option<&[NodeId]>) {
+        if let Some(pool) = oracle_pool {
+            let entries = self.random_entries(id, self.cfg.view_size, pool);
+            if let Some(node) = self.nodes.get_mut(&id) {
+                let view = node.sampler.view_mut();
+                view.retain(|_| false);
+                for e in entries {
+                    view.insert(e);
+                }
+            }
+            return;
+        }
+
+        let Some(mut node) = self.nodes.remove(&id) else {
+            return;
+        };
+        let self_entry = node.self_entry();
+        if let Some(req) = node.sampler.initiate(self_entry, &mut self.rng) {
+            match self.nodes.get_mut(&req.partner) {
+                Some(partner) => {
+                    let partner_entry = partner.self_entry();
+                    let reply =
+                        partner
+                            .sampler
+                            .handle_request(partner_entry, id, &req.entries);
+                    node.sampler.handle_reply(req.partner, &reply);
+                }
+                None => {
+                    // Partner departed between pruning and now (possible only
+                    // for same-cycle stale entries): drop the pointer.
+                    node.sampler.view_mut().remove(req.partner);
+                }
+            }
+        }
+        self.nodes.insert(id, node);
+    }
+
+    /// Refreshes every value snapshot in `id`'s view from the live nodes —
+    /// the "view is up-to-date when a message is sent" idealization of the
+    /// atomic cycle model (§4.5.2). Departed neighbors are dropped.
+    fn refresh_view(&mut self, id: NodeId) {
+        let Some(mut node) = self.nodes.remove(&id) else {
+            return;
+        };
+        let neighbor_ids: Vec<NodeId> = node.sampler.view().ids().collect();
+        for nid in neighbor_ids {
+            match self.nodes.get(&nid) {
+                Some(neighbor) => {
+                    node.sampler
+                        .view_mut()
+                        .refresh_value(nid, neighbor.proto.published_value());
+                }
+                None => {
+                    node.sampler.view_mut().remove(nid);
+                }
+            }
+        }
+        self.nodes.insert(id, node);
+    }
+
+    /// Delivers one message; returns the responses it provoked.
+    ///
+    /// `SwapReq` messages are resolved *transactionally* (see
+    /// [`SliceProtocol::try_atomic_swap`]): the paper's cycle-based
+    /// evaluation semantics, under which a stale proposal means "the
+    /// expected swap does not occur" — never a half-completed exchange.
+    /// All other messages take the ordinary `on_message` path.
+    fn deliver(
+        &mut self,
+        to: NodeId,
+        msg: ProtocolMsg,
+        counters: &mut EventCounters,
+        dropped: &mut u64,
+    ) -> Vec<(NodeId, ProtocolMsg)> {
+        if let ProtocolMsg::SwapReq { from, a, .. } = msg {
+            if !self.nodes.contains_key(&to) || !self.nodes.contains_key(&from) {
+                // Either endpoint departed mid-flight: the exchange cannot
+                // complete; the message is lost.
+                *dropped += 1;
+                return Vec::new();
+            }
+            // The proposal is evaluated against the proposer's *current*
+            // value; the snapshot in the message only matters on real wires.
+            let current_r = self.nodes[&from].proto.estimate();
+            let callee = self.nodes.get_mut(&to).expect("checked above");
+            match callee.proto.try_atomic_swap(a, current_r) {
+                Some(pre_swap) => {
+                    self.nodes
+                        .get_mut(&from)
+                        .expect("checked above")
+                        .proto
+                        .adopt_value(pre_swap);
+                    counters.record(Event::SwapApplied);
+                }
+                None => counters.record(Event::SwapUseless),
+            }
+            return Vec::new();
+        }
+
+        let Some(mut node) = self.nodes.remove(&to) else {
+            *dropped += 1;
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        {
+            let mut ctx = EngineCtx {
+                rng: &mut self.rng,
+                out: &mut out,
+                counters,
+            };
+            node.proto.on_message(node.sampler.view(), msg, &mut ctx);
+        }
+        self.nodes.insert(to, node);
+        out
+    }
+}
+
+impl Engine {
+    /// Per-node view snapshots: which neighbors each live node currently
+    /// sees. Used by layers built *on top* of slicing (e.g. the
+    /// slice-connected overlays of `dslice-overlay`) that consume the
+    /// gossip stream as their candidate source.
+    pub fn view_snapshot(&self) -> Vec<(NodeId, Vec<NodeId>)> {
+        self.nodes
+            .iter()
+            .map(|(id, n)| (*id, n.sampler.view().ids().collect()))
+            .collect()
+    }
+
+    /// Debug helper: per-node view id lists (used by diagnostics examples).
+    #[doc(hidden)]
+    pub fn debug_views(&self) -> std::collections::HashMap<u64, Vec<u64>> {
+        self.nodes
+            .iter()
+            .map(|(id, n)| {
+                let mut ids: Vec<u64> = n.sampler.view().ids().map(|i| i.as_u64()).collect();
+                ids.sort_unstable();
+                (id.as_u64(), ids)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::{ChurnSchedule, CorrelatedChurn, UncorrelatedChurn};
+    use crate::concurrency::Concurrency;
+    use crate::distributions::AttributeDistribution;
+
+    fn small_cfg(n: usize, slices: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            n,
+            view_size: 8,
+            partition: Partition::equal(slices).unwrap(),
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn construction_populates_and_bootstraps() {
+        let engine = Engine::new(small_cfg(64, 4, 1), ProtocolKind::ModJk).unwrap();
+        assert_eq!(engine.population(), 64);
+        assert_eq!(engine.cycle(), 0);
+        // Every node has a non-empty, invariant-respecting view.
+        for (id, node) in &engine.nodes {
+            assert!(!node.sampler.view().is_empty(), "node {id} has no neighbors");
+            node.sampler.view().check_invariants(Some(*id)).unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = small_cfg(0, 4, 1);
+        cfg.n = 0;
+        assert!(Engine::new(cfg, ProtocolKind::Jk).is_err());
+    }
+
+    #[test]
+    fn mod_jk_reduces_disorder() {
+        let mut engine = Engine::new(small_cfg(256, 8, 2), ProtocolKind::ModJk).unwrap();
+        let before = engine.sdm();
+        let record = engine.run(30);
+        let after = engine.sdm();
+        assert!(after < before / 2.0, "SDM {before} -> {after}");
+        assert_eq!(record.cycles.len(), 30);
+        assert_eq!(record.cycles.last().unwrap().cycle, 30);
+    }
+
+    #[test]
+    fn gdm_reaches_zero_but_sdm_usually_does_not() {
+        // Fig. 4(a): the ordering algorithm totally orders the random values
+        // (GDM → 0) yet slice assignments stay off (SDM lower-bounded).
+        let mut engine = Engine::new(small_cfg(128, 16, 3), ProtocolKind::ModJk).unwrap();
+        engine.run(120);
+        assert_eq!(engine.gdm(), 0.0, "random values must end totally ordered");
+        // With 128 random values over 16 slices a perfect assignment has
+        // probability ≈ 0; assert the plateau rather than exact inequality
+        // on one seed.
+        assert!(engine.sdm() >= 0.0);
+    }
+
+    #[test]
+    fn ranking_converges_and_keeps_improving() {
+        let mut engine = Engine::new(small_cfg(256, 4, 4), ProtocolKind::Ranking).unwrap();
+        let record = engine.run(160);
+        let early: f64 = record.cycles[9].sdm;
+        let late: f64 = record.cycles[159].sdm;
+        assert!(
+            late < early / 3.0,
+            "ranking SDM should keep dropping: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut e = Engine::new(small_cfg(64, 4, seed), ProtocolKind::ModJk).unwrap();
+            e.run(10)
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed, same record");
+        assert_ne!(a, c, "different seed, different record");
+    }
+
+    #[test]
+    fn concurrency_produces_useless_swaps() {
+        let mut cfg = small_cfg(256, 8, 5);
+        cfg.concurrency = Concurrency::Full;
+        let mut engine = Engine::new(cfg, ProtocolKind::ModJk).unwrap();
+        let record = engine.run(15);
+        let useless: u64 = record.cycles.iter().map(|c| c.events.swaps_useless).sum();
+        assert!(useless > 0, "full concurrency must produce unsuccessful swaps");
+    }
+
+    #[test]
+    fn no_concurrency_means_no_useless_swaps() {
+        let mut engine = Engine::new(small_cfg(256, 8, 6), ProtocolKind::ModJk).unwrap();
+        let record = engine.run(15);
+        let useless: u64 = record.cycles.iter().map(|c| c.events.swaps_useless).sum();
+        assert_eq!(useless, 0, "atomic exchanges with fresh views never go stale");
+    }
+
+    #[test]
+    fn correlated_churn_changes_population() {
+        let schedule = ChurnSchedule {
+            rate: 0.05,
+            period: 1,
+            stop_after: Some(5),
+        };
+        let mut engine = Engine::new(small_cfg(100, 4, 7), ProtocolKind::Ranking)
+            .unwrap()
+            .with_churn(Box::new(CorrelatedChurn::new(schedule, 1.0)));
+        let record = engine.run(8);
+        let total_left: usize = record.cycles.iter().map(|c| c.left).sum();
+        let total_joined: usize = record.cycles.iter().map(|c| c.joined).sum();
+        assert_eq!(total_left, 25, "5 cycles x 5 nodes");
+        assert_eq!(total_joined, 25);
+        assert_eq!(engine.population(), 100, "same-rate churn keeps n stable");
+        // All views reference live nodes only.
+        for (id, node) in &engine.nodes {
+            for e in node.sampler.view().iter() {
+                assert!(engine.nodes.contains_key(&e.id) || *id == e.id);
+            }
+        }
+    }
+
+    #[test]
+    fn uncorrelated_churn_keeps_engine_running() {
+        let schedule = ChurnSchedule {
+            rate: 0.02,
+            period: 2,
+            stop_after: None,
+        };
+        let mut engine = Engine::new(small_cfg(100, 4, 8), ProtocolKind::ModJk)
+            .unwrap()
+            .with_churn(Box::new(UncorrelatedChurn::new(
+                schedule,
+                AttributeDistribution::default(),
+            )));
+        let record = engine.run(20);
+        assert_eq!(record.cycles.len(), 20);
+        assert!(engine.population() > 0);
+    }
+
+    #[test]
+    fn uniform_oracle_refills_views_each_cycle() {
+        let mut cfg = small_cfg(64, 4, 9);
+        cfg.sampler = SamplerKind::UniformOracle;
+        let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
+        engine.step();
+        for (id, node) in &engine.nodes {
+            let view = node.sampler.view();
+            assert_eq!(view.len(), 8, "view refilled to capacity");
+            view.check_invariants(Some(*id)).unwrap();
+        }
+    }
+
+    #[test]
+    fn tiny_population_does_not_panic() {
+        let mut engine = Engine::new(small_cfg(2, 2, 10), ProtocolKind::ModJk).unwrap();
+        engine.run(5);
+        let mut engine = Engine::new(small_cfg(1, 2, 11), ProtocolKind::Ranking).unwrap();
+        engine.run(5);
+        assert_eq!(engine.population(), 1);
+    }
+
+    #[test]
+    fn run_record_metadata() {
+        let mut engine = Engine::new(small_cfg(32, 4, 12), ProtocolKind::Jk).unwrap();
+        let record = engine.run(3);
+        assert_eq!(record.label, "jk");
+        assert_eq!(record.seed, 12);
+        assert_eq!(record.initial_n, 32);
+        assert_eq!(record.slices, 4);
+        assert_eq!(record.view_size, 8);
+    }
+
+    #[test]
+    fn accuracy_and_histogram_reflect_convergence() {
+        let mut engine = Engine::new(small_cfg(200, 4, 21), ProtocolKind::Ranking).unwrap();
+        let before = engine.accuracy();
+        engine.run(80);
+        let after = engine.accuracy();
+        assert!(after > before, "accuracy must improve: {before} -> {after}");
+        assert!(after > 0.7, "converged accuracy {after} too low");
+        let hist = engine.slice_histogram();
+        assert_eq!(hist.len(), 4);
+        assert_eq!(hist.iter().sum::<usize>(), 200);
+        // Equal slices: believed populations near 50 each once converged.
+        for (idx, &c) in hist.iter().enumerate() {
+            assert!(
+                (25..=75).contains(&c),
+                "slice {idx} believed population {c} far from 50"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_delays_but_does_not_lose_messages() {
+        use crate::latency::LatencyModel;
+        let mut cfg = small_cfg(128, 4, 30);
+        cfg.latency = LatencyModel::Fixed { cycles: 2 };
+        let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
+        let record = engine.run(40);
+        // Messages sent in the last cycles are still in flight; everything
+        // else was delivered — none were dropped (loss_rate = 0).
+        let dropped: u64 = record.cycles.iter().map(|c| c.dropped_messages).sum();
+        assert_eq!(dropped, 0);
+        assert!(!engine.in_flight.is_empty(), "fixed 2-cycle delay keeps a backlog");
+        // Samples still flow: the protocol converges, just later.
+        assert!(engine.sdm() < record.cycles[0].sdm / 2.0);
+    }
+
+    #[test]
+    fn latency_slows_ordering_convergence() {
+        use crate::latency::LatencyModel;
+        let sdm_at = |latency: LatencyModel, cycle: usize| {
+            let mut cfg = small_cfg(256, 8, 31);
+            cfg.latency = latency;
+            let record = Engine::new(cfg, ProtocolKind::ModJk).unwrap().run(cycle);
+            record.cycles.last().unwrap().sdm
+        };
+        let fast = sdm_at(LatencyModel::Zero, 12);
+        let slow = sdm_at(LatencyModel::Uniform { min: 1, max: 4 }, 12);
+        assert!(
+            slow > fast,
+            "multi-cycle latency must slow the ordering family: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn delayed_swap_proposals_surface_as_useless_swaps() {
+        use crate::latency::LatencyModel;
+        let mut cfg = small_cfg(256, 8, 32);
+        cfg.latency = LatencyModel::Fixed { cycles: 3 };
+        let mut engine = Engine::new(cfg, ProtocolKind::ModJk).unwrap();
+        let record = engine.run(20);
+        let useless: u64 = record.cycles.iter().map(|c| c.events.swaps_useless).sum();
+        assert!(
+            useless > 0,
+            "3-cycle-old proposals must frequently arrive stale"
+        );
+    }
+
+    #[test]
+    fn latency_is_deterministic_given_seed() {
+        use crate::latency::LatencyModel;
+        let run = |seed| {
+            let mut cfg = small_cfg(64, 4, seed);
+            cfg.latency = LatencyModel::Geometric { p: 0.5 };
+            Engine::new(cfg, ProtocolKind::Ranking).unwrap().run(15)
+        };
+        assert_eq!(run(33), run(33));
+    }
+
+    #[test]
+    fn slice_changes_decay_as_the_run_converges() {
+        // §3.2 stability: early cycles reshuffle believed slices heavily;
+        // a converged static run settles to near-zero changes per cycle.
+        let mut engine = Engine::new(small_cfg(256, 4, 40), ProtocolKind::Ranking).unwrap();
+        let record = engine.run(120);
+        let early: usize = record.cycles[1..6].iter().map(|c| c.slice_changes).sum();
+        let late: usize = record.cycles[115..].iter().map(|c| c.slice_changes).sum();
+        assert!(
+            late * 5 < early,
+            "slice flapping must decay: early {early} vs late {late}"
+        );
+        // The very first cycle has no previous belief to differ from.
+        assert_eq!(record.cycles[0].slice_changes, 0);
+    }
+
+    #[test]
+    fn repartition_does_not_fake_a_stability_spike() {
+        let mut engine = Engine::new(small_cfg(128, 4, 41), ProtocolKind::Ranking).unwrap();
+        engine.run(50);
+        engine.set_partition(Partition::equal(2).unwrap());
+        let stats = engine.step();
+        assert_eq!(
+            stats.slice_changes, 0,
+            "first post-repartition cycle must not count wholesale changes"
+        );
+    }
+
+    #[test]
+    fn snapshot_estimates_are_probabilities() {
+        let mut engine = Engine::new(small_cfg(64, 4, 13), ProtocolKind::Ranking).unwrap();
+        engine.run(10);
+        for (_, _, est) in engine.snapshot() {
+            assert!((0.0..=1.0).contains(&est), "estimate {est} out of range");
+        }
+    }
+}

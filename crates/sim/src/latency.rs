@@ -1,0 +1,163 @@
+//! Multi-cycle message latency — generalizing §4.5.2 beyond one cycle.
+//!
+//! The paper's concurrency model keeps every message within its sending
+//! cycle (an *overlapping* message is merely reordered to the end of the
+//! cycle). Real wide-area latencies can exceed a gossip period entirely —
+//! the regime where the paper's "by the time a message is received this
+//! message has become useless" observation bites hardest, because the
+//! proposer may have swapped several times before the proposal lands.
+//!
+//! [`LatencyModel`] assigns each protocol message a whole-cycle delay. A
+//! message with delay `d ≥ 1` is held in flight and delivered at the start
+//! of cycle `sent + d` (in random order, before anyone's active step); a
+//! delay of 0 falls back to the [`Concurrency`](crate::Concurrency)
+//! routing, so `LatencyModel::Zero` reproduces the paper's model exactly.
+//! Delivery semantics are unchanged: late swap proposals resolve through
+//! the same transactional path and surface as unsuccessful swaps when
+//! stale.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Distribution of per-message delays, in whole cycles.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// No cross-cycle latency: the paper's cycle model (default).
+    #[default]
+    Zero,
+    /// Every message is delayed by exactly `cycles`.
+    Fixed {
+        /// The delay applied to every message.
+        cycles: u32,
+    },
+    /// Uniform delay in `[min, max]` cycles (inclusive).
+    Uniform {
+        /// Smallest possible delay.
+        min: u32,
+        /// Largest possible delay.
+        max: u32,
+    },
+    /// Geometric delay: each cycle the message fails to arrive with
+    /// probability `p` (so the mean delay is `p/(1−p)` cycles). Models a
+    /// heavy-tailed long-haul link mix.
+    Geometric {
+        /// Per-cycle probability of *not* arriving yet, in `[0, 1)`.
+        p: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws the delay for one message, in cycles (0 = within-cycle).
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> u32 {
+        match self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Fixed { cycles } => cycles,
+            LatencyModel::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+            LatencyModel::Geometric { p } => {
+                let p = p.clamp(0.0, 1.0 - 1e-9);
+                let mut d = 0;
+                while rng.gen::<f64>() < p && d < 1_000 {
+                    d += 1;
+                }
+                d
+            }
+        }
+    }
+
+    /// The mean delay in cycles.
+    pub fn mean(self) -> f64 {
+        match self {
+            LatencyModel::Zero => 0.0,
+            LatencyModel::Fixed { cycles } => cycles as f64,
+            LatencyModel::Uniform { min, max } => (min as f64 + max as f64) / 2.0,
+            LatencyModel::Geometric { p } => {
+                let p = p.clamp(0.0, 1.0 - 1e-9);
+                p / (1.0 - p)
+            }
+        }
+    }
+
+    /// Label used in experiment output.
+    pub fn label(self) -> String {
+        match self {
+            LatencyModel::Zero => "zero".to_string(),
+            LatencyModel::Fixed { cycles } => format!("fixed:{cycles}"),
+            LatencyModel::Uniform { min, max } => format!("uniform:{min}-{max}"),
+            LatencyModel::Geometric { p } => format!("geometric:{p}"),
+        }
+    }
+}
+
+impl fmt::Display for LatencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_never_delays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(LatencyModel::Zero.sample(&mut rng), 0);
+        }
+        assert_eq!(LatencyModel::Zero.mean(), 0.0);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            assert_eq!(LatencyModel::Fixed { cycles: 3 }.sample(&mut rng), 3);
+        }
+        assert_eq!(LatencyModel::Fixed { cycles: 3 }.mean(), 3.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_centers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::Uniform { min: 1, max: 5 };
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng);
+            assert!((1..=5).contains(&d));
+            sum += d as u64;
+        }
+        let mean = sum as f64 / 10_000.0;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        // Degenerate range.
+        assert_eq!(LatencyModel::Uniform { min: 4, max: 4 }.sample(&mut rng), 4);
+    }
+
+    #[test]
+    fn geometric_mean_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = LatencyModel::Geometric { p: 0.5 };
+        let sum: u64 = (0..20_000).map(|_| m.sample(&mut rng) as u64).sum();
+        let mean = sum as f64 / 20_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} vs 1.0");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LatencyModel::Zero.to_string(), "zero");
+        assert_eq!(LatencyModel::Fixed { cycles: 2 }.to_string(), "fixed:2");
+        assert_eq!(
+            LatencyModel::Uniform { min: 0, max: 3 }.to_string(),
+            "uniform:0-3"
+        );
+        assert_eq!(LatencyModel::default(), LatencyModel::Zero);
+    }
+}

@@ -1,0 +1,431 @@
+//! Session-based and burst churn models beyond §5.3.3's two scenarios.
+//!
+//! The paper tunes its churn against the measurements of Stutzbach & Rejaie
+//! (*Understanding churn in peer-to-peer networks*, IMC 2006 — ref \[17\]):
+//! session durations in deployed P2P systems are heavy-tailed and fit a
+//! **Weibull** distribution with shape parameter well below 1 (many short
+//! sessions, a fat tail of long ones; footnote 3 of the paper works out the
+//! per-cycle rates from those curves). Two additional models make that
+//! regime — and a worst-case mass arrival — directly simulable:
+//!
+//! * [`SessionChurn`] — every node lives for a Weibull-distributed session;
+//!   expired nodes leave and are replaced, keeping the population
+//!   stationary. With [`SessionChurn::uptime_attribute`], a joiner's
+//!   *attribute* equals its sampled session duration, reproducing the
+//!   "attribute = session duration" correlation of §5.3.3 with realistic
+//!   (non-adversarial) statistics.
+//! * [`FlashCrowd`] — a one-shot mass join and/or leave at a configured
+//!   cycle: the regime where a popular event makes a large cohort arrive
+//!   (or a failure makes one depart) within a single cycle.
+
+use crate::churn::{ChurnModel, ChurnPlan};
+use crate::distributions::AttributeDistribution;
+use dslice_core::{Attribute, NodeId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Weibull session-duration sampler (inverse-CDF method).
+///
+/// `shape < 1` gives the heavy-tailed regime ref \[17\] measures
+/// (`shape ≈ 0.4–0.6` in deployed systems); `shape = 1` is exponential.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeibullSessions {
+    /// Weibull shape parameter `k > 0`.
+    pub shape: f64,
+    /// Weibull scale parameter `λ > 0`, in cycles.
+    pub scale: f64,
+}
+
+impl WeibullSessions {
+    /// The heavy-tailed regime of ref \[17\]: shape 0.5, mean ≈ 2·scale.
+    pub fn heavy_tailed(scale: f64) -> Self {
+        WeibullSessions { shape: 0.5, scale }
+    }
+
+    /// Draws one session duration in cycles (≥ 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(self.shape > 0.0 && self.scale > 0.0, "invalid Weibull");
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let d = self.scale * (-u.ln()).powf(1.0 / self.shape);
+        d.ceil().max(1.0) as usize
+    }
+
+    /// The distribution mean `λ·Γ(1 + 1/k)` (via Stirling-free lgamma).
+    pub fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9), accurate to
+/// ~15 significant digits over the range session models use.
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_1,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Stationary churn driven by per-node session durations.
+///
+/// Each node, on first sight, is assigned a Weibull session; when the
+/// session expires the node leaves and one joiner replaces it. Joiner
+/// attributes come from `distribution`, or — with
+/// [`uptime_attribute`](Self::uptime_attribute) — equal the joiner's own
+/// session duration.
+#[derive(Clone, Debug)]
+pub struct SessionChurn {
+    sessions: WeibullSessions,
+    distribution: AttributeDistribution,
+    uptime_attribute: bool,
+    expiry: HashMap<NodeId, usize>,
+    /// Sessions pre-sampled for joiners we created, keyed by nothing yet —
+    /// consumed by `expiry` bookkeeping at the next plan call.
+    pending_sessions: Vec<usize>,
+}
+
+impl SessionChurn {
+    /// Creates the model; joiner attributes drawn from `distribution`.
+    pub fn new(sessions: WeibullSessions, distribution: AttributeDistribution) -> Self {
+        SessionChurn {
+            sessions,
+            distribution,
+            uptime_attribute: false,
+            expiry: HashMap::new(),
+            pending_sessions: Vec::new(),
+        }
+    }
+
+    /// Correlate attribute with dynamics: a joiner's attribute value *is*
+    /// its session duration in cycles (the §5.3.3 uptime scenario with
+    /// realistic statistics).
+    pub fn uptime_attribute(mut self) -> Self {
+        self.uptime_attribute = true;
+        self
+    }
+
+    /// The session sampler in use.
+    pub fn sessions(&self) -> WeibullSessions {
+        self.sessions
+    }
+}
+
+impl ChurnModel for SessionChurn {
+    fn plan(
+        &mut self,
+        cycle: usize,
+        population: &[(NodeId, Attribute)],
+        rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan {
+        let mut rng = rng;
+
+        // Assign sessions to nodes seen for the first time (the initial
+        // population, plus the joiners the engine materialized since the
+        // last call — those consume the pre-sampled pending sessions so an
+        // uptime attribute matches its actual lifetime).
+        let mut pending = std::mem::take(&mut self.pending_sessions).into_iter();
+        for (id, _) in population {
+            if !self.expiry.contains_key(id) {
+                let session = pending
+                    .next()
+                    .unwrap_or_else(|| self.sessions.sample(&mut rng));
+                self.expiry.insert(*id, cycle + session);
+            }
+        }
+
+        // Expired nodes leave.
+        let leavers: Vec<NodeId> = population
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| self.expiry.get(id).copied().unwrap_or(usize::MAX) <= cycle)
+            .collect();
+        for id in &leavers {
+            self.expiry.remove(id);
+        }
+
+        // Replacements keep the population stationary.
+        let mut joiners = Vec::with_capacity(leavers.len());
+        for _ in 0..leavers.len() {
+            let session = self.sessions.sample(&mut rng);
+            let attribute = if self.uptime_attribute {
+                Attribute::new(session as f64).expect("finite")
+            } else {
+                self.distribution.sample(&mut rng)
+            };
+            self.pending_sessions.push(session);
+            joiners.push(attribute);
+        }
+
+        ChurnPlan { leavers, joiners }
+    }
+
+    fn label(&self) -> &'static str {
+        if self.uptime_attribute {
+            "sessions-uptime"
+        } else {
+            "sessions"
+        }
+    }
+}
+
+/// A one-shot mass join and/or leave at a fixed cycle.
+#[derive(Clone, Debug)]
+pub struct FlashCrowd {
+    /// The cycle at which the event fires.
+    pub at_cycle: usize,
+    /// Fraction of the current population that joins (0 = none).
+    pub join_fraction: f64,
+    /// Fraction of the current population that leaves (0 = none), drawn
+    /// uniformly.
+    pub leave_fraction: f64,
+    /// Attribute distribution of the joiners.
+    pub distribution: AttributeDistribution,
+    fired: bool,
+}
+
+impl FlashCrowd {
+    /// A crowd of `join_fraction`·n nodes arriving at `at_cycle`.
+    pub fn joining(at_cycle: usize, join_fraction: f64, distribution: AttributeDistribution) -> Self {
+        FlashCrowd {
+            at_cycle,
+            join_fraction,
+            leave_fraction: 0.0,
+            distribution,
+            fired: false,
+        }
+    }
+
+    /// A mass departure of `leave_fraction`·n nodes at `at_cycle`.
+    pub fn leaving(at_cycle: usize, leave_fraction: f64) -> Self {
+        FlashCrowd {
+            at_cycle,
+            join_fraction: 0.0,
+            leave_fraction,
+            distribution: AttributeDistribution::default(),
+            fired: false,
+        }
+    }
+}
+
+impl ChurnModel for FlashCrowd {
+    fn plan(
+        &mut self,
+        cycle: usize,
+        population: &[(NodeId, Attribute)],
+        rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan {
+        if self.fired || cycle != self.at_cycle || population.is_empty() {
+            return ChurnPlan::quiet();
+        }
+        self.fired = true;
+        let mut rng = rng;
+        let n = population.len();
+
+        let leave_count = ((n as f64 * self.leave_fraction).round() as usize).min(n);
+        let leavers: Vec<NodeId> = rand::seq::SliceRandom::choose_multiple(
+            population,
+            &mut rng,
+            leave_count,
+        )
+        .map(|(id, _)| *id)
+        .collect();
+
+        let join_count = (n as f64 * self.join_fraction).round() as usize;
+        let joiners = (0..join_count)
+            .map(|_| self.distribution.sample(&mut rng))
+            .collect();
+
+        ChurnPlan { leavers, joiners }
+    }
+
+    fn label(&self) -> &'static str {
+        "flash-crowd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(n: usize) -> Vec<(NodeId, Attribute)> {
+        (0..n)
+            .map(|i| (NodeId::new(i as u64), Attribute::new(i as f64).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn gamma_matches_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn weibull_mean_matches_formula() {
+        // shape 1 = exponential: mean = scale.
+        let exp = WeibullSessions {
+            shape: 1.0,
+            scale: 50.0,
+        };
+        assert!((exp.mean() - 50.0).abs() < 1e-9);
+        // shape 0.5: mean = scale·Γ(3) = 2·scale.
+        let heavy = WeibullSessions::heavy_tailed(50.0);
+        assert!((heavy.mean() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weibull_samples_match_mean_empirically() {
+        let w = WeibullSessions::heavy_tailed(30.0);
+        let mut rng = StdRng::seed_from_u64(51);
+        let trials = 40_000;
+        let sum: f64 = (0..trials).map(|_| w.sample(&mut rng) as f64).sum();
+        let empirical = sum / trials as f64;
+        // Ceil()+max(1) bias the mean up slightly; stay within 5%.
+        let rel = (empirical - w.mean()).abs() / w.mean();
+        assert!(rel < 0.05, "empirical mean {empirical:.1} vs {:.1}", w.mean());
+    }
+
+    #[test]
+    fn weibull_is_heavy_tailed_below_shape_one() {
+        // Heavy tail: a non-negligible mass of sessions beyond 5× the mean.
+        let w = WeibullSessions::heavy_tailed(30.0);
+        let mut rng = StdRng::seed_from_u64(53);
+        let trials = 20_000;
+        let threshold = 5.0 * w.mean();
+        let tail = (0..trials)
+            .filter(|_| (w.sample(&mut rng) as f64) > threshold)
+            .count();
+        let fraction = tail as f64 / trials as f64;
+        assert!(
+            fraction > 0.005,
+            "tail mass {fraction:.4} too thin for shape 0.5"
+        );
+    }
+
+    #[test]
+    fn session_churn_is_stationary_and_eventually_replaces_everyone() {
+        let mut m = SessionChurn::new(
+            WeibullSessions {
+                shape: 1.0,
+                scale: 10.0,
+            },
+            AttributeDistribution::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut pop = population(100);
+        let initial_ids: Vec<NodeId> = pop.iter().map(|(id, _)| *id).collect();
+        let mut next_id = 100u64;
+        let mut total_left = 0;
+        for cycle in 1..=120 {
+            let plan = m.plan(cycle, &pop, &mut rng);
+            assert_eq!(plan.leavers.len(), plan.joiners.len(), "stationary");
+            total_left += plan.leavers.len();
+            pop.retain(|(id, _)| !plan.leavers.contains(id));
+            for a in plan.joiners {
+                pop.push((NodeId::new(next_id), a));
+                next_id += 1;
+            }
+        }
+        assert_eq!(pop.len(), 100);
+        assert!(total_left > 50, "mean session 10 ⇒ heavy turnover, saw {total_left}");
+        // Essentially all of the initial cohort should be gone by cycle 120.
+        let survivors = pop
+            .iter()
+            .filter(|(id, _)| initial_ids.contains(id))
+            .count();
+        assert!(survivors < 20, "{survivors} initial nodes still alive");
+    }
+
+    #[test]
+    fn uptime_attribute_correlates_attribute_with_lifetime() {
+        let mut m = SessionChurn::new(
+            WeibullSessions {
+                shape: 1.0,
+                scale: 20.0,
+            },
+            AttributeDistribution::default(),
+        )
+        .uptime_attribute();
+        assert_eq!(m.label(), "sessions-uptime");
+        let mut rng = StdRng::seed_from_u64(57);
+        let mut pop = population(50);
+        let mut next_id = 50u64;
+        // Track each joiner's attribute and eventual lifetime.
+        let mut joined_at: HashMap<NodeId, (usize, f64)> = HashMap::new();
+        let mut lifetimes: Vec<(f64, usize)> = Vec::new(); // (attribute, observed life)
+        for cycle in 1..=400 {
+            let plan = m.plan(cycle, &pop, &mut rng);
+            for id in &plan.leavers {
+                if let Some((start, attr)) = joined_at.remove(id) {
+                    lifetimes.push((attr, cycle - start));
+                }
+            }
+            pop.retain(|(id, _)| !plan.leavers.contains(id));
+            for a in plan.joiners {
+                let id = NodeId::new(next_id);
+                next_id += 1;
+                joined_at.insert(id, (cycle, a.value()));
+                pop.push((id, a));
+            }
+        }
+        assert!(lifetimes.len() > 100, "need churn to measure correlation");
+        // The attribute is the *assigned* session; the observed lifetime
+        // equals it exactly (give or take the one-cycle plan granularity).
+        for &(attr, life) in &lifetimes {
+            assert!(
+                (life as f64 - attr).abs() <= 1.0,
+                "attribute {attr} vs lifetime {life}"
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_fires_once() {
+        let mut m = FlashCrowd::joining(10, 0.5, AttributeDistribution::default());
+        let mut rng = StdRng::seed_from_u64(59);
+        let pop = population(100);
+        assert!(m.plan(9, &pop, &mut rng).is_quiet());
+        let plan = m.plan(10, &pop, &mut rng);
+        assert_eq!(plan.joiners.len(), 50);
+        assert!(plan.leavers.is_empty());
+        assert!(m.plan(10, &pop, &mut rng).is_quiet(), "one-shot");
+        assert_eq!(m.label(), "flash-crowd");
+    }
+
+    #[test]
+    fn mass_departure_leaves_distinct_members() {
+        let mut m = FlashCrowd::leaving(5, 0.3);
+        let mut rng = StdRng::seed_from_u64(61);
+        let pop = population(100);
+        let plan = m.plan(5, &pop, &mut rng);
+        assert_eq!(plan.leavers.len(), 30);
+        assert!(plan.joiners.is_empty());
+        let mut ids: Vec<u64> = plan.leavers.iter().map(|id| id.as_u64()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 30, "leavers are distinct population members");
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-cycle metrics and run records.
+//!
+//! The paper's figures plot the slice disorder measure (SDM), the global
+//! disorder measure (GDM) and the percentage of unsuccessful swaps against
+//! the cycle count. [`CycleStats`] captures all of them (plus message
+//! accounting), and [`RunRecord`] bundles a whole run with its configuration
+//! for the figure pipeline — serializable to JSON and dumpable as CSV.
+
+use dslice_core::protocol::Event;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// Counters of protocol events within one cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounters {
+    /// Swap proposals (`REQ`) sent.
+    pub swaps_proposed: u64,
+    /// Swap applications (either side).
+    pub swaps_applied: u64,
+    /// Swap messages that arrived stale (unsuccessful swaps, §4.5.2).
+    pub swaps_useless: u64,
+    /// `UPD` attribute samples sent (ranking algorithm).
+    pub updates_sent: u64,
+    /// Attribute samples folded into estimates.
+    pub samples_absorbed: u64,
+}
+
+impl EventCounters {
+    /// Folds a protocol event in.
+    pub fn record(&mut self, event: Event) {
+        match event {
+            Event::SwapProposed => self.swaps_proposed += 1,
+            Event::SwapApplied => self.swaps_applied += 1,
+            Event::SwapUseless => self.swaps_useless += 1,
+            Event::UpdateSent => self.updates_sent += 1,
+            Event::SampleAbsorbed => self.samples_absorbed += 1,
+        }
+    }
+
+    /// Percentage of swap messages that were unsuccessful (Fig. 4(c)):
+    /// `100 · useless / (useless + applied)`, or 0 when no swap message
+    /// was processed.
+    pub fn unsuccessful_swap_pct(&self) -> f64 {
+        let total = self.swaps_useless + self.swaps_applied;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.swaps_useless as f64 / total as f64
+        }
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &EventCounters) {
+        self.swaps_proposed += other.swaps_proposed;
+        self.swaps_applied += other.swaps_applied;
+        self.swaps_useless += other.swaps_useless;
+        self.updates_sent += other.updates_sent;
+        self.samples_absorbed += other.samples_absorbed;
+    }
+}
+
+/// Everything measured at the end of one simulation cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// 1-based cycle number.
+    pub cycle: usize,
+    /// Live population size after churn.
+    pub n: usize,
+    /// Slice disorder measure (§4.4) over the live population.
+    pub sdm: f64,
+    /// Global disorder measure (§4.2) over the live population.
+    pub gdm: f64,
+    /// Event counters for this cycle.
+    pub events: EventCounters,
+    /// Messages dropped because their target departed.
+    pub dropped_messages: u64,
+    /// Nodes that left this cycle.
+    pub left: usize,
+    /// Nodes that joined this cycle.
+    pub joined: usize,
+    /// Live nodes whose *believed* slice changed this cycle (the §3.2
+    /// stability measure; joiners count from their second cycle).
+    pub slice_changes: usize,
+}
+
+impl CycleStats {
+    /// Percentage of unsuccessful swaps in this cycle.
+    pub fn unsuccessful_swap_pct(&self) -> f64 {
+        self.events.unsuccessful_swap_pct()
+    }
+}
+
+/// A complete simulation run: configuration summary plus per-cycle stats.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Free-form run label (protocol, scenario).
+    pub label: String,
+    /// Seed the run was driven by.
+    pub seed: u64,
+    /// Initial population size.
+    pub initial_n: usize,
+    /// Number of slices.
+    pub slices: usize,
+    /// View size `c`.
+    pub view_size: usize,
+    /// Per-cycle measurements, in cycle order.
+    pub cycles: Vec<CycleStats>,
+}
+
+impl RunRecord {
+    /// The last recorded SDM, if any cycle was recorded.
+    pub fn final_sdm(&self) -> Option<f64> {
+        self.cycles.last().map(|c| c.sdm)
+    }
+
+    /// The last recorded GDM.
+    pub fn final_gdm(&self) -> Option<f64> {
+        self.cycles.last().map(|c| c.gdm)
+    }
+
+    /// The first cycle (1-based index into the record) whose SDM is at or
+    /// below `threshold`, if any — a convergence-speed summary.
+    pub fn cycles_to_reach_sdm(&self, threshold: f64) -> Option<usize> {
+        self.cycles.iter().find(|c| c.sdm <= threshold).map(|c| c.cycle)
+    }
+
+    /// Writes the record as CSV (`cycle,n,sdm,gdm,unsuccessful_pct,…`).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(
+            w,
+            "cycle,n,sdm,gdm,unsuccessful_pct,swaps_proposed,swaps_applied,swaps_useless,updates_sent,dropped,left,joined,slice_changes"
+        )?;
+        for c in &self.cycles {
+            writeln!(
+                w,
+                "{},{},{},{},{:.4},{},{},{},{},{},{},{},{}",
+                c.cycle,
+                c.n,
+                c.sdm,
+                c.gdm,
+                c.unsuccessful_swap_pct(),
+                c.events.swaps_proposed,
+                c.events.swaps_applied,
+                c.events.swaps_useless,
+                c.events.updates_sent,
+                c.dropped_messages,
+                c.left,
+                c.joined,
+                c.slice_changes,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the record to pretty JSON (the run manifest format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunRecord serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycle: usize, sdm: f64) -> CycleStats {
+        CycleStats {
+            cycle,
+            n: 100,
+            sdm,
+            gdm: sdm / 2.0,
+            events: EventCounters::default(),
+            dropped_messages: 0,
+            left: 0,
+            joined: 0,
+            slice_changes: 0,
+        }
+    }
+
+    #[test]
+    fn counters_record_all_event_kinds() {
+        let mut c = EventCounters::default();
+        c.record(Event::SwapProposed);
+        c.record(Event::SwapApplied);
+        c.record(Event::SwapApplied);
+        c.record(Event::SwapUseless);
+        c.record(Event::UpdateSent);
+        c.record(Event::SampleAbsorbed);
+        assert_eq!(c.swaps_proposed, 1);
+        assert_eq!(c.swaps_applied, 2);
+        assert_eq!(c.swaps_useless, 1);
+        assert_eq!(c.updates_sent, 1);
+        assert_eq!(c.samples_absorbed, 1);
+    }
+
+    #[test]
+    fn unsuccessful_pct() {
+        let mut c = EventCounters::default();
+        assert_eq!(c.unsuccessful_swap_pct(), 0.0, "no swaps yet");
+        c.swaps_applied = 3;
+        c.swaps_useless = 1;
+        assert!((c.unsuccessful_swap_pct() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = EventCounters {
+            swaps_proposed: 1,
+            swaps_applied: 2,
+            swaps_useless: 3,
+            updates_sent: 4,
+            samples_absorbed: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.swaps_proposed, 2);
+        assert_eq!(a.samples_absorbed, 10);
+    }
+
+    #[test]
+    fn record_summaries() {
+        let rec = RunRecord {
+            label: "test".into(),
+            seed: 7,
+            initial_n: 100,
+            slices: 10,
+            view_size: 5,
+            cycles: vec![stats(1, 50.0), stats(2, 10.0), stats(3, 2.0)],
+        };
+        assert_eq!(rec.final_sdm(), Some(2.0));
+        assert_eq!(rec.final_gdm(), Some(1.0));
+        assert_eq!(rec.cycles_to_reach_sdm(10.0), Some(2));
+        assert_eq!(rec.cycles_to_reach_sdm(0.5), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rec = RunRecord {
+            label: "csv".into(),
+            seed: 1,
+            initial_n: 10,
+            slices: 2,
+            view_size: 3,
+            cycles: vec![stats(1, 5.0)],
+        };
+        let mut buf = Vec::new();
+        rec.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("cycle,n,sdm,gdm"));
+        assert!(lines[1].starts_with("1,100,5,2.5"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rec = RunRecord {
+            label: "json".into(),
+            seed: 1,
+            initial_n: 10,
+            slices: 2,
+            view_size: 3,
+            cycles: vec![stats(1, 5.0)],
+        };
+        let parsed: RunRecord = serde_json::from_str(&rec.to_json()).unwrap();
+        assert_eq!(parsed, rec);
+    }
+}

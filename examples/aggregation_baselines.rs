@@ -1,0 +1,83 @@
+//! The related-work baselines, side by side with slicing (paper §2).
+//!
+//! The paper argues quantile-search approaches (ref [13]) answer a *global*
+//! question — one value — and "use an approximation of the system size",
+//! while slicing answers a *per-node* question with no size estimate at
+//! all. This example makes the comparison concrete on one population:
+//!
+//! 1. gossip size estimation (ref [12]'s inverse-average COUNT);
+//! 2. gossip φ-quantile search for every decile boundary;
+//! 3. the ranking algorithm bringing every node to its slice.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dslice --example aggregation_baselines
+//! ```
+
+use dslice::aggregation::{estimate_size, exact_quantile, QuantileSearch};
+use dslice::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 1_000;
+    let seed = 123;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let distribution = AttributeDistribution::Pareto {
+        scale: 1.0,
+        shape: 1.5,
+    };
+    let values: Vec<f64> = (0..n).map(|_| distribution.sample(&mut rng).value()).collect();
+
+    // --- Baseline 1: network-size estimation (what quantile search needs).
+    println!("1. gossip size estimation (ref [12] COUNT):");
+    let estimates = estimate_size(n, 40, seed);
+    let worst = estimates
+        .iter()
+        .map(|e| e.map_or(f64::INFINITY, |e| (e - n as f64).abs() / n as f64))
+        .fold(0.0f64, f64::max);
+    println!("   n = {n}, 40 rounds: worst per-node relative error {:.2}%\n", 100.0 * worst);
+
+    // --- Baseline 2: quantile search, one run per decile boundary.
+    println!("2. gossip quantile search (ref [13]), decile boundaries:");
+    println!("   phi    found     exact     probes   gossip-rounds");
+    let mut total_rounds = 0usize;
+    for b in 1..10 {
+        let phi = b as f64 / 10.0;
+        let result = QuantileSearch::new(phi).run(&values, seed ^ b as u64);
+        let exact = exact_quantile(&values, phi);
+        total_rounds += result.gossip_rounds;
+        println!(
+            "   {phi:.1}   {:>7.3}   {:>7.3}   {:>5}   {:>8}",
+            result.value, exact, result.probes, result.gossip_rounds
+        );
+    }
+    println!("   total: {total_rounds} gossip rounds for 9 global boundary values\n");
+
+    // --- Slicing: every node learns its decile in one continuous protocol.
+    println!("3. distributed slicing (ranking algorithm), 10 slices:");
+    let cfg = SimConfig {
+        n,
+        view_size: 10,
+        partition: Partition::equal(10).unwrap(),
+        distribution,
+        seed,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
+    let mut cycles_to_95 = None;
+    for cycle in 1..=400 {
+        engine.step();
+        if cycles_to_95.is_none() && engine.accuracy() >= 0.95 {
+            cycles_to_95 = Some(cycle);
+            break;
+        }
+    }
+    match cycles_to_95 {
+        Some(c) => println!(
+            "   every node self-assigned; 95% correct after {c} cycles \
+             (vs {total_rounds} rounds for 9 boundary values only)"
+        ),
+        None => println!("   accuracy after 400 cycles: {:.1}%", 100.0 * engine.accuracy()),
+    }
+}

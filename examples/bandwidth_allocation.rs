@@ -1,0 +1,104 @@
+//! Resource allocation over a heavy-tailed bandwidth population.
+//!
+//! The paper's motivation (§1.1): a generic P2P platform wants to hand the
+//! top 10% of nodes (by bandwidth) to a latency-critical application, the
+//! next 40% to bulk distribution, and the rest to background tasks.
+//! Measured P2P bandwidth distributions are heavy-tailed, so absolute
+//! thresholds are hopeless — slices, being rank-based, are immune to the
+//! skew.
+//!
+//! This example slices a Pareto-distributed population with the ranking
+//! algorithm and reports per-slice assignment quality.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dslice --example bandwidth_allocation
+//! ```
+
+use dslice::prelude::*;
+
+fn main() {
+    // 10% super-peers / 40% relays / 50% leaf nodes.
+    let partition = Partition::from_fractions(&[0.5, 0.4, 0.1]).unwrap();
+    let names = ["leaf (bottom 50%)", "relay (middle 40%)", "super-peer (top 10%)"];
+
+    let cfg = SimConfig {
+        n: 2_000,
+        view_size: 10,
+        partition: partition.clone(),
+        // Heavy tail: most nodes are slow, a few are enormously fast.
+        distribution: AttributeDistribution::Pareto {
+            scale: 1.0, // 1 Mbit/s floor
+            shape: 1.5,
+        },
+        seed: 2024,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
+
+    println!("slicing a Pareto(1, 1.5) bandwidth population, n = 2000\n");
+    println!("cycle    SDM      correctly-sliced");
+    for checkpoint in [5usize, 20, 50, 100, 200, 400] {
+        while engine.cycle() < checkpoint {
+            engine.step();
+        }
+        let snapshot = engine.snapshot();
+        let truth = rank::true_slices(
+            snapshot.iter().map(|&(id, a, _)| (id, a)),
+            &partition,
+        );
+        let correct = snapshot
+            .iter()
+            .filter(|(id, _, est)| partition.slice_of(*est) == truth[id])
+            .count();
+        println!(
+            "{:>5}  {:>8.1}   {:>5.1}%",
+            checkpoint,
+            engine.sdm(),
+            100.0 * correct as f64 / snapshot.len() as f64
+        );
+    }
+
+    // Final per-slice report.
+    let snapshot = engine.snapshot();
+    let truth = rank::true_slices(snapshot.iter().map(|&(id, a, _)| (id, a)), &partition);
+    println!("\nper-slice outcome:");
+    for (idx, name) in names.iter().enumerate() {
+        let members: Vec<_> = snapshot
+            .iter()
+            .filter(|(_, _, est)| partition.slice_of(*est).as_usize() == idx)
+            .collect();
+        let correct = members
+            .iter()
+            .filter(|(id, _, _)| truth[id].as_usize() == idx)
+            .count();
+        let min_bw = members
+            .iter()
+            .map(|(_, a, _)| a.value())
+            .fold(f64::INFINITY, f64::min);
+        let max_bw = members
+            .iter()
+            .map(|(_, a, _)| a.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  S{idx} {name:<22} {:>4} members, {:>5.1}% correct, bandwidth {:.1}–{:.1} Mbit/s",
+            members.len(),
+            100.0 * correct as f64 / members.len().max(1) as f64,
+            min_bw,
+            max_bw,
+        );
+    }
+
+    // The headline guarantee: the true top-10% slice is mostly identified.
+    let super_peers: Vec<_> = snapshot
+        .iter()
+        .filter(|(id, _, _)| truth[id].as_usize() == 2)
+        .collect();
+    let found = super_peers
+        .iter()
+        .filter(|(_, _, est)| partition.slice_of(*est).as_usize() == 2)
+        .count();
+    let recall = 100.0 * found as f64 / super_peers.len().max(1) as f64;
+    println!("\nsuper-peer recall: {recall:.1}% of the true top-10% self-identify as super-peers");
+    assert!(recall > 60.0, "super-peer recall collapsed: {recall}");
+}

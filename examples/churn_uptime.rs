@@ -1,0 +1,81 @@
+//! Churn correlated with the attribute: the uptime scenario of §5.3.3.
+//!
+//! When the attribute *is* the node's session duration, churn is maximally
+//! adversarial for the ordering algorithms: the lowest-attribute nodes are
+//! exactly the ones that leave, and joiners arrive above everyone. The
+//! random values held by leavers drain from the bottom of `(0, 1]`, skewing
+//! the distribution irrecoverably — while the ranking algorithm just keeps
+//! re-estimating, and its sliding-window variant forgets the stale samples.
+//!
+//! This example races the three protocols under regular correlated churn
+//! (0.1% every 10 cycles) and prints their SDM trajectories — the shape of
+//! the paper's Fig. 6(d).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dslice --example churn_uptime
+//! ```
+
+use dslice::prelude::*;
+use dslice::sim::churn::ChurnSchedule;
+
+fn run(kind: ProtocolKind, seed: u64, cycles: usize, checkpoints: &[usize]) -> Vec<f64> {
+    let cfg = SimConfig {
+        n: 1_500,
+        view_size: 10,
+        partition: Partition::equal(20).unwrap(),
+        seed,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, kind)
+        .unwrap()
+        .with_churn(Box::new(CorrelatedChurn::new(ChurnSchedule::regular(), 1.0)));
+    let mut out = Vec::new();
+    for &cp in checkpoints {
+        while engine.cycle() < cp.min(cycles) {
+            engine.step();
+        }
+        out.push(engine.sdm());
+    }
+    out
+}
+
+fn main() {
+    let cycles = 500;
+    let checkpoints = [10usize, 50, 100, 200, 350, 500];
+    println!("uptime-correlated churn: 0.1% of the shortest-lived nodes replaced every 10 cycles");
+    println!("(n = 1500, 20 slices, view 10)\n");
+
+    let ordering = run(ProtocolKind::ModJk, 7, cycles, &checkpoints);
+    let ranking = run(ProtocolKind::Ranking, 7, cycles, &checkpoints);
+    let sliding = run(
+        ProtocolKind::SlidingRanking { window: 1_500 },
+        7,
+        cycles,
+        &checkpoints,
+    );
+
+    println!("cycle    mod-JK (ordering)   ranking   sliding-window");
+    for (i, cp) in checkpoints.iter().enumerate() {
+        println!(
+            "{:>5}   {:>17.1}   {:>7.1}   {:>14.1}",
+            cp, ordering[i], ranking[i], sliding[i]
+        );
+    }
+
+    let last = checkpoints.len() - 1;
+    println!();
+    if ordering[last] > ranking[last] {
+        println!(
+            "ordering ends {:.1}x more disordered than ranking — random values cannot recover \
+             from attribute-correlated churn (§5.3.3)",
+            ordering[last] / ranking[last].max(1.0)
+        );
+    }
+    if sliding[last] <= ranking[last] * 1.5 {
+        println!(
+            "sliding-window stays at or below plain ranking late in the run — stale samples \
+             are forgotten (§5.3.4)"
+        );
+    }
+}

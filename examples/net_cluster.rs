@@ -1,0 +1,59 @@
+//! A real network cluster: the same protocols over TCP.
+//!
+//! Spins up 24 nodes on loopback, each a tokio task with its own listener,
+//! Cyclon view and ranking-protocol state, introduces them to a few random
+//! bootstrap peers, and lets them gossip in real time. No simulator — real
+//! sockets, real concurrency, real message loss tolerance.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p dslice --example net_cluster
+//! ```
+
+use dslice::prelude::*;
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    // A spread of capacities: 24 nodes, attribute = node index squared
+    // (deliberately non-uniform).
+    let attributes: Vec<Attribute> = (1..=24)
+        .map(|i| Attribute::new((i * i) as f64).unwrap())
+        .collect();
+    let partition = Partition::equal(3).unwrap(); // thirds: low / mid / high
+
+    let cfg = ClusterConfig {
+        view_size: 8,
+        period: Duration::from_millis(15),
+        bootstrap_degree: 5,
+        ..ClusterConfig::new(attributes, partition.clone(), ProtocolKind::Ranking)
+    };
+
+    println!("spawning 24 nodes on loopback…");
+    let cluster = LocalCluster::spawn(cfg).await?;
+    println!("gossiping for 1.5 s (~100 periods)…");
+    for _ in 0..5 {
+        cluster.run_for(Duration::from_millis(300)).await;
+        println!("  live SDM = {:.1}", cluster.live_sdm());
+    }
+
+    let report = cluster.shutdown().await;
+    println!("\nfinal assignments:");
+    let mut assignments = report.assignments();
+    assignments.sort_by_key(|a| a.1);
+    for (id, attribute, estimate, slice) in &assignments {
+        println!(
+            "  node {:>2}  capacity {:>4}  estimate {:.2}  -> S{}",
+            id,
+            attribute.value(),
+            estimate,
+            slice
+        );
+    }
+    println!(
+        "\naccuracy: {:.1}% of nodes identified their true third (SDM {:.1})",
+        report.accuracy() * 100.0,
+        report.sdm()
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Integration: message concurrency (§4.5.2) at reduced scale.
+//!
+//! Asserts the qualitative results of Figs. 4(c) and 4(d): concurrency
+//! produces unsuccessful swaps (none exist in the atomic model); more
+//! concurrency produces more of them; mod-JK wastes more messages than JK
+//! (it concentrates proposals on the most misplaced nodes); and full
+//! concurrency slows convergence only slightly.
+
+use dslice::prelude::*;
+
+fn config(seed: u64, concurrency: Concurrency) -> SimConfig {
+    SimConfig {
+        n: 500,
+        view_size: 12,
+        partition: Partition::equal(10).unwrap(),
+        concurrency,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn total_useless(record: &RunRecord) -> u64 {
+    record.cycles.iter().map(|c| c.events.swaps_useless).sum()
+}
+
+fn total_applied(record: &RunRecord) -> u64 {
+    record.cycles.iter().map(|c| c.events.swaps_applied).sum()
+}
+
+#[test]
+fn atomic_model_has_no_useless_swaps() {
+    let record = Engine::new(config(1, Concurrency::None), ProtocolKind::ModJk)
+        .unwrap()
+        .run(40);
+    assert_eq!(total_useless(&record), 0);
+    assert!(total_applied(&record) > 0, "swaps did happen");
+}
+
+#[test]
+fn more_concurrency_means_more_useless_swaps() {
+    let half = Engine::new(config(2, Concurrency::Half), ProtocolKind::ModJk)
+        .unwrap()
+        .run(40);
+    let full = Engine::new(config(2, Concurrency::Full), ProtocolKind::ModJk)
+        .unwrap()
+        .run(40);
+    let half_useless = total_useless(&half);
+    let full_useless = total_useless(&full);
+    assert!(half_useless > 0, "half concurrency must waste something");
+    assert!(
+        full_useless > half_useless,
+        "full ({full_useless}) must waste more than half ({half_useless})"
+    );
+}
+
+#[test]
+fn mod_jk_wastes_more_than_jk_under_concurrency() {
+    // Fig. 4(c): "in the modified version of JK, more messages are ignored
+    // than in the original JK algorithm" — gain-maximizing selection
+    // concentrates REQs on the same targets.
+    let pct = |kind: ProtocolKind| {
+        let record = Engine::new(config(3, Concurrency::Full), kind)
+            .unwrap()
+            .run(60);
+        let useless = total_useless(&record) as f64;
+        let applied = total_applied(&record) as f64;
+        100.0 * useless / (useless + applied)
+    };
+    let jk = pct(ProtocolKind::Jk);
+    let modjk = pct(ProtocolKind::ModJk);
+    assert!(
+        modjk > jk,
+        "mod-JK must waste a larger share: {modjk:.1}% vs JK {jk:.1}%"
+    );
+}
+
+#[test]
+fn full_concurrency_slows_convergence_only_slightly() {
+    // Fig. 4(d): the two SDM curves nearly coincide. We allow the
+    // concurrent run up to 2x the atomic run's SDM area — "slight" at this
+    // scale — and require it to still converge massively from its start.
+    let atomic = Engine::new(config(4, Concurrency::None), ProtocolKind::ModJk)
+        .unwrap()
+        .run(80);
+    let full = Engine::new(config(4, Concurrency::Full), ProtocolKind::ModJk)
+        .unwrap()
+        .run(80);
+    let auc = |r: &RunRecord| -> f64 { r.cycles.iter().map(|c| c.sdm).sum() };
+    assert!(
+        auc(&full) < auc(&atomic) * 2.0,
+        "full concurrency must not blow up convergence: {} vs {}",
+        auc(&full),
+        auc(&atomic)
+    );
+    let first = full.cycles.first().unwrap().sdm;
+    let last = full.final_sdm().unwrap();
+    assert!(
+        last < first / 5.0,
+        "concurrent run still converges: {first} -> {last}"
+    );
+}
+
+#[test]
+fn ranking_is_immune_to_concurrency() {
+    // §5 "Concurrency side-effect": Update payloads never go stale, so the
+    // ranking algorithm records no useless swaps and converges identically
+    // in distribution.
+    let atomic = Engine::new(config(5, Concurrency::None), ProtocolKind::Ranking)
+        .unwrap()
+        .run(100);
+    let full = Engine::new(config(5, Concurrency::Full), ProtocolKind::Ranking)
+        .unwrap()
+        .run(100);
+    assert_eq!(total_useless(&atomic), 0);
+    assert_eq!(total_useless(&full), 0);
+    // Both converge to comparable SDM.
+    let a = atomic.final_sdm().unwrap();
+    let f = full.final_sdm().unwrap();
+    assert!(
+        (a - f).abs() <= a.max(f) * 0.8 + 20.0,
+        "ranking under concurrency diverged: {a} vs {f}"
+    );
+}

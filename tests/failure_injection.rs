@@ -1,0 +1,100 @@
+//! Integration: failure injection — message loss.
+//!
+//! Gossip protocols are supposed to tolerate lost messages by design (the
+//! paper's model does not even bother to assume reliable channels for the
+//! one-way `UPD` traffic). These tests quantify that: both protocol
+//! families must still converge under substantial uniform message loss,
+//! degrading gracefully rather than collapsing.
+
+use dslice::prelude::*;
+
+fn config(seed: u64, loss_rate: f64) -> SimConfig {
+    SimConfig {
+        n: 400,
+        view_size: 10,
+        partition: Partition::equal(8).unwrap(),
+        loss_rate,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn ranking_converges_under_20_percent_loss() {
+    let record = Engine::new(config(51, 0.2), ProtocolKind::Ranking)
+        .unwrap()
+        .run(200);
+    let first = record.cycles[0].sdm;
+    let last = record.final_sdm().unwrap();
+    assert!(
+        last < first / 4.0,
+        "ranking under 20% loss must still converge: {first} -> {last}"
+    );
+    let dropped: u64 = record.cycles.iter().map(|c| c.dropped_messages).sum();
+    assert!(dropped > 0, "loss was actually injected");
+}
+
+#[test]
+fn ordering_converges_under_20_percent_loss() {
+    let mut engine = Engine::new(config(52, 0.2), ProtocolKind::ModJk).unwrap();
+    let record = engine.run(250);
+    let first = record.cycles[0].sdm;
+    let last = record.final_sdm().unwrap();
+    assert!(
+        last < first / 4.0,
+        "mod-JK under 20% loss must still converge: {first} -> {last}"
+    );
+    // Loss never corrupts the value multiset (a lost proposal is a no-op).
+    let mut values: Vec<f64> = engine.snapshot().iter().map(|&(_, _, r)| r).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.dedup_by(|a, b| a == b);
+    assert_eq!(values.len(), 400, "all 400 distinct values survive");
+}
+
+#[test]
+fn loss_degrades_convergence_monotonically() {
+    let auc = |loss: f64| {
+        let record = Engine::new(config(53, loss), ProtocolKind::Ranking)
+            .unwrap()
+            .run(100);
+        record.cycles.iter().map(|c| c.sdm).sum::<f64>()
+    };
+    let lossless = auc(0.0);
+    let heavy = auc(0.5);
+    // Heavy loss must cost something, but the protocol still functions.
+    assert!(heavy > lossless * 0.8, "loss should not accelerate convergence");
+    let record = Engine::new(config(53, 0.5), ProtocolKind::Ranking)
+        .unwrap()
+        .run(200);
+    assert!(
+        record.final_sdm().unwrap() < record.cycles[0].sdm / 2.0,
+        "even 50% loss must not prevent convergence"
+    );
+}
+
+#[test]
+fn total_loss_stalls_message_driven_progress_but_not_view_sampling() {
+    // With 100% protocol-message loss the ranking algorithm still converges:
+    // its primary sample stream is the view scan (Fig. 5 lines 5–11), which
+    // rides on the membership layer, not on UPD messages.
+    let record = Engine::new(config(54, 1.0), ProtocolKind::Ranking)
+        .unwrap()
+        .run(150);
+    assert!(
+        record.final_sdm().unwrap() < record.cycles[0].sdm / 2.0,
+        "view-scan sampling alone must still drive convergence"
+    );
+    // The ordering algorithms, by contrast, make *no* progress: every swap
+    // proposal is lost, so the SDM never leaves its initial level.
+    let record = Engine::new(config(55, 1.0), ProtocolKind::ModJk)
+        .unwrap()
+        .run(50);
+    let first = record.cycles[0].sdm;
+    let last = record.final_sdm().unwrap();
+    assert!(
+        last > first * 0.8,
+        "ordering with all proposals lost cannot converge: {first} -> {last}"
+    );
+    let applied: u64 = record.cycles.iter().map(|c| c.events.swaps_applied).sum();
+    assert_eq!(applied, 0, "no swap can complete when every message is lost");
+}

@@ -1,0 +1,204 @@
+//! Integration: the tokio runtime end-to-end.
+//!
+//! The same protocol code that runs in the simulator runs here over real
+//! TCP sockets with genuine concurrency. A small cluster must converge to a
+//! mostly-correct slice assignment within a few hundred gossip periods.
+
+use dslice::prelude::*;
+use std::time::Duration;
+
+fn attrs(n: usize) -> Vec<Attribute> {
+    (0..n)
+        .map(|i| Attribute::new(((i * 37) % n) as f64).unwrap())
+        .collect()
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn ranking_cluster_converges_over_tcp() {
+    let cfg = ClusterConfig {
+        view_size: 8,
+        period: Duration::from_millis(10),
+        bootstrap_degree: 5,
+        seed: 404,
+        ..ClusterConfig::new(attrs(20), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+    };
+    let cluster = LocalCluster::spawn(cfg).await.unwrap();
+    cluster.run_for(Duration::from_millis(1200)).await;
+    let report = cluster.shutdown().await;
+    let accuracy = report.accuracy();
+    assert!(
+        accuracy >= 0.7,
+        "cluster accuracy {accuracy} too low (sdm = {})",
+        report.sdm()
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn sliding_ranking_cluster_runs_over_tcp() {
+    let cfg = ClusterConfig {
+        view_size: 6,
+        period: Duration::from_millis(10),
+        bootstrap_degree: 4,
+        seed: 405,
+        ..ClusterConfig::new(
+            attrs(12),
+            Partition::equal(3).unwrap(),
+            ProtocolKind::SlidingRanking { window: 256 },
+        )
+    };
+    let cluster = LocalCluster::spawn(cfg).await.unwrap();
+    cluster.run_for(Duration::from_millis(900)).await;
+    let report = cluster.shutdown().await;
+    // Everyone made progress and estimates are sane probabilities.
+    for node in &report.nodes {
+        assert!(node.ticks > 20, "node {} barely ticked", node.id);
+        assert!((0.0..=1.0).contains(&node.estimate));
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn cluster_survives_join_and_leave() {
+    // Dynamic membership over real sockets: kill two nodes mid-run, join
+    // two newcomers with extreme attributes, and verify the survivors and
+    // newcomers still converge to sane estimates.
+    let cfg = ClusterConfig {
+        view_size: 6,
+        period: Duration::from_millis(10),
+        bootstrap_degree: 4,
+        seed: 410,
+        ..ClusterConfig::new(attrs(14), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+    };
+    let mut cluster = LocalCluster::spawn(cfg.clone()).await.unwrap();
+    cluster.run_for(Duration::from_millis(300)).await;
+
+    // Abrupt departures.
+    let victims: Vec<NodeId> = cluster.node_ids().into_iter().take(2).collect();
+    for v in victims {
+        assert!(cluster.kill_node(v).await.is_some());
+    }
+    assert!(cluster.kill_node(NodeId::new(9999)).await.is_none());
+
+    // Two joiners: one at the very bottom, one at the very top.
+    let low = cluster
+        .join_node(&cfg, Attribute::new(-100.0).unwrap())
+        .await
+        .unwrap();
+    let high = cluster
+        .join_node(&cfg, Attribute::new(1e6).unwrap())
+        .await
+        .unwrap();
+    assert_eq!(cluster.len(), 14);
+
+    cluster.run_for(Duration::from_millis(900)).await;
+    let report = cluster.shutdown().await;
+    let part = Partition::equal(2).unwrap();
+    let low_snap = report.nodes.iter().find(|s| s.id == low).unwrap();
+    let high_snap = report.nodes.iter().find(|s| s.id == high).unwrap();
+    assert!(low_snap.ticks > 10, "joiner {low} integrated into the overlay");
+    assert_eq!(
+        part.slice_of(low_snap.estimate).as_usize(),
+        0,
+        "bottom joiner must learn it is in the low slice (estimate {})",
+        low_snap.estimate
+    );
+    assert_eq!(
+        part.slice_of(high_snap.estimate).as_usize(),
+        1,
+        "top joiner must learn it is in the high slice (estimate {})",
+        high_snap.estimate
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn every_sampler_substrate_works_over_tcp() {
+    // The §4.3.1 substrates are interchangeable over real sockets too:
+    // the same ranking cluster converges on Cyclon, Newscast and Lpbcast.
+    for (i, sampler) in [
+        SamplerKind::Cyclon,
+        SamplerKind::Newscast,
+        SamplerKind::Lpbcast,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cfg = ClusterConfig {
+            view_size: 8,
+            period: Duration::from_millis(10),
+            bootstrap_degree: 5,
+            seed: 420 + i as u64,
+            sampler,
+            ..ClusterConfig::new(attrs(16), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+        };
+        let cluster = LocalCluster::spawn(cfg).await.unwrap();
+        cluster.run_for(Duration::from_millis(1000)).await;
+        let report = cluster.shutdown().await;
+        for node in &report.nodes {
+            assert!(
+                node.ticks > 20,
+                "{sampler}: node {} barely ticked — overlay failed to form",
+                node.id
+            );
+        }
+        let accuracy = report.accuracy();
+        assert!(
+            accuracy >= 0.6,
+            "{sampler}: accuracy {accuracy} too low over TCP"
+        );
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn ranking_tolerates_wire_loss_and_delay() {
+    // The simulator's loss/latency findings, checked over real sockets:
+    // ranking converges through 20% message loss plus 0–30 ms extra delay
+    // (3× the gossip period), because one-way attribute samples cannot go
+    // stale and need no reliability.
+    use dslice::net::FaultPlan;
+    use std::time::Duration as D;
+    let cfg = ClusterConfig {
+        view_size: 8,
+        period: Duration::from_millis(10),
+        bootstrap_degree: 5,
+        seed: 430,
+        faults: FaultPlan {
+            loss: 0.2,
+            delay: Some((D::from_millis(0), D::from_millis(30))),
+        },
+        ..ClusterConfig::new(attrs(16), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+    };
+    let cluster = LocalCluster::spawn(cfg).await.unwrap();
+    cluster.run_for(Duration::from_millis(1500)).await;
+    let report = cluster.shutdown().await;
+    let dropped: u64 = report.nodes.iter().map(|s| s.dropped).sum();
+    assert!(dropped > 0, "the fault plan must actually drop messages");
+    let accuracy = report.accuracy();
+    assert!(
+        accuracy >= 0.6,
+        "accuracy {accuracy} under 20% loss + 3-period delays (dropped {dropped})"
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn mod_jk_cluster_improves_sdm_over_tcp() {
+    // The ordering algorithm faces real concurrency here (the paper's
+    // §4.5.2 staleness for free). It must still substantially reduce
+    // disorder.
+    let cfg = ClusterConfig {
+        view_size: 8,
+        period: Duration::from_millis(10),
+        bootstrap_degree: 5,
+        seed: 406,
+        ..ClusterConfig::new(attrs(16), Partition::equal(4).unwrap(), ProtocolKind::ModJk)
+    };
+    let cluster = LocalCluster::spawn(cfg).await.unwrap();
+    // Let the overlay form before measuring the baseline.
+    cluster.run_for(Duration::from_millis(100)).await;
+    let before = cluster.live_sdm();
+    cluster.run_for(Duration::from_millis(1200)).await;
+    let report = cluster.shutdown().await;
+    let after = report.sdm();
+    assert!(
+        after <= before,
+        "ordering over TCP should not increase disorder: {before} -> {after}"
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration: the ordering algorithms (§4) at reduced scale.
+//!
+//! Asserts the qualitative results of Fig. 4(a) and 4(b): mod-JK converges
+//! faster than JK; the GDM reaches zero (total order achieved) while the
+//! SDM plateaus at the accuracy floor of the initial random values; both
+//! algorithms share that floor because they sort the same value multiset.
+
+use dslice::prelude::*;
+
+fn config(n: usize, slices: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        n,
+        view_size: 12,
+        partition: Partition::equal(slices).unwrap(),
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn gdm_reaches_zero_while_sdm_plateaus() {
+    // Fig. 4(a): the ordering algorithm totally orders the random values,
+    // but slice assignment stays imperfect.
+    let mut engine = Engine::new(config(400, 20, 11), ProtocolKind::ModJk).unwrap();
+    let record = engine.run(150);
+    assert_eq!(
+        engine.gdm(),
+        0.0,
+        "mod-JK must totally order the random values"
+    );
+    // SDM floor: with 400 uniform values over 20 slices, a perfect
+    // assignment has essentially zero probability (§4.4). The plateau is
+    // reached — the last 30 cycles do not improve the SDM.
+    let late: Vec<f64> = record.cycles[120..].iter().map(|c| c.sdm).collect();
+    let spread = late.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - late.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert_eq!(spread, 0.0, "SDM must have plateaued after GDM hit 0");
+}
+
+#[test]
+fn mod_jk_converges_faster_than_jk() {
+    // Fig. 4(b): at matched cycles mid-convergence, mod-JK's SDM is lower.
+    let jk = Engine::new(config(600, 10, 3), ProtocolKind::Jk)
+        .unwrap()
+        .run(60);
+    let modjk = Engine::new(config(600, 10, 3), ProtocolKind::ModJk)
+        .unwrap()
+        .run(60);
+
+    // Compare the area under the SDM curve over the convergent phase — a
+    // robust "speed" summary that does not depend on a single cycle.
+    let auc = |r: &RunRecord| -> f64 { r.cycles.iter().map(|c| c.sdm).sum() };
+    let jk_auc = auc(&jk);
+    let modjk_auc = auc(&modjk);
+    assert!(
+        modjk_auc < jk_auc,
+        "mod-JK must converge faster: AUC {modjk_auc} vs JK {jk_auc}"
+    );
+}
+
+#[test]
+fn both_ordering_algorithms_share_the_same_floor() {
+    // Same seed → same initial random values → same final SDM once both
+    // have fully sorted (§4.5.1: "both converge to the same SDM").
+    let jk = Engine::new(config(300, 10, 5), ProtocolKind::Jk)
+        .unwrap()
+        .run(250);
+    let modjk = Engine::new(config(300, 10, 5), ProtocolKind::ModJk)
+        .unwrap()
+        .run(250);
+    let jk_final = jk.final_sdm().unwrap();
+    let modjk_final = modjk.final_sdm().unwrap();
+    assert_eq!(
+        jk_final, modjk_final,
+        "identical value multisets must yield identical floors"
+    );
+}
+
+#[test]
+fn convergence_scales_with_view_size() {
+    // Larger views find misplaced partners sooner.
+    let run = |view_size: usize| {
+        let cfg = SimConfig {
+            view_size,
+            ..config(400, 10, 9)
+        };
+        Engine::new(cfg, ProtocolKind::ModJk).unwrap().run(40)
+    };
+    let small = run(5);
+    let large = run(20);
+    let auc = |r: &RunRecord| -> f64 { r.cycles.iter().map(|c| c.sdm).sum() };
+    assert!(
+        auc(&large) < auc(&small),
+        "view 20 should outpace view 5: {} vs {}",
+        auc(&large),
+        auc(&small)
+    );
+}
+
+#[test]
+fn ordering_conserves_the_random_value_multiset() {
+    // Under the atomic cycle model swaps are lossless: the multiset of
+    // random values never changes (values only move between nodes).
+    let cfg = config(200, 10, 13);
+    let mut engine = Engine::new(cfg, ProtocolKind::ModJk).unwrap();
+    let mut before: Vec<f64> = engine.snapshot().iter().map(|&(_, _, r)| r).collect();
+    before.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    engine.run(50);
+    let mut after: Vec<f64> = engine.snapshot().iter().map(|&(_, _, r)| r).collect();
+    after.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(before, after, "swap-based sorting must conserve the values");
+}

@@ -1,0 +1,102 @@
+//! Integration: re-slicing a converged network at zero protocol cost.
+//!
+//! The slicing service exists so slices "can be allocated to specific
+//! applications later on" (§1.1) — and later, re-allocated. Because both
+//! protocol families estimate a partition-independent quantity (the
+//! normalized rank), installing a new partitioning is a pure lookup change:
+//! accuracy under the new slices is immediately what the estimates support,
+//! with no transient and no extra messages.
+
+use dslice::prelude::*;
+
+fn converged_engine(kind: ProtocolKind, seed: u64) -> Engine {
+    let cfg = SimConfig {
+        n: 600,
+        view_size: 10,
+        partition: Partition::equal(5).unwrap(),
+        seed,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, kind).unwrap();
+    engine.run(120);
+    engine
+}
+
+#[test]
+fn ranking_reslices_instantly() {
+    let mut engine = converged_engine(ProtocolKind::Ranking, 201);
+    let before = engine.accuracy();
+    assert!(before > 0.8, "not converged: {before}");
+
+    // The platform re-allocates: 5 equal slices → 60/30/10 split.
+    engine.set_partition(Partition::from_fractions(&[0.6, 0.3, 0.1]).unwrap());
+
+    // Accuracy under the *new* partition, with zero additional cycles.
+    let immediately = engine.accuracy();
+    assert!(
+        immediately > before - 0.1,
+        "re-slicing should be free: {before} -> {immediately}"
+    );
+    // Histograms follow the new fractions.
+    let hist = engine.slice_histogram();
+    assert_eq!(hist.len(), 3);
+    assert_eq!(hist.iter().sum::<usize>(), 600);
+    assert!(
+        (hist[0] as f64 - 360.0).abs() < 50.0,
+        "bottom slice believed population {} far from 360",
+        hist[0]
+    );
+}
+
+#[test]
+fn ordering_reslices_instantly_too() {
+    // Random values are also partition-independent; the ordering family's
+    // re-slicing accuracy is bounded by its usual uniformity floor, not by
+    // any transient.
+    let mut engine = converged_engine(ProtocolKind::ModJk, 203);
+    let before = engine.accuracy();
+    engine.set_partition(Partition::equal(2).unwrap());
+    let immediately = engine.accuracy();
+    assert!(
+        immediately >= before - 0.1,
+        "coarser slices cannot hurt a sorted run: {before} -> {immediately}"
+    );
+    assert!(immediately > 0.85);
+}
+
+#[test]
+fn convergence_continues_under_the_new_partition() {
+    // After re-slicing, the ranking protocol's boundary targeting now aims
+    // at the *new* boundaries and accuracy keeps improving.
+    let mut engine = converged_engine(ProtocolKind::Ranking, 205);
+    engine.set_partition(Partition::equal(20).unwrap());
+    let at_switch = engine.accuracy();
+    engine.run(150);
+    let later = engine.accuracy();
+    assert!(
+        later > at_switch,
+        "post-repartition convergence stalled: {at_switch} -> {later}"
+    );
+}
+
+#[test]
+fn repartition_applies_to_future_joiners() {
+    use dslice::sim::ChurnSchedule;
+    let mut engine = converged_engine(ProtocolKind::Ranking, 207);
+    engine.set_partition(Partition::equal(4).unwrap());
+    // Churn in some joiners: they must slice against the new partition.
+    let schedule = ChurnSchedule {
+        rate: 0.05,
+        period: 1,
+        stop_after: Some(engine.cycle() + 3),
+    };
+    let mut engine = engine.with_churn(Box::new(UncorrelatedChurn::new(
+        schedule,
+        AttributeDistribution::default(),
+    )));
+    engine.run(40);
+    assert_eq!(engine.partition().len(), 4);
+    let hist = engine.slice_histogram();
+    assert_eq!(hist.len(), 4);
+    assert_eq!(hist.iter().sum::<usize>(), engine.population());
+}

@@ -1,0 +1,156 @@
+//! Integration: realistic session churn and mass arrival/departure.
+//!
+//! Extends the paper's two churn scenarios (§5.3.3) with the Weibull
+//! session model its own reference \[17\] measures, plus flash crowds —
+//! and verifies the mechanism behind Fig. 6(c) directly: correlated churn
+//! skews the ordering algorithm's random-value multiset away from
+//! uniformity (detected by a KS test), which is why no amount of further
+//! sorting can repair its slice assignment.
+
+use dslice::analysis::{ks_test, ks_statistic};
+use dslice::prelude::*;
+use dslice::sim::{ChurnSchedule, FlashCrowd, SessionChurn, WeibullSessions};
+
+fn config(n: usize, slices: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        n,
+        view_size: 10,
+        partition: Partition::equal(slices).unwrap(),
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn sliding_ranking_stays_accurate_under_session_churn() {
+    let churn = SessionChurn::new(
+        WeibullSessions::heavy_tailed(150.0),
+        AttributeDistribution::default(),
+    )
+    .uptime_attribute();
+    let mut engine = Engine::new(config(600, 5, 81), ProtocolKind::SlidingRanking { window: 400 })
+        .unwrap()
+        .with_churn(Box::new(churn));
+    let record = engine.run(300);
+
+    // Population is stationary under the replacement model.
+    assert_eq!(engine.population(), 600);
+    let total_left: usize = record.cycles.iter().map(|c| c.left).sum();
+    let total_joined: usize = record.cycles.iter().map(|c| c.joined).sum();
+    assert_eq!(total_left, total_joined);
+    assert!(total_left > 100, "heavy-tailed sessions must churn the population");
+
+    // Accuracy holds despite the fully-correlated churn.
+    assert!(
+        engine.accuracy() > 0.6,
+        "accuracy {:.3} collapsed under session churn",
+        engine.accuracy()
+    );
+}
+
+#[test]
+fn flash_crowd_join_dips_then_recovers() {
+    let crowd = FlashCrowd::joining(60, 0.5, AttributeDistribution::default());
+    let mut engine = Engine::new(config(500, 5, 83), ProtocolKind::Ranking)
+        .unwrap()
+        .with_churn(Box::new(crowd));
+
+    // Converge first.
+    for _ in 0..59 {
+        engine.step();
+    }
+    let before = engine.accuracy();
+    assert!(before > 0.75, "should be converged before the crowd: {before}");
+
+    // The crowd arrives: 250 strangers with no samples.
+    engine.step();
+    assert_eq!(engine.population(), 750);
+    let at_crowd = engine.accuracy();
+    assert!(
+        at_crowd < before,
+        "a 50% join burst must dent accuracy ({before} -> {at_crowd})"
+    );
+
+    // Recovery: newcomers estimate their ranks; incumbents re-rank.
+    for _ in 0..150 {
+        engine.step();
+    }
+    let after = engine.accuracy();
+    assert!(
+        after > before - 0.05,
+        "accuracy failed to recover: {before} -> {at_crowd} -> {after}"
+    );
+}
+
+#[test]
+fn mass_departure_does_not_wedge_the_overlay() {
+    let crowd = FlashCrowd::leaving(40, 0.4);
+    let mut engine = Engine::new(config(500, 4, 85), ProtocolKind::Ranking)
+        .unwrap()
+        .with_churn(Box::new(crowd));
+    let record = engine.run(160);
+    assert_eq!(engine.population(), 300);
+    let left: usize = record.cycles.iter().map(|c| c.left).sum();
+    assert_eq!(left, 200);
+    // Survivors keep slicing correctly after losing 40% of the network.
+    assert!(
+        engine.accuracy() > 0.8,
+        "post-departure accuracy {:.3}",
+        engine.accuracy()
+    );
+}
+
+#[test]
+fn correlated_churn_skews_ordering_random_values() {
+    // The Fig. 6(c) mechanism. After a long attribute-correlated burst, the
+    // leavers (lowest attributes) drag the *small* random values out of the
+    // system while joiners draw fresh uniform values — the surviving
+    // multiset stops looking uniform, so slice lookups via `r_i` are
+    // permanently biased.
+    let schedule = ChurnSchedule {
+        rate: 0.01,
+        period: 1,
+        stop_after: Some(150),
+    };
+    let mut engine = Engine::new(config(800, 10, 87), ProtocolKind::ModJk)
+        .unwrap()
+        .with_churn(Box::new(CorrelatedChurn::new(schedule, 1.0)));
+    engine.run(200);
+
+    let survivors: Vec<f64> = engine.snapshot().iter().map(|&(_, _, r)| r).collect();
+    let outcome = ks_test(&survivors, 0.01);
+    assert!(
+        outcome.rejected,
+        "random values should be skewed after correlated churn: {outcome:?}"
+    );
+
+    // Control: the same run without churn keeps a uniform multiset (swaps
+    // permute values, never create or destroy them).
+    let mut control = Engine::new(config(800, 10, 87), ProtocolKind::ModJk).unwrap();
+    control.run(200);
+    let values: Vec<f64> = control.snapshot().iter().map(|&(_, _, r)| r).collect();
+    let d = ks_statistic(&values);
+    let outcome = ks_test(&values, 0.01);
+    assert!(
+        !outcome.rejected,
+        "static ordering run must keep its uniform draw (D = {d})"
+    );
+}
+
+#[test]
+fn session_churn_without_uptime_is_gentler_on_ranking() {
+    // Uncorrelated joiner attributes: plain ranking copes without a window.
+    let churn = SessionChurn::new(
+        WeibullSessions::heavy_tailed(150.0),
+        AttributeDistribution::default(),
+    );
+    let mut engine = Engine::new(config(600, 5, 89), ProtocolKind::Ranking)
+        .unwrap()
+        .with_churn(Box::new(churn));
+    engine.run(250);
+    assert!(
+        engine.accuracy() > 0.6,
+        "uncorrelated session churn accuracy {:.3}",
+        engine.accuracy()
+    );
+}

@@ -68,8 +68,8 @@ pub mod size;
 pub mod swarm;
 
 pub use epoch::EpochedAggregator;
+pub use overlay_swarm::OverlaySwarm;
 pub use protocol::{AggregateKind, AggregationState, ExchangeOutcome};
 pub use quantile::{exact_quantile, QuantileResult, QuantileSearch};
-pub use overlay_swarm::OverlaySwarm;
 pub use size::{estimate_size, SizeEstimator};
 pub use swarm::Swarm;

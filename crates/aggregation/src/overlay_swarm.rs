@@ -67,7 +67,11 @@ impl OverlaySwarm {
             let mut entries = Vec::new();
             while entries.len() < degree {
                 let j = rng.gen_range(0..n);
-                if j != i && !entries.iter().any(|e: &ViewEntry| e.id == NodeId::new(j as u64)) {
+                if j != i
+                    && !entries
+                        .iter()
+                        .any(|e: &ViewEntry| e.id == NodeId::new(j as u64))
+                {
                     entries.push(Self::descriptor(j, initial[j]));
                 }
             }
@@ -114,8 +118,7 @@ impl OverlaySwarm {
 
     /// Empirical variance of the estimates.
     pub fn variance(&self) -> f64 {
-        let mean: f64 =
-            self.nodes.iter().map(|n| n.value()).sum::<f64>() / self.nodes.len() as f64;
+        let mean: f64 = self.nodes.iter().map(|n| n.value()).sum::<f64>() / self.nodes.len() as f64;
         self.nodes
             .iter()
             .map(|n| {
@@ -154,8 +157,7 @@ impl OverlaySwarm {
                 self.samplers[i].handle_reply(req.partner, &reply);
             }
             // Aggregation exchange with a view partner.
-            let Some(partner) = self.samplers[i].view().random(&mut self.rng).map(|e| e.id)
-            else {
+            let Some(partner) = self.samplers[i].view().random(&mut self.rng).map(|e| e.id) else {
                 continue;
             };
             let p = partner.as_u64() as usize;
@@ -178,7 +180,9 @@ mod tests {
     #[test]
     fn converges_on_cyclon_views() {
         let values = ramp(256);
-        let exact = AggregateKind::Average.exact(values.iter().copied()).unwrap();
+        let exact = AggregateKind::Average
+            .exact(values.iter().copied())
+            .unwrap();
         let mut swarm =
             OverlaySwarm::new(AggregateKind::Average, &values, SamplerKind::Cyclon, 8, 1);
         for _ in 0..60 {
@@ -205,7 +209,11 @@ mod tests {
             oracle.round();
             overlay.round();
         }
-        let v0 = values.iter().map(|v| (v - 255.5) * (v - 255.5)).sum::<f64>() / 512.0;
+        let v0 = values
+            .iter()
+            .map(|v| (v - 255.5) * (v - 255.5))
+            .sum::<f64>()
+            / 512.0;
         let oracle_rate = (oracle.variance() / v0).powf(1.0 / 15.0);
         let overlay_rate = (overlay.variance() / v0).powf(1.0 / 15.0);
         assert!(
@@ -217,8 +225,7 @@ mod tests {
     #[test]
     fn min_spreads_on_lpbcast_views() {
         let values = ramp(200);
-        let mut swarm =
-            OverlaySwarm::new(AggregateKind::Min, &values, SamplerKind::Lpbcast, 8, 3);
+        let mut swarm = OverlaySwarm::new(AggregateKind::Min, &values, SamplerKind::Lpbcast, 8, 3);
         for _ in 0..80 {
             swarm.round();
         }

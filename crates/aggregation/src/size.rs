@@ -24,10 +24,7 @@ impl SizeEstimator {
     /// `initiator = true`.
     pub fn new(initiator: bool) -> Self {
         SizeEstimator {
-            state: AggregationState::new(
-                AggregateKind::Average,
-                if initiator { 1.0 } else { 0.0 },
-            ),
+            state: AggregationState::new(AggregateKind::Average, if initiator { 1.0 } else { 0.0 }),
             initiator,
         }
     }
@@ -61,8 +58,7 @@ impl SizeEstimator {
 
     /// Restarts the epoch, reseeding the token.
     pub fn reset(&mut self) {
-        self.state
-            .reset(if self.initiator { 1.0 } else { 0.0 });
+        self.state.reset(if self.initiator { 1.0 } else { 0.0 });
     }
 }
 

@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn averaging_converges_to_the_mean() {
         let values = ramp(256);
-        let exact = AggregateKind::Average.exact(values.iter().copied()).unwrap();
+        let exact = AggregateKind::Average
+            .exact(values.iter().copied())
+            .unwrap();
         let mut swarm = Swarm::new(AggregateKind::Average, &values, 1);
         for _ in 0..40 {
             swarm.round();

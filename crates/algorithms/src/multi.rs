@@ -140,12 +140,7 @@ impl CompositePolicy {
                 assert_eq!(weights.len(), ranks.len(), "arity mismatch");
                 let total: f64 = weights.iter().sum();
                 assert!(total > 0.0, "weights must have positive mass");
-                let rank: f64 = weights
-                    .iter()
-                    .zip(ranks)
-                    .map(|(w, r)| w * r)
-                    .sum::<f64>()
-                    / total;
+                let rank: f64 = weights.iter().zip(ranks).map(|(w, r)| w * r).sum::<f64>() / total;
                 CompositeSlice::Scalar(partition.slice_of(clamp_rank(rank)))
             }
             CompositePolicy::Bottleneck(partition) => {
@@ -242,23 +237,17 @@ impl MultiRanking {
 /// Exact per-dimension normalized ranks of a population — the ground truth
 /// the estimates converge to. Returns, for each node, its rank vector
 /// `α_i/n` per dimension (ties broken by id, as in §3.1).
-pub fn true_rank_vectors(
-    population: &[(NodeId, AttributeVector)],
-) -> BTreeMap<NodeId, Vec<f64>> {
+pub fn true_rank_vectors(population: &[(NodeId, AttributeVector)]) -> BTreeMap<NodeId, Vec<f64>> {
     let n = population.len();
-    let mut result: BTreeMap<NodeId, Vec<f64>> = population
-        .iter()
-        .map(|(id, _)| (*id, Vec::new()))
-        .collect();
+    let mut result: BTreeMap<NodeId, Vec<f64>> =
+        population.iter().map(|(id, _)| (*id, Vec::new())).collect();
     if n == 0 {
         return result;
     }
     let arity = population[0].1.arity();
     for d in 0..arity {
-        let mut order: Vec<(Attribute, NodeId)> = population
-            .iter()
-            .map(|(id, v)| (v.get(d), *id))
-            .collect();
+        let mut order: Vec<(Attribute, NodeId)> =
+            population.iter().map(|(id, v)| (v.get(d), *id)).collect();
         order.sort_by(|(a1, i1), (a2, i2)| {
             a1.partial_cmp(a2)
                 .expect("attributes are finite")
@@ -487,12 +476,7 @@ mod tests {
         // Dimension 0 ascending, dimension 1 descending: forces genuinely
         // different per-dimension ranks for every node.
         (0..n)
-            .map(|i| {
-                (
-                    id(i as u64),
-                    vector(&[i as f64, (n - i) as f64]),
-                )
-            })
+            .map(|i| (id(i as u64), vector(&[i as f64, (n - i) as f64])))
             .collect()
     }
 

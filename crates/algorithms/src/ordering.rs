@@ -194,7 +194,11 @@ impl SliceProtocol for Ordering {
     fn on_message(&mut self, _view: &View, msg: ProtocolMsg, ctx: &mut dyn Context) {
         match msg {
             // Fig. 2 lines 15–19 (passive thread at j).
-            ProtocolMsg::SwapReq { from, r: r_i, a: a_i } => {
+            ProtocolMsg::SwapReq {
+                from,
+                r: r_i,
+                a: a_i,
+            } => {
                 ctx.send(
                     from,
                     ProtocolMsg::SwapAck {

@@ -363,13 +363,7 @@ mod tests {
 
     #[test]
     fn sliding_variant_tracks_distribution_shift() {
-        let mut node = SlidingRanking::with_window(
-            NodeId::new(1),
-            attr(50.0),
-            0.5,
-            part(10),
-            100,
-        );
+        let mut node = SlidingRanking::with_window(NodeId::new(1), attr(50.0), 0.5, part(10), 100);
         let view = View::new(4).unwrap();
         let mut c = ctx();
         // Phase 1: all samples lower → estimate 1.0.

@@ -18,7 +18,10 @@
 /// # Panics
 /// Panics unless `β ∈ (0, 1]`, `p ∈ (0, 1]` and `n ≥ 1`.
 pub fn deviation_probability_bound(beta: f64, n: usize, p: f64) -> f64 {
-    assert!(beta > 0.0 && beta <= 1.0, "β must lie in (0, 1], got {beta}");
+    assert!(
+        beta > 0.0 && beta <= 1.0,
+        "β must lie in (0, 1], got {beta}"
+    );
     assert!(p > 0.0 && p <= 1.0, "p must lie in (0, 1], got {p}");
     assert!(n >= 1, "population must be non-empty");
     let bound = 2.0 * (-beta * beta * n as f64 * p / 3.0).exp();
@@ -36,7 +39,10 @@ pub fn deviation_probability_bound(beta: f64, n: usize, p: f64) -> f64 {
 /// # Panics
 /// Panics unless `β ∈ (0, 1]`, `ε ∈ (0, 1)` and `n ≥ 1`.
 pub fn min_slice_length(beta: f64, epsilon: f64, n: usize) -> f64 {
-    assert!(beta > 0.0 && beta <= 1.0, "β must lie in (0, 1], got {beta}");
+    assert!(
+        beta > 0.0 && beta <= 1.0,
+        "β must lie in (0, 1], got {beta}"
+    );
     assert!(
         epsilon > 0.0 && epsilon < 1.0,
         "ε must lie in (0, 1), got {epsilon}"
@@ -130,7 +136,11 @@ mod tests {
     #[test]
     fn monte_carlo_validates_bound() {
         let mut rng = StdRng::seed_from_u64(43);
-        for &(n, p, beta) in &[(500usize, 0.2f64, 0.3f64), (1000, 0.1, 0.5), (2000, 0.05, 0.8)] {
+        for &(n, p, beta) in &[
+            (500usize, 0.2f64, 0.3f64),
+            (1000, 0.1, 0.5),
+            (2000, 0.05, 0.8),
+        ] {
             let bound = deviation_probability_bound(beta, n, p);
             let trials = 1500;
             let mut hits = 0usize;

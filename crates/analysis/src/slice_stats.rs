@@ -29,7 +29,10 @@ pub struct SlicePopulation {
 /// # Panics
 /// Panics unless `p ∈ (0, 1]` and `n ≥ 1`.
 pub fn expected_slice_population(n: usize, p: f64) -> SlicePopulation {
-    assert!(p > 0.0 && p <= 1.0, "slice length must lie in (0, 1], got {p}");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "slice length must lie in (0, 1], got {p}"
+    );
     assert!(n >= 1, "population must be non-empty");
     let nf = n as f64;
     SlicePopulation {
@@ -101,7 +104,7 @@ pub fn binomial_pmf(n: usize, k: usize, p: f64) -> f64 {
 pub fn even_split_probability(n: usize) -> (f64, f64) {
     assert!(n >= 1, "population must be non-empty");
     let bound = (2.0 / (n as f64 * std::f64::consts::PI)).sqrt();
-    if n % 2 != 0 {
+    if !n.is_multiple_of(2) {
         return (0.0, bound);
     }
     (binomial_pmf(n, n / 2, 0.5), bound)

@@ -169,7 +169,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(73);
         let values: Vec<f64> = (0..500).map(|_| rng.gen::<f64>().sqrt()).collect();
         let outcome = ks_test(&values, 0.01);
-        assert!(outcome.rejected, "sqrt-skewed sample must fail: {outcome:?}");
+        assert!(
+            outcome.rejected,
+            "sqrt-skewed sample must fail: {outcome:?}"
+        );
         assert!(outcome.p_value < 0.01);
     }
 

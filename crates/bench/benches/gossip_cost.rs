@@ -28,8 +28,16 @@ fn bench_exchange(c: &mut Criterion) {
             &view_size,
             |b, &vs| {
                 let mut rng = StdRng::seed_from_u64(1);
-                let mut a = seeded(CyclonSampler::new(NodeId::new(0), vs).unwrap(), vs, &mut rng);
-                let mut p = seeded(CyclonSampler::new(NodeId::new(1), vs).unwrap(), vs, &mut rng);
+                let mut a = seeded(
+                    CyclonSampler::new(NodeId::new(0), vs).unwrap(),
+                    vs,
+                    &mut rng,
+                );
+                let mut p = seeded(
+                    CyclonSampler::new(NodeId::new(1), vs).unwrap(),
+                    vs,
+                    &mut rng,
+                );
                 let desc_a = ViewEntry::new(NodeId::new(0), Attribute::new(0.0).unwrap(), 0.5);
                 let desc_p = ViewEntry::new(NodeId::new(1), Attribute::new(1.0).unwrap(), 0.5);
                 b.iter(|| {

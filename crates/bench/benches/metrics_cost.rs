@@ -41,13 +41,9 @@ fn bench_local_metrics(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ldm", c_size), &members, |b, m| {
             b.iter(|| metrics::ldm(m));
         });
-        group.bench_with_input(
-            BenchmarkId::new("local_ranks", c_size),
-            &members,
-            |b, m| {
-                b.iter(|| metrics::local_ranks(m));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("local_ranks", c_size), &members, |b, m| {
+            b.iter(|| metrics::local_ranks(m));
+        });
     }
     group.finish();
 }

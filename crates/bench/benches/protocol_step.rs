@@ -6,9 +6,9 @@
 //! algorithm's per-neighbor sample folding plus boundary search.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslice_algorithms::{Ordering, Ranking};
 use dslice_core::protocol::{MockContext, SliceProtocol};
 use dslice_core::{Attribute, NodeId, Partition, View, ViewEntry};
-use dslice_algorithms::{Ordering, Ranking};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

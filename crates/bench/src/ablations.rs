@@ -125,7 +125,10 @@ pub fn ablation_loss(scale: Scale, seed: u64) -> Table {
         cfg.loss_rate = loss;
         sdm_curve(cfg, kind, cycles)
     };
-    let modjk: Vec<Vec<f64>> = losses.iter().map(|&l| run(ProtocolKind::ModJk, l)).collect();
+    let modjk: Vec<Vec<f64>> = losses
+        .iter()
+        .map(|&l| run(ProtocolKind::ModJk, l))
+        .collect();
     let ranking: Vec<Vec<f64>> = losses
         .iter()
         .map(|&l| run(ProtocolKind::Ranking, l))
@@ -287,7 +290,13 @@ pub fn ablation_latency(scale: Scale, seed: u64) -> Table {
     let ranking_lat = run(ProtocolKind::Ranking, lat);
     let mut table = Table::new(
         "ablation_latency",
-        &["cycle", "modjk_zero", "modjk_lat", "ranking_zero", "ranking_lat"],
+        &[
+            "cycle",
+            "modjk_zero",
+            "modjk_lat",
+            "ranking_zero",
+            "ranking_lat",
+        ],
     );
     for i in 0..cycles {
         table.push(vec![
@@ -323,19 +332,15 @@ pub fn baseline_quantile(scale: Scale, seed: u64) -> Table {
     // A shared attribute population.
     let mut rng = StdRng::seed_from_u64(seed);
     let distribution = AttributeDistribution::default();
-    let values: Vec<f64> = (0..n).map(|_| distribution.sample(&mut rng).value()).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|_| distribution.sample(&mut rng).value())
+        .collect();
 
     // Ranking cost: cycles to 95% correct assignment on the same population
     // size (its cost is independent of which boundary you care about).
     let cfg = base_config(scale, slices, 10, seed);
-    let mut engine = Engine::new(
-        SimConfig {
-            n,
-            ..cfg
-        },
-        ProtocolKind::Ranking,
-    )
-    .expect("valid config");
+    let mut engine =
+        Engine::new(SimConfig { n, ..cfg }, ProtocolKind::Ranking).expect("valid config");
     let mut ranking_cycles = scale.ranking_cycles();
     for cycle in 1..=scale.ranking_cycles() {
         engine.step();
@@ -347,7 +352,13 @@ pub fn baseline_quantile(scale: Scale, seed: u64) -> Table {
 
     let mut table = Table::new(
         "baseline_quantile",
-        &["phi", "probes", "gossip_rounds", "abs_error", "ranking_cycles_to_95"],
+        &[
+            "phi",
+            "probes",
+            "gossip_rounds",
+            "abs_error",
+            "ranking_cycles_to_95",
+        ],
     );
     for b in 1..slices {
         let phi = b as f64 / slices as f64;
@@ -412,13 +423,12 @@ mod tests {
     #[test]
     fn latency_hurts_ordering_more_than_ranking() {
         let t = ablation_latency(Scale::Tiny, 13);
-        let mid = t.rows.len() / 2;
-        let modjk_zero = t.column("modjk_zero").unwrap();
-        let modjk_lat = t.column("modjk_lat").unwrap();
-        let ranking_zero = t.column("ranking_zero").unwrap();
-        let ranking_lat = t.column("ranking_lat").unwrap();
-        let modjk_slowdown = modjk_lat[mid] / modjk_zero[mid].max(1.0);
-        let ranking_slowdown = ranking_lat[mid] / ranking_zero[mid].max(1.0);
+        // Compare total disorder over the run (area under the SDM curve):
+        // a single mid-run sample lands after mod-JK has already converged
+        // even with latency, where both ratios degenerate to 1.
+        let auc = |name: &str| t.column(name).unwrap().iter().sum::<f64>();
+        let modjk_slowdown = auc("modjk_lat") / auc("modjk_zero");
+        let ranking_slowdown = auc("ranking_lat") / auc("ranking_zero");
         assert!(
             modjk_slowdown > ranking_slowdown,
             "ordering should suffer more from latency: modjk ×{modjk_slowdown:.2} vs ranking ×{ranking_slowdown:.2}"

@@ -25,9 +25,26 @@ struct Args {
 }
 
 const ALL_FIGS: &[&str] = &[
-    "4a", "4b", "4b-banded", "4c", "4d", "6a", "6b", "6c", "6d", "lemma41", "thm51", "ablation-sampler",
-    "ablation-dist", "ablation-view-size", "ablation-slice-count", "ablation-loss",
-    "ablation-targeting", "ablation-sampler-ranking", "ablation-window", "ablation-latency",
+    "4a",
+    "4b",
+    "4b-banded",
+    "4c",
+    "4d",
+    "6a",
+    "6b",
+    "6c",
+    "6d",
+    "lemma41",
+    "thm51",
+    "ablation-sampler",
+    "ablation-dist",
+    "ablation-view-size",
+    "ablation-slice-count",
+    "ablation-loss",
+    "ablation-targeting",
+    "ablation-sampler-ranking",
+    "ablation-window",
+    "ablation-latency",
     "baseline-quantile",
 ];
 
@@ -153,7 +170,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let elapsed = started.elapsed();
-        eprintln!("{} rows -> {} ({elapsed:.2?})", table.rows.len(), path.display());
+        eprintln!(
+            "{} rows -> {} ({elapsed:.2?})",
+            table.rows.len(),
+            path.display()
+        );
         manifest.push(serde_json::json!({
             "fig": id,
             "csv": path.display().to_string(),

@@ -8,11 +8,11 @@
 use crate::table::Table;
 use dslice_analysis as analysis;
 use dslice_core::Partition;
+use dslice_gossip::SamplerKind;
 use dslice_sim::{
     churn::ChurnSchedule, AttributeDistribution, Concurrency, CorrelatedChurn, Engine,
     ProtocolKind, SimConfig,
 };
-use dslice_gossip::SamplerKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,7 +42,7 @@ impl Scale {
         match self {
             Scale::Paper => 100,
             Scale::Small => 100,
-            Scale::Tiny => 60,
+            Scale::Tiny => 80,
         }
     }
 
@@ -306,7 +306,12 @@ pub fn fig6d(scale: Scale, seed: u64) -> Table {
         "fig6d",
         &["cycle", "sdm_ordering", "sdm_ranking", "sdm_sliding"],
     );
-    for ((a, b), c) in ordering.cycles.iter().zip(&ranking.cycles).zip(&sliding.cycles) {
+    for ((a, b), c) in ordering
+        .cycles
+        .iter()
+        .zip(&ranking.cycles)
+        .zip(&sliding.cycles)
+    {
         table.push(vec![a.cycle as f64, a.sdm, b.sdm, c.sdm]);
     }
     table
@@ -395,7 +400,6 @@ pub fn thm51_with(seed: u64, trials: usize, ds: &[f64]) -> Table {
     table
 }
 
-
 /// Fig. 4(b) with confidence bands: JK vs mod-JK aggregated over several
 /// seeds (mean ± std of the SDM per cycle) — the single-trajectory curves
 /// of the paper, made statistically honest.
@@ -404,16 +408,34 @@ pub fn thm51_with(seed: u64, trials: usize, ds: &[f64]) -> Table {
 pub fn fig4b_banded(scale: Scale, seeds: &[u64]) -> Table {
     use dslice_sim::run_seeds;
     let cfg = ordering_config(scale, 10, 0);
-    let jk = run_seeds(&cfg, ProtocolKind::Jk, scale.ordering_cycles(), seeds, || None)
-        .expect("valid config");
-    let modjk = run_seeds(&cfg, ProtocolKind::ModJk, scale.ordering_cycles(), seeds, || None)
-        .expect("valid config");
+    let jk = run_seeds(
+        &cfg,
+        ProtocolKind::Jk,
+        scale.ordering_cycles(),
+        seeds,
+        || None,
+    )
+    .expect("valid config");
+    let modjk = run_seeds(
+        &cfg,
+        ProtocolKind::ModJk,
+        scale.ordering_cycles(),
+        seeds,
+        || None,
+    )
+    .expect("valid config");
     let mut table = Table::new(
         "fig4b_banded",
         &["cycle", "jk_mean", "jk_std", "modjk_mean", "modjk_std"],
     );
     for (a, b) in jk.cycles.iter().zip(&modjk.cycles) {
-        table.push(vec![a.cycle as f64, a.sdm_mean, a.sdm_std, b.sdm_mean, b.sdm_std]);
+        table.push(vec![
+            a.cycle as f64,
+            a.sdm_mean,
+            a.sdm_std,
+            b.sdm_mean,
+            b.sdm_std,
+        ]);
     }
     table
 }

@@ -66,9 +66,15 @@ impl Default for SimArgs {
 pub enum ChurnSpec {
     None,
     /// Attribute-correlated churn: `rate` per event, every `period` cycles.
-    Correlated { rate: f64, period: usize },
+    Correlated {
+        rate: f64,
+        period: usize,
+    },
     /// Uncorrelated churn with the run's base distribution.
-    Uncorrelated { rate: f64, period: usize },
+    Uncorrelated {
+        rate: f64,
+        period: usize,
+    },
 }
 
 impl ChurnSpec {
@@ -85,7 +91,12 @@ impl ChurnSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalyzeArgs {
     /// Lemma 4.1: minimal admissible slice length + probability bound.
-    Lemma41 { beta: f64, epsilon: f64, n: usize, p: Option<f64> },
+    Lemma41 {
+        beta: f64,
+        epsilon: f64,
+        n: usize,
+        p: Option<f64>,
+    },
     /// Theorem 5.1: samples required for a confident slice estimate.
     Samples { p: f64, d: f64, alpha: f64 },
     /// Slice population moments (§4.4).
@@ -324,10 +335,7 @@ fn parse_analyze(argv: &[String]) -> Result<AnalyzeArgs, String> {
             beta: parse_num("--beta", get("--beta")?)?,
             epsilon: parse_num("--epsilon", get("--epsilon")?)?,
             n: parse_num("--n", get("--n")?)?,
-            p: flags
-                .get("--p")
-                .map(|v| parse_num("--p", v))
-                .transpose()?,
+            p: flags.get("--p").map(|v| parse_num("--p", v)).transpose()?,
         }),
         "samples" => Ok(AnalyzeArgs::Samples {
             p: parse_num("--p", get("--p")?)?,
@@ -402,7 +410,9 @@ mod tests {
              --distribution pareto:1:1.5 --quiet",
         ))
         .unwrap();
-        let Command::Sim(a) = cmd else { panic!("not sim") };
+        let Command::Sim(a) = cmd else {
+            panic!("not sim")
+        };
         assert_eq!(a.protocol, ProtocolKind::ModJk);
         assert_eq!(a.n, 500);
         assert_eq!(a.slices, 20);
@@ -449,7 +459,10 @@ mod tests {
         assert_eq!(parse_sampler("cyclon").unwrap(), SamplerKind::Cyclon);
         assert_eq!(parse_sampler("newscast").unwrap(), SamplerKind::Newscast);
         assert_eq!(parse_sampler("lpbcast").unwrap(), SamplerKind::Lpbcast);
-        assert_eq!(parse_sampler("uniform").unwrap(), SamplerKind::UniformOracle);
+        assert_eq!(
+            parse_sampler("uniform").unwrap(),
+            SamplerKind::UniformOracle
+        );
         assert_eq!(parse_sampler("oracle").unwrap(), SamplerKind::UniformOracle);
         assert!(parse_sampler("chord").is_err());
     }
@@ -480,7 +493,9 @@ mod tests {
             "sim --protocol ranking-uniform --sampler lpbcast --latency uniform:1:3 --n 100",
         ))
         .unwrap();
-        let Command::Sim(a) = cmd else { panic!("not sim") };
+        let Command::Sim(a) = cmd else {
+            panic!("not sim")
+        };
         assert_eq!(a.protocol, ProtocolKind::RankingUniform);
         assert_eq!(a.sampler, SamplerKind::Lpbcast);
         assert_eq!(a.latency, LatencyModel::Uniform { min: 1, max: 3 });

@@ -121,8 +121,7 @@ fn run_sim(args: SimArgs) -> Result<(), String> {
         }
     }
     if let Some(path) = &args.json {
-        std::fs::write(path, record.to_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, record.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         if !args.quiet {
             eprintln!("run record JSON -> {path}");
         }
@@ -156,7 +155,12 @@ fn sparkline(record: &dslice_sim::RunRecord) -> String {
 
 fn run_analyze(args: AnalyzeArgs) -> Result<(), String> {
     match args {
-        AnalyzeArgs::Lemma41 { beta, epsilon, n, p } => {
+        AnalyzeArgs::Lemma41 {
+            beta,
+            epsilon,
+            n,
+            p,
+        } => {
             if !(beta > 0.0 && beta <= 1.0) {
                 return Err(format!("--beta must lie in (0, 1], got {beta}"));
             }
@@ -168,9 +172,7 @@ fn run_analyze(args: AnalyzeArgs) -> Result<(), String> {
             }
             let p_min = analysis::min_slice_length(beta, epsilon, n);
             println!("Lemma 4.1  (β = {beta}, ε = {epsilon}, n = {n})");
-            println!(
-                "  minimal slice length for the (1±{beta})·np guarantee: p ≥ {p_min:.6}"
-            );
+            println!("  minimal slice length for the (1±{beta})·np guarantee: p ≥ {p_min:.6}");
             println!(
                 "  i.e. at most {} equal slices at this population",
                 if p_min <= 1.0 {
@@ -234,10 +236,11 @@ fn run_analyze(args: AnalyzeArgs) -> Result<(), String> {
             println!("Slice population  (n = {n}, p = {p})   [§4.4]");
             println!("  E[X] = {:.1}", pop.mean);
             println!("  σ(X) = {:.2}", pop.std_dev);
-            println!("  relative expected deviation ≈ {:.4}", pop.relative_deviation);
             println!(
-                "  P[even 2-way split of n] = {exact:.6} (bound √(2/nπ) = {bound:.6})"
+                "  relative expected deviation ≈ {:.4}",
+                pop.relative_deviation
             );
+            println!("  P[even 2-way split of n] = {exact:.6} (bound √(2/nπ) = {bound:.6})");
             Ok(())
         }
     }
@@ -303,16 +306,20 @@ mod tests {
 
     #[test]
     fn analyze_commands_run() {
-        run(parse(&argv("analyze lemma41 --beta 0.5 --epsilon 0.05 --n 10000 --p 0.01")).unwrap())
-            .unwrap();
+        run(parse(&argv(
+            "analyze lemma41 --beta 0.5 --epsilon 0.05 --n 10000 --p 0.01",
+        ))
+        .unwrap())
+        .unwrap();
         run(parse(&argv("analyze samples --p 0.45 --d 0.05")).unwrap()).unwrap();
         run(parse(&argv("analyze population --n 10000 --p 0.1")).unwrap()).unwrap();
     }
 
     #[test]
     fn analyze_rejects_bad_domains() {
-        assert!(run(parse(&argv("analyze lemma41 --beta 2 --epsilon 0.05 --n 10")).unwrap())
-            .is_err());
+        assert!(
+            run(parse(&argv("analyze lemma41 --beta 2 --epsilon 0.05 --n 10")).unwrap()).is_err()
+        );
         assert!(run(parse(&argv("analyze samples --p 2 --d 0.05")).unwrap()).is_err());
         assert!(run(parse(&argv("analyze samples --p 0.4 --d -1")).unwrap()).is_err());
         assert!(run(parse(&argv("analyze population --n 0 --p 0.1")).unwrap()).is_err());

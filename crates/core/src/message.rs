@@ -122,7 +122,8 @@ mod tests {
 
     #[test]
     fn from_extracts_sender() {
-        let msgs = [ProtocolMsg::SwapReq {
+        let msgs = [
+            ProtocolMsg::SwapReq {
                 from: NodeId::new(1),
                 r: 0.5,
                 a: attr(10.0),
@@ -142,7 +143,8 @@ mod tests {
             ProtocolMsg::ViewAck {
                 from: NodeId::new(5),
                 entries: vec![],
-            }];
+            },
+        ];
         let senders: Vec<u64> = msgs.iter().map(|m| m.from().as_u64()).collect();
         assert_eq!(senders, vec![1, 2, 3, 4, 5]);
     }

@@ -217,7 +217,11 @@ mod tests {
     fn gdm_of_paper_example() {
         // a = (50, 120, 25), r = (0.85, 0.1, 0.35):
         // alpha = (2, 3, 1), rho = (3, 1, 2) → ((2−3)² + (3−1)² + (1−2)²)/3 = 2.
-        let nodes = vec![node(1, 50.0, 0.85), node(2, 120.0, 0.10), node(3, 25.0, 0.35)];
+        let nodes = vec![
+            node(1, 50.0, 0.85),
+            node(2, 120.0, 0.10),
+            node(3, 25.0, 0.35),
+        ];
         assert!((gdm(&nodes) - 2.0).abs() < 1e-12);
     }
 

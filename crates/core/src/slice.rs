@@ -246,15 +246,12 @@ impl Partition {
 
     /// The closest interior boundary to `r`, if any.
     pub fn closest_boundary(&self, r: f64) -> Option<f64> {
-        self.boundaries
-            .iter()
-            .copied()
-            .min_by(|x, y| {
-                (r - x)
-                    .abs()
-                    .partial_cmp(&(r - y).abs())
-                    .expect("boundaries are finite")
-            })
+        self.boundaries.iter().copied().min_by(|x, y| {
+            (r - x)
+                .abs()
+                .partial_cmp(&(r - y).abs())
+                .expect("boundaries are finite")
+        })
     }
 
     /// The interior boundaries (strictly increasing, inside `(0,1)`).
@@ -412,7 +409,10 @@ mod tests {
     fn display_formats() {
         assert_eq!(SliceIndex::new(2).to_string(), "S2");
         assert_eq!(Slice::new(0.0, 0.5).unwrap().to_string(), "(0, 0.5]");
-        assert_eq!(Partition::equal(3).unwrap().to_string(), "Partition[3 slices]");
+        assert_eq!(
+            Partition::equal(3).unwrap().to_string(),
+            "Partition[3 slices]"
+        );
     }
 
     proptest! {

@@ -123,12 +123,8 @@ impl PeerSampler for CyclonSampler {
         // Line 8: reply with the pre-merge view, discarding pointers to the
         // requester, plus a fresh self-descriptor so the requester learns
         // our current value.
-        let mut reply: Vec<ViewEntry> = self
-            .view
-            .iter()
-            .filter(|e| e.id != from)
-            .copied()
-            .collect();
+        let mut reply: Vec<ViewEntry> =
+            self.view.iter().filter(|e| e.id != from).copied().collect();
         reply.push(self_entry);
         // Lines 9–10: adopt the received entries (swap).
         self.replace_view(entries);
@@ -175,7 +171,9 @@ mod tests {
             "partner's entry removed from payload"
         );
         assert!(
-            req.entries.iter().any(|e| e.id == NodeId::new(0) && e.age == 0),
+            req.entries
+                .iter()
+                .any(|e| e.id == NodeId::new(0) && e.age == 0),
             "fresh self-descriptor included"
         );
         // Aging happened before selection.
@@ -197,7 +195,10 @@ mod tests {
         let reply = s.handle_request(descriptor(9), NodeId::new(7), &[entry(2, 0), entry(3, 1)]);
         assert!(reply.iter().any(|e| e.id == NodeId::new(1)));
         assert!(reply.iter().all(|e| e.id != NodeId::new(7)));
-        assert!(reply.iter().any(|e| e.id == NodeId::new(9)), "self descriptor");
+        assert!(
+            reply.iter().any(|e| e.id == NodeId::new(9)),
+            "self descriptor"
+        );
         // Swap semantics: the incoming payload forms the new view…
         assert!(s.view().contains(NodeId::new(2)));
         assert!(s.view().contains(NodeId::new(3)));
@@ -332,7 +333,10 @@ mod tests {
                     "in-degree concentration: max {max_in} > {}",
                     4 * C
                 );
-                assert!(missing <= N / 20, "{missing} nodes vanished from the overlay");
+                assert!(
+                    missing <= N / 20,
+                    "{missing} nodes vanished from the overlay"
+                );
             }
             let views: Vec<Vec<u64>> = samplers
                 .iter()

@@ -271,12 +271,8 @@ mod tests {
         use proptest::prelude::*;
 
         fn arbitrary_entries() -> impl Strategy<Value = Vec<ViewEntry>> {
-            proptest::collection::vec((0u64..40, 0u32..50), 0..20).prop_map(|pairs| {
-                pairs
-                    .into_iter()
-                    .map(|(id, age)| entry(id, age))
-                    .collect()
-            })
+            proptest::collection::vec((0u64..40, 0u32..50), 0..20)
+                .prop_map(|pairs| pairs.into_iter().map(|(id, age)| entry(id, age)).collect())
         }
 
         proptest! {

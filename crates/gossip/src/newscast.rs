@@ -95,12 +95,8 @@ impl PeerSampler for NewscastSampler {
         from: NodeId,
         entries: &[ViewEntry],
     ) -> Vec<ViewEntry> {
-        let mut reply: Vec<ViewEntry> = self
-            .view
-            .iter()
-            .filter(|e| e.id != from)
-            .copied()
-            .collect();
+        let mut reply: Vec<ViewEntry> =
+            self.view.iter().filter(|e| e.id != from).copied().collect();
         reply.push(self_entry);
         self.newscast_merge(entries);
         reply
@@ -139,7 +135,10 @@ mod tests {
         assert_eq!(s.view().len(), 2);
         assert!(s.view().contains(NodeId::new(3)));
         assert!(s.view().contains(NodeId::new(4)));
-        assert!(!s.view().contains(NodeId::new(1)), "stale entries displaced");
+        assert!(
+            !s.view().contains(NodeId::new(1)),
+            "stale entries displaced"
+        );
     }
 
     #[test]

@@ -43,7 +43,8 @@ fn observe(n: usize, c: usize, cycles: usize, seed: u64) -> HashMap<u64, usize> 
                 continue;
             };
             let p = req.partner.as_u64() as usize;
-            let reply = samplers[p].handle_request(descriptor(p), NodeId::new(i as u64), &req.entries);
+            let reply =
+                samplers[p].handle_request(descriptor(p), NodeId::new(i as u64), &req.entries);
             samplers[i].handle_reply(req.partner, &reply);
         }
         for e in samplers[0].view().iter() {
@@ -83,17 +84,16 @@ fn view_occupancy_is_close_to_uniform() {
         .map(|id| counts.get(&id).copied().unwrap_or(0) as f64)
         .collect();
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values
-        .iter()
-        .map(|v| (v - mean) * (v - mean))
-        .sum::<f64>()
-        / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
     let cv = var.sqrt() / mean;
     assert!(
         (mean - expected).abs() < expected * 0.1,
         "mean occupancy {mean:.1} far from ideal {expected:.1}"
     );
-    assert!(cv < 1.0, "occupancy CV {cv:.2} — the sampler is badly biased");
+    assert!(
+        cv < 1.0,
+        "occupancy CV {cv:.2} — the sampler is badly biased"
+    );
 
     // No single node dominates: the hottest peer appears at most a small
     // multiple of the expectation.

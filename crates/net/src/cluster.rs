@@ -6,11 +6,11 @@
 //! protocols run in real time, and harvests the slice assignments into a
 //! [`ClusterReport`] whose SDM is directly comparable with the simulator's.
 
-use crate::node::{Directory, NodeConfig, NodeHandle, NodeRuntime, NodeSnapshot};
 use crate::codec::{write_frame, WireMsg};
+use crate::node::{Directory, NodeConfig, NodeHandle, NodeRuntime, NodeSnapshot};
+use dslice_algorithms::ProtocolKind;
 use dslice_core::{metrics, rank, Attribute, NodeId, Partition, ProtocolMsg, ViewEntry};
 use dslice_gossip::SamplerKind;
-use dslice_algorithms::ProtocolKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -126,7 +126,10 @@ pub struct LocalCluster {
 impl LocalCluster {
     /// Spawns the cluster and performs the bootstrap introductions.
     pub async fn spawn(cfg: ClusterConfig) -> std::io::Result<LocalCluster> {
-        assert!(!cfg.attributes.is_empty(), "cluster needs at least one node");
+        assert!(
+            !cfg.attributes.is_empty(),
+            "cluster needs at least one node"
+        );
         assert!(cfg.view_size >= 1, "view size must be at least 1");
         let directory: Directory = Arc::new(Mutex::new(HashMap::new()));
         let mut handles = Vec::with_capacity(cfg.attributes.len());
@@ -161,8 +164,7 @@ impl LocalCluster {
     async fn bootstrap(&self, cfg: &ClusterConfig) {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xB007);
         let n = self.handles.len();
-        let addresses: HashMap<NodeId, std::net::SocketAddr> =
-            self.directory.lock().await.clone();
+        let addresses: HashMap<NodeId, std::net::SocketAddr> = self.directory.lock().await.clone();
 
         for (i, handle) in self.handles.iter().enumerate() {
             let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
@@ -342,7 +344,11 @@ mod tests {
         // With 2 slices and well-spread attributes, most nodes must know
         // their half after ~90 periods.
         let acc = report.accuracy();
-        assert!(acc >= 0.75, "accuracy {acc} too low; sdm = {}", report.sdm());
+        assert!(
+            acc >= 0.75,
+            "accuracy {acc} too low; sdm = {}",
+            report.sdm()
+        );
         // Everyone ticked.
         for s in &report.nodes {
             assert!(s.ticks > 10, "node {} only ticked {}", s.id, s.ticks);

@@ -31,8 +31,8 @@ pub struct WireMsg {
 
 /// Encodes a message into a length-prefixed frame.
 pub fn encode_frame(msg: &WireMsg) -> io::Result<Bytes> {
-    let payload = serde_json::to_vec(msg)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let payload =
+        serde_json::to_vec(msg).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     if payload.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,

@@ -16,10 +16,10 @@
 //! address so responses never need the directory.
 
 use crate::codec::{read_frame, write_frame, WireMsg};
+use dslice_algorithms::ProtocolKind;
 use dslice_core::protocol::{Context, Event, SliceProtocol};
 use dslice_core::{Attribute, NodeId, Partition, ProtocolMsg, ViewEntry};
 use dslice_gossip::{build_sampler, PeerSampler, SamplerKind};
-use dslice_algorithms::ProtocolKind;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -301,7 +301,11 @@ impl NodeRuntime {
     }
 
     fn self_entry(&self) -> ViewEntry {
-        ViewEntry::new(self.cfg.id, self.cfg.attribute, self.proto.published_value())
+        ViewEntry::new(
+            self.cfg.id,
+            self.cfg.attribute,
+            self.proto.published_value(),
+        )
     }
 
     /// One period: membership shuffle, then the protocol active thread.

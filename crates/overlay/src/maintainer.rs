@@ -177,13 +177,7 @@ mod tests {
     }
 
     fn overlay(capacity: usize, max_age: u32) -> SliceOverlay {
-        SliceOverlay::new(
-            id(0),
-            OverlayConfig {
-                capacity,
-                max_age,
-            },
-        )
+        SliceOverlay::new(id(0), OverlayConfig { capacity, max_age })
     }
 
     fn two_slices() -> Partition {

@@ -118,7 +118,7 @@ impl ChurnSchedule {
 
     /// Whether an event fires at `cycle` (cycles are 1-based).
     pub fn fires_at(&self, cycle: usize) -> bool {
-        if cycle == 0 || cycle % self.period.max(1) != 0 {
+        if cycle == 0 || !cycle.is_multiple_of(self.period.max(1)) {
             return false;
         }
         match self.stop_after {
@@ -172,7 +172,9 @@ impl ChurnModel for UncorrelatedChurn {
             .choose_multiple(&mut rng, count)
             .map(|(id, _)| *id)
             .collect();
-        let joiners = (0..count).map(|_| self.distribution.sample(&mut rng)).collect();
+        let joiners = (0..count)
+            .map(|_| self.distribution.sample(&mut rng))
+            .collect();
         ChurnPlan { leavers, joiners }
     }
 
@@ -401,7 +403,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut c = CorrelatedChurn::burst();
         assert!(c.plan(1, &[], &mut rng).is_quiet());
-        let mut u = UncorrelatedChurn::new(ChurnSchedule::burst(), AttributeDistribution::default());
+        let mut u =
+            UncorrelatedChurn::new(ChurnSchedule::burst(), AttributeDistribution::default());
         assert!(u.plan(1, &[], &mut rng).is_quiet());
     }
 }

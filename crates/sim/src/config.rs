@@ -1,10 +1,10 @@
 //! Simulation configuration and protocol selection.
 
 use crate::concurrency::Concurrency;
-use crate::latency::LatencyModel;
 use crate::distributions::AttributeDistribution;
-use dslice_core::{Error, Partition, Result};
+use crate::latency::LatencyModel;
 pub use dslice_algorithms::ProtocolKind;
+use dslice_core::{Error, Partition, Result};
 pub use dslice_gossip::SamplerKind;
 use serde::{Deserialize, Serialize};
 
@@ -56,7 +56,9 @@ impl SimConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.n == 0 {
-            return Err(Error::InvalidFractions("population must be non-empty".into()));
+            return Err(Error::InvalidFractions(
+                "population must be non-empty".into(),
+            ));
         }
         if self.view_size == 0 {
             return Err(Error::ZeroViewCapacity);
@@ -99,9 +101,6 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-
-
 
     #[test]
     fn default_config_is_valid() {

@@ -62,7 +62,9 @@ impl AttributeDistribution {
     /// Validates the parameters.
     pub fn validate(&self) -> Result<()> {
         let ok = match *self {
-            AttributeDistribution::Uniform { lo, hi } => lo.is_finite() && hi.is_finite() && lo < hi,
+            AttributeDistribution::Uniform { lo, hi } => {
+                lo.is_finite() && hi.is_finite() && lo < hi
+            }
             AttributeDistribution::Pareto { scale, shape } => scale > 0.0 && shape > 0.0,
             AttributeDistribution::Normal { mean, std_dev } => mean.is_finite() && std_dev > 0.0,
             AttributeDistribution::Exponential { rate } => rate > 0.0,
@@ -136,14 +138,42 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 }.validate().is_ok());
-        assert!(AttributeDistribution::Uniform { lo: 1.0, hi: 0.0 }.validate().is_err());
-        assert!(AttributeDistribution::Pareto { scale: 1.0, shape: 2.0 }.validate().is_ok());
-        assert!(AttributeDistribution::Pareto { scale: 0.0, shape: 2.0 }.validate().is_err());
-        assert!(AttributeDistribution::Normal { mean: 0.0, std_dev: 1.0 }.validate().is_ok());
-        assert!(AttributeDistribution::Normal { mean: 0.0, std_dev: 0.0 }.validate().is_err());
-        assert!(AttributeDistribution::Exponential { rate: 2.0 }.validate().is_ok());
-        assert!(AttributeDistribution::Exponential { rate: -1.0 }.validate().is_err());
+        assert!(AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 }
+            .validate()
+            .is_ok());
+        assert!(AttributeDistribution::Uniform { lo: 1.0, hi: 0.0 }
+            .validate()
+            .is_err());
+        assert!(AttributeDistribution::Pareto {
+            scale: 1.0,
+            shape: 2.0
+        }
+        .validate()
+        .is_ok());
+        assert!(AttributeDistribution::Pareto {
+            scale: 0.0,
+            shape: 2.0
+        }
+        .validate()
+        .is_err());
+        assert!(AttributeDistribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(AttributeDistribution::Normal {
+            mean: 0.0,
+            std_dev: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(AttributeDistribution::Exponential { rate: 2.0 }
+            .validate()
+            .is_ok());
+        assert!(AttributeDistribution::Exponential { rate: -1.0 }
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -160,7 +190,10 @@ mod tests {
 
     #[test]
     fn pareto_respects_scale_and_mean() {
-        let dist = AttributeDistribution::Pareto { scale: 1.0, shape: 3.0 };
+        let dist = AttributeDistribution::Pareto {
+            scale: 1.0,
+            shape: 3.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..1000 {
             assert!(dist.sample_f64(&mut rng) >= 1.0, "Pareto below scale");
@@ -173,7 +206,10 @@ mod tests {
     #[test]
     fn pareto_is_heavy_tailed() {
         // With shape 1.1, the top 1% of samples should dwarf the median.
-        let dist = AttributeDistribution::Pareto { scale: 1.0, shape: 1.1 };
+        let dist = AttributeDistribution::Pareto {
+            scale: 1.0,
+            shape: 1.1,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let mut xs: Vec<f64> = (0..10_000).map(|_| dist.sample_f64(&mut rng)).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -184,7 +220,10 @@ mod tests {
 
     #[test]
     fn normal_mean_and_spread() {
-        let dist = AttributeDistribution::Normal { mean: 170.0, std_dev: 10.0 };
+        let dist = AttributeDistribution::Normal {
+            mean: 170.0,
+            std_dev: 10.0,
+        };
         let m = sample_mean(dist, 50_000, 6);
         assert!((m - 170.0).abs() < 0.3, "mean {m} far from 170");
         // ~68% within one std dev.
@@ -213,15 +252,26 @@ mod tests {
             Some(1.0)
         );
         assert_eq!(
-            AttributeDistribution::Pareto { scale: 1.0, shape: 0.9 }.mean(),
+            AttributeDistribution::Pareto {
+                scale: 1.0,
+                shape: 0.9
+            }
+            .mean(),
             None,
             "heavy tail: infinite mean"
         );
         assert_eq!(
-            AttributeDistribution::Normal { mean: 5.0, std_dev: 1.0 }.mean(),
+            AttributeDistribution::Normal {
+                mean: 5.0,
+                std_dev: 1.0
+            }
+            .mean(),
             Some(5.0)
         );
-        assert_eq!(AttributeDistribution::Exponential { rate: 4.0 }.mean(), Some(0.25));
+        assert_eq!(
+            AttributeDistribution::Exponential { rate: 4.0 }.mean(),
+            Some(0.25)
+        );
     }
 
     #[test]
@@ -236,7 +286,10 @@ mod tests {
 
     #[test]
     fn samples_are_valid_attributes() {
-        let dist = AttributeDistribution::Pareto { scale: 1.0, shape: 1.5 };
+        let dist = AttributeDistribution::Pareto {
+            scale: 1.0,
+            shape: 1.5,
+        };
         let mut rng = StdRng::seed_from_u64(10);
         let attrs = dist.sample_n(100, &mut rng);
         assert_eq!(attrs.len(), 100);

@@ -492,10 +492,9 @@ impl Engine {
             match self.nodes.get_mut(&req.partner) {
                 Some(partner) => {
                     let partner_entry = partner.self_entry();
-                    let reply =
-                        partner
-                            .sampler
-                            .handle_request(partner_entry, id, &req.entries);
+                    let reply = partner
+                        .sampler
+                        .handle_request(partner_entry, id, &req.entries);
                     node.sampler.handle_reply(req.partner, &reply);
                 }
                 None => {
@@ -638,7 +637,10 @@ mod tests {
         assert_eq!(engine.cycle(), 0);
         // Every node has a non-empty, invariant-respecting view.
         for (id, node) in &engine.nodes {
-            assert!(!node.sampler.view().is_empty(), "node {id} has no neighbors");
+            assert!(
+                !node.sampler.view().is_empty(),
+                "node {id} has no neighbors"
+            );
             node.sampler.view().check_invariants(Some(*id)).unwrap();
         }
     }
@@ -706,7 +708,10 @@ mod tests {
         let mut engine = Engine::new(cfg, ProtocolKind::ModJk).unwrap();
         let record = engine.run(15);
         let useless: u64 = record.cycles.iter().map(|c| c.events.swaps_useless).sum();
-        assert!(useless > 0, "full concurrency must produce unsuccessful swaps");
+        assert!(
+            useless > 0,
+            "full concurrency must produce unsuccessful swaps"
+        );
     }
 
     #[test]
@@ -714,7 +719,10 @@ mod tests {
         let mut engine = Engine::new(small_cfg(256, 8, 6), ProtocolKind::ModJk).unwrap();
         let record = engine.run(15);
         let useless: u64 = record.cycles.iter().map(|c| c.events.swaps_useless).sum();
-        assert_eq!(useless, 0, "atomic exchanges with fresh views never go stale");
+        assert_eq!(
+            useless, 0,
+            "atomic exchanges with fresh views never go stale"
+        );
     }
 
     #[test]
@@ -823,7 +831,10 @@ mod tests {
         // else was delivered — none were dropped (loss_rate = 0).
         let dropped: u64 = record.cycles.iter().map(|c| c.dropped_messages).sum();
         assert_eq!(dropped, 0);
-        assert!(!engine.in_flight.is_empty(), "fixed 2-cycle delay keeps a backlog");
+        assert!(
+            !engine.in_flight.is_empty(),
+            "fixed 2-cycle delay keeps a backlog"
+        );
         // Samples still flow: the protocol converges, just later.
         assert!(engine.sdm() < record.cycles[0].sdm / 2.0);
     }

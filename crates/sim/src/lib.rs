@@ -62,7 +62,9 @@ pub mod sessions;
 pub mod stats;
 pub mod sweep;
 
-pub use churn::{ChurnModel, ChurnPlan, ChurnSchedule, CorrelatedChurn, NoChurn, UncorrelatedChurn};
+pub use churn::{
+    ChurnModel, ChurnPlan, ChurnSchedule, CorrelatedChurn, NoChurn, UncorrelatedChurn,
+};
 pub use concurrency::Concurrency;
 pub use config::{ProtocolKind, SamplerKind, SimConfig};
 pub use distributions::AttributeDistribution;

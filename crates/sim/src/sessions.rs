@@ -204,7 +204,11 @@ pub struct FlashCrowd {
 
 impl FlashCrowd {
     /// A crowd of `join_fraction`·n nodes arriving at `at_cycle`.
-    pub fn joining(at_cycle: usize, join_fraction: f64, distribution: AttributeDistribution) -> Self {
+    pub fn joining(
+        at_cycle: usize,
+        join_fraction: f64,
+        distribution: AttributeDistribution,
+    ) -> Self {
         FlashCrowd {
             at_cycle,
             join_fraction,
@@ -241,13 +245,10 @@ impl ChurnModel for FlashCrowd {
         let n = population.len();
 
         let leave_count = ((n as f64 * self.leave_fraction).round() as usize).min(n);
-        let leavers: Vec<NodeId> = rand::seq::SliceRandom::choose_multiple(
-            population,
-            &mut rng,
-            leave_count,
-        )
-        .map(|(id, _)| *id)
-        .collect();
+        let leavers: Vec<NodeId> =
+            rand::seq::SliceRandom::choose_multiple(population, &mut rng, leave_count)
+                .map(|(id, _)| *id)
+                .collect();
 
         let join_count = (n as f64 * self.join_fraction).round() as usize;
         let joiners = (0..join_count)
@@ -305,7 +306,11 @@ mod tests {
         let empirical = sum / trials as f64;
         // Ceil()+max(1) bias the mean up slightly; stay within 5%.
         let rel = (empirical - w.mean()).abs() / w.mean();
-        assert!(rel < 0.05, "empirical mean {empirical:.1} vs {:.1}", w.mean());
+        assert!(
+            rel < 0.05,
+            "empirical mean {empirical:.1} vs {:.1}",
+            w.mean()
+        );
     }
 
     #[test]
@@ -350,7 +355,10 @@ mod tests {
             }
         }
         assert_eq!(pop.len(), 100);
-        assert!(total_left > 50, "mean session 10 ⇒ heavy turnover, saw {total_left}");
+        assert!(
+            total_left > 50,
+            "mean session 10 ⇒ heavy turnover, saw {total_left}"
+        );
         // Essentially all of the initial cohort should be gone by cycle 120.
         let survivors = pop
             .iter()

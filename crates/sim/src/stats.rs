@@ -121,7 +121,10 @@ impl RunRecord {
     /// The first cycle (1-based index into the record) whose SDM is at or
     /// below `threshold`, if any — a convergence-speed summary.
     pub fn cycles_to_reach_sdm(&self, threshold: f64) -> Option<usize> {
-        self.cycles.iter().find(|c| c.sdm <= threshold).map(|c| c.cycle)
+        self.cycles
+            .iter()
+            .find(|c| c.sdm <= threshold)
+            .map(|c| c.cycle)
     }
 
     /// Writes the record as CSV (`cycle,n,sdm,gdm,unsuccessful_pct,…`).

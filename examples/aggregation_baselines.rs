@@ -27,7 +27,9 @@ fn main() {
         scale: 1.0,
         shape: 1.5,
     };
-    let values: Vec<f64> = (0..n).map(|_| distribution.sample(&mut rng).value()).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|_| distribution.sample(&mut rng).value())
+        .collect();
 
     // --- Baseline 1: network-size estimation (what quantile search needs).
     println!("1. gossip size estimation (ref [12] COUNT):");
@@ -36,7 +38,10 @@ fn main() {
         .iter()
         .map(|e| e.map_or(f64::INFINITY, |e| (e - n as f64).abs() / n as f64))
         .fold(0.0f64, f64::max);
-    println!("   n = {n}, 40 rounds: worst per-node relative error {:.2}%\n", 100.0 * worst);
+    println!(
+        "   n = {n}, 40 rounds: worst per-node relative error {:.2}%\n",
+        100.0 * worst
+    );
 
     // --- Baseline 2: quantile search, one run per decile boundary.
     println!("2. gossip quantile search (ref [13]), decile boundaries:");
@@ -78,6 +83,9 @@ fn main() {
             "   every node self-assigned; 95% correct after {c} cycles \
              (vs {total_rounds} rounds for 9 boundary values only)"
         ),
-        None => println!("   accuracy after 400 cycles: {:.1}%", 100.0 * engine.accuracy()),
+        None => println!(
+            "   accuracy after 400 cycles: {:.1}%",
+            100.0 * engine.accuracy()
+        ),
     }
 }

@@ -20,7 +20,11 @@ use dslice::prelude::*;
 fn main() {
     // 10% super-peers / 40% relays / 50% leaf nodes.
     let partition = Partition::from_fractions(&[0.5, 0.4, 0.1]).unwrap();
-    let names = ["leaf (bottom 50%)", "relay (middle 40%)", "super-peer (top 10%)"];
+    let names = [
+        "leaf (bottom 50%)",
+        "relay (middle 40%)",
+        "super-peer (top 10%)",
+    ];
 
     let cfg = SimConfig {
         n: 2_000,
@@ -43,10 +47,7 @@ fn main() {
             engine.step();
         }
         let snapshot = engine.snapshot();
-        let truth = rank::true_slices(
-            snapshot.iter().map(|&(id, a, _)| (id, a)),
-            &partition,
-        );
+        let truth = rank::true_slices(snapshot.iter().map(|&(id, a, _)| (id, a)), &partition);
         let correct = snapshot
             .iter()
             .filter(|(id, _, est)| partition.slice_of(*est) == truth[id])

@@ -29,7 +29,10 @@ fn run(kind: ProtocolKind, seed: u64, cycles: usize, checkpoints: &[usize]) -> V
     };
     let mut engine = Engine::new(cfg, kind)
         .unwrap()
-        .with_churn(Box::new(CorrelatedChurn::new(ChurnSchedule::regular(), 1.0)));
+        .with_churn(Box::new(CorrelatedChurn::new(
+            ChurnSchedule::regular(),
+            1.0,
+        )));
     let mut out = Vec::new();
     for &cp in checkpoints {
         while engine.cycle() < cp.min(cycles) {

@@ -52,6 +52,9 @@ fn main() {
         engine.slice_histogram()
     );
 
-    assert!(engine.accuracy() > 0.9, "re-sliced network failed to sharpen");
+    assert!(
+        engine.accuracy() > 0.9,
+        "re-sliced network failed to sharpen"
+    );
     println!("\nre-slicing was free; convergence continued under the new slices");
 }

@@ -72,11 +72,7 @@ fn main() {
 }
 
 /// One maintenance round: feed every node's view stream into its overlay.
-fn maintain(
-    overlays: &mut HashMap<NodeId, SliceOverlay>,
-    engine: &Engine,
-    cfg: OverlayConfig,
-) {
+fn maintain(overlays: &mut HashMap<NodeId, SliceOverlay>, engine: &Engine, cfg: OverlayConfig) {
     let estimates: HashMap<NodeId, f64> = engine
         .snapshot()
         .into_iter()
@@ -95,10 +91,7 @@ fn maintain(
     }
 }
 
-fn connectivity(
-    engine: &Engine,
-    overlays: &HashMap<NodeId, SliceOverlay>,
-) -> ConnectivityReport {
+fn connectivity(engine: &Engine, overlays: &HashMap<NodeId, SliceOverlay>) -> ConnectivityReport {
     let snapshot = engine.snapshot();
     let truth: BTreeMap<NodeId, usize> = rank::true_slices(
         snapshot.iter().map(|&(id, a, _)| (id, a)),

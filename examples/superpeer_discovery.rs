@@ -77,10 +77,10 @@ fn main() {
             .map(|(id, _, _)| id.as_u64())
             .collect();
 
-        let recall = 100.0 * claimed.intersection(&actual).count() as f64
-            / actual.len().max(1) as f64;
-        let precision = 100.0 * claimed.intersection(&actual).count() as f64
-            / claimed.len().max(1) as f64;
+        let recall =
+            100.0 * claimed.intersection(&actual).count() as f64 / actual.len().max(1) as f64;
+        let precision =
+            100.0 * claimed.intersection(&actual).count() as f64 / claimed.len().max(1) as f64;
         let changes = claimed.symmetric_difference(&previous).count();
 
         println!(

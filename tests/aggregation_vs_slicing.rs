@@ -7,9 +7,7 @@
 //! engine uses and verify (a) the baselines work as their papers claim, and
 //! (b) the comparison the paper draws actually holds numerically.
 
-use dslice::aggregation::{
-    estimate_size, exact_quantile, AggregateKind, QuantileSearch, Swarm,
-};
+use dslice::aggregation::{estimate_size, exact_quantile, AggregateKind, QuantileSearch, Swarm};
 use dslice::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -108,7 +108,10 @@ fn ranking_confidence_tracks_theorem_51() {
     // slices), p̂ = 0.5: k = (1.96·0.5/0.1)² ≈ 96 — amply satisfied, and
     // indeed mid-slice nodes are essentially always right.
     let required = analysis::required_samples(0.5, 0.1, 0.05);
-    assert!(required < 1_200, "mid-slice requirement ({required}) met by cycle budget");
+    assert!(
+        required < 1_200,
+        "mid-slice requirement ({required}) met by cycle budget"
+    );
 
     let snapshot = engine.snapshot();
     let alpha = dslice::core::rank::attribute_ranks(snapshot.iter().map(|&(id, a, _)| (id, a)));
@@ -144,7 +147,11 @@ fn wald_interval_covers_the_simulated_estimates() {
     let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
     let record = engine.run(100);
     // Approximate per-node sample count: absorbed samples / population.
-    let absorbed: u64 = record.cycles.iter().map(|c| c.events.samples_absorbed).sum();
+    let absorbed: u64 = record
+        .cycles
+        .iter()
+        .map(|c| c.events.samples_absorbed)
+        .sum();
     let k = (absorbed / 300).max(1) as usize;
 
     let snapshot = engine.snapshot();

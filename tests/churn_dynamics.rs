@@ -149,8 +149,11 @@ fn views_never_reference_departed_nodes_after_a_cycle() {
         .with_churn(burst_churn(60));
     for _ in 0..60 {
         engine.step();
-        let alive: std::collections::HashSet<u64> =
-            engine.snapshot().iter().map(|(id, _, _)| id.as_u64()).collect();
+        let alive: std::collections::HashSet<u64> = engine
+            .snapshot()
+            .iter()
+            .map(|(id, _, _)| id.as_u64())
+            .collect();
         for (owner, view_ids) in engine.debug_views() {
             for id in view_ids {
                 assert!(

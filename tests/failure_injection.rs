@@ -62,7 +62,10 @@ fn loss_degrades_convergence_monotonically() {
     let lossless = auc(0.0);
     let heavy = auc(0.5);
     // Heavy loss must cost something, but the protocol still functions.
-    assert!(heavy > lossless * 0.8, "loss should not accelerate convergence");
+    assert!(
+        heavy > lossless * 0.8,
+        "loss should not accelerate convergence"
+    );
     let record = Engine::new(config(53, 0.5), ProtocolKind::Ranking)
         .unwrap()
         .run(200);
@@ -96,5 +99,8 @@ fn total_loss_stalls_message_driven_progress_but_not_view_sampling() {
         "ordering with all proposals lost cannot converge: {first} -> {last}"
     );
     let applied: u64 = record.cycles.iter().map(|c| c.events.swaps_applied).sum();
-    assert_eq!(applied, 0, "no swap can complete when every message is lost");
+    assert_eq!(
+        applied, 0,
+        "no swap can complete when every message is lost"
+    );
 }

@@ -20,7 +20,11 @@ async fn ranking_cluster_converges_over_tcp() {
         period: Duration::from_millis(10),
         bootstrap_degree: 5,
         seed: 404,
-        ..ClusterConfig::new(attrs(20), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+        ..ClusterConfig::new(
+            attrs(20),
+            Partition::equal(2).unwrap(),
+            ProtocolKind::Ranking,
+        )
     };
     let cluster = LocalCluster::spawn(cfg).await.unwrap();
     cluster.run_for(Duration::from_millis(1200)).await;
@@ -66,7 +70,11 @@ async fn cluster_survives_join_and_leave() {
         period: Duration::from_millis(10),
         bootstrap_degree: 4,
         seed: 410,
-        ..ClusterConfig::new(attrs(14), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+        ..ClusterConfig::new(
+            attrs(14),
+            Partition::equal(2).unwrap(),
+            ProtocolKind::Ranking,
+        )
     };
     let mut cluster = LocalCluster::spawn(cfg.clone()).await.unwrap();
     cluster.run_for(Duration::from_millis(300)).await;
@@ -94,7 +102,10 @@ async fn cluster_survives_join_and_leave() {
     let part = Partition::equal(2).unwrap();
     let low_snap = report.nodes.iter().find(|s| s.id == low).unwrap();
     let high_snap = report.nodes.iter().find(|s| s.id == high).unwrap();
-    assert!(low_snap.ticks > 10, "joiner {low} integrated into the overlay");
+    assert!(
+        low_snap.ticks > 10,
+        "joiner {low} integrated into the overlay"
+    );
     assert_eq!(
         part.slice_of(low_snap.estimate).as_usize(),
         0,
@@ -127,7 +138,11 @@ async fn every_sampler_substrate_works_over_tcp() {
             bootstrap_degree: 5,
             seed: 420 + i as u64,
             sampler,
-            ..ClusterConfig::new(attrs(16), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+            ..ClusterConfig::new(
+                attrs(16),
+                Partition::equal(2).unwrap(),
+                ProtocolKind::Ranking,
+            )
         };
         let cluster = LocalCluster::spawn(cfg).await.unwrap();
         cluster.run_for(Duration::from_millis(1000)).await;
@@ -164,7 +179,11 @@ async fn ranking_tolerates_wire_loss_and_delay() {
             loss: 0.2,
             delay: Some((D::from_millis(0), D::from_millis(30))),
         },
-        ..ClusterConfig::new(attrs(16), Partition::equal(2).unwrap(), ProtocolKind::Ranking)
+        ..ClusterConfig::new(
+            attrs(16),
+            Partition::equal(2).unwrap(),
+            ProtocolKind::Ranking,
+        )
     };
     let cluster = LocalCluster::spawn(cfg).await.unwrap();
     cluster.run_for(Duration::from_millis(1500)).await;

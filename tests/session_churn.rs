@@ -7,7 +7,7 @@
 //! uniformity (detected by a KS test), which is why no amount of further
 //! sorting can repair its slice assignment.
 
-use dslice::analysis::{ks_test, ks_statistic};
+use dslice::analysis::{ks_statistic, ks_test};
 use dslice::prelude::*;
 use dslice::sim::{ChurnSchedule, FlashCrowd, SessionChurn, WeibullSessions};
 
@@ -28,9 +28,12 @@ fn sliding_ranking_stays_accurate_under_session_churn() {
         AttributeDistribution::default(),
     )
     .uptime_attribute();
-    let mut engine = Engine::new(config(600, 5, 81), ProtocolKind::SlidingRanking { window: 400 })
-        .unwrap()
-        .with_churn(Box::new(churn));
+    let mut engine = Engine::new(
+        config(600, 5, 81),
+        ProtocolKind::SlidingRanking { window: 400 },
+    )
+    .unwrap()
+    .with_churn(Box::new(churn));
     let record = engine.run(300);
 
     // Population is stationary under the replacement model.
@@ -38,7 +41,10 @@ fn sliding_ranking_stays_accurate_under_session_churn() {
     let total_left: usize = record.cycles.iter().map(|c| c.left).sum();
     let total_joined: usize = record.cycles.iter().map(|c| c.joined).sum();
     assert_eq!(total_left, total_joined);
-    assert!(total_left > 100, "heavy-tailed sessions must churn the population");
+    assert!(
+        total_left > 100,
+        "heavy-tailed sessions must churn the population"
+    );
 
     // Accuracy holds despite the fully-correlated churn.
     assert!(
@@ -60,7 +66,10 @@ fn flash_crowd_join_dips_then_recovers() {
         engine.step();
     }
     let before = engine.accuracy();
-    assert!(before > 0.75, "should be converged before the crowd: {before}");
+    assert!(
+        before > 0.75,
+        "should be converged before the crowd: {before}"
+    );
 
     // The crowd arrives: 250 strangers with no samples.
     engine.step();

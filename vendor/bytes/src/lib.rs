@@ -1,0 +1,271 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] and [`BytesMut`] here are plain `Vec<u8>` wrappers — no
+//! reference-counted zero-copy splitting — with the [`Buf`]/[`BufMut`]
+//! methods the workspace codec uses. Frame sizes are a few kilobytes, so the
+//! copies real `bytes` avoids are irrelevant here.
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+/// A growable byte buffer with cursor-style consumption from the front.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Bytes before `head` have been consumed by [`Buf::advance`] /
+    /// [`BytesMut::split_to`]; kept lazily and compacted on growth.
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+            head: 0,
+        }
+    }
+
+    /// Length of the unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `at` unconsumed bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        BytesMut {
+            data: front,
+            head: 0,
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        self.compact();
+        Bytes { data: self.data }
+    }
+
+    /// Drops the consumed prefix so appends don't grow without bound.
+    fn compact(&mut self) {
+        if self.head > 0 {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact();
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            head: 0,
+        }
+    }
+}
+
+/// Read-side buffer operations.
+pub trait Buf {
+    /// Unconsumed bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// The unconsumed bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Reads a big-endian u32 and advances past it.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32 underflow");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads one byte and advances past it.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 underflow");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write-side buffer operations.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEADBEEF);
+        buf.put_u8(7);
+        buf.put_slice(b"abc");
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.get_u32(), 0xDEADBEEF);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(&buf[..], b"abc");
+    }
+
+    #[test]
+    fn split_advance_freeze() {
+        let mut buf = BytesMut::from(&b"hello world"[..]);
+        buf.advance(6);
+        let word = buf.split_to(5);
+        assert_eq!(&word[..], b"world");
+        assert!(buf.is_empty());
+        let frozen = word.freeze();
+        assert_eq!(frozen.len(), 5);
+        assert_eq!(frozen.iter().copied().collect::<Vec<u8>>(), b"world");
+    }
+
+    #[test]
+    fn append_after_advance_sees_only_tail() {
+        let mut buf = BytesMut::from(&b"abcd"[..]);
+        buf.advance(4);
+        buf.put_slice(b"xy");
+        assert_eq!(&buf[..], b"xy");
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's five bench harnesses compiling and runnable with
+//! zero dependencies: same macro entry points ([`criterion_group!`],
+//! [`criterion_main!`]), same `Criterion` / group / [`Bencher`] surface.
+//! Measurement is deliberately coarse — a short calibrated loop reporting
+//! median-free mean ns/iter — because the statistical machinery of real
+//! criterion is not what CI's `cargo bench --no-run` smoke gate exercises.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iterations used to estimate per-iteration cost before measuring.
+const CALIBRATION_ITERS: u64 = 10;
+
+/// How batched inputs are grouped (accepted, ignored: every batch is one
+/// input here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One fresh input per iteration.
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from just a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// (total duration, iterations) of the measured run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate.
+        let t0 = Instant::now();
+        for _ in 0..CALIBRATION_ITERS {
+            black_box(routine());
+        }
+        let per_iter = t0.elapsed() / CALIBRATION_ITERS as u32;
+        let iters = iterations_for(per_iter);
+        // Measure.
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` on inputs built by `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate.
+        let mut measured = Duration::ZERO;
+        for _ in 0..CALIBRATION_ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+        }
+        let per_iter = measured / CALIBRATION_ITERS as u32;
+        let iters = iterations_for(per_iter);
+        // Measure.
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.result = Some((total, iters));
+    }
+}
+
+/// Picks an iteration count that keeps each benchmark within the budget.
+fn iterations_for(per_iter: Duration) -> u64 {
+    if per_iter.is_zero() {
+        return 10_000;
+    }
+    let fit = MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1);
+    (fit as u64).clamp(10, 100_000)
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stand-in sizes runs by wall
+    /// clock, not sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used in reports for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.result, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { result: None };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.result, self.throughput);
+        self
+    }
+
+    /// Ends the group (a reporting boundary in real criterion; a no-op
+    /// here).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, result: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((total, iters)) = result else {
+        eprintln!("{group}/{id}: no measurement recorded");
+        return;
+    };
+    let ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    let mut line = format!("{group}/{id}: {ns:.1} ns/iter ({iters} iters)");
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => format!("{:.1} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64),
+            Throughput::Elements(n) => format!("{:.1} Melem/s", n as f64 / ns * 1e9 / 1e6),
+        };
+        line.push_str(&format!(", {per_sec}"));
+    }
+    eprintln!("{line}");
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report("bench", id, b.result, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($group), "` benchmark group.")]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// The bench-binary entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut group = Criterion.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 32], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

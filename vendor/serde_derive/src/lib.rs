@@ -1,0 +1,411 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! The offline build has no `syn`/`quote`, so the item is parsed directly
+//! from the `proc_macro` token stream. Supported shapes — which cover every
+//! derived type in this workspace — are non-generic structs (named, tuple,
+//! unit) and non-generic enums (unit, named and tuple variants). `#[serde]`
+//! helper attributes are accepted and ignored; the only one the workspace
+//! uses is `#[serde(transparent)]` on newtype structs, and newtype structs
+//! are serialized transparently by default here (as in real serde).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The field shape of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// A parsed derive input item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree flavour) for a non-generic
+/// struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour) for a non-generic
+/// struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error is valid Rust"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected token after struct name: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        // `#![...]` inner attributes cannot appear here; outer is `#[...]`.
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i)?);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    Ok(names)
+}
+
+/// Advances past a type, stopping after the `,` that ends it (or at end of
+/// stream). Tracks `<...>` nesting so commas inside generics don't split.
+fn skip_type_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                '-' => {
+                    // `->` in fn-pointer types: consume the `>` too so it
+                    // doesn't disturb angle-depth tracking.
+                    if matches!(tokens.get(*i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>')
+                    {
+                        *i += 1;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        count += 1;
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type_until_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (externally tagged enums, transparent newtypes — the
+// serde defaults, so the wire format stays compatible with real serde)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str("        ::serde::Value::Null\n"),
+                Fields::Tuple(1) => {
+                    out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    out.push_str("        ::serde::Value::Seq(vec![");
+                    for k in 0..*n {
+                        out.push_str(&format!("::serde::Serialize::to_value(&self.{k}), "));
+                    }
+                    out.push_str("])\n");
+                }
+                Fields::Named(names) => {
+                    out.push_str("        ::serde::Value::Map(vec![\n");
+                    for f in names {
+                        out.push_str(&format!(
+                            "            ({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),\n"
+                        ));
+                    }
+                    out.push_str("        ])\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "            {name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{v}(__v0) => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Serialize::to_value(__v0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__v{k}")).collect();
+                        out.push_str(&format!(
+                            "            {name}::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let entries = names
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "            {name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![({v:?}.to_string(), ::serde::Value::Map(vec![{entries}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str(&format!(
+                    "        let _ = v;\n        ::std::result::Result::Ok({name})\n"
+                )),
+                Fields::Tuple(1) => out.push_str(&format!(
+                    "        ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+                )),
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "        let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for tuple struct {name}\"))?;\n        if s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}\")); }}\n"
+                    ));
+                    let args = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    out.push_str(&format!(
+                        "        ::std::result::Result::Ok({name}({args}))\n"
+                    ));
+                }
+                Fields::Named(names) => {
+                    out.push_str(&format!(
+                        "        let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n"
+                    ));
+                    out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+                    for f in names {
+                        out.push_str(&format!(
+                            "            {f}: ::serde::Deserialize::from_value(::serde::__field(m, {f:?})).map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                        ));
+                    }
+                    out.push_str("        })\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str("        if let ::std::option::Option::Some(s) = v.as_str() {\n            return match s {\n");
+            for (v, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    out.push_str(&format!(
+                        "                {v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "                other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown unit variant {{other}} for enum {name}\"))),\n            }};\n        }}\n"
+            ));
+            // Data variants arrive as single-entry maps.
+            out.push_str(&format!(
+                "        let (tag, inner) = v.as_single_entry().ok_or_else(|| ::serde::Error::custom(\"expected externally tagged enum {name}\"))?;\n        match tag {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        // Also accept {"Variant": null} for robustness.
+                        out.push_str(&format!(
+                            "            {v:?} => {{ let _ = inner; ::std::result::Result::Ok({name}::{v}) }}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "            {v:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let args = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "            {v:?} => {{\n                let s = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}::{v}\"))?;\n                if s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{v}\")); }}\n                ::std::result::Result::Ok({name}::{v}({args}))\n            }}\n"
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let inits = names
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::__field(m, {f:?})).map_err(|e| ::serde::Error::custom(format!(\"{name}::{v}.{f}: {{e}}\")))?"
+                            ))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "            {v:?} => {{\n                let m = inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}::{v}\"))?;\n                ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n            }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "            other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant {{other}} for enum {name}\"))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}

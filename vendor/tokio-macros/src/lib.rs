@@ -1,0 +1,77 @@
+//! `#[tokio::main]` and `#[tokio::test]` for the vendored tokio stand-in.
+//!
+//! Both rewrite `async fn name(...) -> T { body }` into
+//! `fn name(...) -> T { ::tokio::runtime::block_on(async move { body }) }`.
+//! Attribute arguments like `flavor = "multi_thread", worker_threads = 4`
+//! are accepted and ignored: the stand-in runtime always runs one OS thread
+//! per task, which subsumes any worker-thread count.
+
+use proc_macro::{Delimiter, Group, Ident, Span, TokenStream, TokenTree};
+
+/// Rewrites an `async fn main` into a sync entry point driving the
+/// stand-in runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// Rewrites an `async fn` test into a `#[test]` driving the stand-in
+/// runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+fn rewrite(item: TokenStream, mark_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Locate the `async` keyword directly preceding `fn`.
+    let async_idx = tokens.iter().enumerate().position(|(i, t)| {
+        matches!(t, TokenTree::Ident(id) if id.to_string() == "async")
+            && matches!(tokens.get(i + 1), Some(TokenTree::Ident(id2)) if id2.to_string() == "fn")
+    });
+    let Some(async_idx) = async_idx else {
+        return "compile_error!(\"#[tokio::main]/#[tokio::test] requires an `async fn`\");"
+            .parse()
+            .expect("valid Rust");
+    };
+
+    // The final token must be the function body block.
+    let Some(TokenTree::Group(body)) = tokens.last() else {
+        return "compile_error!(\"expected a function body\");"
+            .parse()
+            .expect("valid Rust");
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return "compile_error!(\"expected a brace-delimited function body\");"
+            .parse()
+            .expect("valid Rust");
+    }
+
+    let mut out: Vec<TokenTree> = Vec::new();
+    if mark_test {
+        // `#[test]`
+        out.push(TokenTree::Punct(proc_macro::Punct::new(
+            '#',
+            proc_macro::Spacing::Alone,
+        )));
+        out.push(TokenTree::Group(Group::new(
+            Delimiter::Bracket,
+            TokenStream::from(TokenTree::Ident(Ident::new("test", Span::call_site()))),
+        )));
+    }
+    // Signature minus `async`, minus the body.
+    for (i, tok) in tokens[..tokens.len() - 1].iter().enumerate() {
+        if i == async_idx {
+            continue;
+        }
+        out.push(tok.clone());
+    }
+    // New body: ::tokio::runtime::block_on(async move <body>)
+    let wrapped: TokenStream = format!("::tokio::runtime::block_on(async move {})", body)
+        .parse()
+        .expect("wrapped body parses");
+    out.push(TokenTree::Group(Group::new(Delimiter::Brace, wrapped)));
+
+    out.into_iter().collect()
+}

@@ -1,0 +1,270 @@
+//! Async byte I/O: the read/write traits, their ext methods, and an
+//! in-memory duplex pipe.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::poll_fn;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// A nonblocking byte source.
+///
+/// Simplified from tokio: receivers are `Unpin` and the buffer is a plain
+/// slice, which is all the workspace's codec needs.
+#[allow(async_fn_in_trait)]
+pub trait AsyncRead: Unpin {
+    /// Attempts to read into `buf`, returning how many bytes were read.
+    /// `Ok(0)` means end of stream.
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>>;
+}
+
+/// A nonblocking byte sink.
+#[allow(async_fn_in_trait)]
+pub trait AsyncWrite: Unpin {
+    /// Attempts to write from `buf`, returning how many bytes were written.
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>>;
+
+    /// Attempts to flush buffered data.
+    fn poll_flush(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+/// Convenience read methods, available on every [`AsyncRead`].
+#[allow(async_fn_in_trait)]
+pub trait AsyncReadExt: AsyncRead {
+    /// Reads some bytes into `buf`.
+    async fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        poll_fn(|cx| self.poll_read(cx, buf)).await
+    }
+
+    /// Reads exactly `buf.len()` bytes, erroring with `UnexpectedEof` if the
+    /// stream ends early.
+    async fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = poll_fn(|cx| self.poll_read(cx, &mut buf[filled..])).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed before buffer was filled",
+                ));
+            }
+            filled += n;
+        }
+        Ok(filled)
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+/// Convenience write methods, available on every [`AsyncWrite`].
+#[allow(async_fn_in_trait)]
+pub trait AsyncWriteExt: AsyncWrite {
+    /// Writes the entire buffer.
+    async fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        let mut written = 0;
+        while written < buf.len() {
+            let n = poll_fn(|cx| self.poll_write(cx, &buf[written..])).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "stream refused further bytes",
+                ));
+            }
+            written += n;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered data to the underlying transport.
+    async fn flush(&mut self) -> io::Result<()> {
+        poll_fn(|cx| self.poll_flush(cx)).await
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+// ---------------------------------------------------------------------------
+// duplex
+// ---------------------------------------------------------------------------
+
+/// One direction of an in-memory pipe.
+struct Pipe {
+    buf: VecDeque<u8>,
+    max: usize,
+    closed: bool,
+    read_wakers: Vec<Waker>,
+    write_wakers: Vec<Waker>,
+}
+
+impl Pipe {
+    fn new(max: usize) -> Arc<Mutex<Pipe>> {
+        Arc::new(Mutex::new(Pipe {
+            buf: VecDeque::new(),
+            max,
+            closed: false,
+            read_wakers: Vec::new(),
+            write_wakers: Vec::new(),
+        }))
+    }
+}
+
+fn wake_drain(wakers: &mut Vec<Waker>) {
+    for waker in wakers.drain(..) {
+        waker.wake();
+    }
+}
+
+/// One endpoint of an in-memory, bidirectional byte stream.
+pub struct DuplexStream {
+    read_from: Arc<Mutex<Pipe>>,
+    write_to: Arc<Mutex<Pipe>>,
+}
+
+impl fmt::Debug for DuplexStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DuplexStream").finish_non_exhaustive()
+    }
+}
+
+/// Creates a connected pair of in-memory streams, each direction buffering
+/// at most `max_buf_size` bytes.
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = Pipe::new(max_buf_size.max(1));
+    let b_to_a = Pipe::new(max_buf_size.max(1));
+    (
+        DuplexStream {
+            read_from: Arc::clone(&b_to_a),
+            write_to: Arc::clone(&a_to_b),
+        },
+        DuplexStream {
+            read_from: a_to_b,
+            write_to: b_to_a,
+        },
+    )
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        for pipe in [&self.read_from, &self.write_to] {
+            let mut p = pipe.lock().unwrap_or_else(|e| e.into_inner());
+            p.closed = true;
+            let mut readers = std::mem::take(&mut p.read_wakers);
+            let mut writers = std::mem::take(&mut p.write_wakers);
+            drop(p);
+            wake_drain(&mut readers);
+            wake_drain(&mut writers);
+        }
+    }
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        let mut pipe = self.read_from.lock().unwrap_or_else(|e| e.into_inner());
+        if !pipe.buf.is_empty() {
+            let mut n = 0;
+            while n < buf.len() {
+                match pipe.buf.pop_front() {
+                    Some(b) => {
+                        buf[n] = b;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            let mut writers = std::mem::take(&mut pipe.write_wakers);
+            drop(pipe);
+            wake_drain(&mut writers);
+            return Poll::Ready(Ok(n));
+        }
+        if pipe.closed {
+            return Poll::Ready(Ok(0));
+        }
+        let waker = cx.waker();
+        if !pipe.read_wakers.iter().any(|w| w.will_wake(waker)) {
+            pipe.read_wakers.push(waker.clone());
+        }
+        Poll::Pending
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        let mut pipe = self.write_to.lock().unwrap_or_else(|e| e.into_inner());
+        if pipe.closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "duplex peer closed",
+            )));
+        }
+        let room = pipe.max.saturating_sub(pipe.buf.len());
+        if room == 0 {
+            let waker = cx.waker();
+            if !pipe.write_wakers.iter().any(|w| w.will_wake(waker)) {
+                pipe.write_wakers.push(waker.clone());
+            }
+            return Poll::Pending;
+        }
+        let n = room.min(buf.len());
+        pipe.buf.extend(&buf[..n]);
+        let mut readers = std::mem::take(&mut pipe.read_wakers);
+        drop(pipe);
+        wake_drain(&mut readers);
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn duplex_roundtrip() {
+        block_on(async {
+            let (mut a, mut b) = duplex(64);
+            a.write_all(b"ping").await.unwrap();
+            let mut buf = [0u8; 4];
+            b.read_exact(&mut buf).await.unwrap();
+            assert_eq!(&buf, b"ping");
+            b.write_all(b"pong").await.unwrap();
+            a.read_exact(&mut buf).await.unwrap();
+            assert_eq!(&buf, b"pong");
+        });
+    }
+
+    #[test]
+    fn duplex_eof_after_peer_drop() {
+        block_on(async {
+            let (mut a, b) = duplex(16);
+            drop(b);
+            let mut buf = [0u8; 1];
+            assert_eq!(a.read(&mut buf).await.unwrap(), 0, "EOF");
+            assert!(a.write_all(b"x").await.is_err(), "broken pipe");
+        });
+    }
+
+    #[test]
+    fn duplex_backpressure_across_tasks() {
+        block_on(async {
+            let (mut a, mut b) = duplex(4);
+            let writer = crate::spawn(async move {
+                let payload = [7u8; 64];
+                a.write_all(&payload).await.unwrap();
+                a
+            });
+            let mut got = Vec::new();
+            let mut buf = [0u8; 16];
+            while got.len() < 64 {
+                let n = b.read(&mut buf).await.unwrap();
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert!(got.iter().all(|&b| b == 7));
+            writer.await.unwrap();
+        });
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for `tokio`.
+//!
+//! The build environment has no crates registry, so this crate implements
+//! the subset of tokio's API the workspace uses on a deliberately simple
+//! model: **every spawned task is one OS thread** running a polling
+//! `block_on`. Leaf futures (sockets, timers, channels) return `Pending`
+//! when not ready; the driving thread re-polls on wakeup or after a short
+//! park timeout, so no reactor/epoll machinery is needed. Latency floors sit
+//! around the park timeout (≈0.5 ms), which is far below the gossip periods
+//! the tests run at, and a few dozen concurrent tasks map to a few dozen
+//! threads — fine for localhost clusters of tens of nodes.
+//!
+//! Provided: [`spawn`], [`task::JoinHandle`], [`net::TcpListener`] /
+//! [`net::TcpStream`], [`io`] (async read/write + in-memory [`io::duplex`]),
+//! [`sync::mpsc`] / [`sync::watch`] / [`sync::Mutex`], [`time::sleep`] /
+//! [`time::interval`], the [`select!`] macro and the `#[tokio::main]` /
+//! `#[tokio::test]` attribute macros.
+
+pub use tokio_macros::{main, test};
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+
+/// Waits on multiple branches concurrently, running the body of the first
+/// branch whose future completes with a matching pattern.
+///
+/// Reduced grammar compared to real tokio: up to four `pattern =
+/// future => block` branches (no `else`, no preconditions). A branch whose
+/// completed value does not match its pattern is disabled and the remaining
+/// branches keep running, like the real macro.
+#[macro_export]
+macro_rules! select {
+    // Entry points: 1-4 branches, with or without trailing commas between
+    // block bodies (blocks need no separating comma).
+    ($p0:pat = $f0:expr => $b0:block $(,)?) => {
+        $crate::__select_impl!(($p0 = $f0 => $b0))
+    };
+    ($p0:pat = $f0:expr => $b0:block $(,)? $p1:pat = $f1:expr => $b1:block $(,)?) => {
+        $crate::__select_impl!(($p0 = $f0 => $b0) ($p1 = $f1 => $b1))
+    };
+    ($p0:pat = $f0:expr => $b0:block $(,)? $p1:pat = $f1:expr => $b1:block $(,)? $p2:pat = $f2:expr => $b2:block $(,)?) => {
+        $crate::__select_impl!(($p0 = $f0 => $b0) ($p1 = $f1 => $b1) ($p2 = $f2 => $b2))
+    };
+    ($p0:pat = $f0:expr => $b0:block $(,)? $p1:pat = $f1:expr => $b1:block $(,)? $p2:pat = $f2:expr => $b2:block $(,)? $p3:pat = $f3:expr => $b3:block $(,)?) => {
+        $crate::__select_impl!(($p0 = $f0 => $b0) ($p1 = $f1 => $b1) ($p2 = $f2 => $b2) ($p3 = $f3 => $b3))
+    };
+}
+
+/// Internal expansion for [`select!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_impl {
+    ( $(($p:pat = $f:expr => $b:block))+ ) => {{
+        // One enum variant per branch, indexed by a generated path.
+        $crate::__select_with_out!( $(($p = $f => $b))+ )
+    }};
+}
+
+/// Second stage: fixed arities so each branch gets a distinct enum variant.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_with_out {
+    (($p0:pat = $f0:expr => $b0:block)) => {{
+        let __out = {
+            let mut __f0 = ::std::pin::pin!($f0);
+            ::std::future::poll_fn(
+                |__cx| match ::std::future::Future::poll(__f0.as_mut(), __cx) {
+                    ::std::task::Poll::Ready(v) => ::std::task::Poll::Ready(v),
+                    ::std::task::Poll::Pending => ::std::task::Poll::Pending,
+                },
+            )
+            .await
+        };
+        match __out {
+            $p0 => $b0,
+            #[allow(unreachable_patterns)]
+            _ => panic!("select!: single branch completed with non-matching pattern"),
+        }
+    }};
+    (($p0:pat = $f0:expr => $b0:block) ($p1:pat = $f1:expr => $b1:block)) => {{
+        enum __Out<A, B> {
+            _0(A),
+            _1(B),
+        }
+        let __out = {
+            let mut __f0 = ::std::pin::pin!($f0);
+            let mut __f1 = ::std::pin::pin!($f1);
+            let mut __done = [false; 2];
+            ::std::future::poll_fn(|__cx| {
+                $crate::__select_poll_branch!(__cx, __f0, __done, 0, $p0, __Out::_0);
+                $crate::__select_poll_branch!(__cx, __f1, __done, 1, $p1, __Out::_1);
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __out {
+            __Out::_0($p0) => $b0,
+            __Out::_1($p1) => $b1,
+            #[allow(unreachable_patterns)]
+            _ => panic!("select!: branch completed with non-matching pattern"),
+        }
+    }};
+    (($p0:pat = $f0:expr => $b0:block) ($p1:pat = $f1:expr => $b1:block) ($p2:pat = $f2:expr => $b2:block)) => {{
+        enum __Out<A, B, C> {
+            _0(A),
+            _1(B),
+            _2(C),
+        }
+        let __out = {
+            let mut __f0 = ::std::pin::pin!($f0);
+            let mut __f1 = ::std::pin::pin!($f1);
+            let mut __f2 = ::std::pin::pin!($f2);
+            let mut __done = [false; 3];
+            ::std::future::poll_fn(|__cx| {
+                $crate::__select_poll_branch!(__cx, __f0, __done, 0, $p0, __Out::_0);
+                $crate::__select_poll_branch!(__cx, __f1, __done, 1, $p1, __Out::_1);
+                $crate::__select_poll_branch!(__cx, __f2, __done, 2, $p2, __Out::_2);
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __out {
+            __Out::_0($p0) => $b0,
+            __Out::_1($p1) => $b1,
+            __Out::_2($p2) => $b2,
+            #[allow(unreachable_patterns)]
+            _ => panic!("select!: branch completed with non-matching pattern"),
+        }
+    }};
+    (($p0:pat = $f0:expr => $b0:block) ($p1:pat = $f1:expr => $b1:block) ($p2:pat = $f2:expr => $b2:block) ($p3:pat = $f3:expr => $b3:block)) => {{
+        enum __Out<A, B, C, D> {
+            _0(A),
+            _1(B),
+            _2(C),
+            _3(D),
+        }
+        let __out = {
+            let mut __f0 = ::std::pin::pin!($f0);
+            let mut __f1 = ::std::pin::pin!($f1);
+            let mut __f2 = ::std::pin::pin!($f2);
+            let mut __f3 = ::std::pin::pin!($f3);
+            let mut __done = [false; 4];
+            ::std::future::poll_fn(|__cx| {
+                $crate::__select_poll_branch!(__cx, __f0, __done, 0, $p0, __Out::_0);
+                $crate::__select_poll_branch!(__cx, __f1, __done, 1, $p1, __Out::_1);
+                $crate::__select_poll_branch!(__cx, __f2, __done, 2, $p2, __Out::_2);
+                $crate::__select_poll_branch!(__cx, __f3, __done, 3, $p3, __Out::_3);
+                ::std::task::Poll::Pending
+            })
+            .await
+        };
+        match __out {
+            __Out::_0($p0) => $b0,
+            __Out::_1($p1) => $b1,
+            __Out::_2($p2) => $b2,
+            __Out::_3($p3) => $b3,
+            #[allow(unreachable_patterns)]
+            _ => panic!("select!: branch completed with non-matching pattern"),
+        }
+    }};
+}
+
+/// Polls one select branch: on completion, either returns the tagged value
+/// (pattern matches) or disables the branch (pattern refuted).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_poll_branch {
+    ($cx:ident, $fut:ident, $done:ident, $idx:tt, $pat:pat, $variant:path) => {
+        if !$done[$idx] {
+            if let ::std::task::Poll::Ready(v) = ::std::future::Future::poll($fut.as_mut(), $cx) {
+                #[allow(unused_variables, irrefutable_let_patterns)]
+                if let $pat = &v {
+                    return ::std::task::Poll::Ready($variant(v));
+                }
+                $done[$idx] = true;
+            }
+        }
+    };
+}

@@ -1,0 +1,149 @@
+//! Async TCP on nonblocking std sockets.
+//!
+//! `WouldBlock` maps to `Poll::Pending`; the thread-per-task executor
+//! re-polls on its park interval, so no reactor registration is needed.
+
+use crate::io::{AsyncRead, AsyncWrite};
+use std::fmt;
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::task::{Context, Poll};
+
+/// A TCP listener accepting nonblockingly.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpListener")
+            .field("local_addr", &self.inner.local_addr().ok())
+            .finish()
+    }
+}
+
+impl TcpListener {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Waits for and accepts one inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|_cx| match self.inner.accept() {
+            Ok((stream, addr)) => match stream.set_nonblocking(true) {
+                Ok(()) => Poll::Ready(Ok((TcpStream { inner: stream }, addr))),
+                Err(e) => Poll::Ready(Err(e)),
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+/// A TCP connection.
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl fmt::Debug for TcpStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpStream")
+            .field("peer_addr", &self.inner.peer_addr().ok())
+            .finish()
+    }
+}
+
+impl TcpStream {
+    /// Connects to `addr`.
+    ///
+    /// The handshake itself is performed blockingly — on the loopback paths
+    /// this workspace exercises it completes immediately — and the socket is
+    /// switched to nonblocking for all subsequent I/O.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        inner.set_nodelay(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(&mut self, _cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        match self.inner.read(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(&mut self, _cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        match self.inner.write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        match self.inner.flush() {
+            Ok(()) => Poll::Ready(Ok(())),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{AsyncReadExt, AsyncWriteExt};
+    use crate::runtime::block_on;
+
+    #[test]
+    fn listener_accepts_and_streams_bytes() {
+        block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+
+            let server = crate::spawn(async move {
+                let (mut stream, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 5];
+                stream.read_exact(&mut buf).await.unwrap();
+                stream.write_all(&buf).await.unwrap();
+                stream.flush().await.unwrap();
+                buf
+            });
+
+            let mut client = TcpStream::connect(addr).await.unwrap();
+            client.write_all(b"hello").await.unwrap();
+            let mut echo = [0u8; 5];
+            client.read_exact(&mut echo).await.unwrap();
+            assert_eq!(&echo, b"hello");
+            assert_eq!(&server.await.unwrap(), b"hello");
+        });
+    }
+}

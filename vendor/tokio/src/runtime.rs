@@ -1,0 +1,59 @@
+//! The driving loop: a polling `block_on`.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// How long a pending task parks before re-polling. Leaf futures that have
+/// no wakeup source (nonblocking sockets, timers) become ready within one
+/// park interval of the underlying event.
+const PARK_INTERVAL: Duration = Duration::from_micros(500);
+
+/// A waker that unparks the thread driving the task.
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Runs a future to completion on the current thread.
+///
+/// Wakers unpark the thread immediately; sources without wakers (sockets,
+/// timers) are covered by the short park timeout.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => thread::park_timeout(PARK_INTERVAL),
+        }
+    }
+}
+
+/// A handle mirroring `tokio::runtime::Runtime` for code that constructs a
+/// runtime explicitly.
+#[derive(Debug, Default)]
+pub struct Runtime;
+
+impl Runtime {
+    /// Builds the (stateless) runtime handle.
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime)
+    }
+
+    /// Runs a future to completion on the current thread.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        block_on(fut)
+    }
+}

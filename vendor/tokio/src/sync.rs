@@ -1,0 +1,425 @@
+//! Synchronization primitives: async `Mutex`, `mpsc` and `watch` channels.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::poll_fn;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, RwLock, RwLockReadGuard};
+use std::task::{Poll, Waker};
+
+/// Registers `waker` in `slot` unless an equivalent waker is already there.
+fn register(slot: &StdMutex<Vec<Waker>>, waker: &Waker) {
+    let mut wakers = slot.lock().unwrap_or_else(|e| e.into_inner());
+    if !wakers.iter().any(|w| w.will_wake(waker)) {
+        wakers.push(waker.clone());
+    }
+}
+
+/// Wakes and clears every waker in `slot`.
+fn wake_all(slot: &StdMutex<Vec<Waker>>) {
+    for waker in slot.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+        waker.wake();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// An async mutex.
+///
+/// Backed by a blocking `std::sync::Mutex`: with one OS thread per task,
+/// briefly blocking the thread on contention is correct and simpler than a
+/// waiter queue. Guards in this workspace are never held across `.await`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+/// A lock guard for [`Mutex`].
+pub struct MutexGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock.
+    pub async fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mpsc
+// ---------------------------------------------------------------------------
+
+/// A bounded multi-producer single-consumer channel.
+pub mod mpsc {
+    use super::*;
+
+    struct Shared<T> {
+        queue: StdMutex<VecDeque<T>>,
+        capacity: usize,
+        recv_waker: StdMutex<Vec<Waker>>,
+        send_wakers: StdMutex<Vec<Waker>>,
+        senders: AtomicUsize,
+        receiver_alive: AtomicBool,
+    }
+
+    /// The sending half.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiver was dropped; the value comes back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel closed")
+        }
+    }
+
+    /// Creates a bounded channel with room for `capacity` queued messages.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc channel capacity must be positive");
+        let shared = Arc::new(Shared {
+            queue: StdMutex::new(VecDeque::new()),
+            capacity,
+            recv_waker: StdMutex::new(Vec::new()),
+            send_wakers: StdMutex::new(Vec::new()),
+            senders: AtomicUsize::new(1),
+            receiver_alive: AtomicBool::new(true),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                wake_all(&self.shared.recv_waker);
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receiver_alive.store(false, Ordering::Release);
+            wake_all(&self.shared.send_wakers);
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, waiting while the channel is full. Errors (and
+        /// returns the value) if the receiver is gone.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut slot = Some(value);
+            poll_fn(|cx| {
+                if !self.shared.receiver_alive.load(Ordering::Acquire) {
+                    return Poll::Ready(Err(SendError(
+                        slot.take().expect("send polled after completion"),
+                    )));
+                }
+                {
+                    let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    if queue.len() < self.shared.capacity {
+                        queue.push_back(slot.take().expect("send polled after completion"));
+                        drop(queue);
+                        wake_all(&self.shared.recv_waker);
+                        return Poll::Ready(Ok(()));
+                    }
+                }
+                register(&self.shared.send_wakers, cx.waker());
+                Poll::Pending
+            })
+            .await
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value; `None` once all senders are gone and the
+        /// queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|cx| {
+                {
+                    let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(value) = queue.pop_front() {
+                        drop(queue);
+                        wake_all(&self.shared.send_wakers);
+                        return Poll::Ready(Some(value));
+                    }
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Poll::Ready(None);
+                }
+                register(&self.shared.recv_waker, cx.waker());
+                Poll::Pending
+            })
+            .await
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// watch
+// ---------------------------------------------------------------------------
+
+/// A single-value broadcast channel: receivers observe the latest value.
+pub mod watch {
+    use super::*;
+
+    struct Shared<T> {
+        value: RwLock<T>,
+        version: AtomicU64,
+        wakers: StdMutex<Vec<Waker>>,
+        sender_alive: AtomicBool,
+    }
+
+    /// The sending half.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half. Each clone tracks which version it has seen.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+        seen: u64,
+    }
+
+    /// The channel has no live counterpart.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sender was dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// A borrowed view of the current value.
+    pub struct Ref<'a, T>(RwLockReadGuard<'a, T>);
+
+    impl<T> std::ops::Deref for Ref<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    /// Creates a watch channel seeded with `init`.
+    pub fn channel<T>(init: T) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            value: RwLock::new(init),
+            version: AtomicU64::new(0),
+            wakers: StdMutex::new(Vec::new()),
+            sender_alive: AtomicBool::new(true),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared, seen: 0 },
+        )
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("watch::Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("watch::Receiver")
+                .field("seen", &self.seen)
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+                // A fresh clone has "seen" the current value, like tokio.
+                seen: self.shared.version.load(Ordering::Acquire),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.sender_alive.store(false, Ordering::Release);
+            wake_all(&self.shared.wakers);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Publishes a new value, waking all waiting receivers.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            *self.shared.value.write().unwrap_or_else(|e| e.into_inner()) = value;
+            self.shared.version.fetch_add(1, Ordering::AcqRel);
+            wake_all(&self.shared.wakers);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Borrows the most recent value.
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref(self.shared.value.read().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Waits for a value newer than the last one seen by this receiver.
+        pub async fn changed(&mut self) -> Result<(), RecvError> {
+            poll_fn(|cx| {
+                let current = self.shared.version.load(Ordering::Acquire);
+                if current != self.seen {
+                    self.seen = current;
+                    return Poll::Ready(Ok(()));
+                }
+                if !self.shared.sender_alive.load(Ordering::Acquire) {
+                    return Poll::Ready(Err(RecvError));
+                }
+                register(&self.shared.wakers, cx.waker());
+                Poll::Pending
+            })
+            .await
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn mpsc_roundtrip_and_close() {
+        block_on(async {
+            let (tx, mut rx) = mpsc::channel::<u32>(2);
+            tx.send(1).await.unwrap();
+            tx.send(2).await.unwrap();
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+            drop(tx);
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn mpsc_send_fails_after_receiver_drop() {
+        block_on(async {
+            let (tx, rx) = mpsc::channel::<u32>(1);
+            drop(rx);
+            assert!(tx.send(7).await.is_err());
+        });
+    }
+
+    #[test]
+    fn mpsc_backpressure_resolves_across_tasks() {
+        block_on(async {
+            let (tx, mut rx) = mpsc::channel::<u32>(1);
+            tx.send(0).await.unwrap();
+            let producer = crate::spawn(async move {
+                for i in 1..10u32 {
+                    tx.send(i).await.unwrap();
+                }
+            });
+            for expect in 0..10u32 {
+                assert_eq!(rx.recv().await, Some(expect));
+            }
+            producer.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn watch_changed_sees_latest() {
+        block_on(async {
+            let (tx, mut rx) = watch::channel(0u32);
+            assert_eq!(*rx.borrow(), 0);
+            tx.send(5).unwrap();
+            rx.changed().await.unwrap();
+            assert_eq!(*rx.borrow(), 5);
+            drop(tx);
+            assert!(rx.changed().await.is_err());
+        });
+    }
+
+    #[test]
+    fn async_mutex_guards_shared_state() {
+        block_on(async {
+            let m = std::sync::Arc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let m = std::sync::Arc::clone(&m);
+                handles.push(crate::spawn(async move {
+                    for _ in 0..100 {
+                        *m.lock().await += 1;
+                    }
+                }));
+            }
+            for h in handles {
+                h.await.unwrap();
+            }
+            assert_eq!(*m.lock().await, 800);
+        });
+    }
+}

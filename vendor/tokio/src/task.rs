@@ -1,0 +1,113 @@
+//! Task spawning: one OS thread per task.
+
+use crate::runtime::block_on;
+use std::fmt;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::thread;
+
+/// Shared completion state between the task thread and its handle.
+struct JoinState<T> {
+    result: Mutex<Option<thread::Result<T>>>,
+    waker: Mutex<Option<Waker>>,
+    done: AtomicBool,
+}
+
+/// An owned permission to await a spawned task's output.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("done", &self.state.done.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+/// The task being awaited panicked.
+#[derive(Debug)]
+pub struct JoinError {
+    panic_msg: String,
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", self.panic_msg)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if self.state.done.load(Ordering::Acquire) {
+            let result = self
+                .state
+                .result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("JoinHandle polled after completion");
+            return Poll::Ready(result.map_err(|panic| JoinError {
+                panic_msg: panic_message(&panic),
+            }));
+        }
+        *self.state.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(cx.waker().clone());
+        // Re-check: the task may have finished between the check and the
+        // waker registration.
+        if self.state.done.load(Ordering::Acquire) {
+            cx.waker().wake_by_ref();
+        }
+        Poll::Pending
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawns a future as an independent task (here: an OS thread) and returns
+/// a handle that resolves with its output.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(JoinState {
+        result: Mutex::new(None),
+        waker: Mutex::new(None),
+        done: AtomicBool::new(false),
+    });
+    let task_state = Arc::clone(&state);
+    thread::Builder::new()
+        .name("tokio-task".to_string())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| block_on(fut)));
+            *task_state.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            task_state.done.store(true, Ordering::Release);
+            if let Some(waker) = task_state
+                .waker
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+            {
+                waker.wake();
+            }
+        })
+        .expect("failed to spawn task thread");
+    JoinHandle { state }
+}

@@ -1,0 +1,113 @@
+//! Timers: `sleep` and `interval`, driven by the executor's poll cadence.
+
+use std::future::poll_fn;
+use std::task::Poll;
+use std::time::{Duration, Instant};
+
+/// Waits for at least `duration`.
+///
+/// Resolution is the executor's park interval (≈0.5 ms), ample for the
+/// millisecond-scale periods the workspace uses.
+pub async fn sleep(duration: Duration) {
+    let deadline = Instant::now() + duration;
+    poll_fn(|_cx| {
+        if Instant::now() >= deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+/// What [`Interval::tick`] does when ticks were missed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MissedTickBehavior {
+    /// Fire all missed ticks immediately, back to back.
+    #[default]
+    Burst,
+    /// Skip missed ticks and re-anchor the schedule at now + period.
+    Delay,
+    /// Skip missed ticks but stay phase-aligned to the original schedule.
+    Skip,
+}
+
+/// A stream of ticks at a fixed period. The first tick fires immediately.
+#[derive(Debug)]
+pub struct Interval {
+    next: Instant,
+    period: Duration,
+    behavior: MissedTickBehavior,
+}
+
+/// Creates an interval; the first [`Interval::tick`] completes at once.
+pub fn interval(period: Duration) -> Interval {
+    assert!(period > Duration::ZERO, "interval period must be non-zero");
+    Interval {
+        next: Instant::now(),
+        period,
+        behavior: MissedTickBehavior::Burst,
+    }
+}
+
+impl Interval {
+    /// Sets the policy for ticks that were missed while the task was busy.
+    pub fn set_missed_tick_behavior(&mut self, behavior: MissedTickBehavior) {
+        self.behavior = behavior;
+    }
+
+    /// Completes at the next scheduled tick.
+    pub async fn tick(&mut self) -> Instant {
+        poll_fn(|_cx| {
+            let now = Instant::now();
+            if now < self.next {
+                return Poll::Pending;
+            }
+            let fired = self.next;
+            self.next = match self.behavior {
+                MissedTickBehavior::Burst => fired + self.period,
+                MissedTickBehavior::Delay => now + self.period,
+                MissedTickBehavior::Skip => {
+                    let mut next = fired + self.period;
+                    while next <= now {
+                        next += self.period;
+                    }
+                    next
+                }
+            };
+            Poll::Ready(fired)
+        })
+        .await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn sleep_waits_roughly_long_enough() {
+        block_on(async {
+            let start = Instant::now();
+            sleep(Duration::from_millis(20)).await;
+            assert!(start.elapsed() >= Duration::from_millis(20));
+        });
+    }
+
+    #[test]
+    fn interval_first_tick_is_immediate_then_periodic() {
+        block_on(async {
+            let start = Instant::now();
+            let mut ticker = interval(Duration::from_millis(10));
+            ticker.set_missed_tick_behavior(MissedTickBehavior::Delay);
+            ticker.tick().await;
+            assert!(
+                start.elapsed() < Duration::from_millis(8),
+                "first tick immediate"
+            );
+            ticker.tick().await;
+            assert!(start.elapsed() >= Duration::from_millis(9));
+        });
+    }
+}

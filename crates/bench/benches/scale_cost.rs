@@ -1,0 +1,78 @@
+//! Per-cycle cost of the engine at population scale.
+//!
+//! Complements `cycle_cost` (protocol comparison at n = 1000) with the
+//! scale dimensions the slab/stream/shard architecture targets: larger
+//! populations, shard counts, and the metrics cadence. The paper's figures
+//! run at 10⁴ nodes; the scale roadmap targets 10⁵+, where cycle cost is
+//! dominated by the membership phase and — without a cadence — the
+//! O(n log n) evaluation oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dslice_core::Partition;
+use dslice_sim::{Engine, ProtocolKind, SimConfig};
+
+fn engine(n: usize, shards: usize, metrics_every: usize) -> Engine {
+    let cfg = SimConfig {
+        n,
+        view_size: 10,
+        partition: Partition::equal(100).unwrap(),
+        seed: 42,
+        shards,
+        metrics_every,
+        ..SimConfig::default()
+    };
+    let mut e = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
+    // Warm the overlay so the measured cycles are steady-state.
+    for _ in 0..3 {
+        e.step();
+    }
+    e
+}
+
+fn bench_population_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_cycle");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("population", n), &n, |b, &n| {
+            let mut e = engine(n, 1, 1);
+            b.iter(|| e.step());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_shards");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("n10k", shards), &shards, |b, &shards| {
+            let mut e = engine(10_000, shards, 1);
+            b.iter(|| e.step());
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics_cadence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_metrics_cadence");
+    group.sample_size(10);
+    for every in [1usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("n10k_every", every),
+            &every,
+            |b, &every| {
+                let mut e = engine(10_000, 1, every);
+                b.iter(|| e.step());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_population_scale,
+    bench_shards,
+    bench_metrics_cadence
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Measures the engine's scale profile and writes it as JSON.
+//!
+//! ```text
+//! scale_bench [--out FILE] [--quick]
+//! ```
+//!
+//! Times steady-state cycles of the ranking protocol across the scale
+//! dimensions (population × shard count × metrics cadence) and writes a
+//! machine-readable summary — CI uploads it as the `BENCH_scale.json`
+//! artifact so the cycle-cost trajectory is tracked per commit. `--quick`
+//! shrinks the matrix (drops the 100k row) for fast smoke runs.
+
+use dslice_core::Partition;
+use dslice_sim::{Engine, ProtocolKind, SimConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Row {
+    n: usize,
+    shards: usize,
+    metrics_every: usize,
+    cycles: usize,
+    ms_per_cycle: f64,
+}
+
+fn measure(n: usize, shards: usize, metrics_every: usize, cycles: usize) -> Row {
+    let cfg = SimConfig {
+        n,
+        view_size: 10,
+        partition: Partition::equal(100).unwrap(),
+        seed: 42,
+        shards,
+        metrics_every,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
+    // Warm-up: reach membership steady state before timing.
+    for _ in 0..2 {
+        engine.step();
+    }
+    let start = Instant::now();
+    for _ in 0..cycles {
+        engine.step();
+    }
+    let ms_per_cycle = start.elapsed().as_secs_f64() * 1000.0 / cycles as f64;
+    Row {
+        n,
+        shards,
+        metrics_every,
+        cycles,
+        ms_per_cycle,
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_scale.json".to_string();
+    let mut quick = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                let Some(path) = argv.get(i + 1) else {
+                    eprintln!("--out requires a value");
+                    return ExitCode::FAILURE;
+                };
+                out = path.clone();
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\nusage: scale_bench [--out FILE] [--quick]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // (n, shards, metrics_every, timed cycles)
+    let mut matrix: Vec<(usize, usize, usize, usize)> = vec![
+        (1_000, 1, 1, 20),
+        (10_000, 1, 1, 10),
+        (10_000, 4, 1, 10),
+        (10_000, 1, 10, 10),
+    ];
+    if !quick {
+        matrix.push((100_000, 1, 10, 5));
+        matrix.push((100_000, 4, 10, 5));
+    }
+
+    let mut rows = Vec::with_capacity(matrix.len());
+    for (n, shards, metrics_every, cycles) in matrix {
+        eprint!("n={n} shards={shards} metrics_every={metrics_every} … ");
+        let row = measure(n, shards, metrics_every, cycles);
+        eprintln!("{:.1} ms/cycle", row.ms_per_cycle);
+        rows.push(row);
+    }
+
+    let summary = serde_json::json!({
+        "bench": "scale_cost",
+        "protocol": "ranking",
+        "rows": rows
+            .iter()
+            .map(|row| {
+                serde_json::json!({
+                    "n": row.n,
+                    "shards": row.shards,
+                    "metrics_every": row.metrics_every,
+                    "cycles": row.cycles,
+                    "ms_per_cycle": row.ms_per_cycle,
+                })
+            })
+            .collect::<Vec<_>>(),
+    });
+
+    let pretty = match serde_json::to_string_pretty(&summary) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("cannot serialize summary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, pretty) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -35,6 +35,8 @@ pub struct SimArgs {
     pub latency: LatencyModel,
     pub churn: ChurnSpec,
     pub distribution: AttributeDistribution,
+    pub shards: usize,
+    pub metrics_every: usize,
     pub csv: Option<String>,
     pub json: Option<String>,
     pub quiet: bool,
@@ -54,6 +56,8 @@ impl Default for SimArgs {
             latency: LatencyModel::Zero,
             churn: ChurnSpec::None,
             distribution: AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            shards: 1,
+            metrics_every: 1,
             csv: None,
             json: None,
             quiet: false,
@@ -114,6 +118,7 @@ USAGE:
                  [--latency zero|fixed:<cycles>|uniform:<min>:<max>|geometric:<p>]
                  [--churn none|correlated:<rate>:<period>|uncorrelated:<rate>:<period>]
                  [--distribution uniform|pareto:<scale>:<shape>|normal:<mean>:<std>|exp:<rate>]
+                 [--shards W] [--metrics-every M]
                  [--csv FILE] [--json FILE] [--quiet]
   dslice-cli analyze lemma41 --beta B --epsilon E --n N [--p P]
   dslice-cli analyze samples --p P --d D [--alpha A]
@@ -292,6 +297,20 @@ fn parse_sim(argv: &[String]) -> Result<SimArgs, String> {
             }
             "--distribution" => {
                 args.distribution = parse_distribution(value(argv, i)?)?;
+                i += 2;
+            }
+            "--shards" => {
+                args.shards = parse_num("--shards", value(argv, i)?)?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--metrics-every" => {
+                args.metrics_every = parse_num("--metrics-every", value(argv, i)?)?;
+                if args.metrics_every == 0 {
+                    return Err("--metrics-every must be at least 1".into());
+                }
                 i += 2;
             }
             "--csv" => {
@@ -561,6 +580,28 @@ mod tests {
             }
         );
         assert!(parse(&argv("slice-of --slices 100")).is_err());
+    }
+
+    #[test]
+    fn scale_flags() {
+        let cmd = parse(&argv(
+            "sim --n 100000 --shards 4 --metrics-every 10 --protocol ranking",
+        ))
+        .unwrap();
+        let Command::Sim(a) = cmd else {
+            panic!("not sim")
+        };
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.metrics_every, 10);
+        // Defaults: sequential, every-cycle metrics.
+        let Command::Sim(d) = parse(&argv("sim")).unwrap() else {
+            panic!("not sim")
+        };
+        assert_eq!(d.shards, 1);
+        assert_eq!(d.metrics_every, 1);
+        // Zero is rejected for both.
+        assert!(parse(&argv("sim --shards 0")).is_err());
+        assert!(parse(&argv("sim --metrics-every 0")).is_err());
     }
 
     #[test]

@@ -29,6 +29,8 @@ fn run_sim(args: SimArgs) -> Result<(), String> {
         latency: args.latency,
         distribution: args.distribution,
         seed: args.seed,
+        shards: args.shards,
+        metrics_every: args.metrics_every,
         ..SimConfig::default()
     };
     cfg.validate().map_err(|e| e.to_string())?;

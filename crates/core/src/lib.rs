@@ -66,6 +66,7 @@ pub mod metrics;
 pub mod node;
 pub mod protocol;
 pub mod rank;
+pub mod slab;
 pub mod slice;
 pub mod view;
 
@@ -73,5 +74,6 @@ pub use attribute::Attribute;
 pub use error::{Error, Result};
 pub use message::ProtocolMsg;
 pub use node::NodeId;
+pub use slab::NodeSlab;
 pub use slice::{Partition, Slice, SliceIndex};
 pub use view::{View, ViewEntry};

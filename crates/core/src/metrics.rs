@@ -14,8 +14,9 @@
 //! computed by the simulator, never by protocol code. The LDM/gain functions
 //! are genuinely local and are used inside mod-JK.
 
+use crate::attribute::AttributeKey;
 use crate::{rank, Attribute, NodeId, Partition};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Global disorder measure from explicit rank pairs `(α_i, ρ_i)`.
 ///
@@ -139,6 +140,158 @@ where
             .iter()
             .map(|(id, _, est)| (truth[id], partition.slice_of(*est))),
     )
+}
+
+/// An incrementally maintained `A.sequence`: the attribute ranks (and hence
+/// the *true* slices) of a live population, updated on churn instead of
+/// re-sorted from scratch on every evaluation.
+///
+/// Attributes are immutable (§3.1), so the attribute order of a population
+/// only changes when nodes join or leave. Large-scale runtimes exploit that:
+/// they [`rebuild`](RankCache::rebuild) once at start-up, fold each cycle's
+/// churn plan in via [`apply_churn`](RankCache::apply_churn) (a linear merge,
+/// no global re-sort), and then evaluate the SDM with [`sdm`](RankCache::sdm)
+/// in O(n) — where the uncached [`sdm`] function pays an O(n log n) sort per
+/// call. On churn-free cycles the maintenance cost is zero.
+#[derive(Clone, Debug, Default)]
+pub struct RankCache {
+    /// Live nodes in `A.sequence` order (sorted by `(attribute, id)`).
+    sorted: Vec<AttributeKey>,
+    /// 1-based attribute rank per live node, renumbered after each churn.
+    ranks: HashMap<NodeId, usize>,
+}
+
+impl RankCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live nodes tracked.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the cache tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Rebuilds the cache from scratch: one O(n log n) sort.
+    pub fn rebuild<I>(&mut self, nodes: I)
+    where
+        I: IntoIterator<Item = (NodeId, Attribute)>,
+    {
+        self.sorted = nodes
+            .into_iter()
+            .map(|(id, a)| AttributeKey::new(id, a))
+            .collect();
+        self.sorted.sort_unstable();
+        self.renumber();
+    }
+
+    /// Folds one churn batch in: drops `leavers`, merges `joiners` into the
+    /// sorted order. Costs O(n + j log j) for j joiners — no global re-sort.
+    pub fn apply_churn(&mut self, leavers: &[NodeId], joiners: &[(NodeId, Attribute)]) {
+        if leavers.is_empty() && joiners.is_empty() {
+            return;
+        }
+        if !leavers.is_empty() {
+            let gone: HashSet<NodeId> = leavers.iter().copied().collect();
+            self.sorted.retain(|key| !gone.contains(&key.id));
+        }
+        if !joiners.is_empty() {
+            let mut incoming: Vec<AttributeKey> = joiners
+                .iter()
+                .map(|&(id, a)| AttributeKey::new(id, a))
+                .collect();
+            incoming.sort_unstable();
+            // Linear merge of the two sorted runs.
+            let old = std::mem::take(&mut self.sorted);
+            self.sorted = Vec::with_capacity(old.len() + incoming.len());
+            let (mut a, mut b) = (old.into_iter().peekable(), incoming.into_iter().peekable());
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(x), Some(y)) => {
+                        if x <= y {
+                            self.sorted.push(a.next().expect("peeked"));
+                        } else {
+                            self.sorted.push(b.next().expect("peeked"));
+                        }
+                    }
+                    (Some(_), None) => self.sorted.push(a.next().expect("peeked")),
+                    (None, Some(_)) => self.sorted.push(b.next().expect("peeked")),
+                    (None, None) => break,
+                }
+            }
+        }
+        self.renumber();
+    }
+
+    fn renumber(&mut self) {
+        // Reuse the map's buckets across churn batches: the inserts are
+        // unavoidable (every rank can shift), the reallocation is not.
+        self.ranks.clear();
+        self.ranks.reserve(self.sorted.len());
+        for (idx, key) in self.sorted.iter().enumerate() {
+            self.ranks.insert(key.id, idx + 1);
+        }
+    }
+
+    /// The 1-based attribute rank `α_i` of a live node.
+    pub fn rank(&self, id: NodeId) -> Option<usize> {
+        self.ranks.get(&id).copied()
+    }
+
+    /// The *true* slice of a live node under `partition`: its normalized
+    /// attribute rank looked up in the partition.
+    pub fn true_slice(&self, partition: &Partition, id: NodeId) -> Option<crate::SliceIndex> {
+        let alpha = self.rank(id)?;
+        Some(partition.slice_of(rank::normalized(alpha, self.len())))
+    }
+
+    /// Slice disorder measure over `(id, estimate)` pairs, using the cached
+    /// attribute ranks: O(n), no sorting.
+    ///
+    /// Every `id` must be tracked by the cache (panics otherwise — runtimes
+    /// keep the cache in lock-step with the live population).
+    pub fn sdm<I>(&self, partition: &Partition, estimates: I) -> f64
+    where
+        I: IntoIterator<Item = (NodeId, f64)>,
+    {
+        let n = self.len();
+        estimates
+            .into_iter()
+            .map(|(id, est)| {
+                let alpha = self.ranks[&id];
+                let actual = partition.slice_of(rank::normalized(alpha, n));
+                partition.sdm_term(actual, partition.slice_of(est))
+            })
+            .sum()
+    }
+
+    /// Fraction of `(id, estimate)` pairs whose believed slice equals their
+    /// true slice: O(n) via the cached ranks. Returns 1.0 for an empty input.
+    pub fn accuracy<I>(&self, partition: &Partition, estimates: I) -> f64
+    where
+        I: IntoIterator<Item = (NodeId, f64)>,
+    {
+        let n = self.len();
+        let (mut total, mut correct) = (0usize, 0usize);
+        for (id, est) in estimates {
+            let alpha = self.ranks[&id];
+            let actual = partition.slice_of(rank::normalized(alpha, n));
+            if partition.slice_of(est) == actual {
+                correct += 1;
+            }
+            total += 1;
+        }
+        if total == 0 {
+            1.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
 }
 
 /// Tracks per-node *believed* slices across observations and counts
@@ -452,6 +605,114 @@ mod tests {
                 .iter()
                 .all(|(id, _, r)| part.slice_of(*r) == truth[id]);
             prop_assert_eq!(s == 0.0, exact);
+        }
+    }
+
+    #[test]
+    fn rank_cache_matches_fresh_computation() {
+        let part = Partition::equal(4).unwrap();
+        let nodes = vec![
+            node(1, 50.0, 0.1),
+            node(2, 120.0, 0.9),
+            node(3, 25.0, 0.4),
+            node(4, 80.0, 0.6),
+        ];
+        let mut cache = RankCache::new();
+        cache.rebuild(nodes.iter().map(|&(id, a, _)| (id, a)));
+        assert_eq!(cache.len(), 4);
+        let alpha = rank::attribute_ranks(nodes.iter().map(|&(id, a, _)| (id, a)));
+        for (id, _, _) in &nodes {
+            assert_eq!(cache.rank(*id), Some(alpha[id]));
+        }
+        let cached = cache.sdm(&part, nodes.iter().map(|&(id, _, est)| (id, est)));
+        let fresh = sdm(&part, &nodes);
+        assert!((cached - fresh).abs() < 1e-12);
+        let truth = rank::true_slices(nodes.iter().map(|&(id, a, _)| (id, a)), &part);
+        for (id, _, _) in &nodes {
+            assert_eq!(cache.true_slice(&part, *id), Some(truth[id]));
+        }
+    }
+
+    #[test]
+    fn rank_cache_churn_merge_tracks_rebuild() {
+        let mut cache = RankCache::new();
+        let initial: Vec<(NodeId, Attribute)> = (0..20)
+            .map(|i| (NodeId::new(i), attr((i as f64 * 7.3) % 11.0)))
+            .collect();
+        cache.rebuild(initial.iter().copied());
+        // Leave 5 nodes, join 4 (including attribute ties with survivors).
+        let leavers: Vec<NodeId> = [2u64, 7, 11, 13, 19].map(NodeId::new).into();
+        let joiners: Vec<(NodeId, Attribute)> = (100..104u64)
+            .map(|i| (NodeId::new(i), attr((i % 5) as f64)))
+            .collect();
+        cache.apply_churn(&leavers, &joiners);
+
+        let mut reference = RankCache::new();
+        reference.rebuild(
+            initial
+                .iter()
+                .copied()
+                .filter(|(id, _)| !leavers.contains(id))
+                .chain(joiners.iter().copied()),
+        );
+        assert_eq!(cache.len(), reference.len());
+        for (id, _) in initial.iter().chain(joiners.iter()) {
+            assert_eq!(cache.rank(*id), reference.rank(*id), "rank of {id}");
+        }
+        assert_eq!(cache.rank(NodeId::new(2)), None, "leaver forgotten");
+    }
+
+    #[test]
+    fn rank_cache_accuracy_counts_correct_beliefs() {
+        let part = Partition::equal(2).unwrap();
+        // Ranks 1, 2 of 2 → normalized 0.5 and 1.0 → slices 0 and 1.
+        let nodes = [node(1, 1.0, 0.3), node(2, 2.0, 0.4)];
+        let mut cache = RankCache::new();
+        cache.rebuild(nodes.iter().map(|&(id, a, _)| (id, a)));
+        // Node 1 believes slice 0 (correct), node 2 believes slice 0 (wrong).
+        let acc = cache.accuracy(&part, nodes.iter().map(|&(id, _, est)| (id, est)));
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(cache.accuracy(&part, std::iter::empty()), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn rank_cache_sdm_equals_uncached_sdm_under_churn(
+            values in proptest::collection::vec((-1e3f64..1e3, 0.0001f64..1.0), 4..40),
+            k in 1usize..6,
+            leave in proptest::collection::vec(0usize..40, 0..10),
+        ) {
+            let part = Partition::equal(k).unwrap();
+            let nodes: Vec<_> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, r))| node(i as u64, a, r))
+                .collect();
+            let mut cache = RankCache::new();
+            cache.rebuild(nodes.iter().map(|&(id, a, _)| (id, a)));
+            // Churn: remove the chosen indices, add replacements.
+            let leavers: Vec<NodeId> = leave
+                .iter()
+                .filter(|&&i| i < nodes.len())
+                .map(|&i| nodes[i].0)
+                .collect::<std::collections::HashSet<_>>()
+                .into_iter()
+                .collect();
+            let joiners: Vec<(NodeId, Attribute)> = leave
+                .iter()
+                .enumerate()
+                .map(|(j, _)| (NodeId::new(1000 + j as u64), attr(j as f64 * 3.7 - 5.0)))
+                .collect();
+            cache.apply_churn(&leavers, &joiners);
+            let survivors: Vec<_> = nodes
+                .iter()
+                .copied()
+                .filter(|(id, _, _)| !leavers.contains(id))
+                .chain(joiners.iter().map(|&(id, a)| (id, a, 0.5)))
+                .collect();
+            let cached = cache.sdm(&part, survivors.iter().map(|&(id, _, est)| (id, est)));
+            let fresh = sdm(&part, &survivors);
+            prop_assert!((cached - fresh).abs() < 1e-9, "cached {cached} vs fresh {fresh}");
         }
     }
 

@@ -1,0 +1,348 @@
+//! Dense slab storage for per-node runtime state.
+//!
+//! Runtimes that simulate large populations (the cycle engine of
+//! `dslice-sim` targets 10⁵+ nodes) need three things from their node store
+//! that a `BTreeMap<NodeId, T>` does not give them:
+//!
+//! * **O(1) lookup** on the message-delivery hot path (no tree descent);
+//! * **cache-friendly iteration** — node state laid out contiguously, walked
+//!   in slot order every cycle;
+//! * **stable slots** during a cycle, so a node can be temporarily moved out
+//!   (to appease the borrow checker during pairwise exchanges) and put back
+//!   without disturbing any other node.
+//!
+//! [`NodeSlab`] provides exactly that: a `Vec<Option<(NodeId, T)>>` of
+//! *slots*, a `NodeId → slot` index map, and a LIFO free list so that churn
+//! reuses slots instead of growing the vector forever. All operations are
+//! deterministic: slot assignment depends only on the sequence of inserts
+//! and removes, never on hash iteration order (the index map is only ever
+//! *queried*, not iterated).
+
+use crate::NodeId;
+use std::collections::HashMap;
+
+/// A slot-addressed, id-indexed dense store of per-node state.
+///
+/// Iteration ([`iter`](NodeSlab::iter), [`iter_mut`](NodeSlab::iter_mut))
+/// visits live nodes in **slot order**, which is the canonical deterministic
+/// order runtimes use for phased processing; it is *not* id order once churn
+/// has recycled slots.
+#[derive(Debug, Clone)]
+pub struct NodeSlab<T> {
+    /// Slot storage. `None` marks a free (or temporarily vacated) slot.
+    slots: Vec<Option<(NodeId, T)>>,
+    /// Id → slot lookup. Entries persist while a node is [`take`](NodeSlab::take)n.
+    index: HashMap<NodeId, usize>,
+    /// Free slots, reused LIFO (deterministic).
+    free: Vec<usize>,
+}
+
+impl<T> Default for NodeSlab<T> {
+    fn default() -> Self {
+        NodeSlab {
+            slots: Vec::new(),
+            index: HashMap::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> NodeSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty slab with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeSlab {
+            slots: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of live nodes (including temporarily taken ones).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the slab holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of slots ever allocated (live + free). Memory use is bounded
+    /// by the *peak* population, not the current one.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `id` is live.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// The slot currently assigned to `id`, if live.
+    pub fn slot_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Inserts `value` under `id`, reusing the most recently freed slot if
+    /// any. Returns the assigned slot.
+    ///
+    /// Panics if `id` is already present — node identities are unique for
+    /// the lifetime of a run (the allocator never reuses them).
+    pub fn insert(&mut self, id: NodeId, value: T) -> usize {
+        assert!(
+            !self.index.contains_key(&id),
+            "node {id} inserted twice into slab"
+        );
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(
+                    self.slots[slot].is_none(),
+                    "free list points at a live slot"
+                );
+                self.slots[slot] = Some((id, value));
+                slot
+            }
+            None => {
+                self.slots.push(Some((id, value)));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(id, slot);
+        slot
+    }
+
+    /// Removes `id`, freeing its slot for reuse. Returns the value.
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let slot = self.index.remove(&id)?;
+        let (stored_id, value) = self.slots[slot]
+            .take()
+            .expect("indexed slot must be occupied");
+        debug_assert_eq!(stored_id, id, "index and slot disagree");
+        self.free.push(slot);
+        Some(value)
+    }
+
+    /// Shared access to `id`'s state.
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        let slot = *self.index.get(&id)?;
+        self.slots[slot].as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable access to `id`'s state.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        let slot = *self.index.get(&id)?;
+        self.slots[slot].as_mut().map(|(_, v)| v)
+    }
+
+    /// Temporarily moves `id`'s state out of the slab, keeping its slot
+    /// reserved (the node stays "live": `len`, `contains` and `slot_of` are
+    /// unaffected, but `get` returns `None` until [`put_back`](NodeSlab::put_back)).
+    ///
+    /// This is the borrow-splitting primitive for pairwise interactions:
+    /// take one node, mutate it against `&mut self` access to its partner,
+    /// put it back — all O(1), with no slot churn.
+    pub fn take(&mut self, id: NodeId) -> Option<(usize, T)> {
+        let slot = *self.index.get(&id)?;
+        let (_, value) = self.slots[slot].take()?;
+        Some((slot, value))
+    }
+
+    /// Restores a node moved out by [`take`](NodeSlab::take) into its
+    /// reserved slot.
+    pub fn put_back(&mut self, slot: usize, id: NodeId, value: T) {
+        debug_assert!(self.slots[slot].is_none(), "slot occupied on put_back");
+        debug_assert_eq!(self.index.get(&id), Some(&slot), "slot not reserved");
+        self.slots[slot] = Some((id, value));
+    }
+
+    /// Iterates live nodes in slot order as `(slot, id, &state)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, NodeId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, cell)| cell.as_ref().map(|(id, v)| (slot, *id, v)))
+    }
+
+    /// Iterates live nodes in slot order as `(slot, id, &mut state)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, NodeId, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(slot, cell)| cell.as_mut().map(|(id, v)| (slot, *id, v)))
+    }
+
+    /// Iterates live node ids in slot order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|cell| cell.as_ref().map(|(id, _)| *id))
+    }
+
+    /// Splits the slot array into at most `count` contiguous chunks of
+    /// equal slot span, for phase-parallel runtimes that fan live nodes out
+    /// across workers (each [`SlabChunk`] is `Send` when `T` is).
+    ///
+    /// Chunks expose only `(slot, id, &mut state)` for their live cells —
+    /// never the cells themselves — so workers can mutate node state but
+    /// cannot desync the id → slot index or the free list.
+    pub fn chunks_mut(&mut self, count: usize) -> Vec<SlabChunk<'_, T>> {
+        assert!(count >= 1, "chunk count must be at least 1");
+        if self.slots.is_empty() {
+            return Vec::new();
+        }
+        let chunk_len = self.slots.len().div_ceil(count);
+        self.slots
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(index, cells)| SlabChunk {
+                base: index * chunk_len,
+                cells,
+            })
+            .collect()
+    }
+}
+
+/// One contiguous range of a [`NodeSlab`]'s slots, handed to a worker by
+/// [`NodeSlab::chunks_mut`]. Yields only live-node state; the slab's
+/// internal invariants are not reachable through it.
+#[derive(Debug)]
+pub struct SlabChunk<'a, T> {
+    base: usize,
+    cells: &'a mut [Option<(NodeId, T)>],
+}
+
+impl<T> SlabChunk<'_, T> {
+    /// Iterates this chunk's live nodes in slot order as
+    /// `(slot, id, &mut state)`. Slot numbers are global (slab-wide).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, NodeId, &mut T)> {
+        let base = self.base;
+        self.cells
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(offset, cell)| cell.as_mut().map(|(id, v)| (base + offset, *id, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut slab: NodeSlab<&str> = NodeSlab::new();
+        assert!(slab.is_empty());
+        let s0 = slab.insert(id(10), "a");
+        let s1 = slab.insert(id(11), "b");
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(id(10)), Some(&"a"));
+        assert_eq!(slab.slot_of(id(11)), Some(1));
+        assert_eq!(slab.remove(id(10)), Some("a"));
+        assert!(!slab.contains(id(10)));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.remove(id(10)), None);
+    }
+
+    #[test]
+    fn freed_slots_are_reused_lifo() {
+        let mut slab: NodeSlab<u32> = NodeSlab::new();
+        for i in 0..4 {
+            slab.insert(id(i), i as u32);
+        }
+        slab.remove(id(1));
+        slab.remove(id(3));
+        // LIFO: the most recently freed slot (3) goes first.
+        assert_eq!(slab.insert(id(10), 10), 3);
+        assert_eq!(slab.insert(id(11), 11), 1);
+        // No growth beyond the peak.
+        assert_eq!(slab.slot_count(), 4);
+        assert_eq!(slab.insert(id(12), 12), 4, "full slab grows");
+    }
+
+    #[test]
+    fn iteration_is_slot_ordered() {
+        let mut slab: NodeSlab<u32> = NodeSlab::new();
+        for i in 0..5 {
+            slab.insert(id(100 - i), i as u32);
+        }
+        slab.remove(id(98)); // slot 2 vacated
+        let ids: Vec<u64> = slab.ids().map(|n| n.as_u64()).collect();
+        assert_eq!(ids, vec![100, 99, 97, 96]);
+        slab.insert(id(5), 50); // reuses slot 2
+        let ids: Vec<u64> = slab.ids().map(|n| n.as_u64()).collect();
+        assert_eq!(ids, vec![100, 99, 5, 97, 96]);
+    }
+
+    #[test]
+    fn take_reserves_the_slot() {
+        let mut slab: NodeSlab<String> = NodeSlab::new();
+        slab.insert(id(1), "one".into());
+        slab.insert(id(2), "two".into());
+        let (slot, value) = slab.take(id(1)).unwrap();
+        assert_eq!(value, "one");
+        assert!(slab.contains(id(1)), "taken node stays live");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(id(1)), None, "state is out");
+        assert!(slab.take(id(1)).is_none(), "cannot take twice");
+        // The vacated slot is NOT on the free list: an insert must not steal it.
+        assert_eq!(slab.insert(id(3), "three".into()), 2);
+        slab.put_back(slot, id(1), value);
+        assert_eq!(slab.get(id(1)), Some(&"one".to_string()));
+    }
+
+    #[test]
+    fn iter_mut_reaches_every_live_node() {
+        let mut slab: NodeSlab<u32> = NodeSlab::new();
+        for i in 0..3 {
+            slab.insert(id(i), 0);
+        }
+        for (_, _, v) in slab.iter_mut() {
+            *v += 1;
+        }
+        assert!(slab.iter().all(|(_, _, v)| *v == 1));
+    }
+
+    #[test]
+    fn chunks_cover_every_live_node_exactly_once() {
+        let mut slab: NodeSlab<u32> = NodeSlab::new();
+        for i in 0..10 {
+            slab.insert(id(i), i as u32);
+        }
+        slab.remove(id(3));
+        slab.remove(id(7));
+        for count in [1, 2, 3, 4, 16] {
+            let mut seen: Vec<(usize, u64)> = Vec::new();
+            for mut chunk in slab.chunks_mut(count) {
+                for (slot, node, v) in chunk.iter_mut() {
+                    *v += 1; // mutation reaches the slab
+                    seen.push((slot, node.as_u64()));
+                }
+            }
+            // Global slot order, no duplicates, exactly the live set.
+            assert!(seen.windows(2).all(|w| w[0].0 < w[1].0), "count {count}");
+            let ids: Vec<u64> = seen.iter().map(|&(_, id)| id).collect();
+            assert_eq!(ids, vec![0, 1, 2, 4, 5, 6, 8, 9], "count {count}");
+        }
+        assert!(slab.iter().all(|(_, i, v)| *v == i.as_u64() as u32 + 5));
+        let empty: NodeSlab<u32> = NodeSlab::new();
+        let mut none = empty;
+        assert!(none.chunks_mut(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut slab: NodeSlab<u32> = NodeSlab::new();
+        slab.insert(id(1), 1);
+        slab.insert(id(1), 2);
+    }
+}

@@ -113,6 +113,17 @@ pub trait PeerSampler: Send {
         let owner = self.owner();
         self.view_mut().merge(owner, entries);
     }
+
+    /// Replaces the whole view with `entries` — the oracle-refill path of
+    /// idealized substrates, where the runtime re-draws a fresh uniform
+    /// sample every cycle instead of gossiping for it.
+    fn refill(&mut self, entries: &[ViewEntry]) {
+        let view = self.view_mut();
+        view.retain(|_| false);
+        for e in entries {
+            view.insert(*e);
+        }
+    }
 }
 
 #[cfg(test)]

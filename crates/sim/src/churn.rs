@@ -60,6 +60,14 @@ pub trait ChurnModel: Send {
 
     /// A short label for experiment output.
     fn label(&self) -> &'static str;
+
+    /// Whether [`plan`](ChurnModel::plan) ever reads the population
+    /// snapshot. Models that never do (e.g. [`NoChurn`]) return `false`,
+    /// letting large-population runtimes skip building the O(n) snapshot
+    /// every cycle.
+    fn needs_population(&self) -> bool {
+        true
+    }
 }
 
 /// The static system: no churn at all.
@@ -78,6 +86,10 @@ impl ChurnModel for NoChurn {
 
     fn label(&self) -> &'static str {
         "none"
+    }
+
+    fn needs_population(&self) -> bool {
+        false
     }
 }
 

@@ -34,6 +34,18 @@ pub struct SimConfig {
     pub loss_rate: f64,
     /// RNG seed: `(config, seed)` fully determines the run.
     pub seed: u64,
+    /// Worker threads for the active phase (≥ 1). The shard count **never**
+    /// changes the simulated run: any value produces byte-identical
+    /// [`RunRecord`](crate::RunRecord)s (per-node RNG streams make active
+    /// steps order-free; see the engine docs). It only changes wall-clock.
+    pub shards: usize,
+    /// Metrics cadence (≥ 1): full metrics (SDM, GDM, slice-change
+    /// tracking) are computed every `metrics_every`-th cycle; skipped
+    /// cycles repeat the last computed disorder values and report zero
+    /// slice changes. `1` (the default) measures every cycle, the paper's
+    /// setup; large-population runs amortize the O(n log n) evaluation
+    /// oracle with higher cadences.
+    pub metrics_every: usize,
 }
 
 impl Default for SimConfig {
@@ -48,6 +60,8 @@ impl Default for SimConfig {
             distribution: AttributeDistribution::default(),
             loss_rate: 0.0,
             seed: 0xD51CE,
+            shards: 1,
+            metrics_every: 1,
         }
     }
 }
@@ -69,6 +83,16 @@ impl SimConfig {
                 "loss rate must lie in [0, 1], got {}",
                 self.loss_rate
             )));
+        }
+        if self.shards == 0 {
+            return Err(Error::InvalidFractions(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        if self.metrics_every == 0 {
+            return Err(Error::InvalidFractions(
+                "metrics cadence must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -129,6 +153,16 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            shards: 0,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            metrics_every: 0,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
     }
 
     #[test]
@@ -144,6 +178,8 @@ mod tests {
             },
             loss_rate: 0.05,
             seed: 99,
+            shards: 4,
+            metrics_every: 10,
             ..SimConfig::default()
         };
         let json = serde_json::to_string(&cfg).unwrap();
@@ -153,6 +189,8 @@ mod tests {
         assert_eq!(parsed.concurrency, cfg.concurrency);
         assert_eq!(parsed.distribution, cfg.distribution);
         assert_eq!(parsed.loss_rate, cfg.loss_rate);
+        assert_eq!(parsed.shards, cfg.shards);
+        assert_eq!(parsed.metrics_every, cfg.metrics_every);
     }
 
     #[test]

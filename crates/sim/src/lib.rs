@@ -10,7 +10,10 @@
 //! attribute values (§5.3.3). This crate rebuilds that harness natively:
 //!
 //! * [`Engine`] — the cycle scheduler: churn step, membership shuffle,
-//!   active protocol steps in random order, message routing, metrics.
+//!   a node-local active phase, message routing, metrics. Node state lives
+//!   in a dense slab ([`dslice_core::NodeSlab`]) and the active phase can
+//!   be sharded across worker threads ([`SimConfig::shards`]) with **no**
+//!   effect on the simulated result.
 //! * [`Concurrency`] — `None` (atomic exchanges, fresh views), `Half`
 //!   (each message overlaps with probability ½) and `Full` (all messages
 //!   overlap), matching §4.5.2.
@@ -25,9 +28,12 @@
 //!   message and swap counters; serializable run records for the figure
 //!   pipeline.
 //!
-//! Every stochastic decision flows through a single seeded
-//! [`StdRng`](rand::rngs::StdRng), so runs are exactly reproducible from
-//! `(config, seed)`.
+//! Every stochastic decision is derived from the run seed: sequential
+//! phases (churn, membership, routing) draw from one seeded
+//! [`StdRng`](rand::rngs::StdRng), while each node's active step draws
+//! from its own counter-based stream keyed by `(seed, node id, cycle)`
+//! ([`stream::NodeRng`]) — so runs are exactly reproducible from
+//! `(config, seed)` at **any** shard count.
 //!
 //! ## Example: mod-JK at small scale
 //!
@@ -60,6 +66,7 @@ pub mod engine;
 pub mod latency;
 pub mod sessions;
 pub mod stats;
+pub mod stream;
 pub mod sweep;
 
 pub use churn::{

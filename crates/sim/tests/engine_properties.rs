@@ -1,0 +1,176 @@
+//! Property tests for the scale engine: sampling, slab aliasing, and churn
+//! arithmetic under arbitrary schedules.
+//!
+//! Three invariants the slab/stream/shard rework must never break:
+//!
+//! * the per-node entry sampler never hands a node itself or a duplicate;
+//! * slot reuse under arbitrary churn sequences never aliases two live
+//!   nodes (every live id maps to exactly one slot, every slot to one id);
+//! * the reported population always matches the churn-plan arithmetic.
+
+use dslice_core::{NodeId, NodeSlab, Partition};
+use dslice_sim::churn::{ChurnModel, ChurnPlan, ChurnSchedule};
+use dslice_sim::{AttributeDistribution, Engine, ProtocolKind, SimConfig, UncorrelatedChurn};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn cfg(n: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        n,
+        view_size: 8,
+        partition: Partition::equal(4).unwrap(),
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `random_entries` (via the engine's debug hook) never yields the
+    /// owner and never yields the same node twice, for any owner, any
+    /// requested count and any population size.
+    #[test]
+    fn sampled_entries_have_no_owner_and_no_duplicates(
+        n in 1usize..80,
+        owner_raw in 0u64..100,
+        count in 0usize..30,
+        seed in 0u64..1000,
+    ) {
+        let mut engine = Engine::new(cfg(n, seed), ProtocolKind::Ranking).unwrap();
+        let owner = NodeId::new(owner_raw);
+        let entries = engine.debug_random_entries(owner, count);
+        prop_assert!(entries.len() <= count.min(n));
+        let mut seen = HashSet::new();
+        for e in &entries {
+            prop_assert!(e.id != owner, "sampler handed the owner to itself");
+            prop_assert!(seen.insert(e.id), "duplicate entry for {}", e.id);
+        }
+        // When the pool allows it, the sampler fills the full request.
+        let headroom = if owner_raw < n as u64 { n - 1 } else { n };
+        prop_assert_eq!(entries.len(), count.min(headroom));
+    }
+
+    /// Slot reuse never aliases: after an arbitrary interleaving of
+    /// inserts and removes, every live id owns exactly one slot and no two
+    /// live ids share one.
+    #[test]
+    fn slab_slot_reuse_never_aliases_live_nodes(
+        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200),
+    ) {
+        let mut slab: NodeSlab<u64> = NodeSlab::new();
+        let mut live: HashSet<u64> = HashSet::new();
+        for (raw, insert) in ops {
+            let id = NodeId::new(raw);
+            if insert {
+                if !live.contains(&raw) {
+                    slab.insert(id, raw);
+                    live.insert(raw);
+                }
+            } else if live.remove(&raw) {
+                prop_assert_eq!(slab.remove(id), Some(raw));
+            }
+            prop_assert_eq!(slab.len(), live.len());
+        }
+        // Every live id is stored under its own slot, slots are unique,
+        // and each slot's payload is the id that indexes it.
+        let mut slots_seen = HashSet::new();
+        for &raw in &live {
+            let id = NodeId::new(raw);
+            let slot = slab.slot_of(id).expect("live id must have a slot");
+            prop_assert!(slots_seen.insert(slot), "slot {} aliased", slot);
+            prop_assert_eq!(slab.get(id).copied(), Some(raw), "payload mismatch");
+        }
+        // And iteration agrees with the index.
+        let iterated: HashSet<u64> = slab.ids().map(|i| i.as_u64()).collect();
+        prop_assert_eq!(iterated, live);
+    }
+
+    /// The engine's reported population always equals
+    /// `initial + Σ joined − Σ left`, and per-cycle stats agree with the
+    /// live count, under arbitrary churn rates/periods.
+    #[test]
+    fn population_matches_churn_arithmetic(
+        n in 2usize..120,
+        rate in 0.0f64..0.3,
+        period in 1usize..4,
+        cycles in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let churn = UncorrelatedChurn::new(
+            ChurnSchedule { rate, period, stop_after: None },
+            AttributeDistribution::default(),
+        );
+        let mut engine = Engine::new(cfg(n, seed), ProtocolKind::Ranking)
+            .unwrap()
+            .with_churn(Box::new(churn));
+        let record = engine.run(cycles);
+        let mut expected = n as i64;
+        for stats in &record.cycles {
+            expected += stats.joined as i64 - stats.left as i64;
+            prop_assert_eq!(stats.n as i64, expected, "cycle {} population", stats.cycle);
+        }
+        prop_assert_eq!(engine.population() as i64, expected);
+    }
+}
+
+/// A churn model driven by an explicit per-cycle script of
+/// `(leave_count, join_count)` — lets the property below force pathological
+/// interleavings (mass exodus, flash crowd, full replacement).
+struct ScriptedChurn {
+    script: Vec<(usize, usize)>,
+}
+
+impl ChurnModel for ScriptedChurn {
+    fn plan(
+        &mut self,
+        cycle: usize,
+        population: &[(NodeId, dslice_core::Attribute)],
+        _rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan {
+        let Some(&(leave, join)) = self.script.get(cycle - 1) else {
+            return ChurnPlan::quiet();
+        };
+        // Deterministically remove the lowest-id nodes.
+        let mut ids: Vec<NodeId> = population.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        let leavers: Vec<NodeId> = ids
+            .into_iter()
+            .take(leave.min(population.len().saturating_sub(1)))
+            .collect();
+        let joiners = (0..join)
+            .map(|k| dslice_core::Attribute::new(0.1 + k as f64).unwrap())
+            .collect();
+        ChurnPlan { leavers, joiners }
+    }
+
+    fn label(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under scripted mass churn (up to near-full turnover per cycle) the
+    /// slab never aliases: `debug_views` reports each live node exactly
+    /// once and the population follows the script.
+    #[test]
+    fn scripted_mass_churn_never_aliases_views(
+        script in proptest::collection::vec((0usize..40, 0usize..40), 1..8),
+        seed in 0u64..500,
+    ) {
+        let n = 50;
+        let mut engine = Engine::new(cfg(n, seed), ProtocolKind::Ranking)
+            .unwrap()
+            .with_churn(Box::new(ScriptedChurn { script: script.clone() }));
+        let record = engine.run(script.len());
+        let views = engine.debug_views();
+        prop_assert_eq!(views.len(), engine.population(), "one view row per live node");
+        let owners: HashSet<u64> = views.iter().map(|(id, _)| *id).collect();
+        prop_assert_eq!(owners.len(), views.len(), "duplicate owner row");
+        for stats in &record.cycles {
+            prop_assert!(stats.n >= 1, "population must never empty out");
+        }
+    }
+}

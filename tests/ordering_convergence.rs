@@ -21,8 +21,11 @@ fn config(n: usize, slices: usize, seed: u64) -> SimConfig {
 fn gdm_reaches_zero_while_sdm_plateaus() {
     // Fig. 4(a): the ordering algorithm totally orders the random values,
     // but slice assignment stays imperfect.
+    // The phased cycle model propagates swaps once per cycle (no
+    // within-cycle visibility), so total order takes more cycles than the
+    // paper's interleaved PeerSim schedule — the budget reflects that.
     let mut engine = Engine::new(config(400, 20, 11), ProtocolKind::ModJk).unwrap();
-    let record = engine.run(150);
+    let record = engine.run(400);
     assert_eq!(
         engine.gdm(),
         0.0,
@@ -30,8 +33,8 @@ fn gdm_reaches_zero_while_sdm_plateaus() {
     );
     // SDM floor: with 400 uniform values over 20 slices, a perfect
     // assignment has essentially zero probability (§4.4). The plateau is
-    // reached — the last 30 cycles do not improve the SDM.
-    let late: Vec<f64> = record.cycles[120..].iter().map(|c| c.sdm).collect();
+    // reached — the last 50 cycles do not improve the SDM.
+    let late: Vec<f64> = record.cycles[350..].iter().map(|c| c.sdm).collect();
     let spread = late.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - late.iter().cloned().fold(f64::INFINITY, f64::min);
     assert_eq!(spread, 0.0, "SDM must have plateaued after GDM hit 0");

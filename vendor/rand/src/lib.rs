@@ -289,6 +289,7 @@ pub mod seq {
         //! Index sampling without replacement.
 
         use super::super::{Rng, RngCore};
+        use std::collections::HashMap;
 
         /// A set of sampled indices.
         #[derive(Clone, Debug)]
@@ -326,20 +327,53 @@ pub mod seq {
 
         /// Samples `amount` distinct indices from `0..length`, uniformly and
         /// in random order. Panics if `amount > length`.
+        ///
+        /// Runs a *sparse* partial Fisher–Yates: instead of materializing the
+        /// full `0..length` index table (O(length) per call — quadratic for
+        /// per-node sampling over large populations), only displaced entries
+        /// are tracked, so one call costs O(amount) space. The RNG draw
+        /// sequence and the returned indices are identical to the dense
+        /// table walk, so seeded streams reproduce exactly.
+        ///
+        /// For the small `amount`s hot paths use (view-sized, ~tens), the
+        /// displacements live in a linear-scanned vector — cheaper than a
+        /// hash map at that size; larger requests switch to a map.
         pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
             assert!(
                 amount <= length,
                 "cannot sample {amount} indices from {length}"
             );
-            // Partial Fisher–Yates over an index table; O(length) setup is
-            // fine at the scales the workspace samples at.
-            let mut indices: Vec<usize> = (0..length).collect();
-            for i in 0..amount {
-                let j = rng.gen_range(i..length);
-                indices.swap(i, j);
+            let mut out = Vec::with_capacity(amount);
+            if amount <= 64 {
+                // `(slot, value)` pairs; the latest entry for a slot wins,
+                // emulating the dense table's overwrite.
+                let mut displaced: Vec<(usize, usize)> = Vec::with_capacity(amount);
+                let at = |d: &[(usize, usize)], k: usize| {
+                    d.iter()
+                        .rev()
+                        .find(|&&(slot, _)| slot == k)
+                        .map_or(k, |&(_, v)| v)
+                };
+                for i in 0..amount {
+                    let j = rng.gen_range(i..length);
+                    let picked = at(&displaced, j);
+                    let at_i = at(&displaced, i);
+                    displaced.push((j, at_i));
+                    out.push(picked);
+                }
+            } else {
+                // `displaced[k]` holds the value a dense table would have
+                // at slot `k` after the swaps so far; untouched slots hold `k`.
+                let mut displaced: HashMap<usize, usize> = HashMap::with_capacity(amount * 2);
+                for i in 0..amount {
+                    let j = rng.gen_range(i..length);
+                    let picked = displaced.get(&j).copied().unwrap_or(j);
+                    let at_i = displaced.get(&i).copied().unwrap_or(i);
+                    displaced.insert(j, at_i);
+                    out.push(picked);
+                }
             }
-            indices.truncate(amount);
-            IndexVec(indices)
+            IndexVec(out)
         }
     }
 }
@@ -405,6 +439,30 @@ mod tests {
         v.sort_unstable();
         v.dedup();
         assert_eq!(v.len(), 10, "indices distinct");
+    }
+
+    #[test]
+    fn sparse_sample_matches_dense_walk() {
+        // The sparse Fisher–Yates must reproduce the dense index-table walk
+        // exactly: same draws, same outputs.
+        // Both implementations: the linear-scan path (small amounts) and
+        // the hash-map path (amount > 64).
+        for amount in [17usize, 100] {
+            for seed in 0..20 {
+                let mut a = StdRng::seed_from_u64(seed);
+                let mut b = StdRng::seed_from_u64(seed);
+                let length = 1000;
+                let sparse = seq::index::sample(&mut a, length, amount).into_vec();
+                let mut dense: Vec<usize> = (0..length).collect();
+                for i in 0..amount {
+                    let j = b.gen_range(i..length);
+                    dense.swap(i, j);
+                }
+                dense.truncate(amount);
+                assert_eq!(sparse, dense, "seed {seed}, amount {amount}");
+                assert_eq!(a.next_u64(), b.next_u64(), "same number of draws");
+            }
+        }
     }
 
     #[test]

@@ -1,17 +1,27 @@
 //! Measures the engine's scale profile and writes it as JSON.
 //!
 //! ```text
-//! scale_bench [--out FILE] [--quick]
+//! scale_bench [--out FILE] [--quick] [--curve]
 //! ```
 //!
 //! Times steady-state cycles of the ranking protocol across the scale
-//! dimensions (population × shard count × metrics cadence) and writes a
+//! dimensions (population × shard count × metrics cadence), with the
+//! engine's opt-in per-phase breakdown enabled, and writes a
 //! machine-readable summary — CI uploads it as the `BENCH_scale.json`
-//! artifact so the cycle-cost trajectory is tracked per commit. `--quick`
-//! shrinks the matrix (drops the 100k row) for fast smoke runs.
+//! artifact so the cycle-cost trajectory is tracked per commit.
+//!
+//! * `--quick` shrinks the matrix (drops the 100k rows) for fast smoke runs.
+//! * `--curve` measures the shard scaling curve instead: shards 1/2/4/8 at
+//!   10k and 100k nodes — the matrix the multi-core CI job uploads as
+//!   `BENCH_shard_curve.json`.
+//!
+//! The committed `BENCH_scale.json` at the repo root is the default matrix
+//! measured on the CI container; `host.cores` records how much parallelism
+//! the measuring host actually had (a single-core host proves determinism,
+//! not speedup).
 
 use dslice_core::Partition;
-use dslice_sim::{Engine, ProtocolKind, SimConfig};
+use dslice_sim::{Engine, PhaseTimings, ProtocolKind, SimConfig};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -22,6 +32,20 @@ struct Row {
     metrics_every: usize,
     cycles: usize,
     ms_per_cycle: f64,
+    /// Mean per-phase µs over the timed cycles, as `(phase, µs)` rows —
+    /// driven by [`PhaseTimings::rows`] so a phase added to the engine
+    /// shows up here (and in the JSON artifact) without touching this file.
+    phase_us: Vec<(&'static str, u64)>,
+}
+
+impl Row {
+    /// The mean µs of one named phase (0 if unknown).
+    fn phase(&self, name: &str) -> u64 {
+        self.phase_us
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(0, |&(_, us)| us)
+    }
 }
 
 fn measure(n: usize, shards: usize, metrics_every: usize, cycles: usize) -> Row {
@@ -32,16 +56,20 @@ fn measure(n: usize, shards: usize, metrics_every: usize, cycles: usize) -> Row 
         seed: 42,
         shards,
         metrics_every,
+        time_phases: true,
         ..SimConfig::default()
     };
     let mut engine = Engine::new(cfg, ProtocolKind::Ranking).unwrap();
-    // Warm-up: reach membership steady state before timing.
+    // Warm-up: reach membership steady state (and warm the engine's scratch
+    // buffers) before timing.
     for _ in 0..2 {
         engine.step();
     }
+    let mut phase_total = PhaseTimings::default();
     let start = Instant::now();
     for _ in 0..cycles {
-        engine.step();
+        let stats = engine.step();
+        phase_total.accumulate(&stats.timings.expect("time_phases is on"));
     }
     let ms_per_cycle = start.elapsed().as_secs_f64() * 1000.0 / cycles as f64;
     Row {
@@ -50,13 +78,19 @@ fn measure(n: usize, shards: usize, metrics_every: usize, cycles: usize) -> Row 
         metrics_every,
         cycles,
         ms_per_cycle,
+        phase_us: phase_total
+            .rows()
+            .iter()
+            .map(|&(name, us)| (name, us / cycles as u64))
+            .collect(),
     }
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_scale.json".to_string();
+    let mut out: Option<String> = None;
     let mut quick = false;
+    let mut curve = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -65,43 +99,81 @@ fn main() -> ExitCode {
                     eprintln!("--out requires a value");
                     return ExitCode::FAILURE;
                 };
-                out = path.clone();
+                out = Some(path.clone());
                 i += 2;
             }
             "--quick" => {
                 quick = true;
                 i += 1;
             }
+            "--curve" => {
+                curve = true;
+                i += 1;
+            }
             other => {
-                eprintln!("unknown argument {other:?}\nusage: scale_bench [--out FILE] [--quick]");
+                eprintln!(
+                    "unknown argument {other:?}\nusage: scale_bench [--out FILE] [--quick] [--curve]"
+                );
                 return ExitCode::FAILURE;
             }
         }
     }
+    let out = out.unwrap_or_else(|| {
+        if curve {
+            "BENCH_shard_curve.json".to_string()
+        } else {
+            "BENCH_scale.json".to_string()
+        }
+    });
 
     // (n, shards, metrics_every, timed cycles)
-    let mut matrix: Vec<(usize, usize, usize, usize)> = vec![
-        (1_000, 1, 1, 20),
-        (10_000, 1, 1, 10),
-        (10_000, 4, 1, 10),
-        (10_000, 1, 10, 10),
-    ];
-    if !quick {
-        matrix.push((100_000, 1, 10, 5));
-        matrix.push((100_000, 4, 10, 5));
-    }
+    let matrix: Vec<(usize, usize, usize, usize)> = if curve {
+        // The shard scaling curve: 1/2/4/8 shards at 10k and 100k.
+        let mut m: Vec<_> = [1, 2, 4, 8]
+            .into_iter()
+            .map(|shards| (10_000, shards, 10, 10))
+            .collect();
+        m.extend(
+            [1, 2, 4, 8]
+                .into_iter()
+                .map(|shards| (100_000, shards, 10, 5)),
+        );
+        m
+    } else {
+        let mut m = vec![
+            (1_000, 1, 1, 20),
+            (10_000, 1, 1, 10),
+            (10_000, 4, 1, 10),
+            (10_000, 1, 10, 10),
+        ];
+        if !quick {
+            m.push((100_000, 1, 10, 5));
+            m.push((100_000, 4, 10, 5));
+        }
+        m
+    };
 
     let mut rows = Vec::with_capacity(matrix.len());
     for (n, shards, metrics_every, cycles) in matrix {
         eprint!("n={n} shards={shards} metrics_every={metrics_every} … ");
         let row = measure(n, shards, metrics_every, cycles);
-        eprintln!("{:.1} ms/cycle", row.ms_per_cycle);
+        eprintln!(
+            "{:.1} ms/cycle (membership {:.1} ms, refresh {:.1} ms, active {:.1} ms)",
+            row.ms_per_cycle,
+            row.phase("membership") as f64 / 1000.0,
+            row.phase("refresh") as f64 / 1000.0,
+            row.phase("active") as f64 / 1000.0,
+        );
         rows.push(row);
     }
 
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let summary = serde_json::json!({
-        "bench": "scale_cost",
+        "bench": if curve { "shard_curve" } else { "scale_cost" },
         "protocol": "ranking",
+        "host": serde_json::json!({ "cores": cores }),
         "rows": rows
             .iter()
             .map(|row| {
@@ -111,6 +183,12 @@ fn main() -> ExitCode {
                     "metrics_every": row.metrics_every,
                     "cycles": row.cycles,
                     "ms_per_cycle": row.ms_per_cycle,
+                    "phase_us": serde_json::Value::Map(
+                        row.phase_us
+                            .iter()
+                            .map(|&(name, us)| (name.to_string(), serde_json::Value::UInt(us)))
+                            .collect(),
+                    ),
                 })
             })
             .collect::<Vec<_>>(),

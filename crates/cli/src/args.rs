@@ -37,6 +37,7 @@ pub struct SimArgs {
     pub distribution: AttributeDistribution,
     pub shards: usize,
     pub metrics_every: usize,
+    pub time_phases: bool,
     pub csv: Option<String>,
     pub json: Option<String>,
     pub quiet: bool,
@@ -58,6 +59,7 @@ impl Default for SimArgs {
             distribution: AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 },
             shards: 1,
             metrics_every: 1,
+            time_phases: false,
             csv: None,
             json: None,
             quiet: false,
@@ -118,7 +120,7 @@ USAGE:
                  [--latency zero|fixed:<cycles>|uniform:<min>:<max>|geometric:<p>]
                  [--churn none|correlated:<rate>:<period>|uncorrelated:<rate>:<period>]
                  [--distribution uniform|pareto:<scale>:<shape>|normal:<mean>:<std>|exp:<rate>]
-                 [--shards W] [--metrics-every M]
+                 [--shards W] [--metrics-every M] [--time-phases]
                  [--csv FILE] [--json FILE] [--quiet]
   dslice-cli analyze lemma41 --beta B --epsilon E --n N [--p P]
   dslice-cli analyze samples --p P --d D [--alpha A]
@@ -312,6 +314,10 @@ fn parse_sim(argv: &[String]) -> Result<SimArgs, String> {
                     return Err("--metrics-every must be at least 1".into());
                 }
                 i += 2;
+            }
+            "--time-phases" => {
+                args.time_phases = true;
+                i += 1;
             }
             "--csv" => {
                 args.csv = Some(value(argv, i)?.to_string());
@@ -593,12 +599,17 @@ mod tests {
         };
         assert_eq!(a.shards, 4);
         assert_eq!(a.metrics_every, 10);
-        // Defaults: sequential, every-cycle metrics.
+        let Command::Sim(t) = parse(&argv("sim --time-phases")).unwrap() else {
+            panic!("not sim")
+        };
+        assert!(t.time_phases);
+        // Defaults: sequential, every-cycle metrics, no timing breakdown.
         let Command::Sim(d) = parse(&argv("sim")).unwrap() else {
             panic!("not sim")
         };
         assert_eq!(d.shards, 1);
         assert_eq!(d.metrics_every, 1);
+        assert!(!d.time_phases);
         // Zero is rejected for both.
         assert!(parse(&argv("sim --shards 0")).is_err());
         assert!(parse(&argv("sim --metrics-every 0")).is_err());

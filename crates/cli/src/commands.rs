@@ -31,6 +31,7 @@ fn run_sim(args: SimArgs) -> Result<(), String> {
         seed: args.seed,
         shards: args.shards,
         metrics_every: args.metrics_every,
+        time_phases: args.time_phases,
         ..SimConfig::default()
     };
     cfg.validate().map_err(|e| e.to_string())?;
@@ -113,6 +114,10 @@ fn run_sim(args: SimArgs) -> Result<(), String> {
         );
     }
 
+    if args.time_phases && !args.quiet {
+        print_phase_breakdown(&record);
+    }
+
     if let Some(path) = &args.csv {
         let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         record
@@ -129,6 +134,35 @@ fn run_sim(args: SimArgs) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Prints the mean per-phase wall-clock breakdown of a timed run.
+fn print_phase_breakdown(record: &dslice_sim::RunRecord) {
+    let mut total = dslice_sim::PhaseTimings::default();
+    let mut cycles = 0u64;
+    for stats in &record.cycles {
+        if let Some(t) = &stats.timings {
+            total.accumulate(t);
+            cycles += 1;
+        }
+    }
+    if cycles == 0 {
+        return;
+    }
+    let grand = total.total_us().max(1);
+    println!("\nper-phase cost (mean over {cycles} cycles):");
+    for (name, us) in total.rows() {
+        println!(
+            "  {name:<10} {:>10.1} µs/cycle {:>5.1}%",
+            us as f64 / cycles as f64,
+            100.0 * us as f64 / grand as f64
+        );
+    }
+    println!(
+        "  {:<10} {:>10.1} µs/cycle",
+        "total",
+        grand as f64 / cycles as f64
+    );
 }
 
 /// Renders the run's SDM trajectory as a unicode sparkline (log-scaled,
@@ -304,6 +338,15 @@ mod tests {
         assert!(json_text.contains("\"label\": \"mod-jk\""));
         let _ = std::fs::remove_file(csv);
         let _ = std::fs::remove_file(json);
+    }
+
+    #[test]
+    fn timed_sim_prints_phase_breakdown() {
+        let cmd = parse(&argv(
+            "sim --protocol ranking --n 80 --slices 4 --view 5 --cycles 6 --time-phases",
+        ))
+        .unwrap();
+        run(cmd).unwrap();
     }
 
     #[test]

@@ -74,6 +74,6 @@ pub use attribute::Attribute;
 pub use error::{Error, Result};
 pub use message::ProtocolMsg;
 pub use node::NodeId;
-pub use slab::NodeSlab;
+pub use slab::{NodeSlab, SlotLookup, TakenPair};
 pub use slice::{Partition, Slice, SliceIndex};
 pub use view::{View, ViewEntry};

@@ -191,20 +191,116 @@ impl<T> NodeSlab<T> {
     /// never the cells themselves — so workers can mutate node state but
     /// cannot desync the id → slot index or the free list.
     pub fn chunks_mut(&mut self, count: usize) -> Vec<SlabChunk<'_, T>> {
-        assert!(count >= 1, "chunk count must be at least 1");
-        if self.slots.is_empty() {
-            return Vec::new();
-        }
-        let chunk_len = self.slots.len().div_ceil(count);
-        self.slots
-            .chunks_mut(chunk_len)
-            .enumerate()
-            .map(|(index, cells)| SlabChunk {
-                base: index * chunk_len,
-                cells,
-            })
-            .collect()
+        chunk_slots(&mut self.slots, count)
     }
+
+    /// Like [`chunks_mut`](NodeSlab::chunks_mut), but additionally hands out
+    /// a read-only id → slot lookup that stays usable *while* the chunks
+    /// borrow the slot storage (the borrows are split at the field level).
+    ///
+    /// This is the substrate for phases that mutate every node against an
+    /// immutable per-slot snapshot of the whole population: workers walk
+    /// their chunk mutably and resolve cross-node references through the
+    /// lookup without touching any other node's state.
+    pub fn chunks_mut_with_lookup(
+        &mut self,
+        count: usize,
+    ) -> (Vec<SlabChunk<'_, T>>, SlotLookup<'_>) {
+        let lookup = SlotLookup { index: &self.index };
+        (chunk_slots(&mut self.slots, count), lookup)
+    }
+
+    /// Temporarily moves *both* endpoints of a pairwise exchange out of the
+    /// slab (see [`take`](NodeSlab::take)), keeping their slots reserved.
+    ///
+    /// Returns `None` — with any partially taken state restored — when the
+    /// endpoints alias (`a == b`) or either endpoint is absent or already
+    /// taken. Pair-batch runtimes schedule conflict-free batches (no node in
+    /// two pairs of one batch), so within a batch every `take_pair` succeeds
+    /// and the extracted pairs can be processed on any thread in any order.
+    pub fn take_pair(&mut self, a: NodeId, b: NodeId) -> Option<TakenPair<T>> {
+        if a == b {
+            return None;
+        }
+        let (a_slot, a_state) = self.take(a)?;
+        match self.take(b) {
+            Some((b_slot, b_state)) => Some(TakenPair {
+                a_slot,
+                a_id: a,
+                a: a_state,
+                b_slot,
+                b_id: b,
+                b: b_state,
+            }),
+            None => {
+                self.put_back(a_slot, a, a_state);
+                None
+            }
+        }
+    }
+
+    /// Restores a pair moved out by [`take_pair`](NodeSlab::take_pair) into
+    /// its reserved slots.
+    pub fn put_back_pair(&mut self, pair: TakenPair<T>) {
+        self.put_back(pair.a_slot, pair.a_id, pair.a);
+        self.put_back(pair.b_slot, pair.b_id, pair.b);
+    }
+}
+
+/// Shared implementation of [`NodeSlab::chunks_mut`], operating on the slot
+/// storage alone so callers can keep a concurrent borrow of the index.
+fn chunk_slots<T>(slots: &mut [Option<(NodeId, T)>], count: usize) -> Vec<SlabChunk<'_, T>> {
+    assert!(count >= 1, "chunk count must be at least 1");
+    if slots.is_empty() {
+        return Vec::new();
+    }
+    let chunk_len = slots.len().div_ceil(count);
+    slots
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(index, cells)| SlabChunk {
+            base: index * chunk_len,
+            cells,
+        })
+        .collect()
+}
+
+/// Read-only id → slot lookup handed out by
+/// [`NodeSlab::chunks_mut_with_lookup`]; valid while the chunks are live.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotLookup<'a> {
+    index: &'a HashMap<NodeId, usize>,
+}
+
+impl SlotLookup<'_> {
+    /// The slot currently assigned to `id`, if live.
+    pub fn slot_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Whether `id` is live.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+}
+
+/// Both endpoints of one pairwise exchange, temporarily owned outside the
+/// slab (see [`NodeSlab::take_pair`]). Field names follow the exchange
+/// roles: `a` initiates, `b` responds.
+#[derive(Debug)]
+pub struct TakenPair<T> {
+    /// Initiator slot (global, reserved while taken).
+    pub a_slot: usize,
+    /// Initiator id.
+    pub a_id: NodeId,
+    /// Initiator state.
+    pub a: T,
+    /// Responder slot (global, reserved while taken).
+    pub b_slot: usize,
+    /// Responder id.
+    pub b_id: NodeId,
+    /// Responder state.
+    pub b: T,
 }
 
 /// One contiguous range of a [`NodeSlab`]'s slots, handed to a worker by
@@ -336,6 +432,54 @@ mod tests {
         let empty: NodeSlab<u32> = NodeSlab::new();
         let mut none = empty;
         assert!(none.chunks_mut(4).is_empty());
+    }
+
+    #[test]
+    fn take_pair_reserves_both_slots_and_rejects_conflicts() {
+        let mut slab: NodeSlab<u32> = NodeSlab::new();
+        for i in 0..4 {
+            slab.insert(id(i), i as u32);
+        }
+        let pair = slab.take_pair(id(1), id(3)).unwrap();
+        assert_eq!((pair.a_id, pair.a, pair.b_id, pair.b), (id(1), 1, id(3), 3));
+        assert_eq!(slab.len(), 4, "taken nodes stay live");
+        // Either endpoint being out blocks an overlapping pair.
+        assert!(slab.take_pair(id(0), id(1)).is_none());
+        assert!(slab.get(id(0)).is_some(), "failed take_pair restored a");
+        assert!(slab.take_pair(id(3), id(2)).is_none());
+        assert!(
+            slab.get(id(2)).is_some(),
+            "failed take_pair restored b side"
+        );
+        // Self-pairs and missing endpoints are rejected.
+        assert!(slab.take_pair(id(0), id(0)).is_none());
+        assert!(slab.take_pair(id(0), id(99)).is_none());
+        assert!(slab.get(id(0)).is_some());
+        slab.put_back_pair(pair);
+        assert_eq!(slab.get(id(1)), Some(&1));
+        assert_eq!(slab.get(id(3)), Some(&3));
+    }
+
+    #[test]
+    fn lookup_stays_usable_while_chunks_are_out() {
+        let mut slab: NodeSlab<u32> = NodeSlab::new();
+        for i in 0..9 {
+            slab.insert(id(i), i as u32);
+        }
+        slab.remove(id(4));
+        let (chunks, lookup) = slab.chunks_mut_with_lookup(3);
+        assert_eq!(chunks.len(), 3);
+        let mut visited = 0;
+        for mut chunk in chunks {
+            for (slot, node, v) in chunk.iter_mut() {
+                assert_eq!(lookup.slot_of(node), Some(slot));
+                *v += 100;
+                visited += 1;
+            }
+        }
+        assert_eq!(visited, 8);
+        assert!(!lookup.contains(id(4)));
+        assert_eq!(slab.get(id(7)), Some(&107));
     }
 
     #[test]

@@ -191,6 +191,23 @@ impl View {
         }
     }
 
+    /// Refreshes every entry's value snapshot in one pass: `lookup` returns
+    /// the current value published by a live neighbor, or `None` for a
+    /// departed one, whose entry is dropped. Entry order is preserved.
+    ///
+    /// This is the bulk form of [`refresh_value`](View::refresh_value) used
+    /// by the simulator's refresh phase — O(len) with no per-entry search
+    /// and no id collection on the side.
+    pub fn refresh_values<F: FnMut(NodeId) -> Option<f64>>(&mut self, mut lookup: F) {
+        self.entries.retain_mut(|e| match lookup(e.id) {
+            Some(value) => {
+                e.value = value;
+                true
+            }
+            None => false,
+        });
+    }
+
     /// The descriptor this node sends about itself in a view exchange:
     /// `⟨i, 0, a_i, r_i⟩` (line 3 of Fig. 3).
     pub fn self_descriptor(id: NodeId, attribute: Attribute, value: f64) -> ViewEntry {
@@ -276,6 +293,26 @@ mod tests {
     #[test]
     fn capacity_zero_rejected() {
         assert!(matches!(View::new(0), Err(Error::ZeroViewCapacity)));
+    }
+
+    #[test]
+    fn refresh_values_updates_live_and_drops_dead_in_order() {
+        let mut v = View::new(4).unwrap();
+        v.insert(entry(1, 0, 0.1));
+        v.insert(entry(2, 0, 0.2));
+        v.insert(entry(3, 0, 0.3));
+        v.refresh_values(|id| match id.as_u64() {
+            1 => Some(0.9),
+            3 => Some(0.7),
+            _ => None,
+        });
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(NodeId::new(1)).unwrap().value, 0.9);
+        assert!(!v.contains(NodeId::new(2)));
+        assert_eq!(v.get(NodeId::new(3)).unwrap().value, 0.7);
+        // Surviving entries keep their relative order.
+        let ids: Vec<u64> = v.ids().map(|i| i.as_u64()).collect();
+        assert_eq!(ids, vec![1, 3]);
     }
 
     #[test]

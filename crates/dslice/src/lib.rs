@@ -77,7 +77,7 @@ pub mod prelude {
     pub use dslice_net::{ClusterConfig, ClusterReport, LocalCluster};
     pub use dslice_sim::{
         AttributeDistribution, ChurnModel, Concurrency, CorrelatedChurn, CycleStats, Engine,
-        FlashCrowd, LatencyModel, NoChurn, RunRecord, SessionChurn, SimConfig, UncorrelatedChurn,
-        WeibullSessions,
+        FlashCrowd, LatencyModel, NoChurn, PhaseTimings, RunRecord, SessionChurn, SimConfig,
+        UncorrelatedChurn, WeibullSessions,
     };
 }

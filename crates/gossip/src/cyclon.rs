@@ -96,12 +96,25 @@ impl PeerSampler for CyclonSampler {
     fn initiate(
         &mut self,
         self_entry: ViewEntry,
-        _rng: &mut dyn RngCore,
+        rng: &mut dyn RngCore,
     ) -> Option<ExchangeRequest> {
+        let partner = self.schedule_exchange(rng)?;
+        Some(self.initiate_with(partner, self_entry, rng))
+    }
+
+    fn schedule_exchange(&mut self, _rng: &mut dyn RngCore) -> Option<NodeId> {
         // Line 1: age every entry.
         self.view.increment_ages();
         // Line 2: pick the oldest neighbor.
-        let partner = self.view.oldest()?.id;
+        Some(self.view.oldest()?.id)
+    }
+
+    fn initiate_with(
+        &mut self,
+        partner: NodeId,
+        self_entry: ViewEntry,
+        _rng: &mut dyn RngCore,
+    ) -> ExchangeRequest {
         // Line 3: the request payload is the view copy, minus the partner's
         // own entry, plus a fresh self-descriptor.
         let mut entries: Vec<ViewEntry> = self
@@ -111,7 +124,7 @@ impl PeerSampler for CyclonSampler {
             .copied()
             .collect();
         entries.push(self_entry);
-        Some(ExchangeRequest { partner, entries })
+        ExchangeRequest { partner, entries }
     }
 
     fn handle_request(

@@ -135,10 +135,23 @@ impl PeerSampler for LpbcastSampler {
         self_entry: ViewEntry,
         rng: &mut dyn RngCore,
     ) -> Option<ExchangeRequest> {
+        let partner = self.schedule_exchange(rng)?;
+        Some(self.initiate_with(partner, self_entry, rng))
+    }
+
+    fn schedule_exchange(&mut self, rng: &mut dyn RngCore) -> Option<NodeId> {
         self.view.increment_ages();
-        let partner = self.view.random(rng)?.id;
+        Some(self.view.random(rng)?.id)
+    }
+
+    fn initiate_with(
+        &mut self,
+        partner: NodeId,
+        self_entry: ViewEntry,
+        rng: &mut dyn RngCore,
+    ) -> ExchangeRequest {
         let entries = self.digest(self_entry, rng);
-        Some(ExchangeRequest { partner, entries })
+        ExchangeRequest { partner, entries }
     }
 
     fn handle_request(

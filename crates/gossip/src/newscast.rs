@@ -82,11 +82,24 @@ impl PeerSampler for NewscastSampler {
         self_entry: ViewEntry,
         rng: &mut dyn RngCore,
     ) -> Option<ExchangeRequest> {
+        let partner = self.schedule_exchange(rng)?;
+        Some(self.initiate_with(partner, self_entry, rng))
+    }
+
+    fn schedule_exchange(&mut self, rng: &mut dyn RngCore) -> Option<NodeId> {
         self.view.increment_ages();
-        let partner = self.view.random(rng)?.id;
+        Some(self.view.random(rng)?.id)
+    }
+
+    fn initiate_with(
+        &mut self,
+        partner: NodeId,
+        self_entry: ViewEntry,
+        _rng: &mut dyn RngCore,
+    ) -> ExchangeRequest {
         let mut entries: Vec<ViewEntry> = self.view.entries().to_vec();
         entries.push(self_entry);
-        Some(ExchangeRequest { partner, entries })
+        ExchangeRequest { partner, entries }
     }
 
     fn handle_request(

@@ -90,6 +90,51 @@ pub trait PeerSampler: Send {
     fn initiate(&mut self, self_entry: ViewEntry, rng: &mut dyn RngCore)
         -> Option<ExchangeRequest>;
 
+    /// Schedule half of a **schedule-then-execute** runtime: age the view
+    /// and choose the partner [`initiate`](PeerSampler::initiate) would
+    /// pick, *without* building the payload. The runtime collects every
+    /// node's choice up front, partitions the pairs into conflict-free
+    /// batches, and later calls
+    /// [`initiate_with`](PeerSampler::initiate_with) to build the payload at
+    /// execution time (possibly on another thread).
+    ///
+    /// Any randomness must come from `rng`, and the *same* stream must be
+    /// handed back to `initiate_with` so the pair (choice, payload) consumes
+    /// exactly the draws `initiate` would.
+    ///
+    /// The default declines to gossip (`None`) — correct for oracle-refilled
+    /// substrates. **A substrate that gossips must override this** (together
+    /// with [`initiate_with`](PeerSampler::initiate_with)): the cycle
+    /// simulator drives membership exclusively through the split path, so a
+    /// sampler implementing only the combined
+    /// [`initiate`](PeerSampler::initiate) would never exchange views there.
+    fn schedule_exchange(&mut self, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let _ = rng;
+        None
+    }
+
+    /// Execute half of a schedule-then-execute runtime: build the request
+    /// payload for `partner`, chosen earlier by
+    /// [`schedule_exchange`](PeerSampler::schedule_exchange). The view must
+    /// **not** be re-aged (aging happened at schedule time). The view seen
+    /// here may differ from the one the partner was chosen from — the node
+    /// may have responded to other exchanges in earlier batches.
+    ///
+    /// The default sends only the fresh self-descriptor; substrates that can
+    /// return a partner from `schedule_exchange` override it.
+    fn initiate_with(
+        &mut self,
+        partner: NodeId,
+        self_entry: ViewEntry,
+        rng: &mut dyn RngCore,
+    ) -> ExchangeRequest {
+        let _ = rng;
+        ExchangeRequest {
+            partner,
+            entries: vec![self_entry],
+        }
+    }
+
     /// Passive side: absorb the request payload, produce the reply payload
     /// (the passive node's view, minus pointers to the requester).
     fn handle_request(
@@ -142,5 +187,69 @@ mod tests {
         let cfg = SamplerConfig::cyclon(20);
         assert_eq!(cfg.kind, SamplerKind::Cyclon);
         assert_eq!(cfg.capacity, 20);
+    }
+
+    /// The schedule-then-execute split must be a pure refactoring of
+    /// `initiate`: same partner, same payload, same post-state, same rng
+    /// consumption — for every gossiping substrate.
+    #[test]
+    fn split_exchange_matches_combined_initiate() {
+        use crate::{CyclonSampler, LpbcastSampler, NewscastSampler, UniformOracle};
+        use dslice_core::Attribute;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        fn entry(id: u64, age: u32) -> ViewEntry {
+            ViewEntry::with_age(
+                NodeId::new(id),
+                age,
+                Attribute::new(id as f64).unwrap(),
+                0.5,
+            )
+        }
+
+        fn check(mut combined: Box<dyn PeerSampler>, mut split: Box<dyn PeerSampler>, seed: u64) {
+            for i in 1..=6 {
+                combined.view_mut().insert(entry(i, i as u32 % 3));
+                split.view_mut().insert(entry(i, i as u32 % 3));
+            }
+            let self_entry = entry(combined.owner().as_u64(), 0);
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let direct = combined.initiate(self_entry, &mut rng_a);
+            let staged = split
+                .schedule_exchange(&mut rng_b)
+                .map(|partner| split.initiate_with(partner, self_entry, &mut rng_b));
+            assert_eq!(direct, staged, "{} diverged", combined.kind());
+            assert_eq!(
+                combined.view().entries(),
+                split.view().entries(),
+                "{} post-state diverged",
+                combined.kind()
+            );
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "rng draw counts differ");
+        }
+
+        let owner = NodeId::new(0);
+        check(
+            Box::new(CyclonSampler::new(owner, 8).unwrap()),
+            Box::new(CyclonSampler::new(owner, 8).unwrap()),
+            11,
+        );
+        check(
+            Box::new(NewscastSampler::new(owner, 8).unwrap()),
+            Box::new(NewscastSampler::new(owner, 8).unwrap()),
+            12,
+        );
+        check(
+            Box::new(LpbcastSampler::new(owner, 8).unwrap()),
+            Box::new(LpbcastSampler::new(owner, 8).unwrap()),
+            13,
+        );
+        // The oracle declines both paths.
+        let mut oracle = UniformOracle::new(owner, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        assert!(oracle.schedule_exchange(&mut rng).is_none());
+        assert!(oracle.initiate(entry(1, 0), &mut rng).is_none());
     }
 }

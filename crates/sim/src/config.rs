@@ -46,6 +46,12 @@ pub struct SimConfig {
     /// setup; large-population runs amortize the O(n log n) evaluation
     /// oracle with higher cadences.
     pub metrics_every: usize,
+    /// Opt-in per-phase wall-clock breakdown: when set, every
+    /// [`CycleStats`](crate::CycleStats) carries a
+    /// [`PhaseTimings`](crate::PhaseTimings) measuring each engine phase.
+    /// Off by default — timings are host noise, and the golden determinism
+    /// suite compares records byte-for-byte.
+    pub time_phases: bool,
 }
 
 impl Default for SimConfig {
@@ -62,6 +68,7 @@ impl Default for SimConfig {
             seed: 0xD51CE,
             shards: 1,
             metrics_every: 1,
+            time_phases: false,
         }
     }
 }
@@ -180,6 +187,7 @@ mod tests {
             seed: 99,
             shards: 4,
             metrics_every: 10,
+            time_phases: true,
             ..SimConfig::default()
         };
         let json = serde_json::to_string(&cfg).unwrap();
@@ -191,6 +199,7 @@ mod tests {
         assert_eq!(parsed.loss_rate, cfg.loss_rate);
         assert_eq!(parsed.shards, cfg.shards);
         assert_eq!(parsed.metrics_every, cfg.metrics_every);
+        assert!(parsed.time_phases);
     }
 
     #[test]

@@ -11,12 +11,31 @@
 //!    batch in (no global re-sort).
 //! 2. **Latency drain** — messages whose cross-cycle latency elapsed land
 //!    now, in random order, before anyone's active step.
-//! 3. **Membership phase** — every live node, in freshly shuffled order,
-//!    runs its membership shuffle (`recompute-view()`, executed atomically
-//!    as in the paper's simulation).
+//! 3. **Membership phase** — every live node runs its membership shuffle
+//!    (`recompute-view()`, executed atomically as in the paper's
+//!    simulation), as **schedule → batch → execute**:
+//!    * *schedule*: every node's exchange partner is drawn up front from
+//!      the node's own counter-based stream (keyed by
+//!      `(seed, node id, cycle)`, like the active phase) against its
+//!      start-of-phase view;
+//!    * *batch*: the resulting `(initiator, partner)` pairs are greedily
+//!      partitioned, in slot order, into **conflict-free batches** in which
+//!      no node appears twice (first-fit on per-slot occupancy bitmasks);
+//!    * *execute*: batches run in order; within a batch the pairs touch
+//!      disjoint node sets and each pair draws only from the initiator's
+//!      carried stream, so the batch is fanned out across
+//!      [`SimConfig::shards`](crate::SimConfig::shards) scoped worker
+//!      threads. **Any shard count produces a byte-identical run.**
+//!
+//!    The uniform-oracle substrate takes the same shape: the population is
+//!    snapshotted once per cycle and every view refilled from it in sharded
+//!    chunks, each node sampling from its own stream.
 //! 4. **Refresh phase** — every view's value snapshots are refreshed from
 //!    the live population ("each node updates its view before sending its
-//!    random value", §4.5.2).
+//!    random value", §4.5.2). Published values are protocol state the
+//!    refresh never touches, so the engine snapshots them per slot once and
+//!    refreshes all views in sharded chunks against the immutable snapshot
+//!    — again byte-identical at any shard count.
 //! 5. **Active phase** — every live node runs its protocol active thread
 //!    against its own (refreshed) view, drawing randomness from its **own
 //!    counter-based stream** keyed by `(seed, node id, cycle)` (see
@@ -63,24 +82,30 @@
 
 use crate::churn::{ChurnModel, NoChurn};
 use crate::config::{ProtocolKind, SimConfig};
-use crate::stats::{CycleStats, EventCounters, RunRecord};
+use crate::stats::{CycleStats, EventCounters, PhaseTimings, RunRecord};
 use crate::stream::NodeRng;
 use dslice_core::node::NodeIdAllocator;
 use dslice_core::protocol::{Context, Event, SliceProtocol};
 use dslice_core::slab::SlabChunk;
 use dslice_core::{
-    metrics, Attribute, NodeId, NodeSlab, Partition, ProtocolMsg, Result, ViewEntry,
+    metrics, Attribute, NodeId, NodeSlab, Partition, ProtocolMsg, Result, SlotLookup, TakenPair,
+    ViewEntry,
 };
 use dslice_gossip::{build_sampler, PeerSampler, SamplerKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngCore, SeedableRng};
 use std::collections::{HashSet, VecDeque};
+use std::mem;
 
 /// Stream domain of the regular active step (see [`NodeRng::for_node`]).
 const ACTIVE_SALT: u64 = 0;
 /// Stream domain of the atomic-exchange replay.
 const REPLAY_SALT: u64 = 1;
+/// Stream domain of the membership phase: partner scheduling plus the
+/// exchange payload draws (the same stream is carried from schedule to
+/// execute), or the oracle's per-node refill sample.
+const MEMBERSHIP_SALT: u64 = 2;
 
 /// One simulated node: its protocol state plus its membership state.
 struct SimNode {
@@ -165,6 +190,187 @@ fn active_chunk(
     (buffers, counters)
 }
 
+/// One scheduled membership exchange: the initiator, its chosen partner
+/// (with both slots resolved), and the initiator's membership stream,
+/// carried from schedule to execute so the pair consumes exactly the draws
+/// a combined `initiate` would.
+struct ScheduledExchange {
+    id: NodeId,
+    slot: usize,
+    partner: NodeId,
+    partner_slot: usize,
+    rng: NodeRng,
+}
+
+/// One extracted pair awaiting execution: both endpoints' state plus the
+/// initiator's carried stream.
+struct ExchangeJob {
+    pair: TakenPair<SimNode>,
+    rng: NodeRng,
+}
+
+/// Runs one scheduled pairwise exchange on an extracted pair. Pure
+/// pair-local work: it mutates only the two nodes and draws only from the
+/// initiator's carried membership stream, so the pairs of a conflict-free
+/// batch can execute on any thread in any order with identical results.
+fn run_exchange(job: &mut ExchangeJob) {
+    let pair = &mut job.pair;
+    let self_entry = pair.a.self_entry();
+    let req = pair
+        .a
+        .sampler
+        .initiate_with(pair.b_id, self_entry, &mut job.rng);
+    let partner_entry = pair.b.self_entry();
+    let reply = pair
+        .b
+        .sampler
+        .handle_request(partner_entry, pair.a_id, &req.entries);
+    pair.a.sampler.handle_reply(pair.b_id, &reply);
+}
+
+/// Executes one conflict-free batch of exchanges, fanned out across up to
+/// `shards` scoped worker threads. Small batches run inline — spawning
+/// costs more than it saves there, and the result is identical either way
+/// (only wall-clock differs).
+fn execute_batch(jobs: &mut [ExchangeJob], shards: usize) {
+    /// Minimum pairs that justify putting a worker thread on a batch.
+    const MIN_PAIRS_PER_WORKER: usize = 64;
+    if shards <= 1 || jobs.len() < 2 * MIN_PAIRS_PER_WORKER {
+        for job in jobs.iter_mut() {
+            run_exchange(job);
+        }
+        return;
+    }
+    let per_worker = jobs.len().div_ceil(shards).max(MIN_PAIRS_PER_WORKER);
+    std::thread::scope(|scope| {
+        for chunk in jobs.chunks_mut(per_worker) {
+            scope.spawn(move || {
+                for job in chunk {
+                    run_exchange(job);
+                }
+            });
+        }
+    });
+}
+
+/// Uniformly draws up to `count` distinct items of `pool` whose id differs
+/// from `owner` into `out`, sorted by id — the sampling core shared by
+/// [`Engine::random_entries`] (bootstrap, churn joins) and the oracle
+/// refill, so the two paths cannot drift apart.
+///
+/// Oversamples by one slot so that filtering the owner out still leaves
+/// `count` candidates whenever the pool allows it. Index sampling is
+/// O(count) (sparse Fisher–Yates in the vendored `rand`), so sampling the
+/// whole population per node — the oracle does this once per node per
+/// cycle — stays linear in `n` overall instead of quadratic.
+fn sample_from_pool<T: Copy, R: RngCore + ?Sized>(
+    rng: &mut R,
+    pool: &[T],
+    id_of: impl Fn(&T) -> NodeId,
+    owner: NodeId,
+    count: usize,
+    out: &mut Vec<T>,
+) {
+    out.clear();
+    if pool.is_empty() {
+        return;
+    }
+    let want = count.min(pool.len());
+    let take = (want + 1).min(pool.len());
+    out.extend(
+        rand::seq::index::sample(rng, pool.len(), take)
+            .into_iter()
+            .map(|i| pool[i])
+            .filter(|item| id_of(item) != owner)
+            .take(want),
+    );
+    out.sort_unstable_by_key(|item| id_of(item));
+}
+
+/// Refills every view in one chunk from the immutable population snapshot
+/// (uniform-oracle substrate), each node sampling from its own membership
+/// stream. Node-local work, safe on any thread.
+fn oracle_refill_chunk(
+    mut chunk: SlabChunk<'_, SimNode>,
+    pool: &[ViewEntry],
+    seed: u64,
+    cycle: u64,
+    view_size: usize,
+) {
+    let mut entries: Vec<ViewEntry> = Vec::with_capacity(view_size + 1);
+    for (_slot, id, node) in chunk.iter_mut() {
+        let mut rng = NodeRng::for_node(seed, id.as_u64(), cycle, MEMBERSHIP_SALT);
+        sample_from_pool(&mut rng, pool, |e| e.id, id, view_size, &mut entries);
+        node.sampler.refill(&entries);
+    }
+}
+
+/// Refreshes every view in one chunk against the per-slot published-value
+/// snapshot; entries whose node departed are dropped. Node-local work,
+/// safe on any thread.
+fn refresh_chunk(mut chunk: SlabChunk<'_, SimNode>, lookup: SlotLookup<'_>, published: &[f64]) {
+    for (_slot, _id, node) in chunk.iter_mut() {
+        node.sampler
+            .view_mut()
+            .refresh_values(|nid| lookup.slot_of(nid).map(|slot| published[slot]));
+    }
+}
+
+/// Reusable per-cycle buffers: after the first cycle warms these up, the
+/// cycle hot path performs no allocation that scales with `n`.
+#[derive(Default)]
+struct Scratch {
+    /// Latency-drain split: messages due this cycle.
+    due: Vec<(NodeId, ProtocolMsg)>,
+    /// Latency-drain split: messages still in flight (swapped with
+    /// `in_flight` each cycle).
+    flying: Vec<(usize, NodeId, ProtocolMsg)>,
+    /// Work queue shared by the drain, delivery and deferred phases.
+    queue: VecDeque<(NodeId, ProtocolMsg)>,
+    /// Overlap-deferred messages awaiting the end-of-cycle drain.
+    deferred: Vec<(NodeId, ProtocolMsg)>,
+    /// Response staging inside the final drain.
+    late: Vec<(NodeId, ProtocolMsg)>,
+    /// Membership schedule: one entry per initiating node.
+    scheduled: Vec<ScheduledExchange>,
+    /// Batch-occupancy bitmask per slot (bit `b` = busy in batch `b`).
+    masks: Vec<u128>,
+    /// Conflict-free batches, as indices into `scheduled`.
+    batches: Vec<Vec<usize>>,
+    /// Pairs beyond the 128-batch bitmask (pathological in-degree),
+    /// executed sequentially after the batches.
+    overflow: Vec<usize>,
+    /// Extracted pair state for the batch currently executing.
+    jobs: Vec<ExchangeJob>,
+    /// Oracle refill: the cycle's population snapshot as view entries.
+    pool_entries: Vec<ViewEntry>,
+    /// Refresh phase: published value per slot.
+    published: Vec<f64>,
+}
+
+/// Measures per-phase wall-clock when enabled; a no-op (no clock reads)
+/// when disabled.
+struct PhaseTimer {
+    last: Option<std::time::Instant>,
+}
+
+impl PhaseTimer {
+    fn new(enabled: bool) -> Self {
+        PhaseTimer {
+            last: enabled.then(std::time::Instant::now),
+        }
+    }
+
+    /// Records the time since the previous lap into `slot`.
+    fn lap(&mut self, slot: &mut u64) {
+        if let Some(last) = &mut self.last {
+            let now = std::time::Instant::now();
+            *slot = now.duration_since(*last).as_micros() as u64;
+            *last = now;
+        }
+    }
+}
+
 /// The deterministic cycle simulator.
 pub struct Engine {
     cfg: SimConfig,
@@ -185,6 +391,11 @@ pub struct Engine {
     /// cadence skips).
     last_sdm: f64,
     last_gdm: f64,
+    /// Reusable per-cycle buffers (see [`Scratch`]).
+    scratch: Scratch,
+    /// Test hook: when `Some`, each step records its membership schedule as
+    /// `(initiator, partner, batch)` triples.
+    schedule_log: Option<Vec<(u64, u64, usize)>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -231,6 +442,8 @@ impl Engine {
             in_flight: Vec::new(),
             last_sdm: 0.0,
             last_gdm: 0.0,
+            scratch: Scratch::default(),
+            schedule_log: None,
         };
         engine.bootstrap_views(&ids);
         engine.last_sdm = engine.sdm();
@@ -255,27 +468,11 @@ impl Engine {
         }
     }
 
-    /// Draws up to `count` distinct entries describing live nodes ≠ `owner`.
-    ///
-    /// Index sampling is O(count) (sparse Fisher–Yates in the vendored
-    /// `rand`), so per-node sampling over the whole population — the
-    /// uniform-oracle substrate does this once per node per cycle — stays
-    /// linear in `n` overall instead of quadratic.
+    /// Draws up to `count` distinct entries describing live nodes ≠ `owner`
+    /// (the sampling itself is the shared [`sample_from_pool`] core).
     fn random_entries(&mut self, owner: NodeId, count: usize, pool: &[NodeId]) -> Vec<ViewEntry> {
-        if pool.is_empty() {
-            return Vec::new();
-        }
-        let want = count.min(pool.len());
-        // Oversample by one slot so that filtering the owner out still
-        // leaves `count` candidates whenever the pool allows it.
-        let take = (want + 1).min(pool.len());
-        let mut chosen: Vec<NodeId> = rand::seq::index::sample(&mut self.rng, pool.len(), take)
-            .into_iter()
-            .map(|i| pool[i])
-            .filter(|&id| id != owner)
-            .take(count)
-            .collect();
-        chosen.sort_unstable();
+        let mut chosen: Vec<NodeId> = Vec::new();
+        sample_from_pool(&mut self.rng, pool, |&id| id, owner, count, &mut chosen);
         chosen
             .into_iter()
             .filter_map(|id| self.nodes.get(id).map(|n| n.self_entry()))
@@ -407,77 +604,81 @@ impl Engine {
     /// Executes one full cycle and returns its statistics.
     pub fn step(&mut self) -> CycleStats {
         self.cycle += 1;
+        let mut timings = PhaseTimings::default();
+        let mut timer = PhaseTimer::new(self.cfg.time_phases);
+
         let (left, joined) = self.apply_churn();
+        timer.lap(&mut timings.churn_us);
 
         let mut counters = EventCounters::default();
         let mut dropped = 0u64;
-        let mut deferred: Vec<(NodeId, ProtocolMsg)> = Vec::new();
 
         // Latency drain: messages whose latency elapsed land now, in random
         // order, before anyone's active step — the paper's staleness
         // scenario stretched across cycles. Their responses re-enter the
         // normal routing (and may themselves be delayed again).
-        let mut due: Vec<(NodeId, ProtocolMsg)> = Vec::new();
-        let mut still_flying: Vec<(usize, NodeId, ProtocolMsg)> = Vec::new();
+        let mut due = mem::take(&mut self.scratch.due);
+        due.clear();
+        let mut flying = mem::take(&mut self.scratch.flying);
+        flying.clear();
         for (at, to, msg) in self.in_flight.drain(..) {
             if at <= self.cycle {
                 due.push((to, msg));
             } else {
-                still_flying.push((at, to, msg));
+                flying.push((at, to, msg));
             }
         }
-        self.in_flight = still_flying;
+        // The drained vector keeps its capacity for next cycle's split.
+        mem::swap(&mut self.in_flight, &mut flying);
+        self.scratch.flying = flying;
         due.shuffle(&mut self.rng);
-        let mut due: VecDeque<(NodeId, ProtocolMsg)> = due.into();
-        while let Some((to, msg)) = due.pop_front() {
+        let mut queue = mem::take(&mut self.scratch.queue);
+        queue.clear();
+        queue.extend(due.drain(..));
+        self.scratch.due = due;
+        let mut deferred = mem::take(&mut self.scratch.deferred);
+        deferred.clear();
+        while let Some((to, msg)) = queue.pop_front() {
             for (to2, msg2) in self.deliver(to, msg, false, &mut counters, &mut dropped) {
                 if let Some(now) = self.route(to2, msg2, &mut deferred, &mut dropped) {
-                    due.push_back(now);
+                    queue.push_back(now);
                 }
             }
         }
+        timer.lap(&mut timings.drain_us);
 
-        // Membership phase, in freshly shuffled order.
-        let mut order: Vec<NodeId> = self.nodes.ids().collect();
-        order.shuffle(&mut self.rng);
-
-        // The uniform-oracle substrate samples from the cycle's population;
-        // build that pool once (it is invariant within a cycle — churn only
-        // happens at cycle start).
-        let oracle_pool: Option<Vec<NodeId>> =
-            (self.cfg.sampler == SamplerKind::UniformOracle).then(|| self.nodes.ids().collect());
-
-        for id in order {
-            self.gossip_step(id, oracle_pool.as_deref());
-        }
+        // Membership phase: schedule → conflict-free batches → sharded
+        // execute (see module docs).
+        self.membership_phase();
+        timer.lap(&mut timings.membership_us);
 
         // Refresh phase: every value snapshot in every view is brought up to
-        // date ("the view is up-to-date when a message is sent", §4.5.2).
+        // date ("the view is up-to-date when a message is sent", §4.5.2) —
+        // sharded, against the per-slot published-value snapshot.
         if self.cfg.concurrency.fresh_views() {
-            let live: Vec<NodeId> = self.nodes.ids().collect();
-            for id in live {
-                self.refresh_view(id);
-            }
+            self.refresh_phase();
         }
+        timer.lap(&mut timings.refresh_us);
 
         // Active phase: node-local protocol steps on per-node RNG streams,
         // sharded across worker threads; buffers merged in slot order.
         let phase_buffers = self.active_phase(&mut counters);
+        timer.lap(&mut timings.active_us);
 
         // Delivery phase, in slot order. Non-overlapping messages complete
         // as atomic exchanges (with conflict replay, see module docs);
-        // overlapping ones join the end-of-cycle drain.
+        // overlapping ones join the end-of-cycle drain. (`queue` is empty
+        // again at the top of every iteration.)
         for (_slot, out) in phase_buffers {
-            let mut immediate: VecDeque<(NodeId, ProtocolMsg)> = VecDeque::new();
             for (to, msg) in out {
                 if let Some(now) = self.route(to, msg, &mut deferred, &mut dropped) {
-                    immediate.push_back(now);
+                    queue.push_back(now);
                 }
             }
-            while let Some((to, msg)) = immediate.pop_front() {
+            while let Some((to, msg)) = queue.pop_front() {
                 for (to2, msg2) in self.deliver(to, msg, true, &mut counters, &mut dropped) {
                     if let Some(now) = self.route(to2, msg2, &mut deferred, &mut dropped) {
-                        immediate.push_back(now);
+                        queue.push_back(now);
                     }
                 }
             }
@@ -487,9 +688,11 @@ impl Engine {
         // their responses are also in flight within this cycle (unless the
         // latency model pushes them into a later one).
         deferred.shuffle(&mut self.rng);
-        let mut queue: VecDeque<(NodeId, ProtocolMsg)> = deferred.into();
+        queue.extend(deferred.drain(..));
+        self.scratch.deferred = deferred;
+        let mut late = mem::take(&mut self.scratch.late);
         while let Some((to, msg)) = queue.pop_front() {
-            let mut late: Vec<(NodeId, ProtocolMsg)> = Vec::new();
+            late.clear();
             for response in self.deliver(to, msg, false, &mut counters, &mut dropped) {
                 if let Some(now) = self.route(response.0, response.1, &mut late, &mut dropped) {
                     queue.push_back(now);
@@ -497,8 +700,11 @@ impl Engine {
             }
             // Responses that drew an "overlapping" coin inside the final
             // drain have no later drain this cycle; they join the queue.
-            queue.extend(late);
+            queue.extend(late.drain(..));
         }
+        self.scratch.late = late;
+        self.scratch.queue = queue;
+        timer.lap(&mut timings.delivery_us);
 
         // Metrics, on the configured cadence.
         let n = self.nodes.len();
@@ -516,6 +722,7 @@ impl Engine {
         } else {
             (self.last_sdm, self.last_gdm, 0)
         };
+        timer.lap(&mut timings.metrics_us);
         CycleStats {
             cycle: self.cycle,
             n,
@@ -526,7 +733,217 @@ impl Engine {
             left,
             joined,
             slice_changes,
+            timings: self.cfg.time_phases.then_some(timings),
         }
+    }
+
+    /// Executes the membership phase as schedule → batch → execute (see
+    /// module docs). The uniform-oracle substrate goes through
+    /// [`oracle_refill_phase`](Engine::oracle_refill_phase) instead.
+    fn membership_phase(&mut self) {
+        if self.cfg.sampler == SamplerKind::UniformOracle {
+            self.oracle_refill_phase();
+            return;
+        }
+        let seed = self.cfg.seed;
+        let cycle = self.cycle as u64;
+
+        // Schedule: every live node's partner choice, drawn from its own
+        // counter-based stream — independent of every other node's draws,
+        // against its start-of-phase view.
+        let mut scheduled = mem::take(&mut self.scratch.scheduled);
+        scheduled.clear();
+        for (slot, id, node) in self.nodes.iter_mut() {
+            let mut rng = NodeRng::for_node(seed, id.as_u64(), cycle, MEMBERSHIP_SALT);
+            if let Some(partner) = node.sampler.schedule_exchange(&mut rng) {
+                scheduled.push(ScheduledExchange {
+                    id,
+                    slot,
+                    partner,
+                    partner_slot: usize::MAX,
+                    rng,
+                });
+            }
+        }
+
+        // Resolve partner slots. A partner that is not alive (possible only
+        // for same-cycle stale entries) costs the initiator that pointer and
+        // its exchange, exactly as in the sequential model.
+        for s in &mut scheduled {
+            match self.nodes.slot_of(s.partner) {
+                Some(partner_slot) => s.partner_slot = partner_slot,
+                None => {
+                    if let Some(node) = self.nodes.get_mut(s.id) {
+                        node.sampler.view_mut().remove(s.partner);
+                    }
+                }
+            }
+        }
+        scheduled.retain(|s| s.partner_slot != usize::MAX);
+
+        // Batch: greedy first-fit, in slot order, into conflict-free
+        // batches — no node appears twice within one batch. Occupancy is a
+        // 128-bit mask per slot; a pair whose endpoints' first common free
+        // batch exceeds 128 (in-degree > 127, pathological) overflows into
+        // a sequential tail.
+        let mut masks = mem::take(&mut self.scratch.masks);
+        masks.clear();
+        masks.resize(self.nodes.slot_count(), 0u128);
+        let mut batches = mem::take(&mut self.scratch.batches);
+        for batch in &mut batches {
+            batch.clear();
+        }
+        let mut overflow = mem::take(&mut self.scratch.overflow);
+        overflow.clear();
+        let mut used_batches = 0usize;
+        for (idx, s) in scheduled.iter().enumerate() {
+            let busy = masks[s.slot] | masks[s.partner_slot];
+            let batch = (!busy).trailing_zeros() as usize;
+            if batch >= 128 {
+                overflow.push(idx);
+                continue;
+            }
+            masks[s.slot] |= 1 << batch;
+            masks[s.partner_slot] |= 1 << batch;
+            if batch >= batches.len() {
+                batches.push(Vec::new());
+            }
+            batches[batch].push(idx);
+            used_batches = used_batches.max(batch + 1);
+        }
+
+        if let Some(log) = &mut self.schedule_log {
+            log.clear();
+            for (batch, members) in batches.iter().enumerate().take(used_batches) {
+                for &idx in members {
+                    let s = &scheduled[idx];
+                    log.push((s.id.as_u64(), s.partner.as_u64(), batch));
+                }
+            }
+            for (offset, &idx) in overflow.iter().enumerate() {
+                let s = &scheduled[idx];
+                // Overflow pairs execute one at a time: singleton batches.
+                log.push((s.id.as_u64(), s.partner.as_u64(), 128 + offset));
+            }
+        }
+
+        // Execute: batches in order; within a batch the pairs are disjoint
+        // and each draws only from its carried stream, so the partition
+        // across worker threads is invisible in the result.
+        let shards = self.cfg.shards;
+        let mut jobs = mem::take(&mut self.scratch.jobs);
+        for batch in batches.iter().take(used_batches) {
+            jobs.clear();
+            for &idx in batch {
+                let s = &scheduled[idx];
+                if let Some(pair) = self.nodes.take_pair(s.id, s.partner) {
+                    jobs.push(ExchangeJob {
+                        pair,
+                        rng: s.rng.clone(),
+                    });
+                }
+            }
+            execute_batch(&mut jobs, shards);
+            for job in jobs.drain(..) {
+                self.nodes.put_back_pair(job.pair);
+            }
+        }
+        for &idx in overflow.iter() {
+            let s = &scheduled[idx];
+            if let Some(pair) = self.nodes.take_pair(s.id, s.partner) {
+                let mut job = ExchangeJob {
+                    pair,
+                    rng: s.rng.clone(),
+                };
+                run_exchange(&mut job);
+                self.nodes.put_back_pair(job.pair);
+            }
+        }
+
+        self.scratch.scheduled = scheduled;
+        self.scratch.masks = masks;
+        self.scratch.batches = batches;
+        self.scratch.overflow = overflow;
+        self.scratch.jobs = jobs;
+    }
+
+    /// Membership phase of the uniform-oracle substrate: snapshot the
+    /// population once (it is invariant within a cycle — churn only happens
+    /// at cycle start), then refill every view from it in sharded chunks,
+    /// each node sampling from its own membership stream.
+    fn oracle_refill_phase(&mut self) {
+        let seed = self.cfg.seed;
+        let cycle = self.cycle as u64;
+        let view_size = self.cfg.view_size;
+        let shards = self.cfg.shards;
+
+        let mut pool = mem::take(&mut self.scratch.pool_entries);
+        pool.clear();
+        pool.extend(self.nodes.iter().map(|(_, _, n)| n.self_entry()));
+
+        if let Some(log) = &mut self.schedule_log {
+            log.clear(); // the oracle never schedules exchanges
+        }
+
+        let chunks = self.nodes.chunks_mut(shards);
+        if shards <= 1 {
+            for chunk in chunks {
+                oracle_refill_chunk(chunk, &pool, seed, cycle, view_size);
+            }
+        } else {
+            let pool_ref: &[ViewEntry] = &pool;
+            std::thread::scope(|scope| {
+                for chunk in chunks {
+                    scope.spawn(move || {
+                        oracle_refill_chunk(chunk, pool_ref, seed, cycle, view_size)
+                    });
+                }
+            });
+        }
+        self.scratch.pool_entries = pool;
+    }
+
+    /// Refresh phase: snapshot every node's published value per slot, then
+    /// refresh all views in sharded chunks against the immutable snapshot.
+    /// Published values are protocol state the refresh never touches, so
+    /// this is semantically identical to a sequential sweep.
+    fn refresh_phase(&mut self) {
+        let shards = self.cfg.shards;
+        let mut published = mem::take(&mut self.scratch.published);
+        published.clear();
+        published.resize(self.nodes.slot_count(), 0.0);
+        for (slot, _, node) in self.nodes.iter() {
+            published[slot] = node.proto.published_value();
+        }
+        let (chunks, lookup) = self.nodes.chunks_mut_with_lookup(shards);
+        if shards <= 1 {
+            for chunk in chunks {
+                refresh_chunk(chunk, lookup, &published);
+            }
+        } else {
+            let published_ref: &[f64] = &published;
+            std::thread::scope(|scope| {
+                for chunk in chunks {
+                    scope.spawn(move || refresh_chunk(chunk, lookup, published_ref));
+                }
+            });
+        }
+        self.scratch.published = published;
+    }
+
+    /// Test hook: toggles recording of the membership exchange schedule;
+    /// each subsequent step stores `(initiator, partner, batch)` triples
+    /// retrievable via [`debug_last_schedule`](Engine::debug_last_schedule).
+    #[doc(hidden)]
+    pub fn debug_record_schedule(&mut self, enabled: bool) {
+        self.schedule_log = enabled.then(Vec::new);
+    }
+
+    /// Test hook: the schedule recorded by the most recent step (empty for
+    /// the oracle substrate, or when recording is off).
+    #[doc(hidden)]
+    pub fn debug_last_schedule(&self) -> &[(u64, u64, usize)] {
+        self.schedule_log.as_deref().unwrap_or(&[])
     }
 
     /// Runs the active phase, partitioned across `cfg.shards` scoped worker
@@ -665,62 +1082,32 @@ impl Engine {
         (left, joined)
     }
 
-    /// One membership step for `id`: the atomic `recompute-view()` of the
-    /// paper's cycle model (Fig. 3 driven to completion), or an oracle
-    /// refill for the uniform substrate.
-    fn gossip_step(&mut self, id: NodeId, oracle_pool: Option<&[NodeId]>) {
-        if let Some(pool) = oracle_pool {
-            let entries = self.random_entries(id, self.cfg.view_size, pool);
-            if let Some(node) = self.nodes.get_mut(id) {
-                node.sampler.refill(&entries);
-            }
-            return;
-        }
-
-        let Some((slot, mut node)) = self.nodes.take(id) else {
-            return;
-        };
-        let self_entry = node.self_entry();
-        if let Some(req) = node.sampler.initiate(self_entry, &mut self.rng) {
-            match self.nodes.get_mut(req.partner) {
-                Some(partner) => {
-                    let partner_entry = partner.self_entry();
-                    let reply = partner
-                        .sampler
-                        .handle_request(partner_entry, id, &req.entries);
-                    node.sampler.handle_reply(req.partner, &reply);
-                }
-                None => {
-                    // Partner departed between pruning and now (possible only
-                    // for same-cycle stale entries): drop the pointer.
-                    node.sampler.view_mut().remove(req.partner);
-                }
-            }
-        }
+    /// Takes `id`'s state out of the slab, runs `f` against the rest of the
+    /// engine, and puts the state back — the borrow-splitting pattern every
+    /// single-node mutation path shares. Returns `None` (without calling
+    /// `f`) when `id` is not live.
+    fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut Self, &mut SimNode) -> R,
+    ) -> Option<R> {
+        let (slot, mut node) = self.nodes.take(id)?;
+        let result = f(self, &mut node);
         self.nodes.put_back(slot, id, node);
+        Some(result)
     }
 
     /// Refreshes every value snapshot in `id`'s view from the live nodes —
     /// the "view is up-to-date when a message is sent" idealization of the
-    /// atomic cycle model (§4.5.2). Departed neighbors are dropped.
+    /// atomic cycle model (§4.5.2). Departed neighbors are dropped. The
+    /// single-node form of [`refresh_phase`](Engine::refresh_phase), used on
+    /// the replay path.
     fn refresh_view(&mut self, id: NodeId) {
-        let Some((slot, mut node)) = self.nodes.take(id) else {
-            return;
-        };
-        let neighbor_ids: Vec<NodeId> = node.sampler.view().ids().collect();
-        for nid in neighbor_ids {
-            match self.nodes.get(nid) {
-                Some(neighbor) => {
-                    node.sampler
-                        .view_mut()
-                        .refresh_value(nid, neighbor.proto.published_value());
-                }
-                None => {
-                    node.sampler.view_mut().remove(nid);
-                }
-            }
-        }
-        self.nodes.put_back(slot, id, node);
+        self.with_node(id, |engine, node| {
+            node.sampler
+                .view_mut()
+                .refresh_values(|nid| engine.nodes.get(nid).map(|n| n.proto.published_value()));
+        });
     }
 
     /// Replays a conflicted atomic exchange: the proposer's view is brought
@@ -734,21 +1121,24 @@ impl Engine {
         // un-count it (its replacement, if any, records itself).
         counters.swaps_proposed = counters.swaps_proposed.saturating_sub(1);
         self.refresh_view(from);
-        let Some((slot, mut node)) = self.nodes.take(from) else {
-            return;
-        };
-        let mut out = Vec::new();
-        let mut rng =
-            NodeRng::for_node(self.cfg.seed, from.as_u64(), self.cycle as u64, REPLAY_SALT);
-        {
+        let Some(out) = self.with_node(from, |engine, node| {
+            let mut out = Vec::new();
+            let mut rng = NodeRng::for_node(
+                engine.cfg.seed,
+                from.as_u64(),
+                engine.cycle as u64,
+                REPLAY_SALT,
+            );
             let mut ctx = EngineCtx {
                 rng: &mut rng,
                 out: &mut out,
                 counters,
             };
             node.proto.on_active(node.sampler.view(), &mut ctx);
-        }
-        self.nodes.put_back(slot, from, node);
+            out
+        }) else {
+            return;
+        };
         let mut queue: VecDeque<(NodeId, ProtocolMsg)> = out.into();
         while let Some((to, msg)) = queue.pop_front() {
             for response in self.deliver(to, msg, false, counters, dropped) {
@@ -806,21 +1196,22 @@ impl Engine {
             return Vec::new();
         }
 
-        let Some((slot, mut node)) = self.nodes.take(to) else {
-            *dropped += 1;
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        {
+        match self.with_node(to, |engine, node| {
+            let mut out = Vec::new();
             let mut ctx = EngineCtx {
-                rng: &mut self.rng,
+                rng: &mut engine.rng,
                 out: &mut out,
                 counters,
             };
             node.proto.on_message(node.sampler.view(), msg, &mut ctx);
+            out
+        }) {
+            Some(out) => out,
+            None => {
+                *dropped += 1;
+                Vec::new()
+            }
         }
-        self.nodes.put_back(slot, to, node);
-        out
     }
 }
 

@@ -78,5 +78,5 @@ pub use distributions::AttributeDistribution;
 pub use engine::Engine;
 pub use latency::LatencyModel;
 pub use sessions::{FlashCrowd, SessionChurn, WeibullSessions};
-pub use stats::{CycleStats, RunRecord};
+pub use stats::{CycleStats, PhaseTimings, RunRecord};
 pub use sweep::{run_seeds, AggregateRecord, Sweep};

@@ -59,6 +59,69 @@ impl EventCounters {
     }
 }
 
+/// Wall-clock cost of each engine phase within one cycle, in microseconds.
+///
+/// Filled only when [`time_phases`](crate::SimConfig::time_phases) is on —
+/// timings are host noise, so the determinism contract excludes them: two
+/// runs of the same seed produce identical simulated bytes but different
+/// timings, which is why they ride in an `Option` the goldens keep `None`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Churn phase: leave/join application, view pruning, rank-cache merge.
+    pub churn_us: u64,
+    /// Latency drain: delivery of messages whose cross-cycle delay elapsed.
+    pub drain_us: u64,
+    /// Membership phase: exchange scheduling, batching and execution (or
+    /// the oracle refill).
+    pub membership_us: u64,
+    /// Refresh phase: value-snapshot refresh of every view.
+    pub refresh_us: u64,
+    /// Active phase: per-node protocol steps.
+    pub active_us: u64,
+    /// Delivery phase plus the end-of-cycle deferred drain.
+    pub delivery_us: u64,
+    /// Metrics: SDM/GDM/stability evaluation (on measured cycles).
+    pub metrics_us: u64,
+}
+
+impl PhaseTimings {
+    /// Sum over all phases.
+    pub fn total_us(&self) -> u64 {
+        self.churn_us
+            + self.drain_us
+            + self.membership_us
+            + self.refresh_us
+            + self.active_us
+            + self.delivery_us
+            + self.metrics_us
+    }
+
+    /// Adds another cycle's timings into this accumulator (used to average
+    /// over a run).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.churn_us += other.churn_us;
+        self.drain_us += other.drain_us;
+        self.membership_us += other.membership_us;
+        self.refresh_us += other.refresh_us;
+        self.active_us += other.active_us;
+        self.delivery_us += other.delivery_us;
+        self.metrics_us += other.metrics_us;
+    }
+
+    /// The phases as `(name, µs)` rows, for tabular output.
+    pub fn rows(&self) -> [(&'static str, u64); 7] {
+        [
+            ("churn", self.churn_us),
+            ("drain", self.drain_us),
+            ("membership", self.membership_us),
+            ("refresh", self.refresh_us),
+            ("active", self.active_us),
+            ("delivery", self.delivery_us),
+            ("metrics", self.metrics_us),
+        ]
+    }
+}
+
 /// Everything measured at the end of one simulation cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CycleStats {
@@ -81,6 +144,9 @@ pub struct CycleStats {
     /// Live nodes whose *believed* slice changed this cycle (the §3.2
     /// stability measure; joiners count from their second cycle).
     pub slice_changes: usize,
+    /// Per-phase wall-clock breakdown (opt-in; `None` unless
+    /// [`time_phases`](crate::SimConfig::time_phases) is set).
+    pub timings: Option<PhaseTimings>,
 }
 
 impl CycleStats {
@@ -176,6 +242,7 @@ mod tests {
             left: 0,
             joined: 0,
             slice_changes: 0,
+            timings: None,
         }
     }
 
@@ -252,6 +319,49 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("cycle,n,sdm,gdm"));
         assert!(lines[1].starts_with("1,100,5,2.5"));
+    }
+
+    #[test]
+    fn phase_timings_total_and_accumulate() {
+        let mut acc = PhaseTimings::default();
+        let cycle = PhaseTimings {
+            churn_us: 1,
+            drain_us: 2,
+            membership_us: 3,
+            refresh_us: 4,
+            active_us: 5,
+            delivery_us: 6,
+            metrics_us: 7,
+        };
+        assert_eq!(cycle.total_us(), 28);
+        acc.accumulate(&cycle);
+        acc.accumulate(&cycle);
+        assert_eq!(acc.total_us(), 56);
+        assert_eq!(acc.membership_us, 6);
+        let rows = cycle.rows();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[2], ("membership", 3));
+        assert_eq!(rows.iter().map(|&(_, us)| us).sum::<u64>(), 28);
+    }
+
+    #[test]
+    fn timings_roundtrip_through_json() {
+        let mut s = stats(1, 5.0);
+        s.timings = Some(PhaseTimings {
+            membership_us: 42,
+            ..PhaseTimings::default()
+        });
+        let rec = RunRecord {
+            label: "timed".into(),
+            seed: 1,
+            initial_n: 10,
+            slices: 2,
+            view_size: 3,
+            cycles: vec![s],
+        };
+        let parsed: RunRecord = serde_json::from_str(&rec.to_json()).unwrap();
+        assert_eq!(parsed, rec);
+        assert_eq!(parsed.cycles[0].timings.unwrap().membership_us, 42);
     }
 
     #[test]

@@ -1,16 +1,21 @@
-//! Property tests for the scale engine: sampling, slab aliasing, and churn
-//! arithmetic under arbitrary schedules.
+//! Property tests for the scale engine: sampling, slab aliasing, churn
+//! arithmetic, and the membership exchange schedule.
 //!
-//! Three invariants the slab/stream/shard rework must never break:
+//! Invariants the slab/stream/shard rework must never break:
 //!
 //! * the per-node entry sampler never hands a node itself or a duplicate;
 //! * slot reuse under arbitrary churn sequences never aliases two live
 //!   nodes (every live id maps to exactly one slot, every slot to one id);
-//! * the reported population always matches the churn-plan arithmetic.
+//! * the reported population always matches the churn-plan arithmetic;
+//! * the schedule-then-execute membership phase schedules at most one
+//!   exchange per initiator per cycle, never places a node in two pairs of
+//!   one conflict-free batch, and only pairs nodes alive at schedule time.
 
 use dslice_core::{NodeId, NodeSlab, Partition};
 use dslice_sim::churn::{ChurnModel, ChurnPlan, ChurnSchedule};
-use dslice_sim::{AttributeDistribution, Engine, ProtocolKind, SimConfig, UncorrelatedChurn};
+use dslice_sim::{
+    AttributeDistribution, Engine, ProtocolKind, SamplerKind, SimConfig, UncorrelatedChurn,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -111,6 +116,79 @@ proptest! {
             prop_assert_eq!(stats.n as i64, expected, "cycle {} population", stats.cycle);
         }
         prop_assert_eq!(engine.population() as i64, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The membership exchange schedule is sound for every gossiping
+    /// substrate, population size and seed, with churn stirring the slots:
+    /// every node initiates at most one exchange per cycle, no node appears
+    /// twice within one conflict-free batch, scheduled partners are alive
+    /// at schedule time, and nobody exchanges with themselves.
+    #[test]
+    fn exchange_schedule_is_sound(
+        n in 2usize..150,
+        seed in 0u64..1000,
+        sampler_idx in 0usize..3,
+        churn_rate in 0.0f64..0.2,
+        cycles in 1usize..4,
+    ) {
+        let mut cfg = cfg(n, seed);
+        cfg.sampler = [SamplerKind::Cyclon, SamplerKind::Newscast, SamplerKind::Lpbcast]
+            [sampler_idx];
+        let churn = UncorrelatedChurn::new(
+            ChurnSchedule { rate: churn_rate, period: 1, stop_after: None },
+            AttributeDistribution::default(),
+        );
+        let mut engine = Engine::new(cfg, ProtocolKind::Ranking)
+            .unwrap()
+            .with_churn(Box::new(churn));
+        engine.debug_record_schedule(true);
+        for _ in 0..cycles {
+            engine.step();
+            let schedule = engine.debug_last_schedule().to_vec();
+            // Churn only happens at cycle start, so the population right
+            // after the step IS the population at schedule time.
+            let alive: HashSet<u64> =
+                engine.snapshot().iter().map(|&(id, _, _)| id.as_u64()).collect();
+            let mut initiators = HashSet::new();
+            let mut batch_members: std::collections::HashMap<usize, HashSet<u64>> =
+                std::collections::HashMap::new();
+            for &(initiator, partner, batch) in &schedule {
+                prop_assert!(initiator != partner, "self-exchange scheduled");
+                prop_assert!(
+                    initiators.insert(initiator),
+                    "node {} initiates twice in one cycle", initiator
+                );
+                prop_assert!(alive.contains(&initiator), "dead initiator {}", initiator);
+                prop_assert!(
+                    alive.contains(&partner),
+                    "partner {} not alive at schedule time", partner
+                );
+                let members = batch_members.entry(batch).or_default();
+                prop_assert!(
+                    members.insert(initiator),
+                    "node {} twice in batch {}", initiator, batch
+                );
+                prop_assert!(
+                    members.insert(partner),
+                    "node {} twice in batch {}", partner, batch
+                );
+            }
+        }
+    }
+
+    /// The oracle substrate never schedules pairwise exchanges.
+    #[test]
+    fn oracle_schedules_no_exchanges(n in 2usize..80, seed in 0u64..500) {
+        let mut config = cfg(n, seed);
+        config.sampler = SamplerKind::UniformOracle;
+        let mut engine = Engine::new(config, ProtocolKind::Ranking).unwrap();
+        engine.debug_record_schedule(true);
+        engine.step();
+        prop_assert!(engine.debug_last_schedule().is_empty());
     }
 }
 

@@ -2,12 +2,14 @@
 //!
 //! Identical `(config, protocol, churn, seed)` must yield identical runs,
 //! **byte for byte** in the serialized [`RunRecord`] — and the shard count
-//! must be invisible: a sharded active phase (`shards = 4`) must reproduce
-//! the sequential run (`shards = 1`) exactly, across every protocol family
-//! and under churn, concurrency and latency. These tests lock the contract
-//! down at the serialization boundary, where any drift (a reordered float
-//! sum, a scheduling-dependent RNG draw, a hash-ordered iteration) becomes
-//! a visible diff.
+//! must be invisible: with the membership, refresh *and* active phases all
+//! sharded, `shards ∈ {2, 4, 8}` must reproduce the sequential run
+//! (`shards = 1`) exactly, across every protocol family, every
+//! peer-sampling substrate, and under churn, concurrency and latency. These
+//! tests lock the contract down at the serialization boundary, where any
+//! drift (a reordered float sum, a scheduling-dependent RNG draw, a
+//! hash-ordered iteration, a batch-order-sensitive exchange) becomes a
+//! visible diff.
 
 use dslice::prelude::*;
 use dslice::sim::churn::ChurnSchedule;
@@ -75,7 +77,7 @@ fn sharded_runs_match_sequential_for_every_protocol() {
 
 #[test]
 fn sharding_is_invisible_under_churn_concurrency_and_latency() {
-    for kind in [ProtocolKind::Ranking, ProtocolKind::ModJk] {
+    for kind in [ProtocolKind::Ranking, ProtocolKind::Jk, ProtocolKind::ModJk] {
         let cfg = |shards| {
             let mut cfg = base_cfg(1234, shards);
             cfg.concurrency = Concurrency::Half;
@@ -117,6 +119,70 @@ fn metrics_cadence_preserves_shard_identity() {
     let a = golden(cfg(1), ProtocolKind::Ranking, Some(churned(0.1)), 23);
     let b = golden(cfg(4), ProtocolKind::Ranking, Some(churned(0.1)), 23);
     assert_eq!(a, b);
+}
+
+#[test]
+fn sharded_membership_is_invisible_for_every_substrate() {
+    // The schedule-then-execute membership phase (and the sharded oracle
+    // refill / refresh phases) must be byte-invisible for every sampler,
+    // not just the default Cyclon variant — each substrate consumes its
+    // membership stream differently (aging, partner draw, digest draws).
+    for sampler in [
+        SamplerKind::Cyclon,
+        SamplerKind::Newscast,
+        SamplerKind::Lpbcast,
+        SamplerKind::UniformOracle,
+    ] {
+        let cfg = |shards| {
+            let mut cfg = base_cfg(2024, shards);
+            cfg.sampler = sampler;
+            cfg
+        };
+        let sequential = golden(cfg(1), ProtocolKind::Ranking, Some(churned(0.05)), 20);
+        for shards in [2, 4, 8] {
+            let sharded = golden(cfg(shards), ProtocolKind::Ranking, Some(churned(0.05)), 20);
+            assert_eq!(
+                sequential, sharded,
+                "sampler {sampler}: shards={shards} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_timings_do_not_perturb_the_run() {
+    // Opt-in timings must be measurement, not intervention: the simulated
+    // bytes with `time_phases` on, minus the timing fields themselves, must
+    // equal the run with timings off — at any shard count.
+    let cfg = |time_phases, shards| {
+        let mut cfg = base_cfg(99, shards);
+        cfg.time_phases = time_phases;
+        cfg
+    };
+    let strip = |record: RunRecord| -> RunRecord {
+        let mut record = record;
+        for stats in &mut record.cycles {
+            stats.timings = None;
+        }
+        record
+    };
+    let plain = Engine::new(cfg(false, 1), ProtocolKind::Ranking)
+        .unwrap()
+        .run(15);
+    for shards in [1, 4] {
+        let timed = Engine::new(cfg(true, shards), ProtocolKind::Ranking)
+            .unwrap()
+            .run(15);
+        assert!(
+            timed.cycles.iter().all(|c| c.timings.is_some()),
+            "time_phases must fill every cycle's breakdown"
+        );
+        assert_eq!(
+            strip(timed).to_json(),
+            plain.to_json(),
+            "timings leaked into the simulation (shards={shards})"
+        );
+    }
 }
 
 #[test]

@@ -46,7 +46,7 @@
 //! assert!(swarm.rounds() < 40, "O(log n) convergence");
 //! ```
 //!
-//! ## Example: find the median by gossip (ref [13])
+//! ## Example: find the median by gossip (ref \[13\])
 //!
 //! ```
 //! use dslice_aggregation::{exact_quantile, QuantileSearch};

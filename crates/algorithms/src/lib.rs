@@ -39,6 +39,7 @@
 
 pub mod estimator;
 pub mod kind;
+pub mod liar;
 pub mod multi;
 pub mod ordering;
 pub mod ranking;
@@ -46,6 +47,7 @@ pub mod window;
 
 pub use estimator::{CounterEstimator, RankEstimator, WindowEstimator};
 pub use kind::ProtocolKind;
+pub use liar::Liar;
 pub use multi::{AttributeVector, CompositePolicy, CompositeSlice, MultiRanking, MultiSwarm};
 pub use ordering::{Ordering, SwapSelection};
 pub use ranking::{Ranking, RankingProtocol, SlidingRanking, Targeting};

@@ -17,8 +17,23 @@ pub enum Command {
         /// The normalized rank in (0, 1].
         rank: f64,
     },
+    /// Run one scenario from the committed library.
+    RunScenario(ScenarioArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `dslice-cli run-scenario`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioArgs {
+    /// Scenario name (`--list` to see them); `None` only with `list`.
+    pub name: Option<String>,
+    /// Write the full JSON report here.
+    pub json: Option<String>,
+    /// List the library and exit.
+    pub list: bool,
+    /// Suppress the trajectory table.
+    pub quiet: bool,
 }
 
 /// Arguments of `dslice-cli sim`.
@@ -126,6 +141,8 @@ USAGE:
   dslice-cli analyze samples --p P --d D [--alpha A]
   dslice-cli analyze population --n N --p P
   dslice-cli slice-of --slices K --rank R
+  dslice-cli run-scenario <NAME> [--json FILE] [--quiet]
+  dslice-cli run-scenario --list
   dslice-cli help";
 
 fn value(argv: &[String], i: usize) -> Result<&str, String> {
@@ -379,6 +396,50 @@ fn parse_analyze(argv: &[String]) -> Result<AnalyzeArgs, String> {
     }
 }
 
+fn parse_scenario(argv: &[String]) -> Result<ScenarioArgs, String> {
+    let mut args = ScenarioArgs {
+        name: None,
+        json: None,
+        list: false,
+        quiet: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--list" => {
+                args.list = true;
+                i += 1;
+            }
+            "--quiet" => {
+                args.quiet = true;
+                i += 1;
+            }
+            "--json" => {
+                args.json = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown run-scenario argument {flag:?}\n\n{USAGE}"));
+            }
+            name => {
+                if args.name.is_some() {
+                    return Err(format!(
+                        "run-scenario takes one scenario name, got {name:?} too"
+                    ));
+                }
+                args.name = Some(name.to_string());
+                i += 1;
+            }
+        }
+    }
+    if args.name.is_none() && !args.list {
+        return Err(format!(
+            "run-scenario requires a scenario name or --list\n\n{USAGE}"
+        ));
+    }
+    Ok(args)
+}
+
 /// Parses the full command line.
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(|s| s.as_str()) {
@@ -408,6 +469,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 rank: rank.ok_or("slice-of requires --rank")?,
             })
         }
+        Some("run-scenario") => Ok(Command::RunScenario(parse_scenario(&argv[1..])?)),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
 }
@@ -613,6 +675,31 @@ mod tests {
         // Zero is rejected for both.
         assert!(parse(&argv("sim --shards 0")).is_err());
         assert!(parse(&argv("sim --metrics-every 0")).is_err());
+    }
+
+    #[test]
+    fn run_scenario_command() {
+        let cmd = parse(&argv("run-scenario lying-nodes --json out.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::RunScenario(ScenarioArgs {
+                name: Some("lying-nodes".into()),
+                json: Some("out.json".into()),
+                list: false,
+                quiet: false,
+            })
+        );
+        let Command::RunScenario(l) = parse(&argv("run-scenario --list")).unwrap() else {
+            panic!("not run-scenario")
+        };
+        assert!(l.list);
+        assert_eq!(l.name, None);
+        assert!(
+            parse(&argv("run-scenario")).is_err(),
+            "name or --list required"
+        );
+        assert!(parse(&argv("run-scenario a b")).is_err(), "one name only");
+        assert!(parse(&argv("run-scenario a --frob")).is_err());
     }
 
     #[test]

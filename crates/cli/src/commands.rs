@@ -1,8 +1,9 @@
 //! Command execution.
 
-use crate::args::{AnalyzeArgs, ChurnSpec, Command, SimArgs, USAGE};
+use crate::args::{AnalyzeArgs, ChurnSpec, Command, ScenarioArgs, SimArgs, USAGE};
 use dslice_analysis as analysis;
 use dslice_core::Partition;
+use dslice_scenario::library;
 use dslice_sim::{ChurnModel, CorrelatedChurn, Engine, SimConfig, UncorrelatedChurn};
 use std::fs::File;
 
@@ -16,7 +17,77 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Sim(args) => run_sim(args),
         Command::Analyze(args) => run_analyze(args),
         Command::SliceOf { slices, rank } => run_slice_of(slices, rank),
+        Command::RunScenario(args) => run_scenario(args),
     }
+}
+
+fn run_scenario(args: ScenarioArgs) -> Result<(), String> {
+    if args.list {
+        for scenario in library::all() {
+            let schedule = scenario.compile().map_err(|e| e.to_string())?;
+            println!(
+                "{:<24} {:>8} {:>7} cycles {:>6} -> {:<6} {} event(s)",
+                scenario.name(),
+                scenario.protocol().label(),
+                scenario.cycles(),
+                schedule.initial_n,
+                schedule.final_population(),
+                schedule.events.len(),
+            );
+        }
+        return Ok(());
+    }
+    let name = args.name.as_deref().expect("parser guarantees a name");
+    let scenario = library::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown scenario {name:?} (try: {})",
+            library::names().join(", ")
+        )
+    })?;
+    let report = scenario.run().map_err(|e| e.to_string())?;
+
+    if !args.quiet {
+        eprintln!(
+            "scenario {} | {} | n0 = {} | {} slices | {} cycles | seed {}",
+            report.name,
+            report.protocol,
+            report.initial_n,
+            report.slices,
+            report.cycles,
+            report.seed,
+        );
+        for te in &report.events {
+            eprintln!("  @{:<5} {}", te.cycle, te.event.label());
+        }
+        println!(
+            "{:>6} {:>6} {:>10} {:>10} {:>9} {:>9} {:>6}",
+            "cycle", "n", "sdm", "gdm", "accuracy", "honest", "liars"
+        );
+        for p in &report.trajectory {
+            println!(
+                "{:>6} {:>6} {:>10.3} {:>10.3} {:>9.3} {:>9.3} {:>6}",
+                p.cycle, p.n, p.sdm, p.gdm, p.accuracy, p.honest_accuracy, p.liars
+            );
+        }
+        if let Some(peak) = report.peak_sdm() {
+            println!("peak SDM {:.3} at cycle {}", peak.sdm, peak.cycle);
+        }
+        println!(
+            "final: SDM {:.3}, accuracy {:.1}% (honest {:.1}%), {} liar(s), n = {}",
+            report.final_sdm,
+            report.final_accuracy * 100.0,
+            report.final_honest_accuracy * 100.0,
+            report.liars,
+            report.final_n,
+        );
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("scenario report JSON -> {path}");
+        }
+    }
+    Ok(())
 }
 
 fn run_sim(args: SimArgs) -> Result<(), String> {
@@ -368,6 +439,14 @@ mod tests {
         assert!(run(parse(&argv("analyze samples --p 2 --d 0.05")).unwrap()).is_err());
         assert!(run(parse(&argv("analyze samples --p 0.4 --d -1")).unwrap()).is_err());
         assert!(run(parse(&argv("analyze population --n 0 --p 0.1")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn run_scenario_lists_and_rejects_unknown_names() {
+        run(parse(&argv("run-scenario --list")).unwrap()).unwrap();
+        let err = run(parse(&argv("run-scenario no-such-scenario")).unwrap()).unwrap_err();
+        assert!(err.contains("unknown scenario"));
+        assert!(err.contains("lying-nodes"), "error lists the library");
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use dslice_sim as sim;
 /// The most commonly used items, one import away.
 pub mod prelude {
     pub use dslice_algorithms::{
-        BitWindow, Ordering, ProtocolKind, Ranking, SlidingRanking, SwapSelection,
+        BitWindow, Liar, Ordering, ProtocolKind, Ranking, SlidingRanking, SwapSelection,
     };
     pub use dslice_core::{
         metrics, rank, Attribute, NodeId, Partition, ProtocolMsg, Slice, SliceIndex, View,

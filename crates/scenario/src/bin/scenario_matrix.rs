@@ -1,0 +1,155 @@
+//! Runs the committed scenario library and writes one JSON report per
+//! scenario.
+//!
+//! ```text
+//! scenario_matrix [--out DIR] [--check | --update] [--goldens DIR] [--list]
+//! ```
+//!
+//! * default: run every scenario, write `<name>.json` under `--out`
+//!   (default `scenario-reports/`), print a summary table.
+//! * `--check`: additionally compare each report **byte-for-byte** against
+//!   the committed golden under `--goldens` (default
+//!   `docs/scenarios/goldens/`); exit non-zero on any mismatch or missing
+//!   golden. This is the CI mode — reports are deterministic at any shard
+//!   count, so a diff means behavior actually changed.
+//! * `--update`: rewrite the goldens from this run (then commit the diff
+//!   alongside the change that caused it).
+//! * `--list`: print the scenario names and exit.
+
+use dslice_scenario::library;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    out: PathBuf,
+    goldens: PathBuf,
+    check: bool,
+    update: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from("scenario-reports"),
+        goldens: PathBuf::from("docs/scenarios/goldens"),
+        check: false,
+        update: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a directory")?),
+            "--goldens" => {
+                args.goldens = PathBuf::from(it.next().ok_or("--goldens needs a directory")?)
+            }
+            "--check" => args.check = true,
+            "--update" => args.update = true,
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.check && args.update {
+        return Err("--check and --update are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("scenario_matrix: {msg}");
+            eprintln!(
+                "usage: scenario_matrix [--out DIR] [--check | --update] [--goldens DIR] [--list]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for name in library::names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Err(e) = fs::create_dir_all(&args.out) {
+        eprintln!("scenario_matrix: cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    if args.update {
+        if let Err(e) = fs::create_dir_all(&args.goldens) {
+            eprintln!(
+                "scenario_matrix: cannot create {}: {e}",
+                args.goldens.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "{:<24} {:>8} {:>7} {:>6} {:>10} {:>9} {:>9}",
+        "scenario", "protocol", "cycles", "n", "final-sdm", "accuracy", "honest"
+    );
+    let mut failures = Vec::new();
+    for scenario in library::all() {
+        let name = scenario.name().to_string();
+        let report = match scenario.run() {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("scenario_matrix: `{name}` failed: {e}");
+                failures.push(name);
+                continue;
+            }
+        };
+        println!("{}", report.summary_line());
+        let json = report.to_json();
+        let out_path = args.out.join(format!("{name}.json"));
+        if let Err(e) = fs::write(&out_path, &json) {
+            eprintln!("scenario_matrix: cannot write {}: {e}", out_path.display());
+            failures.push(name.clone());
+            continue;
+        }
+        let golden_path = args.goldens.join(format!("{name}.json"));
+        if args.update {
+            if let Err(e) = fs::write(&golden_path, &json) {
+                eprintln!(
+                    "scenario_matrix: cannot write {}: {e}",
+                    golden_path.display()
+                );
+                failures.push(name);
+            }
+        } else if args.check {
+            match fs::read_to_string(&golden_path) {
+                Ok(golden) if golden == json => {}
+                Ok(_) => {
+                    eprintln!(
+                        "scenario_matrix: `{name}` diverged from {} \
+                         (run with --update to accept the new behavior)",
+                        golden_path.display()
+                    );
+                    failures.push(name);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "scenario_matrix: `{name}` has no golden at {}: {e}",
+                        golden_path.display()
+                    );
+                    failures.push(name);
+                }
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "scenario_matrix: {} scenario(s) failed: {failures:?}",
+            failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,227 @@
+//! The committed scenario library: every scenario `scenario_matrix` runs,
+//! CI pins as a golden, and `docs/SCENARIOS.md` catalogs.
+//!
+//! Conventions:
+//!
+//! * names are kebab-case and double as report/golden/markdown file stems;
+//! * ranking scenarios use the paper's ranking view size (10), ordering
+//!   scenarios the ordering view size (20);
+//! * every scenario has a distinct seed, a trajectory sample every 10
+//!   cycles, and `time_phases` **off** (reports must be byte-deterministic);
+//! * populations are a few hundred nodes — big enough for meaningful
+//!   disorder statistics, small enough that the full matrix runs in
+//!   seconds in CI.
+//!
+//! To add a scenario: write a constructor here, add it to [`all`], run
+//! `cargo run --release --bin scenario_matrix -- --update` to regenerate
+//! the goldens, and document it in `docs/SCENARIOS.md` plus a markdown
+//! analysis under `docs/scenarios/` (the matrix's `--check` mode fails CI
+//! until the golden exists).
+
+use crate::dsl::Scenario;
+use dslice_sim::{AttributeDistribution, ProtocolKind};
+
+/// Base shape shared by the ranking-family scenarios.
+fn ranking_base(name: &str, n: usize, seed: u64) -> Scenario {
+    Scenario::new(name)
+        .population(n)
+        .view_size(10)
+        .slices(10)
+        .seed(seed)
+        .sample_every(10)
+}
+
+/// The control: a static population, no events — the convergence
+/// trajectory every dynamic scenario is compared against.
+pub fn baseline_static() -> Scenario {
+    ranking_base("baseline-static", 600, 101).for_cycles(240)
+}
+
+/// A flash crowd doubles the population mid-run: 500 converged nodes are
+/// joined by 500 strangers at cycle 120 in a single churn step.
+pub fn flash_crowd() -> Scenario {
+    ranking_base("flash-crowd", 500, 102)
+        .for_cycles(260)
+        .at_cycle(120)
+        .flash_crowd(1.0)
+}
+
+/// A mass departure: 40% of the population leaves at once (uniformly at
+/// random) at cycle 140 — uncorrelated, so ranks compress evenly.
+pub fn mass_departure() -> Scenario {
+    ranking_base("mass-departure", 800, 103)
+        .for_cycles(260)
+        .at_cycle(140)
+        .mass_leave(0.4)
+}
+
+/// A correlated regional failure: a contiguous attribute band of 25% of
+/// the population — one "data center" of similar-capacity machines —
+/// crashes at cycle 130, shifting every survivor's true rank at once.
+pub fn regional_failure() -> Scenario {
+    ranking_base("regional-failure", 600, 104)
+        .for_cycles(260)
+        .at_cycle(130)
+        .regional_failure(0.25)
+}
+
+/// A sustained churn burst: 0.5% of the population is replaced every cycle
+/// from cycle 40 through 80 (the paper's burst shape, scripted through the
+/// DSL), then the system is left to re-converge.
+pub fn churn_burst() -> Scenario {
+    let mut s = ranking_base("churn-burst", 600, 105).for_cycles(240);
+    for cycle in 40..=80 {
+        s = s.at_cycle(cycle).leave(3).join(3);
+    }
+    s
+}
+
+/// The joiner distribution shifts from uniform to heavy-tailed Pareto at
+/// cycle 100, and rolling churn (4% every 4 cycles) gradually rotates the
+/// population onto the new shape — the rank estimate must keep tracking a
+/// moving attribute landscape.
+pub fn shifting_distribution() -> Scenario {
+    let mut s = ranking_base("shifting-distribution", 600, 106)
+        .for_cycles(300)
+        .at_cycle(100)
+        .shift_distribution(AttributeDistribution::Pareto {
+            scale: 1.0,
+            shape: 1.5,
+        });
+    for cycle in (104..=200).step_by(4) {
+        s = s.at_cycle(cycle).leave(24).join(24);
+    }
+    s
+}
+
+/// The adversarial scenario for the ranking family: at cycle 120, 20% of a
+/// converged population starts claiming 10× its rank and poisoning its
+/// outgoing attribute samples.
+pub fn lying_nodes() -> Scenario {
+    ranking_base("lying-nodes", 600, 107)
+        .for_cycles(260)
+        .at_cycle(120)
+        .lying_nodes(0.2, 10.0)
+}
+
+/// The same attack against the ordering family (mod-JK): liars claim
+/// inflated random values, refuse every swap, and inject their claim into
+/// honest nodes through poisoned exchanges.
+pub fn lying_ordering() -> Scenario {
+    Scenario::new("lying-ordering")
+        .population(600)
+        .view_size(20)
+        .slices(10)
+        .seed(108)
+        .sample_every(10)
+        .with_protocol(ProtocolKind::ModJk)
+        .for_cycles(260)
+        .at_cycle(120)
+        .lying_nodes(0.2, 10.0)
+}
+
+/// The platform re-allocates resources: a converged 10-slice system is
+/// re-partitioned into 4 slices at cycle 150. Rank estimates are
+/// partition-independent, so accuracy should recover instantly.
+pub fn repartition() -> Scenario {
+    ranking_base("repartition", 600, 109)
+        .for_cycles(240)
+        .at_cycle(150)
+        .repartition(4)
+}
+
+/// Everything at once: a flash crowd, then a regional failure, then a
+/// distribution shift, then lying nodes — the kitchen-sink robustness
+/// check.
+pub fn combined_stress() -> Scenario {
+    ranking_base("combined-stress", 500, 110)
+        .for_cycles(300)
+        .at_cycle(80)
+        .flash_crowd(0.5)
+        .at_cycle(140)
+        .regional_failure(0.2)
+        .at_cycle(180)
+        .shift_distribution(AttributeDistribution::Exponential { rate: 0.5 })
+        .at_cycle(200)
+        .join(60)
+        .leave(60)
+        .at_cycle(220)
+        .lying_nodes(0.1, 5.0)
+}
+
+/// Every scenario in the matrix, in the order `scenario_matrix` runs them.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        baseline_static(),
+        flash_crowd(),
+        mass_departure(),
+        regional_failure(),
+        churn_burst(),
+        shifting_distribution(),
+        lying_nodes(),
+        lying_ordering(),
+        repartition(),
+        combined_stress(),
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name() == name)
+}
+
+/// The names of every scenario in the matrix.
+pub fn names() -> Vec<String> {
+    all().iter().map(|s| s.name().to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn library_holds_at_least_eight_distinct_scenarios() {
+        let scenarios = all();
+        assert!(scenarios.len() >= 8, "matrix needs ≥ 8 scenarios");
+        let names: HashSet<&str> = scenarios.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), scenarios.len(), "names must be unique");
+        // The acceptance-critical four are present.
+        for required in [
+            "flash-crowd",
+            "regional-failure",
+            "shifting-distribution",
+            "lying-nodes",
+        ] {
+            assert!(names.contains(required), "missing `{required}`");
+        }
+    }
+
+    #[test]
+    fn every_scenario_compiles() {
+        for s in all() {
+            let schedule = s
+                .compile()
+                .unwrap_or_else(|e| panic!("scenario `{}` failed to compile: {e}", s.name()));
+            assert!(schedule.min_population() >= 1);
+            assert!(
+                !s.config().time_phases,
+                "`{}`: golden scenarios must not time phases",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: HashSet<u64> = all().iter().map(|s| s.config().seed).collect();
+        assert_eq!(seeds.len(), all().len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("lying-nodes").is_some());
+        assert!(by_name("does-not-exist").is_none());
+        assert_eq!(names().len(), all().len());
+    }
+}

@@ -1,0 +1,240 @@
+//! Structured scenario reports: what a run emits, what CI uploads, what the
+//! goldens under `docs/scenarios/goldens/` pin byte-for-byte.
+//!
+//! A report is pure simulated state — disorder/accuracy trajectory, event
+//! log, message totals — so it is deterministic for a given scenario, at any
+//! shard count. Wall-clock phase timings are host noise, so they ride in an
+//! `Option` that stays `None` unless the scenario explicitly opts in
+//! (golden scenarios never do).
+
+use crate::dsl::TimedEvent;
+use dslice_sim::{CycleStats, PhaseTimings};
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of the run's trajectory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// The cycle this point was sampled after.
+    pub cycle: usize,
+    /// Live population size.
+    pub n: usize,
+    /// Slice disorder measure over the full population.
+    pub sdm: f64,
+    /// Global disorder measure over the full population.
+    pub gdm: f64,
+    /// Fraction of all nodes in their true slice.
+    pub accuracy: f64,
+    /// Fraction of *honest* nodes in their true slice (equals `accuracy`
+    /// while nobody lies).
+    pub honest_accuracy: f64,
+    /// Live lying nodes at this point.
+    pub liars: usize,
+    /// Nodes that left during this cycle.
+    pub left: usize,
+    /// Nodes that joined during this cycle.
+    pub joined: usize,
+    /// Nodes whose believed slice changed this cycle (§3.2 stability).
+    pub slice_changes: usize,
+}
+
+/// Event and message counters accumulated over the whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Totals {
+    /// Swap proposals sent (ordering family).
+    pub swaps_proposed: u64,
+    /// Swaps applied (either side).
+    pub swaps_applied: u64,
+    /// Unsuccessful swaps (§4.5.2).
+    pub swaps_useless: u64,
+    /// One-way `UPD` attribute samples sent (ranking family).
+    pub updates_sent: u64,
+    /// Attribute samples folded into rank estimates.
+    pub samples_absorbed: u64,
+    /// Messages dropped (loss model or departed endpoints).
+    pub dropped_messages: u64,
+    /// Total departures over the run.
+    pub left: u64,
+    /// Total arrivals over the run.
+    pub joined: u64,
+    /// Total believed-slice changes over the run.
+    pub slice_changes: u64,
+}
+
+impl Totals {
+    /// Folds one cycle's statistics in.
+    pub fn accumulate(&mut self, stats: &CycleStats) {
+        self.swaps_proposed += stats.events.swaps_proposed;
+        self.swaps_applied += stats.events.swaps_applied;
+        self.swaps_useless += stats.events.swaps_useless;
+        self.updates_sent += stats.events.updates_sent;
+        self.samples_absorbed += stats.events.samples_absorbed;
+        self.dropped_messages += stats.dropped_messages;
+        self.left += stats.left as u64;
+        self.joined += stats.joined as u64;
+        self.slice_changes += stats.slice_changes as u64;
+    }
+}
+
+/// The structured result of one scenario run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name (the report/golden file stem).
+    pub name: String,
+    /// Protocol label (`jk`, `mod-jk`, `ranking`, …).
+    pub protocol: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Initial population size.
+    pub initial_n: usize,
+    /// Population size at the end of the run.
+    pub final_n: usize,
+    /// Slices in the partition at the end of the run.
+    pub slices: usize,
+    /// Run length in cycles.
+    pub cycles: usize,
+    /// The compiled event schedule the run executed (cycle-ordered).
+    pub events: Vec<TimedEvent>,
+    /// Sampled SDM/accuracy trajectory.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Whole-run event and message totals.
+    pub totals: Totals,
+    /// Final slice disorder measure.
+    pub final_sdm: f64,
+    /// Final global disorder measure.
+    pub final_gdm: f64,
+    /// Final full-population accuracy.
+    pub final_accuracy: f64,
+    /// Final honest-only accuracy.
+    pub final_honest_accuracy: f64,
+    /// Live lying nodes at the end of the run.
+    pub liars: usize,
+    /// Per-phase wall-clock totals over the run — host noise, present only
+    /// when the scenario opted into timing; never part of goldens.
+    pub phase_us: Option<PhaseTimings>,
+}
+
+impl ScenarioReport {
+    /// Serializes the report as pretty-printed JSON (the golden format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// The trajectory point with the worst (highest) SDM — scenarios shock
+    /// the system and this is the shock's peak.
+    pub fn peak_sdm(&self) -> Option<&TrajectoryPoint> {
+        self.trajectory
+            .iter()
+            .max_by(|a, b| a.sdm.total_cmp(&b.sdm))
+    }
+
+    /// One-line human summary for matrix output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<24} {:>8} {:>7} {:>6} {:>10.3} {:>9.3} {:>9.3}",
+            self.name,
+            self.protocol,
+            self.cycles,
+            self.final_n,
+            self.final_sdm,
+            self.final_accuracy,
+            self.final_honest_accuracy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::ScenarioEvent;
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            name: "t".into(),
+            protocol: "ranking".into(),
+            seed: 7,
+            initial_n: 100,
+            final_n: 120,
+            slices: 4,
+            cycles: 50,
+            events: vec![TimedEvent {
+                cycle: 10,
+                event: ScenarioEvent::FlashCrowd { fraction: 0.2 },
+            }],
+            trajectory: vec![
+                TrajectoryPoint {
+                    cycle: 10,
+                    n: 120,
+                    sdm: 5.0,
+                    gdm: 1.0,
+                    accuracy: 0.8,
+                    honest_accuracy: 0.8,
+                    liars: 0,
+                    left: 0,
+                    joined: 20,
+                    slice_changes: 3,
+                },
+                TrajectoryPoint {
+                    cycle: 50,
+                    n: 120,
+                    sdm: 1.5,
+                    gdm: 0.0,
+                    accuracy: 0.95,
+                    honest_accuracy: 0.95,
+                    liars: 0,
+                    left: 0,
+                    joined: 0,
+                    slice_changes: 0,
+                },
+            ],
+            totals: Totals::default(),
+            final_sdm: 1.5,
+            final_gdm: 0.0,
+            final_accuracy: 0.95,
+            final_honest_accuracy: 0.95,
+            liars: 0,
+            phase_us: None,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let r = report();
+        let parsed = ScenarioReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn peak_sdm_finds_the_shock() {
+        let r = report();
+        assert_eq!(r.peak_sdm().unwrap().cycle, 10);
+    }
+
+    #[test]
+    fn totals_accumulate_cycle_stats() {
+        let mut totals = Totals::default();
+        let mut stats = CycleStats {
+            cycle: 1,
+            n: 100,
+            sdm: 0.0,
+            gdm: 0.0,
+            events: Default::default(),
+            dropped_messages: 2,
+            left: 1,
+            joined: 3,
+            slice_changes: 4,
+            timings: None,
+        };
+        stats.events.updates_sent = 10;
+        totals.accumulate(&stats);
+        totals.accumulate(&stats);
+        assert_eq!(totals.updates_sent, 20);
+        assert_eq!(totals.dropped_messages, 4);
+        assert_eq!(totals.joined, 6);
+        assert_eq!(totals.slice_changes, 8);
+    }
+}

@@ -1,0 +1,98 @@
+//! Golden determinism: a scenario report is pure simulated state, so the
+//! same program must produce **byte-identical** JSON across reruns and at
+//! every shard count. This is the invariant that makes the committed
+//! goldens under `docs/scenarios/goldens/` (and `scenario_matrix --check`)
+//! meaningful.
+
+use dslice_scenario::{Scenario, ScenarioReport};
+use dslice_sim::{AttributeDistribution, ProtocolKind};
+
+/// A small but eventful program touching every event kind, sized so the
+/// full determinism matrix stays fast in debug builds.
+fn eventful(seed: u64) -> Scenario {
+    Scenario::new("determinism-probe")
+        .population(160)
+        .view_size(8)
+        .slices(5)
+        .seed(seed)
+        .sample_every(7)
+        .for_cycles(70)
+        .at_cycle(10)
+        .flash_crowd(0.25)
+        .at_cycle(20)
+        .regional_failure(0.15)
+        .at_cycle(25)
+        .shift_distribution(AttributeDistribution::Pareto {
+            scale: 1.0,
+            shape: 1.5,
+        })
+        .at_cycle(30)
+        .leave(12)
+        .join(12)
+        .at_cycle(40)
+        .lying_nodes(0.1, 6.0)
+        .at_cycle(50)
+        .mass_leave(0.1)
+        .at_cycle(55)
+        .repartition(3)
+}
+
+#[test]
+fn reports_are_byte_identical_across_reruns() {
+    let a = eventful(42).run().unwrap().to_json();
+    let b = eventful(42).run().unwrap().to_json();
+    assert_eq!(a, b, "same program, same seed, same bytes");
+    // And a different seed genuinely changes the run (the test would be
+    // vacuous if the report ignored the simulation).
+    let c = eventful(43).run().unwrap().to_json();
+    assert_ne!(a, c, "a different seed must change the trajectory");
+}
+
+#[test]
+fn reports_are_byte_identical_at_every_shard_count() {
+    let reference = eventful(7).run().unwrap().to_json();
+    for shards in [2usize, 3, 4, 8] {
+        let mut cfg = eventful(7).config().clone();
+        cfg.shards = shards;
+        let sharded = eventful(7).with_config(cfg).run().unwrap().to_json();
+        assert_eq!(
+            reference, sharded,
+            "shard count {shards} leaked into the report"
+        );
+    }
+}
+
+#[test]
+fn ordering_protocol_reports_are_deterministic_too() {
+    let probe = || {
+        eventful(11)
+            .with_protocol(ProtocolKind::ModJk)
+            .view_size(12)
+    };
+    let a = probe().run().unwrap().to_json();
+    let b = probe().run().unwrap().to_json();
+    assert_eq!(a, b);
+    let mut cfg = probe().config().clone();
+    cfg.shards = 4;
+    let c = probe().with_config(cfg).run().unwrap().to_json();
+    assert_eq!(a, c);
+}
+
+#[test]
+fn reports_roundtrip_losslessly_through_the_golden_format() {
+    let report = eventful(42).run().unwrap();
+    let parsed = ScenarioReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(
+        parsed.to_json(),
+        report.to_json(),
+        "re-serialization is stable"
+    );
+}
+
+#[test]
+fn compiled_schedules_are_byte_identical_across_reruns() {
+    let a = serde_json::to_string_pretty(&eventful(0).compile().unwrap()).unwrap();
+    let b = serde_json::to_string_pretty(&eventful(0).compile().unwrap()).unwrap();
+    assert_eq!(a, b);
+}

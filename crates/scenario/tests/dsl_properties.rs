@@ -1,0 +1,156 @@
+//! Property tests for the scenario DSL compiler: any random event program
+//! that compiles yields a schedule that is cycle-ordered, preserves
+//! authoring order within a cycle, and carries a population projection that
+//! exactly replays the event arithmetic without ever emptying the system.
+
+use dslice_scenario::{population_delta, Scenario, ScenarioEvent};
+use dslice_sim::AttributeDistribution;
+use proptest::prelude::*;
+
+/// Strategy for one random (but individually valid) scenario event.
+fn event_strategy() -> impl Strategy<Value = ScenarioEvent> {
+    prop_oneof![
+        (1usize..25).prop_map(|count| ScenarioEvent::Join { count }),
+        (1usize..6).prop_map(|count| ScenarioEvent::Leave { count }),
+        (0.05f64..1.5).prop_map(|fraction| ScenarioEvent::FlashCrowd { fraction }),
+        (0.05f64..0.35).prop_map(|fraction| ScenarioEvent::MassLeave { fraction }),
+        (0.05f64..0.35).prop_map(|fraction| ScenarioEvent::RegionalFailure { fraction }),
+        prop_oneof![
+            Just(AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 }),
+            Just(AttributeDistribution::Pareto {
+                scale: 1.0,
+                shape: 1.5
+            }),
+            Just(AttributeDistribution::Exponential { rate: 0.5 }),
+        ]
+        .prop_map(|distribution| ScenarioEvent::ShiftDistribution { distribution }),
+        (0.05f64..0.9, 1.0f64..20.0).prop_map(|(fraction, inflation)| {
+            ScenarioEvent::Corrupt {
+                fraction,
+                inflation,
+            }
+        }),
+        (1usize..9).prop_map(|slices| ScenarioEvent::Repartition { slices }),
+    ]
+}
+
+/// Builds a scenario from a random program of `(cycle, event)` pairs.
+fn program(n: usize, cycles: usize, events: &[(usize, ScenarioEvent)]) -> Scenario {
+    let mut s = Scenario::new("prop")
+        .population(n)
+        .view_size(6)
+        .slices(4)
+        .for_cycles(cycles);
+    for (cycle, event) in events {
+        s = s.at_cycle(*cycle);
+        s = match event.clone() {
+            ScenarioEvent::Join { count } => s.join(count),
+            ScenarioEvent::Leave { count } => s.leave(count),
+            ScenarioEvent::FlashCrowd { fraction } => s.flash_crowd(fraction),
+            ScenarioEvent::MassLeave { fraction } => s.mass_leave(fraction),
+            ScenarioEvent::RegionalFailure { fraction } => s.regional_failure(fraction),
+            ScenarioEvent::ShiftDistribution { distribution } => s.shift_distribution(distribution),
+            ScenarioEvent::Corrupt {
+                fraction,
+                inflation,
+            } => s.lying_nodes(fraction, inflation),
+            ScenarioEvent::Repartition { slices } => s.repartition(slices),
+        };
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever program compiles is cycle-ordered, in range, complete (no
+    /// event dropped or invented), authoring-order-stable within a cycle,
+    /// and population-consistent: the projection replays the exact
+    /// per-cycle arithmetic and never lets the system empty out.
+    #[test]
+    fn compiled_schedules_are_ordered_and_population_consistent(
+        n in 30usize..150,
+        cycles in 10usize..60,
+        raw in proptest::collection::vec((1usize..60, event_strategy()), 0..12),
+    ) {
+        let scenario = program(n, cycles, &raw);
+        let Ok(schedule) = scenario.compile() else {
+            // Rejections (out-of-range cycles, emptying programs) are a
+            // valid outcome; the properties below govern what *compiles*.
+            return Ok(());
+        };
+
+        // Cycle-ordered, in range, nothing lost or invented.
+        prop_assert_eq!(schedule.events.len(), raw.len());
+        for pair in schedule.events.windows(2) {
+            prop_assert!(pair[0].cycle <= pair[1].cycle, "schedule out of order");
+        }
+        for te in &schedule.events {
+            prop_assert!((1..=cycles).contains(&te.cycle), "cycle {} out of range", te.cycle);
+        }
+        // Stable within a cycle: per-cycle subsequences preserve authoring
+        // order.
+        for cycle in 1..=cycles {
+            let authored: Vec<&ScenarioEvent> =
+                raw.iter().filter(|(c, _)| *c == cycle).map(|(_, e)| e).collect();
+            let compiled: Vec<&ScenarioEvent> = schedule
+                .events
+                .iter()
+                .filter(|te| te.cycle == cycle)
+                .map(|te| &te.event)
+                .collect();
+            prop_assert_eq!(authored, compiled, "cycle {} reordered", cycle);
+        }
+
+        // Population consistency: replay the arithmetic per cycle group.
+        let mut pop = n;
+        let mut replayed = Vec::new();
+        let mut i = 0;
+        while i < schedule.events.len() {
+            let cycle = schedule.events[i].cycle;
+            let n0 = pop;
+            let mut remaining = n0;
+            let mut joined = 0usize;
+            while i < schedule.events.len() && schedule.events[i].cycle == cycle {
+                let (leave, join) = population_delta(&schedule.events[i].event, n0);
+                prop_assert!(
+                    leave < remaining,
+                    "compiled schedule empties the population at cycle {}", cycle
+                );
+                remaining -= leave;
+                joined += join;
+                i += 1;
+            }
+            let after = remaining + joined;
+            if after != pop {
+                replayed.push((cycle, after));
+            }
+            pop = after;
+        }
+        let projection: Vec<(usize, usize)> =
+            schedule.projection.iter().map(|p| (p.cycle, p.n)).collect();
+        prop_assert_eq!(projection, replayed, "projection disagrees with replay");
+        prop_assert_eq!(schedule.final_population(), pop);
+        prop_assert!(schedule.min_population() >= 1);
+
+        // Compilation is a pure function of the program.
+        prop_assert_eq!(scenario.compile().unwrap(), schedule);
+    }
+
+    /// `fraction_count` matches the churn-schedule convention for every
+    /// population and fraction: zero iff the fraction is non-positive (or
+    /// the population empty), otherwise `round(n·f)` floored at 1.
+    #[test]
+    fn fraction_count_is_rounded_and_floored(
+        n in 0usize..10_000,
+        fraction in -0.5f64..2.0,
+    ) {
+        let count = dslice_scenario::fraction_count(n, fraction);
+        if fraction <= 0.0 || n == 0 {
+            prop_assert_eq!(count, 0);
+        } else {
+            let expected = ((n as f64 * fraction).round() as usize).max(1);
+            prop_assert_eq!(count, expected);
+        }
+    }
+}

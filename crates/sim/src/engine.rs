@@ -84,6 +84,7 @@ use crate::churn::{ChurnModel, NoChurn};
 use crate::config::{ProtocolKind, SimConfig};
 use crate::stats::{CycleStats, EventCounters, PhaseTimings, RunRecord};
 use crate::stream::NodeRng;
+use dslice_algorithms::Liar;
 use dslice_core::node::NodeIdAllocator;
 use dslice_core::protocol::{Context, Event, SliceProtocol};
 use dslice_core::slab::SlabChunk;
@@ -393,6 +394,10 @@ pub struct Engine {
     last_gdm: f64,
     /// Reusable per-cycle buffers (see [`Scratch`]).
     scratch: Scratch,
+    /// Nodes converted to rank-inflating liars via
+    /// [`corrupt_nodes`](Engine::corrupt_nodes); maintained across churn
+    /// (a departed liar is forgotten, joiners are honest).
+    liars: HashSet<NodeId>,
     /// Test hook: when `Some`, each step records its membership schedule as
     /// `(initiator, partner, batch)` triples.
     schedule_log: Option<Vec<(u64, u64, usize)>>,
@@ -443,6 +448,7 @@ impl Engine {
             last_sdm: 0.0,
             last_gdm: 0.0,
             scratch: Scratch::default(),
+            liars: HashSet::new(),
             schedule_log: None,
         };
         engine.bootstrap_views(&ids);
@@ -568,6 +574,83 @@ impl Engine {
         self.ranks.accuracy(
             &self.cfg.partition,
             self.nodes.iter().map(|(_, id, n)| (id, n.proto.estimate())),
+        )
+    }
+
+    /// Converts a deterministic random sample of the live, still-honest
+    /// population into rank-inflating liars
+    /// ([`Liar`]): each chosen node keeps its
+    /// protocol state but claims `estimate × inflation` (clamped to 1) on
+    /// every external surface, poisons its outgoing swap/update traffic, and
+    /// refuses incoming swaps. Returns how many nodes were corrupted
+    /// (`round(still-honest × fraction)`).
+    ///
+    /// The selection draws from the engine's sequential RNG, so runs remain
+    /// byte-identical at any shard count. Attributes stay truthful: the
+    /// evaluation oracle keeps measuring ground truth, and
+    /// [`honest_accuracy`](Engine::honest_accuracy) measures the collateral
+    /// damage on the honest majority.
+    pub fn corrupt_nodes(&mut self, fraction: f64, inflation: f64) -> usize {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut honest: Vec<NodeId> = self
+            .nodes
+            .ids()
+            .filter(|id| !self.liars.contains(id))
+            .collect();
+        // Slot order varies with churn history; id order is canonical.
+        honest.sort_unstable();
+        let count = ((honest.len() as f64) * fraction).round() as usize;
+        let count = count.min(honest.len());
+        if count == 0 {
+            return 0;
+        }
+        let mut chosen: Vec<NodeId> = rand::seq::index::sample(&mut self.rng, honest.len(), count)
+            .into_iter()
+            .map(|i| honest[i])
+            .collect();
+        chosen.sort_unstable();
+        for id in chosen {
+            let Some((slot, node)) = self.nodes.take(id) else {
+                continue;
+            };
+            let SimNode { proto, sampler } = node;
+            self.nodes.put_back(
+                slot,
+                id,
+                SimNode {
+                    proto: Box::new(Liar::new(proto, inflation)),
+                    sampler,
+                },
+            );
+            self.liars.insert(id);
+        }
+        count
+    }
+
+    /// Number of live lying nodes.
+    pub fn liar_count(&self) -> usize {
+        self.liars.len()
+    }
+
+    /// Whether `id` is a live lying node.
+    pub fn is_liar(&self, id: NodeId) -> bool {
+        self.liars.contains(&id)
+    }
+
+    /// [`accuracy`](Engine::accuracy) restricted to the honest population:
+    /// the fraction of *non-lying* nodes whose believed slice equals their
+    /// true slice (true slices are still computed over the full population —
+    /// liars occupy real attribute ranks). With no liars this equals
+    /// [`accuracy`](Engine::accuracy); under attack it isolates the
+    /// collateral damage on honest nodes from the liars' deliberate
+    /// self-misplacement.
+    pub fn honest_accuracy(&self) -> f64 {
+        self.ranks.accuracy(
+            &self.cfg.partition,
+            self.nodes
+                .iter()
+                .filter(|(_, id, _)| !self.liars.contains(id))
+                .map(|(_, id, n)| (id, n.proto.estimate())),
         )
     }
 
@@ -1043,6 +1126,11 @@ impl Engine {
             }
         }
         let left = removed.len();
+        if !self.liars.is_empty() {
+            for id in &removed {
+                self.liars.remove(id);
+            }
+        }
 
         // Prune departed neighbors from every view before anyone gossips —
         // only when someone actually departed (a join-only cycle at 10⁵
@@ -1602,5 +1690,83 @@ mod tests {
         let views = engine.debug_views();
         assert!(views.windows(2).all(|w| w[0].0 < w[1].0));
         assert_eq!(views.len(), engine.population());
+    }
+
+    #[test]
+    fn corrupt_nodes_converts_the_requested_fraction() {
+        let mut engine = Engine::new(small_cfg(200, 4, 60), ProtocolKind::Ranking).unwrap();
+        let corrupted = engine.corrupt_nodes(0.1, 5.0);
+        assert_eq!(corrupted, 20);
+        assert_eq!(engine.liar_count(), 20);
+        assert_eq!(engine.population(), 200, "corruption is not churn");
+        // Corrupting again only draws from the still-honest pool.
+        let more = engine.corrupt_nodes(0.5, 5.0);
+        assert_eq!(more, 90, "half of the remaining 180");
+        assert_eq!(engine.liar_count(), 110);
+        // Zero fraction is a no-op.
+        assert_eq!(engine.corrupt_nodes(0.0, 5.0), 0);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_across_shard_counts() {
+        let run = |shards| {
+            let mut cfg = small_cfg(128, 4, 61);
+            cfg.shards = shards;
+            let mut e = Engine::new(cfg, ProtocolKind::ModJk).unwrap();
+            e.run(5);
+            e.corrupt_nodes(0.2, 10.0);
+            let record = e.run(10);
+            (record, e.honest_accuracy(), e.accuracy())
+        };
+        let sequential = run(1);
+        for shards in [2, 4] {
+            assert_eq!(sequential, run(shards), "shards = {shards} diverged");
+        }
+    }
+
+    #[test]
+    fn lying_nodes_hurt_overall_more_than_honest_accuracy() {
+        // A converged honest run, then 20% of nodes start claiming 10× their
+        // rank: overall accuracy must fall below honest-only accuracy (the
+        // liars are deliberately misplaced), and with no liars the two
+        // accessors agree exactly.
+        let mut engine = Engine::new(small_cfg(256, 4, 62), ProtocolKind::Ranking).unwrap();
+        engine.run(80);
+        assert_eq!(engine.accuracy(), engine.honest_accuracy());
+        engine.corrupt_nodes(0.2, 10.0);
+        engine.run(20);
+        assert!(
+            engine.accuracy() < engine.honest_accuracy(),
+            "liars must drag overall accuracy below honest-only accuracy"
+        );
+    }
+
+    #[test]
+    fn departed_liars_are_forgotten() {
+        let schedule = ChurnSchedule {
+            rate: 0.2,
+            period: 1,
+            stop_after: None,
+        };
+        let mut engine = Engine::new(small_cfg(100, 4, 63), ProtocolKind::Ranking)
+            .unwrap()
+            .with_churn(Box::new(UncorrelatedChurn::new(
+                schedule,
+                AttributeDistribution::default(),
+            )));
+        engine.corrupt_nodes(0.5, 4.0);
+        assert_eq!(engine.liar_count(), 50);
+        engine.run(30);
+        // Heavy uncorrelated churn replaces liars with honest joiners; every
+        // tracked liar must still be a live node.
+        assert!(engine.liar_count() < 50);
+        let live: Vec<NodeId> = engine.nodes.ids().collect();
+        for id in &live {
+            let _ = engine.is_liar(*id);
+        }
+        assert!(
+            engine.liars.iter().all(|id| engine.nodes.contains(*id)),
+            "liar set must only track live nodes"
+        );
     }
 }

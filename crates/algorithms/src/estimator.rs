@@ -9,6 +9,12 @@
 //! * [`WindowEstimator`] — the sliding-window enrichment of §5.3.4: only the
 //!   freshest `W` samples count (one bit each), so the estimate tracks a
 //!   drifting attribute distribution under churn.
+//! * [`DecayEstimator`] — exponential sample aging: a sample seen `k`
+//!   absorptions ago weighs `λ^k`, so stale evidence fades geometrically
+//!   instead of lingering forever (counters) or dropping off a cliff
+//!   (window). This is the defense against correlated shocks — a regional
+//!   failure shifts every survivor's true rank at once, and recovery speed
+//!   is set by how fast pre-shock samples lose weight.
 
 use crate::window::BitWindow;
 use serde::{Deserialize, Serialize};
@@ -118,6 +124,84 @@ impl RankEstimator for WindowEstimator {
     }
 }
 
+/// Exponentially-decayed counters: sample aging for the ranking estimate.
+///
+/// Every absorption first multiplies both accumulators by `λ ∈ (0, 1)`,
+/// then adds the fresh sample with weight 1, so the estimate is the
+/// λ-weighted fraction of lower samples:
+///
+/// ```text
+/// g ← λ·g + 1        ℓ ← λ·ℓ + [a_j ≤ a_i]        r̂ = ℓ / g
+/// ```
+///
+/// The effective memory is `1 / (1 − λ)` samples; evidence older than a few
+/// multiples of that horizon is negligible. Unlike [`WindowEstimator`] the
+/// forgetting is smooth (no eviction boundary) and the state is two floats
+/// regardless of horizon length.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecayEstimator {
+    /// Decay factor λ applied to both accumulators before each absorption.
+    lambda: f64,
+    /// λ-weighted count of all absorbed samples (`g` above).
+    total: f64,
+    /// λ-weighted count of lower-or-equal samples (`ℓ` above).
+    lower: f64,
+}
+
+impl DecayEstimator {
+    /// Creates an estimator with decay factor `lambda`.
+    ///
+    /// # Panics
+    /// Panics unless `lambda ∈ (0, 1)` — `λ = 1` is [`CounterEstimator`],
+    /// `λ = 0` would remember only the latest sample.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "decay factor must lie in (0, 1), got {lambda}"
+        );
+        DecayEstimator {
+            lambda,
+            total: 0.0,
+            lower: 0.0,
+        }
+    }
+
+    /// The decay factor λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The current λ-weighted sample mass (the `g` accumulator). Converges
+    /// to `1 / (1 − λ)` under a steady sample stream.
+    pub fn weight(&self) -> f64 {
+        self.total
+    }
+}
+
+impl RankEstimator for DecayEstimator {
+    fn absorb(&mut self, lower: bool) {
+        self.total = self.total * self.lambda + 1.0;
+        self.lower = self.lower * self.lambda + if lower { 1.0 } else { 0.0 };
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.total == 0.0 {
+            None
+        } else {
+            Some(self.lower / self.total)
+        }
+    }
+
+    fn samples(&self) -> usize {
+        self.total.round() as usize
+    }
+
+    fn reset(&mut self) {
+        self.total = 0.0;
+        self.lower = 0.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +267,82 @@ mod tests {
         assert_eq!(e.estimate(), None);
     }
 
+    #[test]
+    fn decay_estimates_weighted_fraction() {
+        let mut e = DecayEstimator::new(0.9);
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.samples(), 0);
+        e.absorb(true);
+        assert_eq!(e.estimate(), Some(1.0));
+        e.absorb(false);
+        // Weights 0.9 (old true) and 1.0 (new false): 0.9 / 1.9.
+        assert!((e.estimate().unwrap() - 0.9 / 1.9).abs() < 1e-12);
+        assert_eq!(e.lambda(), 0.9);
+    }
+
+    #[test]
+    fn decay_forgets_geometrically() {
+        // 100 trues then 100 falses with λ = 0.95: the trues retain weight
+        // λ^100 ≈ 0.006 of a fresh sample — the estimate collapses toward 0
+        // instead of sitting at 0.5 like the counter does.
+        let mut e = DecayEstimator::new(0.95);
+        for _ in 0..100 {
+            e.absorb(true);
+        }
+        assert!(e.estimate().unwrap() > 0.99);
+        for _ in 0..100 {
+            e.absorb(false);
+        }
+        assert!(e.estimate().unwrap() < 0.01, "stale evidence must fade");
+        // Steady-state weight converges to 1 / (1 − λ) = 20.
+        assert!((e.weight() - 20.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn decay_reset() {
+        let mut e = DecayEstimator::new(0.99);
+        e.absorb(true);
+        e.reset();
+        assert_eq!(e.estimate(), None);
+        assert_eq!(e.samples(), 0);
+        assert_eq!(e.lambda(), 0.99, "reset keeps the decay factor");
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn decay_rejects_lambda_one() {
+        let _ = DecayEstimator::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn decay_rejects_lambda_zero() {
+        let _ = DecayEstimator::new(0.0);
+    }
+
+    #[test]
+    fn all_estimators_roundtrip_through_serde() {
+        let mut counter = CounterEstimator::new();
+        let mut window = WindowEstimator::new(16);
+        let mut decay = DecayEstimator::new(0.995);
+        for i in 0..40 {
+            let bit = i % 3 == 0;
+            counter.absorb(bit);
+            window.absorb(bit);
+            decay.absorb(bit);
+        }
+        let c2: CounterEstimator =
+            serde_json::from_str(&serde_json::to_string(&counter).unwrap()).unwrap();
+        assert_eq!(c2, counter);
+        let w2: WindowEstimator =
+            serde_json::from_str(&serde_json::to_string(&window).unwrap()).unwrap();
+        assert_eq!(w2, window);
+        let d2: DecayEstimator =
+            serde_json::from_str(&serde_json::to_string(&decay).unwrap()).unwrap();
+        assert_eq!(d2, decay);
+        assert_eq!(d2.estimate(), decay.estimate());
+    }
+
     proptest! {
         #[test]
         fn counter_matches_reference(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
@@ -206,6 +366,44 @@ mod tests {
             let tail: Vec<bool> = bits.iter().rev().take(cap).copied().collect();
             let expect = tail.iter().filter(|&&b| b).count() as f64 / tail.len() as f64;
             prop_assert!((e.estimate().unwrap() - expect).abs() < 1e-12);
+        }
+
+        #[test]
+        fn decay_matches_power_sum_reference(
+            lambda in 0.5f64..0.999,
+            bits in proptest::collection::vec(any::<bool>(), 1..300),
+        ) {
+            let mut e = DecayEstimator::new(lambda);
+            for &b in &bits {
+                e.absorb(b);
+            }
+            // Reference model: the i-th sample (0-based) ends with weight
+            // λ^(n−1−i), summed directly via powi (a different evaluation
+            // order than the recurrence — agreement is the point).
+            let n = bits.len();
+            let total: f64 = (0..n).map(|i| lambda.powi((n - 1 - i) as i32)).sum();
+            let lower: f64 = bits
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(i, _)| lambda.powi((n - 1 - i) as i32))
+                .sum();
+            let expect = lower / total;
+            prop_assert!((e.estimate().unwrap() - expect).abs() < 1e-9);
+            prop_assert!((e.weight() - total).abs() < 1e-9 * total.max(1.0));
+        }
+
+        #[test]
+        fn decay_estimate_is_always_a_probability(
+            lambda in 0.01f64..0.999,
+            bits in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let mut e = DecayEstimator::new(lambda);
+            for &b in &bits {
+                e.absorb(b);
+                let est = e.estimate().unwrap();
+                prop_assert!((0.0..=1.0).contains(&est));
+            }
         }
     }
 }

@@ -5,20 +5,30 @@
 //! [`ProtocolKind::build`], which hides the per-variant constructor details
 //! behind `Box<dyn SliceProtocol>`.
 
-use crate::{Ordering, Ranking, SlidingRanking};
+use crate::ranking::RobustFilter;
+use crate::{DecayRanking, Ordering, Ranking, SlidingRanking};
 use dslice_core::protocol::SliceProtocol;
-use dslice_core::{Attribute, NodeId, Partition};
+use dslice_core::{Attribute, Error, NodeId, Partition, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Which slicing protocol to run — one of the four algorithm variants the
-/// paper evaluates.
+/// Which slicing protocol to run — the four algorithm variants the paper
+/// evaluates plus the three hardened variants (sample aging, outlier-robust
+/// absorption, swap liveness).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum ProtocolKind {
     /// The baseline JK ordering algorithm (random misplaced partner).
     Jk,
     /// The paper's improved ordering algorithm (gain-maximizing partner).
     ModJk,
+    /// mod-JK with the swap-liveness defense: partners whose proposals go
+    /// unresolved repeatedly are excluded from selection for a cooldown.
+    ModJkLive {
+        /// Consecutive unresolved proposals before a partner is banned.
+        strike_limit: u32,
+        /// Activations a banned partner stays excluded.
+        cooldown: u32,
+    },
     /// The ranking algorithm with unbounded counters (Fig. 5).
     Ranking,
     /// The ranking algorithm with both `UPD` targets uniformly random —
@@ -29,23 +39,95 @@ pub enum ProtocolKind {
         /// Number of freshest samples retained.
         window: usize,
     },
+    /// The ranking algorithm with exponential sample aging: evidence from
+    /// `k` samples ago weighs `λ^k`. The decay factor is stored in parts
+    /// per million (`λ = lambda_ppm / 1_000_000`) to keep the kind `Copy`
+    /// and `Eq`.
+    DecayRanking {
+        /// Decay factor in parts per million, in `1..=999_999`.
+        lambda_ppm: u32,
+    },
+    /// The counter-based ranking algorithm with outlier-robust sample
+    /// admission: samples outside the Tukey fences of the recent raw-value
+    /// window are rejected instead of absorbed.
+    RobustRanking {
+        /// Number of raw samples the admission filter remembers.
+        window: usize,
+    },
 }
 
 impl ProtocolKind {
+    /// The sample-aging kind for a decay factor `lambda ∈ (0, 1)`, rounded
+    /// to the nearest part per million.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is outside `(0, 1)` (after ppm rounding).
+    pub fn decay(lambda: f64) -> Self {
+        let kind = ProtocolKind::DecayRanking {
+            lambda_ppm: (lambda * 1e6).round() as u32,
+        };
+        kind.validate()
+            .unwrap_or_else(|e| panic!("invalid decay factor {lambda}: {e}"));
+        kind
+    }
+
+    /// The decay factor λ of a [`DecayRanking`](ProtocolKind::DecayRanking)
+    /// kind, `None` for every other variant.
+    pub fn lambda(&self) -> Option<f64> {
+        match self {
+            ProtocolKind::DecayRanking { lambda_ppm } => Some(*lambda_ppm as f64 / 1e6),
+            _ => None,
+        }
+    }
+
     /// Short label for output files and run records.
     pub fn label(&self) -> &'static str {
         match self {
             ProtocolKind::Jk => "jk",
             ProtocolKind::ModJk => "mod-jk",
+            ProtocolKind::ModJkLive { .. } => "mod-jk-live",
             ProtocolKind::Ranking => "ranking",
             ProtocolKind::RankingUniform => "ranking-uniform",
             ProtocolKind::SlidingRanking { .. } => "sliding-ranking",
+            ProtocolKind::DecayRanking { .. } => "decay-ranking",
+            ProtocolKind::RobustRanking { .. } => "robust-ranking",
         }
     }
 
     /// Whether this is an ordering-family protocol (swaps random values).
     pub fn is_ordering(&self) -> bool {
-        matches!(self, ProtocolKind::Jk | ProtocolKind::ModJk)
+        matches!(
+            self,
+            ProtocolKind::Jk | ProtocolKind::ModJk | ProtocolKind::ModJkLive { .. }
+        )
+    }
+
+    /// Validates the variant's parameters — the checks `build` would
+    /// otherwise hit as panics deep inside a constructor (a zero-capacity
+    /// `BitWindow`, a decay factor outside `(0, 1)`).
+    pub fn validate(&self) -> Result<()> {
+        let bad = |msg: String| Err(Error::InvalidProtocol(msg));
+        match self {
+            ProtocolKind::SlidingRanking { window } if *window == 0 => {
+                bad("sliding-ranking window must be at least 1".into())
+            }
+            ProtocolKind::DecayRanking { lambda_ppm } if !(1..=999_999).contains(lambda_ppm) => {
+                bad(format!(
+                    "decay factor must lie strictly between 0 and 1, got {} ppm",
+                    lambda_ppm
+                ))
+            }
+            ProtocolKind::RobustRanking { window } if *window < 4 => bad(format!(
+                "robust-ranking window must be at least 4 (quartiles need spread), got {window}"
+            )),
+            ProtocolKind::ModJkLive {
+                strike_limit,
+                cooldown,
+            } if *strike_limit == 0 || *cooldown == 0 => {
+                bad("mod-jk-live strike limit and cooldown must be at least 1".into())
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Instantiates a protocol node. The initial random value (used directly
@@ -62,6 +144,16 @@ impl ProtocolKind {
         match *self {
             ProtocolKind::Jk => Box::new(Ordering::jk(id, attribute, initial)),
             ProtocolKind::ModJk => Box::new(Ordering::mod_jk(id, attribute, initial)),
+            ProtocolKind::ModJkLive {
+                strike_limit,
+                cooldown,
+            } => Box::new(Ordering::mod_jk_live(
+                id,
+                attribute,
+                initial,
+                strike_limit,
+                cooldown as u64,
+            )),
             ProtocolKind::Ranking => {
                 Box::new(Ranking::new(id, attribute, initial, partition.clone()))
             }
@@ -76,6 +168,17 @@ impl ProtocolKind {
                 partition.clone(),
                 window,
             )),
+            ProtocolKind::DecayRanking { lambda_ppm } => Box::new(DecayRanking::with_lambda(
+                id,
+                attribute,
+                initial,
+                partition.clone(),
+                lambda_ppm as f64 / 1e6,
+            )),
+            ProtocolKind::RobustRanking { window } => Box::new(
+                Ranking::new(id, attribute, initial, partition.clone())
+                    .with_filter(RobustFilter::new(window)),
+            ),
         }
     }
 }
@@ -95,14 +198,101 @@ mod tests {
             ProtocolKind::SlidingRanking { window: 100 }.label(),
             "sliding-ranking"
         );
+        assert_eq!(
+            ProtocolKind::DecayRanking {
+                lambda_ppm: 995_000
+            }
+            .label(),
+            "decay-ranking"
+        );
+        assert_eq!(
+            ProtocolKind::RobustRanking { window: 64 }.label(),
+            "robust-ranking"
+        );
+        assert_eq!(
+            ProtocolKind::ModJkLive {
+                strike_limit: 2,
+                cooldown: 16
+            }
+            .label(),
+            "mod-jk-live"
+        );
     }
 
     #[test]
     fn family_split() {
         assert!(ProtocolKind::Jk.is_ordering());
         assert!(ProtocolKind::ModJk.is_ordering());
+        assert!(ProtocolKind::ModJkLive {
+            strike_limit: 2,
+            cooldown: 16
+        }
+        .is_ordering());
         assert!(!ProtocolKind::Ranking.is_ordering());
         assert!(!ProtocolKind::SlidingRanking { window: 1 }.is_ordering());
+        assert!(!ProtocolKind::DecayRanking {
+            lambda_ppm: 995_000
+        }
+        .is_ordering());
+        assert!(!ProtocolKind::RobustRanking { window: 64 }.is_ordering());
+    }
+
+    #[test]
+    fn decay_constructor_rounds_to_ppm() {
+        let kind = ProtocolKind::decay(0.995);
+        assert_eq!(
+            kind,
+            ProtocolKind::DecayRanking {
+                lambda_ppm: 995_000
+            }
+        );
+        assert_eq!(kind.lambda(), Some(0.995));
+        assert_eq!(ProtocolKind::Ranking.lambda(), None);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_parameters() {
+        assert!(ProtocolKind::SlidingRanking { window: 0 }
+            .validate()
+            .is_err());
+        assert!(ProtocolKind::DecayRanking { lambda_ppm: 0 }
+            .validate()
+            .is_err());
+        assert!(ProtocolKind::DecayRanking {
+            lambda_ppm: 1_000_000
+        }
+        .validate()
+        .is_err());
+        assert!(ProtocolKind::RobustRanking { window: 3 }
+            .validate()
+            .is_err());
+        assert!(ProtocolKind::ModJkLive {
+            strike_limit: 0,
+            cooldown: 16
+        }
+        .validate()
+        .is_err());
+        assert!(ProtocolKind::ModJkLive {
+            strike_limit: 2,
+            cooldown: 0
+        }
+        .validate()
+        .is_err());
+        // The healthy parameterizations pass.
+        assert!(ProtocolKind::SlidingRanking { window: 512 }
+            .validate()
+            .is_ok());
+        assert!(ProtocolKind::decay(0.998).validate().is_ok());
+        assert!(ProtocolKind::RobustRanking { window: 64 }
+            .validate()
+            .is_ok());
+        assert!(ProtocolKind::ModJkLive {
+            strike_limit: 2,
+            cooldown: 16
+        }
+        .validate()
+        .is_ok());
+        assert!(ProtocolKind::Jk.validate().is_ok());
     }
 
     #[test]
@@ -112,8 +302,16 @@ mod tests {
         for kind in [
             ProtocolKind::Jk,
             ProtocolKind::ModJk,
+            ProtocolKind::ModJkLive {
+                strike_limit: 2,
+                cooldown: 16,
+            },
             ProtocolKind::Ranking,
             ProtocolKind::SlidingRanking { window: 64 },
+            ProtocolKind::DecayRanking {
+                lambda_ppm: 995_000,
+            },
+            ProtocolKind::RobustRanking { window: 64 },
         ] {
             let p = kind.build(
                 NodeId::new(7),
@@ -130,9 +328,20 @@ mod tests {
 
     #[test]
     fn kind_serializes() {
-        let kind = ProtocolKind::SlidingRanking { window: 128 };
-        let json = serde_json::to_string(&kind).unwrap();
-        let parsed: ProtocolKind = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed, kind);
+        for kind in [
+            ProtocolKind::SlidingRanking { window: 128 },
+            ProtocolKind::DecayRanking {
+                lambda_ppm: 998_000,
+            },
+            ProtocolKind::RobustRanking { window: 64 },
+            ProtocolKind::ModJkLive {
+                strike_limit: 2,
+                cooldown: 16,
+            },
+        ] {
+            let json = serde_json::to_string(&kind).unwrap();
+            let parsed: ProtocolKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(parsed, kind);
+        }
     }
 }

@@ -23,6 +23,18 @@
 //! * [`SlidingRanking`] — the §5.3.4 variant that retains only the freshest
 //!   samples in a fixed-size bit window, making the estimate track
 //!   attribute-correlated churn.
+//! * [`DecayRanking`] — exponential sample aging ([`DecayEstimator`]):
+//!   evidence fades geometrically, so correlated shocks (a regional
+//!   failure) are forgotten at a tunable rate instead of harmonically.
+//!
+//! ## Hardened variants
+//!
+//! Three opt-in defenses address fragilities the scenario matrix exposed:
+//! sample aging (above), outlier-robust sample admission
+//! ([`RobustFilter`] — bounds the influence of rank-inflating liars on
+//! honest estimates), and swap liveness ([`Ordering::mod_jk_live`] —
+//! excludes persistently unresponsive swap partners from selection so
+//! mod-JK cannot wedge against swap-refusers).
 //!
 //! ## Choosing between them
 //!
@@ -45,10 +57,12 @@ pub mod ordering;
 pub mod ranking;
 pub mod window;
 
-pub use estimator::{CounterEstimator, RankEstimator, WindowEstimator};
+pub use estimator::{CounterEstimator, DecayEstimator, RankEstimator, WindowEstimator};
 pub use kind::ProtocolKind;
 pub use liar::Liar;
 pub use multi::{AttributeVector, CompositePolicy, CompositeSlice, MultiRanking, MultiSwarm};
 pub use ordering::{Ordering, SwapSelection};
-pub use ranking::{Ranking, RankingProtocol, SlidingRanking, Targeting};
-pub use window::BitWindow;
+pub use ranking::{
+    DecayRanking, Ranking, RankingProtocol, RobustFilter, SlidingRanking, Targeting,
+};
+pub use window::{BitWindow, ValueWindow};

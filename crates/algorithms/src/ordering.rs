@@ -32,6 +32,7 @@ use dslice_core::metrics::{gain_score, local_ranks};
 use dslice_core::protocol::{Context, Event, SliceProtocol};
 use dslice_core::{Attribute, NodeId, ProtocolMsg, View};
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Swap-partner selection policy: the one knob distinguishing JK and mod-JK.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,6 +53,75 @@ impl SwapSelection {
     }
 }
 
+/// Per-partner liveness bookkeeping for the swap-liveness defense.
+///
+/// A dead or swap-refusing partner (a crashed node, a `Liar`) leaves the
+/// proposer's `pending` slot unresolved every time. Without tracking, the
+/// gain heuristic re-selects the same maximally-"misplaced" refuser forever
+/// — the 95%-useless-swap fixed point. This tracker counts *strikes*
+/// (consecutive unresolved proposals per partner) and, once a partner
+/// reaches `strike_limit`, bans it from partner selection for `cooldown`
+/// activations. Everything is value-determined, so the defense preserves
+/// the simulator's byte-determinism.
+#[derive(Clone, Debug)]
+struct Liveness {
+    /// Strikes before a partner is excluded from selection.
+    strike_limit: u32,
+    /// Activations a banned partner stays excluded.
+    cooldown: u64,
+    /// Local activation counter (the node's own time base).
+    clock: u64,
+    /// Consecutive unresolved proposals per partner.
+    strikes: HashMap<NodeId, u32>,
+    /// Partners excluded from selection until the given activation.
+    banned_until: HashMap<NodeId, u64>,
+}
+
+impl Liveness {
+    fn new(strike_limit: u32, cooldown: u64) -> Self {
+        Liveness {
+            strike_limit: strike_limit.max(1),
+            cooldown: cooldown.max(1),
+            clock: 0,
+            strikes: HashMap::new(),
+            banned_until: HashMap::new(),
+        }
+    }
+
+    /// Whether `id` is currently excluded from partner selection.
+    fn is_banned(&self, id: NodeId) -> bool {
+        self.banned_until
+            .get(&id)
+            .is_some_and(|&until| until > self.clock)
+    }
+
+    /// Registers an unresolved proposal against `partner`; bans it once the
+    /// strike limit is reached.
+    fn strike(&mut self, partner: NodeId) {
+        let strikes = self.strikes.entry(partner).or_insert(0);
+        *strikes += 1;
+        if *strikes >= self.strike_limit {
+            self.strikes.remove(&partner);
+            self.banned_until
+                .insert(partner, self.clock + self.cooldown);
+        }
+    }
+
+    /// A proposal to `partner` resolved: its slate is wiped clean.
+    fn clear(&mut self, partner: NodeId) {
+        self.strikes.remove(&partner);
+        self.banned_until.remove(&partner);
+    }
+
+    /// Advances the activation clock and drops expired bans (bounded maps;
+    /// the retain predicate is value-based, so iteration order is moot).
+    fn tick(&mut self) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.banned_until.retain(|_, until| *until > clock);
+    }
+}
+
 /// An ordering-algorithm node: the state of Fig. 2.
 #[derive(Clone, Debug)]
 pub struct Ordering {
@@ -64,6 +134,9 @@ pub struct Ordering {
     /// (attributes are immutable, so caching it at send time is safe even if
     /// the view rotates before the ACK returns).
     pending: Option<(NodeId, Attribute)>,
+    /// Optional per-partner liveness tracking (the mod-JK-live defense);
+    /// `None` for the paper-faithful variants.
+    liveness: Option<Liveness>,
 }
 
 impl Ordering {
@@ -91,7 +164,60 @@ impl Ordering {
             r,
             selection,
             pending: None,
+            liveness: None,
         }
+    }
+
+    /// Creates a gain-maximizing node with the swap-liveness defense:
+    /// a partner whose proposals go unresolved `strike_limit` consecutive
+    /// times is excluded from partner selection for `cooldown` activations.
+    /// Both knobs are clamped to ≥ 1.
+    pub fn mod_jk_live(
+        id: NodeId,
+        attribute: Attribute,
+        r: f64,
+        strike_limit: u32,
+        cooldown: u64,
+    ) -> Self {
+        Self::with_selection(id, attribute, r, SwapSelection::MaxGain)
+            .with_liveness(strike_limit, cooldown)
+    }
+
+    /// Attaches the swap-liveness defense (builder style).
+    pub fn with_liveness(mut self, strike_limit: u32, cooldown: u64) -> Self {
+        self.liveness = Some(Liveness::new(strike_limit, cooldown));
+        self
+    }
+
+    /// Whether the swap-liveness defense is active.
+    pub fn tracks_liveness(&self) -> bool {
+        self.liveness.is_some()
+    }
+
+    /// Whether `id` is currently excluded from partner selection by the
+    /// liveness defense (always `false` without it).
+    pub fn is_partner_banned(&self, id: NodeId) -> bool {
+        self.liveness.as_ref().is_some_and(|l| l.is_banned(id))
+    }
+
+    /// Resolves a stale `pending` slot at the start of an activation: the
+    /// previous proposal's partner never answered (dead, or it refused the
+    /// transactional swap), so the slot is abandoned. With liveness
+    /// tracking the abandonment is recorded and counted as a strike, and
+    /// `true` is returned so the activation can back off; the
+    /// paper-faithful variants clear silently (their `pending` was simply
+    /// overwritten before, which is the bug this replaces) and return
+    /// `false`.
+    fn abandon_stale_proposal(&mut self, ctx: &mut dyn Context) -> bool {
+        let Some((partner, _)) = self.pending.take() else {
+            return false;
+        };
+        let Some(liveness) = &mut self.liveness else {
+            return false;
+        };
+        ctx.record(Event::SwapAbandoned);
+        liveness.strike(partner);
+        true
     }
 
     /// Creates a node drawing its initial random value from `rng`
@@ -123,6 +249,7 @@ impl Ordering {
         let misplaced_neighbors: Vec<_> = view
             .iter()
             .filter(|e| misplaced(self.attribute, self.r, e.attribute, e.value))
+            .filter(|e| !self.is_partner_banned(e.id))
             .collect();
         if misplaced_neighbors.is_empty() {
             return None;
@@ -175,6 +302,20 @@ impl SliceProtocol for Ordering {
     /// cycle model (messages delivered immediately) the whole exchange
     /// happens within this step.
     fn on_active(&mut self, view: &View, ctx: &mut dyn Context) {
+        if let Some(liveness) = &mut self.liveness {
+            liveness.tick();
+        }
+        // A proposal still pending from an earlier activation never
+        // resolved — clear it (and charge the partner when tracking).
+        // A liveness-tracking node then *backs off* for this activation:
+        // it just learned a partner is unresponsive, and blindly
+        // re-proposing into the same (possibly adversarial) neighborhood
+        // is exactly the wedge this defense removes. One activation of
+        // silence costs a converging node almost nothing; a wedged node
+        // converts an infinite useless-swap stream into a ban.
+        if self.abandon_stale_proposal(ctx) {
+            return;
+        }
         let Some(partner) = self.select_partner(view, ctx) else {
             return;
         };
@@ -224,6 +365,10 @@ impl SliceProtocol for Ordering {
                     self.pending = Some((expected, a_j));
                     return;
                 }
+                // The partner answered: it is live, whatever the outcome.
+                if let Some(liveness) = &mut self.liveness {
+                    liveness.clear(from);
+                }
                 if misplaced(self.attribute, self.r, a_j, r_j) {
                     self.r = r_j;
                     ctx.record(Event::SwapApplied);
@@ -249,8 +394,16 @@ impl SliceProtocol for Ordering {
         }
     }
 
+    /// The simulator calls this when the partner *accepted* the
+    /// transactional swap — the pending proposal resolved successfully, so
+    /// the slot clears and the partner's liveness slate is wiped.
     fn adopt_value(&mut self, value: f64) {
         self.r = value;
+        if let Some((partner, _)) = self.pending.take() {
+            if let Some(liveness) = &mut self.liveness {
+                liveness.clear(partner);
+            }
+        }
     }
 }
 
@@ -583,6 +736,177 @@ mod tests {
         let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
         node.adopt_value(0.33);
         assert_eq!(node.random_value(), 0.33);
+    }
+
+    #[test]
+    fn stale_pending_is_cleared_at_next_activation() {
+        let mut node = Ordering::jk(NodeId::new(1), attr(50.0), 0.85);
+        let view = view_of(&[(2, 120.0, 0.1)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c); // proposes to 2
+                                       // Next activation: the view rotated, nobody is misplaced, and 2
+                                       // never answered. The dangling proposal must not linger.
+        let ordered = view_of(&[(3, 120.0, 0.9)]);
+        node.on_active(&ordered, &mut c);
+        // 2's ACK finally arrives — but the proposal was abandoned.
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapAck {
+                from: NodeId::new(2),
+                r: 0.1,
+            },
+            &mut c,
+        );
+        assert_eq!(
+            node.random_value(),
+            0.85,
+            "an abandoned proposal must not complete"
+        );
+        assert_eq!(
+            c.count(Event::SwapAbandoned),
+            0,
+            "paper-faithful variants abandon silently"
+        );
+    }
+
+    #[test]
+    fn liveness_bans_refusing_partner_after_strikes() {
+        let mut node = Ordering::mod_jk_live(NodeId::new(1), attr(50.0), 0.9, 2, 5);
+        assert!(node.tracks_liveness());
+        let refuser = NodeId::new(2);
+        let view = view_of(&[(2, 120.0, 0.1)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c); // proposal #1 (never answered)
+        node.on_active(&view, &mut c); // abandon #1 → strike 1, back off
+        assert_eq!(c.count(Event::SwapAbandoned), 1);
+        assert_eq!(c.count(Event::SwapProposed), 1, "backoff: no re-proposal");
+        assert!(!node.is_partner_banned(refuser));
+        node.on_active(&view, &mut c); // proposal #2
+        node.on_active(&view, &mut c); // abandon #2 → strike 2 → ban
+        assert_eq!(c.count(Event::SwapAbandoned), 2);
+        assert!(node.is_partner_banned(refuser));
+        assert_eq!(
+            c.count(Event::SwapProposed),
+            2,
+            "a banned partner draws no further proposals"
+        );
+        // The ban expires after `cooldown` activations (banned at clock 4,
+        // excluded through clock 8, free again at clock 9).
+        for _ in 0..4 {
+            node.on_active(&view, &mut c);
+            assert!(node.is_partner_banned(refuser));
+        }
+        node.on_active(&view, &mut c);
+        assert!(!node.is_partner_banned(refuser), "cooldown must expire");
+        assert_eq!(c.count(Event::SwapProposed), 3, "selection resumes");
+    }
+
+    #[test]
+    fn successful_swap_clears_strikes_and_pending() {
+        let mut node = Ordering::mod_jk_live(NodeId::new(1), attr(50.0), 0.9, 2, 5);
+        let view = view_of(&[(2, 120.0, 0.1)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c); // proposal #1 unresolved
+        node.on_active(&view, &mut c); // abandon → strike 1, back off
+        node.on_active(&view, &mut c); // proposal #2
+        assert_eq!(c.count(Event::SwapAbandoned), 1);
+        // This time the partner accepts (the simulator's transactional
+        // path): pending resolves, the strike slate wipes.
+        node.adopt_value(0.1);
+        assert_eq!(node.random_value(), 0.1);
+        let ordered = view_of(&[(3, 120.0, 0.95)]);
+        node.on_active(&ordered, &mut c);
+        assert_eq!(
+            c.count(Event::SwapAbandoned),
+            1,
+            "a resolved proposal charges no strike"
+        );
+        assert!(!node.is_partner_banned(NodeId::new(2)));
+    }
+
+    #[test]
+    fn ack_resolution_clears_strikes_too() {
+        // The raw Fig. 2 message path (network runtime): an answering
+        // partner is live whatever the swap outcome — one completed
+        // exchange must wipe the partner's accumulated strikes.
+        let mut node = Ordering::mod_jk_live(NodeId::new(1), attr(50.0), 0.9, 2, 5);
+        let refuser = NodeId::new(2);
+        let view = view_of(&[(2, 120.0, 0.1)]);
+        let mut c = ctx();
+        node.on_active(&view, &mut c); // proposal #1
+        node.on_active(&view, &mut c); // abandon → strike 1, back off
+        node.on_active(&view, &mut c); // proposal #2
+        node.on_message(
+            &view,
+            ProtocolMsg::SwapAck {
+                from: refuser,
+                r: 0.1,
+            },
+            &mut c,
+        );
+        assert_eq!(node.random_value(), 0.1, "the ACK completed the swap");
+        // Two more unresolved proposals: were the earlier strike still on
+        // the books, the second would be strike #3 — but the slate was
+        // wiped, so the ban lands exactly at two *fresh* strikes.
+        let again = view_of(&[(2, 120.0, 0.05)]);
+        node.on_active(&again, &mut c); // proposal #3
+        node.on_active(&again, &mut c); // abandon → fresh strike 1
+        assert!(
+            !node.is_partner_banned(refuser),
+            "the resolved exchange must have wiped the first strike"
+        );
+        node.on_active(&again, &mut c); // proposal #4
+        node.on_active(&again, &mut c); // abandon → fresh strike 2 → ban
+        assert!(node.is_partner_banned(refuser));
+        assert_eq!(c.count(Event::SwapAbandoned), 3);
+    }
+
+    #[test]
+    fn liveness_defense_unwedges_against_a_refuser() {
+        // One honest node, one permanent swap-refuser that looks maximally
+        // attractive to the gain heuristic, one honest partner. Plain
+        // mod-JK proposes to the refuser forever; the live variant bans it
+        // and completes the real swap.
+        let refuser = (2u64, 120.0, 0.05); // huge attribute, tiny value
+        let honest = (3u64, 100.0, 0.1);
+        let view = view_of(&[refuser, honest]);
+        let mut c = ctx();
+
+        let mut plain = Ordering::mod_jk(NodeId::new(1), attr(50.0), 0.9);
+        for _ in 0..10 {
+            plain.on_active(&view, &mut c);
+        }
+        let plain_targets: Vec<u64> = c.sent.iter().map(|(to, _)| to.as_u64()).collect();
+        assert!(
+            plain_targets.iter().all(|&t| t == 2),
+            "plain mod-JK stays wedged on the refuser: {plain_targets:?}"
+        );
+
+        let mut c = ctx();
+        let mut live = Ordering::mod_jk_live(NodeId::new(1), attr(50.0), 0.9, 2, 16);
+        for _ in 0..6 {
+            live.on_active(&view, &mut c);
+            // The refuser never answers; the honest partner's ACK (with its
+            // true value) completes a real swap once selected.
+            if let Some((to, ProtocolMsg::SwapReq { .. })) = c.sent.last() {
+                if to.as_u64() == 3 {
+                    live.on_message(
+                        &view,
+                        ProtocolMsg::SwapAck {
+                            from: NodeId::new(3),
+                            r: 0.1,
+                        },
+                        &mut c,
+                    );
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            live.random_value(),
+            0.1,
+            "the live variant must reach the honest partner and swap"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! unbounded counters of Fig. 5, [`SlidingRanking`] the sliding-window
 //! variant of §5.3.4.
 
-use crate::estimator::{CounterEstimator, RankEstimator, WindowEstimator};
+use crate::estimator::{CounterEstimator, DecayEstimator, RankEstimator, WindowEstimator};
+use crate::window::ValueWindow;
 use dslice_core::protocol::{Context, Event, SliceProtocol};
 use dslice_core::{Attribute, NodeId, Partition, ProtocolMsg, View};
 use rand::Rng;
@@ -42,6 +43,78 @@ pub enum Targeting {
     TwoRandom,
 }
 
+/// Outlier-robust sample admission for the ranking family.
+///
+/// A `Liar` poisons the sample stream by inflating its outgoing attribute
+/// values far beyond the honest range, dragging every honest estimate
+/// toward 0 without bound. The filter keeps a [`ValueWindow`] of the raw
+/// attribute values recently offered to this node and rejects a new sample
+/// whose value falls outside the Tukey fences `(q1 − k·IQR, q3 + k·IQR)` of
+/// that window — a bounded-influence test: quartiles tolerate up to a
+/// quarter of upper-tail contamination, so a minority of liars cannot move
+/// the fences enough to smuggle their claims through.
+///
+/// Rejected samples are still *remembered* in the window (only excluded
+/// from the estimate): the window must keep tracking the genuine stream so
+/// honest distribution shifts widen the fences and re-admit the new range
+/// within one window turnover. Filtering activates only once the window has
+/// filled — before that there is no spread to judge against.
+#[derive(Clone, Debug)]
+pub struct RobustFilter {
+    window: ValueWindow,
+    fence_k: f64,
+}
+
+impl RobustFilter {
+    /// Default Tukey multiplier: `k = 3` is the classical "far outlier"
+    /// fence — wide enough that honest heavy-tailed streams (Pareto
+    /// attributes) pass, tight enough to reject 10× inflation.
+    pub const DEFAULT_FENCE_K: f64 = 3.0;
+
+    /// Creates a filter remembering the freshest `window` raw samples, with
+    /// the default fence multiplier.
+    pub fn new(window: usize) -> Self {
+        Self::with_fence(window, Self::DEFAULT_FENCE_K)
+    }
+
+    /// Creates a filter with an explicit fence multiplier `k > 0`.
+    ///
+    /// # Panics
+    /// Panics if `fence_k` is not positive and finite, or `window` is zero.
+    pub fn with_fence(window: usize, fence_k: f64) -> Self {
+        assert!(
+            fence_k.is_finite() && fence_k > 0.0,
+            "fence multiplier must be positive and finite, got {fence_k}"
+        );
+        RobustFilter {
+            window: ValueWindow::new(window),
+            fence_k,
+        }
+    }
+
+    /// Number of raw samples the filter remembers.
+    pub fn window_capacity(&self) -> usize {
+        self.window.capacity()
+    }
+
+    /// Judges `value` against the fences of the remembered stream, then
+    /// remembers it either way. Returns `false` iff the sample is an
+    /// outlier and should not enter the estimate.
+    pub fn admit(&mut self, value: f64) -> bool {
+        let admitted = if self.window.is_full() {
+            match self.window.tukey_fences(self.fence_k) {
+                Some((lo, hi)) => value >= lo && value <= hi,
+                // Zero spread: no basis to call anything an outlier.
+                None => true,
+            }
+        } else {
+            true // warmup: the window has not seen a full stream yet
+        };
+        self.window.push(value);
+        admitted
+    }
+}
+
 /// A ranking-algorithm node, generic over the sample accumulator.
 #[derive(Clone, Debug)]
 pub struct RankingProtocol<E: RankEstimator> {
@@ -53,6 +126,9 @@ pub struct RankingProtocol<E: RankEstimator> {
     estimator: E,
     partition: Partition,
     targeting: Targeting,
+    /// Optional outlier-robust sample admission (off for the paper-faithful
+    /// variants; every sample is absorbed unconditionally when `None`).
+    filter: Option<RobustFilter>,
 }
 
 /// The ranking algorithm with unbounded counters (Fig. 5).
@@ -60,6 +136,9 @@ pub type Ranking = RankingProtocol<CounterEstimator>;
 
 /// The sliding-window ranking algorithm (§5.3.4).
 pub type SlidingRanking = RankingProtocol<WindowEstimator>;
+
+/// The ranking algorithm with exponential sample aging.
+pub type DecayRanking = RankingProtocol<DecayEstimator>;
 
 impl Ranking {
     /// Creates a counter-based ranking node. `initial` is the provisional
@@ -72,6 +151,7 @@ impl Ranking {
             estimator: CounterEstimator::new(),
             partition,
             targeting: Targeting::default(),
+            filter: None,
         }
     }
 
@@ -104,6 +184,29 @@ impl SlidingRanking {
             estimator: WindowEstimator::new(window),
             partition,
             targeting: Targeting::default(),
+            filter: None,
+        }
+    }
+}
+
+impl DecayRanking {
+    /// Creates a sample-aging ranking node with decay factor
+    /// `lambda ∈ (0, 1)` (see [`DecayEstimator`]).
+    pub fn with_lambda(
+        id: NodeId,
+        attribute: Attribute,
+        initial: f64,
+        partition: Partition,
+        lambda: f64,
+    ) -> Self {
+        RankingProtocol {
+            id,
+            attribute,
+            initial,
+            estimator: DecayEstimator::new(lambda),
+            partition,
+            targeting: Targeting::default(),
+            filter: None,
         }
     }
 }
@@ -113,6 +216,18 @@ impl<E: RankEstimator> RankingProtocol<E> {
     pub fn with_targeting(mut self, targeting: Targeting) -> Self {
         self.targeting = targeting;
         self
+    }
+
+    /// Attaches outlier-robust sample admission (builder style): samples
+    /// outside the filter's fences are rejected instead of absorbed.
+    pub fn with_filter(mut self, filter: RobustFilter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// The robust-admission filter, if one is attached.
+    pub fn filter(&self) -> Option<&RobustFilter> {
+        self.filter.as_ref()
     }
 
     /// The target-selection policy in use.
@@ -137,7 +252,17 @@ impl<E: RankEstimator> RankingProtocol<E> {
 
     /// Folds one observed attribute value into the estimate
     /// (lines 6–7 / 18–19 of Fig. 5: `if a_j ≤ a_i then ℓ_i ← ℓ_i + 1`).
+    ///
+    /// Both sample channels — view scans in `on_active` and received `UPD`
+    /// messages — funnel through here, so an attached [`RobustFilter`]
+    /// covers every poisoning path.
     fn observe(&mut self, a: Attribute, ctx: &mut dyn Context) {
+        if let Some(filter) = &mut self.filter {
+            if !filter.admit(a.value()) {
+                ctx.record(Event::SampleRejected);
+                return;
+            }
+        }
         self.estimator.absorb(a <= self.attribute);
         ctx.record(Event::SampleAbsorbed);
     }
@@ -423,6 +548,112 @@ mod tests {
         assert_eq!(node.try_atomic_swap(attr(120.0), 0.1), None);
         node.adopt_value(0.99);
         assert_eq!(node.estimate(), 0.42, "adopt_value is a no-op for ranking");
+    }
+
+    #[test]
+    fn decay_variant_forgets_a_regional_shock() {
+        // Pre-shock: samples uniformly straddle the node (estimate ~0.5).
+        // Shock: the whole upper half vanishes — every remaining sample is
+        // lower. The aging estimate must race toward 1.0; a counter would
+        // crawl harmonically.
+        let mut node = DecayRanking::with_lambda(NodeId::new(1), attr(50.0), 0.5, part(10), 0.95);
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        let send = |node: &mut DecayRanking, a: f64, c: &mut MockContext<StdRng>| {
+            node.on_message(
+                &view,
+                ProtocolMsg::Update {
+                    from: NodeId::new(2),
+                    a: attr(a),
+                },
+                c,
+            );
+        };
+        for i in 0..200 {
+            send(&mut node, if i % 2 == 0 { 10.0 } else { 90.0 }, &mut c);
+        }
+        assert!((node.estimate() - 0.5).abs() < 0.05);
+        for _ in 0..100 {
+            send(&mut node, 10.0, &mut c);
+        }
+        assert!(
+            node.estimate() > 0.98,
+            "aging estimate must track the shock, got {}",
+            node.estimate()
+        );
+    }
+
+    #[test]
+    fn robust_filter_rejects_inflated_samples() {
+        let mut node = Ranking::new(NodeId::new(1), attr(50.0), 0.5, part(10))
+            .with_filter(RobustFilter::new(16));
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        let send = |node: &mut Ranking, a: f64, c: &mut MockContext<StdRng>| {
+            node.on_message(
+                &view,
+                ProtocolMsg::Update {
+                    from: NodeId::new(2),
+                    a: attr(a),
+                },
+                c,
+            );
+        };
+        // Warm the window with an honest spread around the node.
+        for i in 0..32 {
+            send(&mut node, 30.0 + (i % 8) as f64 * 10.0, &mut c);
+        }
+        let absorbed_before = c.count(Event::SampleAbsorbed);
+        let estimate_before = node.estimate();
+        assert_eq!(c.count(Event::SampleRejected), 0);
+        // A liar's 10×-inflated attribute is far outside the fences.
+        send(&mut node, 1000.0, &mut c);
+        assert_eq!(c.count(Event::SampleRejected), 1);
+        assert_eq!(c.count(Event::SampleAbsorbed), absorbed_before);
+        assert_eq!(
+            node.estimate(),
+            estimate_before,
+            "rejected samples must not move the estimate"
+        );
+        // Honest samples keep flowing.
+        send(&mut node, 60.0, &mut c);
+        assert_eq!(c.count(Event::SampleAbsorbed), absorbed_before + 1);
+    }
+
+    #[test]
+    fn robust_filter_readmits_after_honest_shift() {
+        // The attribute landscape genuinely moves (churn rotates the
+        // population upward): rejected-but-remembered samples widen the
+        // fences so the new range is accepted within one window turnover.
+        let mut filter = RobustFilter::new(8);
+        for i in 0..8 {
+            assert!(filter.admit(10.0 + i as f64));
+        }
+        assert!(!filter.admit(1000.0), "the jump itself is an outlier");
+        let mut admitted = 0;
+        for _ in 0..16 {
+            if filter.admit(1000.0) {
+                admitted += 1;
+            }
+        }
+        assert!(
+            admitted >= 8,
+            "a sustained shift must be re-admitted, got {admitted}/16"
+        );
+    }
+
+    #[test]
+    fn robust_filter_warmup_admits_everything() {
+        let mut filter = RobustFilter::new(4);
+        assert!(filter.admit(1.0));
+        assert!(filter.admit(1e9), "no fences before the window fills");
+        assert_eq!(filter.window_capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fence multiplier")]
+    fn robust_filter_rejects_bad_fence() {
+        let _ = RobustFilter::with_fence(8, 0.0);
     }
 
     proptest! {

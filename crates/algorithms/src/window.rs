@@ -9,11 +9,22 @@
 //! [`BitWindow`] is that structure: a ring buffer of single bits packed into
 //! `u64` words, with O(1) push and a running popcount so the rank estimate
 //! `ones / len` is O(1) too.
+//!
+//! [`ValueWindow`] keeps the *raw* attribute samples (not just the
+//! comparison bit) in the same FIFO discipline and answers order-statistic
+//! queries over them — the evidence base for the outlier-robust absorption
+//! defense, which needs quartiles of the recent sample stream to decide
+//! whether a new sample is statistically plausible.
 
 use serde::{Deserialize, Serialize};
 
 /// A fixed-capacity ring buffer of bits with a running count of ones.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Deserialization is validating: every structural invariant (`ones ≤ len ≤
+/// capacity`, word-vector length, popcount agreement, no bits outside the
+/// live region) is re-checked, so crafted JSON cannot materialize a window
+/// whose running counters disagree with its bits.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct BitWindow {
     words: Vec<u64>,
     capacity: usize,
@@ -108,6 +119,197 @@ impl BitWindow {
     pub fn size_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// Whether bit slot `idx` is set (callers guarantee `idx < capacity`).
+    fn bit(words: &[u64], idx: usize) -> bool {
+        words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+}
+
+impl Deserialize for BitWindow {
+    /// Validating deserialization: the derived impl would happily accept
+    /// `ones > len`, `len > capacity` or bits parked outside the live
+    /// region, silently corrupting every later `fraction()` answer. Each
+    /// invariant `push`/`clear` maintain is re-established here instead.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct BitWindow"))?;
+        let field = |name: &str| serde::__field(m, name);
+        let err = |msg: String| serde::Error::custom(format!("BitWindow: {msg}"));
+        let words: Vec<u64> = Deserialize::from_value(field("words"))
+            .map_err(|e| serde::Error::custom(format!("BitWindow.words: {e}")))?;
+        let capacity: usize = Deserialize::from_value(field("capacity"))
+            .map_err(|e| serde::Error::custom(format!("BitWindow.capacity: {e}")))?;
+        let len: usize = Deserialize::from_value(field("len"))
+            .map_err(|e| serde::Error::custom(format!("BitWindow.len: {e}")))?;
+        let head: usize = Deserialize::from_value(field("head"))
+            .map_err(|e| serde::Error::custom(format!("BitWindow.head: {e}")))?;
+        let ones: usize = Deserialize::from_value(field("ones"))
+            .map_err(|e| serde::Error::custom(format!("BitWindow.ones: {e}")))?;
+
+        if capacity == 0 {
+            return Err(err("capacity must be at least 1".into()));
+        }
+        if words.len() != capacity.div_ceil(64) {
+            return Err(err(format!(
+                "capacity {capacity} needs {} words, got {}",
+                capacity.div_ceil(64),
+                words.len()
+            )));
+        }
+        if len > capacity {
+            return Err(err(format!("len {len} exceeds capacity {capacity}")));
+        }
+        if head >= capacity {
+            return Err(err(format!(
+                "head {head} out of range for capacity {capacity}"
+            )));
+        }
+        // Until the first wrap the head trails the push count exactly;
+        // afterwards len stays pinned at capacity. Any other combination is
+        // unreachable from `new`/`push`/`clear`.
+        if len < capacity && head != len {
+            return Err(err(format!(
+                "head {head} inconsistent with unwrapped len {len}"
+            )));
+        }
+        if ones > len {
+            return Err(err(format!("ones {ones} exceeds len {len}")));
+        }
+        let popcount: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        if popcount != ones {
+            return Err(err(format!(
+                "running count {ones} disagrees with stored bits ({popcount} set)"
+            )));
+        }
+        // Every set bit must lie in the live region (push clears evicted
+        // slots, and bits beyond `capacity` in the last word never exist).
+        // Unwrapped windows live in [0, len); full windows own every slot.
+        for idx in 0..capacity {
+            let live = len == capacity || idx < len;
+            if !live && Self::bit(&words, idx) {
+                return Err(err(format!("set bit at dead slot {idx} (len {len})")));
+            }
+        }
+        for idx in capacity..words.len() * 64 {
+            if Self::bit(&words, idx) {
+                return Err(err(format!("set bit at {idx} beyond capacity {capacity}")));
+            }
+        }
+
+        Ok(BitWindow {
+            words,
+            capacity,
+            len,
+            head,
+            ones,
+        })
+    }
+}
+
+/// A fixed-capacity FIFO window of raw `f64` samples with order-statistic
+/// queries.
+///
+/// Where [`BitWindow`] compresses each sample to one comparison bit, this
+/// window retains the values themselves so their spread can be measured:
+/// the robust-absorption defense asks "is this new sample an outlier versus
+/// the recent stream?" via [`tukey_fences`](ValueWindow::tukey_fences).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ValueWindow {
+    values: Vec<f64>,
+    capacity: usize,
+    /// Index the next overwrite lands on once the window has filled.
+    head: usize,
+}
+
+impl ValueWindow {
+    /// Creates a window retaining the freshest `capacity ≥ 1` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ValueWindow capacity must be at least 1");
+        ValueWindow {
+            values: Vec::new(),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// The maximal number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently stored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples are stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the window has filled (old samples are being discarded).
+    pub fn is_full(&self) -> bool {
+        self.values.len() == self.capacity
+    }
+
+    /// Pushes a sample, evicting the oldest one if the window is full.
+    pub fn push(&mut self, value: f64) {
+        if self.values.len() < self.capacity {
+            self.values.push(value);
+        } else {
+            self.values[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Discards all stored samples.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.head = 0;
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) of the stored samples with linear
+    /// interpolation between order statistics, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        Some(Self::interpolate(&sorted, q))
+    }
+
+    /// `q`-quantile over an already-sorted slice.
+    fn interpolate(sorted: &[f64], q: f64) -> f64 {
+        let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+
+    /// Tukey outlier fences `(q1 − k·IQR, q3 + k·IQR)` over the stored
+    /// samples. `None` while the window is empty or the interquartile range
+    /// is zero (a degenerate stream carries no spread information to judge
+    /// outliers against).
+    pub fn tukey_fences(&self, k: f64) -> Option<(f64, f64)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let q1 = Self::interpolate(&sorted, 0.25);
+        let q3 = Self::interpolate(&sorted, 0.75);
+        let iqr = q3 - q1;
+        if iqr <= 0.0 {
+            return None;
+        }
+        Some((q1 - k * iqr, q3 + k * iqr))
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +386,138 @@ mod tests {
         assert!(w.ones() == 32 || w.ones() == 33);
     }
 
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let mut w = BitWindow::new(100);
+        for i in 0..137 {
+            w.push(i % 3 != 0);
+        }
+        let json = serde_json::to_string(&w).unwrap();
+        let parsed: BitWindow = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, w);
+        // And an unwrapped window too.
+        let mut small = BitWindow::new(70);
+        small.push(true);
+        small.push(false);
+        let parsed: BitWindow =
+            serde_json::from_str(&serde_json::to_string(&small).unwrap()).unwrap();
+        assert_eq!(parsed, small);
+    }
+
+    #[test]
+    fn deserialize_rejects_inconsistent_state() {
+        // A valid 8-bit window with 2 stored bits (both set) for reference:
+        // {"words":[3],"capacity":8,"len":2,"head":2,"ones":2}
+        let cases = [
+            // ones > len
+            (
+                r#"{"words":[3],"capacity":8,"len":1,"head":1,"ones":2}"#,
+                "exceeds len",
+            ),
+            // len > capacity
+            (
+                r#"{"words":[3],"capacity":8,"len":9,"head":0,"ones":2}"#,
+                "exceeds capacity",
+            ),
+            // zero capacity
+            (
+                r#"{"words":[],"capacity":0,"len":0,"head":0,"ones":0}"#,
+                "at least 1",
+            ),
+            // wrong word-vector length
+            (
+                r#"{"words":[3,0],"capacity":8,"len":2,"head":2,"ones":2}"#,
+                "words",
+            ),
+            // head out of range
+            (
+                r#"{"words":[3],"capacity":8,"len":8,"head":8,"ones":2}"#,
+                "head",
+            ),
+            // head disagrees with an unwrapped len
+            (
+                r#"{"words":[3],"capacity":8,"len":2,"head":5,"ones":2}"#,
+                "inconsistent",
+            ),
+            // running count disagrees with the stored bits
+            (
+                r#"{"words":[7],"capacity":8,"len":4,"head":4,"ones":2}"#,
+                "disagrees",
+            ),
+            // a set bit in a dead slot (len 2 but bit 2 set; popcount agrees)
+            (
+                r#"{"words":[5],"capacity":8,"len":2,"head":2,"ones":2}"#,
+                "dead slot",
+            ),
+            // a set bit beyond capacity inside the last word
+            (
+                r#"{"words":[256],"capacity":8,"len":8,"head":0,"ones":1}"#,
+                "beyond capacity",
+            ),
+        ];
+        for (json, needle) in cases {
+            let err = serde_json::from_str::<BitWindow>(json)
+                .expect_err(&format!("must reject {json}"))
+                .to_string();
+            assert!(
+                err.contains(needle),
+                "error for {json} should mention `{needle}`, got: {err}"
+            );
+        }
+        // The reference state itself parses.
+        let ok: BitWindow =
+            serde_json::from_str(r#"{"words":[3],"capacity":8,"len":2,"head":2,"ones":2}"#)
+                .unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.ones(), 2);
+    }
+
+    #[test]
+    fn value_window_fifo_and_quantiles() {
+        let mut w = ValueWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.5), None);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.quantile(0.0), Some(1.0));
+        assert_eq!(w.quantile(1.0), Some(4.0));
+        assert_eq!(w.quantile(0.5), Some(2.5));
+        // Pushing evicts the oldest: window becomes {2, 3, 4, 10}.
+        w.push(10.0);
+        assert_eq!(w.quantile(1.0), Some(10.0));
+        assert_eq!(w.quantile(0.0), Some(2.0));
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 4);
+    }
+
+    #[test]
+    fn value_window_tukey_fences() {
+        let mut w = ValueWindow::new(8);
+        assert_eq!(w.tukey_fences(1.5), None, "empty window has no fences");
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0] {
+            w.push(v);
+        }
+        // q1 = 2.75, q3 = 6.25, IQR = 3.5.
+        let (lo, hi) = w.tukey_fences(1.5).unwrap();
+        assert!((lo - (2.75 - 5.25)).abs() < 1e-12);
+        assert!((hi - (6.25 + 5.25)).abs() < 1e-12);
+        // Degenerate stream: all equal → no spread → no fences.
+        let mut flat = ValueWindow::new(8);
+        for _ in 0..8 {
+            flat.push(5.0);
+        }
+        assert_eq!(flat.tukey_fences(1.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn value_window_zero_capacity_panics() {
+        let _ = ValueWindow::new(0);
+    }
+
     proptest! {
         #[test]
         fn matches_reference_deque(
@@ -201,6 +535,45 @@ mod tests {
                 prop_assert_eq!(w.len(), reference.len());
                 let expect_ones = reference.iter().filter(|&&x| x).count();
                 prop_assert_eq!(w.ones(), expect_ones);
+            }
+        }
+
+        #[test]
+        fn deserialized_windows_always_came_from_valid_pushes(
+            cap in 1usize..100,
+            bits in proptest::collection::vec(any::<bool>(), 0..300),
+        ) {
+            // Serialize any reachable state; deserialization must accept it
+            // bit-for-bit (the validator rejects only unreachable states).
+            let mut w = BitWindow::new(cap);
+            for b in bits {
+                w.push(b);
+            }
+            let parsed: BitWindow =
+                serde_json::from_str(&serde_json::to_string(&w).unwrap()).unwrap();
+            prop_assert_eq!(parsed, w);
+        }
+
+        #[test]
+        fn value_window_quantiles_match_sorted_suffix(
+            cap in 1usize..50,
+            samples in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        ) {
+            let mut w = ValueWindow::new(cap);
+            for &s in &samples {
+                w.push(s);
+            }
+            let mut tail: Vec<f64> =
+                samples.iter().rev().take(cap).copied().collect();
+            tail.sort_unstable_by(f64::total_cmp);
+            prop_assert_eq!(w.len(), tail.len());
+            prop_assert_eq!(w.quantile(0.0), Some(tail[0]));
+            prop_assert_eq!(w.quantile(1.0), Some(*tail.last().unwrap()));
+            if let Some((lo, hi)) = w.tukey_fences(3.0) {
+                prop_assert!(lo < hi);
+                // Fences bracket the interquartile range.
+                prop_assert!(lo <= w.quantile(0.25).unwrap());
+                prop_assert!(hi >= w.quantile(0.75).unwrap());
             }
         }
     }

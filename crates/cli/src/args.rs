@@ -128,7 +128,8 @@ pub const USAGE: &str = "\
 dslice-cli — distributed slicing from the shell
 
 USAGE:
-  dslice-cli sim [--protocol jk|mod-jk|ranking|ranking-uniform|sliding:<window>]
+  dslice-cli sim [--protocol jk|mod-jk|mod-jk-live[:<strikes>:<cooldown>]|ranking
+                             |ranking-uniform|sliding:<window>|decay:<lambda>|robust:<window>]
                  [--sampler cyclon|newscast|lpbcast|uniform]
                  [--n N] [--slices K] [--view C] [--cycles T] [--seed S]
                  [--concurrency none|half|full]
@@ -159,23 +160,58 @@ where
         .map_err(|e| format!("invalid value for {flag}: {raw:?} ({e})"))
 }
 
+/// Default liveness knobs for a bare `mod-jk-live` (the scenario library's
+/// calibration: two strikes, a 64-activation ban).
+const MOD_JK_LIVE_DEFAULTS: ProtocolKind = ProtocolKind::ModJkLive {
+    strike_limit: 2,
+    cooldown: 64,
+};
+
 pub fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
-    match raw {
-        "jk" => Ok(ProtocolKind::Jk),
-        "mod-jk" | "modjk" => Ok(ProtocolKind::ModJk),
-        "ranking" => Ok(ProtocolKind::Ranking),
-        "ranking-uniform" => Ok(ProtocolKind::RankingUniform),
+    let kind = match raw {
+        "jk" => ProtocolKind::Jk,
+        "mod-jk" | "modjk" => ProtocolKind::ModJk,
+        "mod-jk-live" | "modjklive" => MOD_JK_LIVE_DEFAULTS,
+        "ranking" => ProtocolKind::Ranking,
+        "ranking-uniform" => ProtocolKind::RankingUniform,
+        "sliding" => {
+            return Err("sliding requires an explicit window (sliding:<window>)".into());
+        }
         other => {
             if let Some(window) = other.strip_prefix("sliding:") {
-                let window = parse_num("--protocol sliding", window)?;
-                Ok(ProtocolKind::SlidingRanking { window })
-            } else if other == "sliding" {
-                Ok(ProtocolKind::SlidingRanking { window: 10_000 })
+                ProtocolKind::SlidingRanking {
+                    window: parse_num("--protocol sliding", window)?,
+                }
+            } else if let Some(lambda) = other.strip_prefix("decay:") {
+                let lambda: f64 = parse_num("--protocol decay", lambda)?;
+                // Constructed directly (not via `ProtocolKind::decay`, which
+                // panics) so out-of-range factors surface as parse errors.
+                ProtocolKind::DecayRanking {
+                    lambda_ppm: (lambda * 1e6).round() as u32,
+                }
+            } else if let Some(window) = other.strip_prefix("robust:") {
+                ProtocolKind::RobustRanking {
+                    window: parse_num("--protocol robust", window)?,
+                }
+            } else if let Some(spec) = other.strip_prefix("mod-jk-live:") {
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() != 2 {
+                    return Err(format!(
+                        "mod-jk-live takes <strike-limit>:<cooldown>, got {raw:?}"
+                    ));
+                }
+                ProtocolKind::ModJkLive {
+                    strike_limit: parse_num("--protocol mod-jk-live strike limit", parts[0])?,
+                    cooldown: parse_num("--protocol mod-jk-live cooldown", parts[1])?,
+                }
             } else {
-                Err(format!("unknown protocol {other:?}"))
+                return Err(format!("unknown protocol {other:?}"));
             }
         }
-    }
+    };
+    kind.validate()
+        .map_err(|e| format!("invalid protocol {raw:?}: {e}"))?;
+    Ok(kind)
 }
 
 pub fn parse_sampler(raw: &str) -> Result<SamplerKind, String> {
@@ -529,12 +565,46 @@ mod tests {
             parse_protocol("sliding:512").unwrap(),
             ProtocolKind::SlidingRanking { window: 512 }
         );
-        assert_eq!(
-            parse_protocol("sliding").unwrap(),
-            ProtocolKind::SlidingRanking { window: 10_000 }
+        assert!(
+            parse_protocol("sliding").is_err(),
+            "a silent 10k default window hid the aging behavior entirely"
         );
+        assert!(parse_protocol("sliding:0").is_err(), "degenerate window");
         assert!(parse_protocol("raft").is_err());
         assert!(parse_protocol("sliding:x").is_err());
+    }
+
+    #[test]
+    fn defended_protocol_specs() {
+        assert_eq!(
+            parse_protocol("decay:0.998").unwrap(),
+            ProtocolKind::DecayRanking {
+                lambda_ppm: 998_000
+            }
+        );
+        assert!(parse_protocol("decay:0").is_err(), "λ must exceed 0");
+        assert!(parse_protocol("decay:1").is_err(), "λ must stay below 1");
+        assert!(parse_protocol("decay:-3").is_err());
+        assert!(parse_protocol("decay:x").is_err());
+        assert_eq!(
+            parse_protocol("robust:64").unwrap(),
+            ProtocolKind::RobustRanking { window: 64 }
+        );
+        assert!(
+            parse_protocol("robust:2").is_err(),
+            "window below quartiles"
+        );
+        assert_eq!(parse_protocol("mod-jk-live").unwrap(), MOD_JK_LIVE_DEFAULTS);
+        assert_eq!(
+            parse_protocol("mod-jk-live:3:128").unwrap(),
+            ProtocolKind::ModJkLive {
+                strike_limit: 3,
+                cooldown: 128
+            }
+        );
+        assert!(parse_protocol("mod-jk-live:0:16").is_err(), "zero strikes");
+        assert!(parse_protocol("mod-jk-live:2").is_err(), "missing cooldown");
+        assert!(parse_protocol("mod-jk-live:2:16:9").is_err());
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum Error {
         /// The offending value.
         value: f64,
     },
+    /// A protocol was configured with out-of-range parameters (window,
+    /// decay factor, strike limit, ...).
+    InvalidProtocol(String),
     /// A view was created with a capacity of zero.
     ZeroViewCapacity,
     /// An operation referenced a node that does not exist.
@@ -43,6 +46,7 @@ impl fmt::Display for Error {
             Error::OutOfRange { what, value } => {
                 write!(f, "{what} must lie in (0, 1], got {value}")
             }
+            Error::InvalidProtocol(msg) => write!(f, "invalid protocol configuration: {msg}"),
             Error::ZeroViewCapacity => write!(f, "view capacity must be at least 1"),
             Error::UnknownNode(id) => write!(f, "unknown node {id}"),
         }
@@ -66,6 +70,10 @@ mod tests {
                 "0.5 repeated",
             ),
             (Error::InvalidFractions("sum 0.9".into()), "sum 0.9"),
+            (
+                Error::InvalidProtocol("window must be at least 1".into()),
+                "protocol",
+            ),
             (
                 Error::OutOfRange {
                     what: "random value",

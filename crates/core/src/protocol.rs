@@ -29,6 +29,15 @@ pub enum Event {
     UpdateSent,
     /// An attribute sample was folded into the rank estimate.
     SampleAbsorbed,
+    /// A swap proposal was abandoned unresolved — the partner never
+    /// answered (dead, or it refused the transactional swap). Recorded by
+    /// the liveness-tracking ordering variant when it clears a stale
+    /// `pending` slot, so `SwapProposed` totals reconcile:
+    /// `proposed = applied-by-initiator + useless + abandoned`.
+    SwapAbandoned,
+    /// An attribute sample was rejected by outlier-robust admission instead
+    /// of being folded into the estimate (defended ranking variants).
+    SampleRejected,
 }
 
 /// Runtime services offered to a protocol during a callback.

@@ -9,9 +9,10 @@
 //!   (default `scenario-reports/`), print a summary table.
 //! * `--check`: additionally compare each report **byte-for-byte** against
 //!   the committed golden under `--goldens` (default
-//!   `docs/scenarios/goldens/`); exit non-zero on any mismatch or missing
-//!   golden. This is the CI mode — reports are deterministic at any shard
-//!   count, so a diff means behavior actually changed.
+//!   `docs/scenarios/goldens/`); exit non-zero on any mismatch, missing
+//!   golden, or orphaned golden (a `.json` on disk no library scenario
+//!   produces). This is the CI mode — reports are deterministic at any
+//!   shard count, so a diff means behavior actually changed.
 //! * `--update`: rewrite the goldens from this run (then commit the diff
 //!   alongside the change that caused it).
 //! * `--list`: print the scenario names and exit.
@@ -139,6 +140,37 @@ fn main() -> ExitCode {
                     );
                     failures.push(name);
                 }
+            }
+        }
+    }
+
+    if args.check {
+        // Orphaned goldens pin nothing: a scenario renamed or removed
+        // without its golden leaves CI green while the file rots.
+        let expected: std::collections::HashSet<String> = library::names()
+            .into_iter()
+            .map(|name| format!("{name}.json"))
+            .collect();
+        match fs::read_dir(&args.goldens) {
+            Ok(entries) => {
+                for entry in entries.flatten() {
+                    let file_name = entry.file_name().to_string_lossy().into_owned();
+                    if file_name.ends_with(".json") && !expected.contains(&file_name) {
+                        eprintln!(
+                            "scenario_matrix: orphaned golden {} (no library scenario \
+                             produces it — delete it or restore the scenario)",
+                            entry.path().display()
+                        );
+                        failures.push(file_name);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "scenario_matrix: cannot list {}: {e}",
+                    args.goldens.display()
+                );
+                failures.push("goldens-dir".into());
             }
         }
     }

@@ -86,6 +86,17 @@ pub enum ScenarioEvent {
         /// Rank inflation factor (≥ 1; claims clamp to rank 1.0).
         inflation: f64,
     },
+    /// Converts the honest nodes whose *true* ranks sit nearest the slice
+    /// boundaries into rank-inflating liars (see
+    /// `dslice_sim::Engine::corrupt_boundary_nodes`) — the targeted
+    /// adversary: boundary nodes buy the most slice displacement per
+    /// corrupted node.
+    CorruptBoundary {
+        /// Fraction of the still-honest population to corrupt.
+        fraction: f64,
+        /// Rank inflation factor (≥ 1; claims clamp to rank 1.0).
+        inflation: f64,
+    },
     /// Installs a fresh equal partition with `slices` slices on every node
     /// (§3.2's re-broadcast of global knowledge).
     Repartition {
@@ -101,7 +112,9 @@ impl ScenarioEvent {
     pub fn is_churn(&self) -> bool {
         !matches!(
             self,
-            ScenarioEvent::Corrupt { .. } | ScenarioEvent::Repartition { .. }
+            ScenarioEvent::Corrupt { .. }
+                | ScenarioEvent::CorruptBoundary { .. }
+                | ScenarioEvent::Repartition { .. }
         )
     }
 
@@ -115,6 +128,7 @@ impl ScenarioEvent {
             ScenarioEvent::RegionalFailure { .. } => "regional-failure",
             ScenarioEvent::ShiftDistribution { .. } => "shift-distribution",
             ScenarioEvent::Corrupt { .. } => "corrupt",
+            ScenarioEvent::CorruptBoundary { .. } => "corrupt-boundary",
             ScenarioEvent::Repartition { .. } => "repartition",
         }
     }
@@ -153,6 +167,7 @@ pub fn population_delta(event: &ScenarioEvent, n0: usize) -> (usize, usize) {
         }
         ScenarioEvent::ShiftDistribution { .. }
         | ScenarioEvent::Corrupt { .. }
+        | ScenarioEvent::CorruptBoundary { .. }
         | ScenarioEvent::Repartition { .. } => (0, 0),
     }
 }
@@ -383,6 +398,15 @@ impl Scenario {
         })
     }
 
+    /// Corrupts the boundary-nearest honest nodes into rank-inflating liars
+    /// at the cursor cycle (see [`ScenarioEvent::CorruptBoundary`]).
+    pub fn lying_boundary_nodes(self, fraction: f64, inflation: f64) -> Self {
+        self.push(ScenarioEvent::CorruptBoundary {
+            fraction,
+            inflation,
+        })
+    }
+
     /// Re-partitions into `slices` equal slices at the cursor cycle (see
     /// [`ScenarioEvent::Repartition`]).
     pub fn repartition(self, slices: usize) -> Self {
@@ -396,6 +420,7 @@ impl Scenario {
     /// projection proving no cycle empties the system.
     pub fn compile(&self) -> Result<Schedule> {
         self.config.validate()?;
+        self.protocol.validate()?;
         if self.cycles == 0 {
             return Err(Error::InvalidFractions(
                 "a scenario must run for at least one cycle".into(),
@@ -489,10 +514,15 @@ impl Scenario {
             ScenarioEvent::Corrupt {
                 fraction,
                 inflation,
+            }
+            | ScenarioEvent::CorruptBoundary {
+                fraction,
+                inflation,
             } => {
                 if !(0.0..=1.0).contains(fraction) || *fraction <= 0.0 {
                     return bad(format!(
-                        "corrupt fraction must lie in (0, 1], got {fraction}"
+                        "`{}` fraction must lie in (0, 1], got {fraction}",
+                        event.label()
                     ));
                 }
                 if !inflation.is_finite() || *inflation < 1.0 {
@@ -601,8 +631,37 @@ mod tests {
         assert!(base().at_cycle(10).regional_failure(1.5).compile().is_err());
         assert!(base().at_cycle(10).lying_nodes(0.0, 2.0).compile().is_err());
         assert!(base().at_cycle(10).lying_nodes(0.5, 0.5).compile().is_err());
+        assert!(base()
+            .at_cycle(10)
+            .lying_boundary_nodes(1.5, 2.0)
+            .compile()
+            .is_err());
+        assert!(base()
+            .at_cycle(10)
+            .lying_boundary_nodes(0.1, 0.5)
+            .compile()
+            .is_err());
         assert!(base().at_cycle(10).repartition(0).compile().is_err());
         assert!(base().at_cycle(10).join(1).compile().is_ok());
+        assert!(base()
+            .at_cycle(10)
+            .lying_boundary_nodes(0.1, 10.0)
+            .compile()
+            .is_ok());
+    }
+
+    #[test]
+    fn degenerate_protocol_parameters_fail_compilation() {
+        let bad = Scenario::new("t")
+            .population(100)
+            .for_cycles(50)
+            .with_protocol(ProtocolKind::SlidingRanking { window: 0 });
+        assert!(bad.compile().is_err());
+        let ok = Scenario::new("t")
+            .population(100)
+            .for_cycles(50)
+            .with_protocol(ProtocolKind::SlidingRanking { window: 64 });
+        assert!(ok.compile().is_ok());
     }
 
     #[test]

@@ -149,6 +149,103 @@ pub fn combined_stress() -> Scenario {
         .lying_nodes(0.1, 5.0)
 }
 
+// ----- defended variants ---------------------------------------------------
+//
+// Each scenario below re-runs one of the adversarial workloads above with a
+// hardened protocol variant; the pairing (same shape, same shock cycle,
+// different protocol) makes the goldens directly comparable.
+
+/// [`regional_failure`] under exponential sample aging: the decayed
+/// estimator forgets the pre-shock evidence geometrically instead of
+/// harmonically, so survivors' rank estimates recover within the run
+/// instead of being anchored by a dead region forever.
+pub fn regional_failure_decay() -> Scenario {
+    ranking_base("regional-failure-decay", 600, 111)
+        .with_protocol(ProtocolKind::decay(0.998))
+        .for_cycles(260)
+        .at_cycle(130)
+        .regional_failure(0.25)
+}
+
+/// [`regional_failure`] under the sliding-window estimator (§5.3.4) at a
+/// window small enough to turn over post-shock — the paper's own aging
+/// mechanism, pinned here as the decay variant's baseline.
+pub fn regional_failure_sliding() -> Scenario {
+    ranking_base("regional-failure-sliding", 600, 112)
+        .with_protocol(ProtocolKind::SlidingRanking { window: 512 })
+        .for_cycles(260)
+        .at_cycle(130)
+        .regional_failure(0.25)
+}
+
+/// [`shifting_distribution`] under exponential sample aging: the rolling
+/// churn keeps moving true ranks, and decayed evidence tracks the moving
+/// target instead of averaging over the whole history.
+pub fn shifting_distribution_decay() -> Scenario {
+    let mut s = ranking_base("shifting-distribution-decay", 600, 113)
+        .with_protocol(ProtocolKind::decay(0.998))
+        .for_cycles(300)
+        .at_cycle(100)
+        .shift_distribution(AttributeDistribution::Pareto {
+            scale: 1.0,
+            shape: 1.5,
+        });
+    for cycle in (104..=200).step_by(4) {
+        s = s.at_cycle(cycle).leave(24).join(24);
+    }
+    s
+}
+
+/// [`lying_nodes`] under outlier-robust sample admission: inflated samples
+/// fall outside the Tukey fences of each node's recent raw-value window
+/// and are rejected before they can poison the counters.
+pub fn lying_nodes_robust() -> Scenario {
+    ranking_base("lying-nodes-robust", 600, 114)
+        .with_protocol(ProtocolKind::RobustRanking { window: 64 })
+        .for_cycles(260)
+        .at_cycle(120)
+        .lying_nodes(0.2, 10.0)
+}
+
+/// [`lying_ordering`] under the swap-liveness defense: partners whose
+/// proposals repeatedly go unresolved are excluded from selection for a
+/// cooldown, so mod-JK routes around the swap-refusing liars instead of
+/// wedging against them.
+pub fn lying_ordering_live() -> Scenario {
+    Scenario::new("lying-ordering-live")
+        .population(600)
+        .view_size(20)
+        .slices(10)
+        .seed(115)
+        .sample_every(10)
+        .with_protocol(ProtocolKind::ModJkLive {
+            strike_limit: 2,
+            cooldown: 64,
+        })
+        .for_cycles(260)
+        .at_cycle(120)
+        .lying_nodes(0.2, 10.0)
+}
+
+/// The targeted adversary: corrupt the 10% of honest nodes whose true
+/// ranks sit nearest the slice boundaries — maximum slice displacement per
+/// corrupted node — against the undefended ranking protocol.
+pub fn boundary_corruption() -> Scenario {
+    ranking_base("boundary-corruption", 600, 116)
+        .for_cycles(260)
+        .at_cycle(120)
+        .lying_boundary_nodes(0.1, 10.0)
+}
+
+/// [`boundary_corruption`] with the outlier-robust filter in place.
+pub fn boundary_corruption_robust() -> Scenario {
+    ranking_base("boundary-corruption-robust", 600, 117)
+        .with_protocol(ProtocolKind::RobustRanking { window: 64 })
+        .for_cycles(260)
+        .at_cycle(120)
+        .lying_boundary_nodes(0.1, 10.0)
+}
+
 /// Every scenario in the matrix, in the order `scenario_matrix` runs them.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -162,6 +259,13 @@ pub fn all() -> Vec<Scenario> {
         lying_ordering(),
         repartition(),
         combined_stress(),
+        regional_failure_decay(),
+        regional_failure_sliding(),
+        shifting_distribution_decay(),
+        lying_nodes_robust(),
+        lying_ordering_live(),
+        boundary_corruption(),
+        boundary_corruption_robust(),
     ]
 }
 
@@ -194,6 +298,18 @@ mod tests {
             "lying-nodes",
         ] {
             assert!(names.contains(required), "missing `{required}`");
+        }
+        // Every defended variant rides next to its undefended counterpart.
+        for defended in [
+            "regional-failure-decay",
+            "regional-failure-sliding",
+            "shifting-distribution-decay",
+            "lying-nodes-robust",
+            "lying-ordering-live",
+            "boundary-corruption",
+            "boundary-corruption-robust",
+        ] {
+            assert!(names.contains(defended), "missing `{defended}`");
         }
     }
 

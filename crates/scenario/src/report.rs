@@ -38,7 +38,7 @@ pub struct TrajectoryPoint {
 }
 
 /// Event and message counters accumulated over the whole run.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Totals {
     /// Swap proposals sent (ordering family).
     pub swaps_proposed: u64,
@@ -58,6 +58,12 @@ pub struct Totals {
     pub joined: u64,
     /// Total believed-slice changes over the run.
     pub slice_changes: u64,
+    /// Swap proposals abandoned unresolved (liveness-tracking ordering
+    /// variant only; 0 for every paper-faithful protocol).
+    pub swaps_abandoned: u64,
+    /// Attribute samples rejected by outlier-robust admission (defended
+    /// ranking variants only; 0 otherwise).
+    pub samples_rejected: u64,
 }
 
 impl Totals {
@@ -72,6 +78,97 @@ impl Totals {
         self.left += stats.left as u64;
         self.joined += stats.joined as u64;
         self.slice_changes += stats.slice_changes as u64;
+        self.swaps_abandoned += stats.events.swaps_abandoned;
+        self.samples_rejected += stats.events.samples_rejected;
+    }
+}
+
+/// Field order of the nine original counters, shared by both hand-written
+/// impls below so they cannot drift apart.
+const TOTALS_FIELDS: [&str; 9] = [
+    "swaps_proposed",
+    "swaps_applied",
+    "swaps_useless",
+    "updates_sent",
+    "samples_absorbed",
+    "dropped_messages",
+    "left",
+    "joined",
+    "slice_changes",
+];
+
+impl serde::Serialize for Totals {
+    /// Hand-written to keep the golden files stable: the nine original
+    /// counters serialize exactly as the derived impl always did, and the
+    /// defense counters (`swaps_abandoned`, `samples_rejected`) are appended
+    /// **only when non-zero** — undefended scenarios can never record them,
+    /// so their goldens stay byte-identical.
+    fn to_value(&self) -> serde::Value {
+        let base = [
+            self.swaps_proposed,
+            self.swaps_applied,
+            self.swaps_useless,
+            self.updates_sent,
+            self.samples_absorbed,
+            self.dropped_messages,
+            self.left,
+            self.joined,
+            self.slice_changes,
+        ];
+        let mut map: Vec<(String, serde::Value)> = TOTALS_FIELDS
+            .iter()
+            .zip(base)
+            .map(|(name, v)| (name.to_string(), serde::Serialize::to_value(&v)))
+            .collect();
+        for (name, v) in [
+            ("swaps_abandoned", self.swaps_abandoned),
+            ("samples_rejected", self.samples_rejected),
+        ] {
+            if v != 0 {
+                map.push((name.to_string(), serde::Serialize::to_value(&v)));
+            }
+        }
+        serde::Value::Map(map)
+    }
+}
+
+impl serde::Deserialize for Totals {
+    /// Mirror of the conditional [`serde::Serialize`] impl: the defense
+    /// counters default to 0 when absent, so pre-defense goldens parse.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct Totals"))?;
+        let strict = |name: &str| -> Result<u64, serde::Error> {
+            serde::Deserialize::from_value(serde::__field(m, name))
+                .map_err(|e| serde::Error::custom(format!("Totals.{name}: {e}")))
+        };
+        let optional = |name: &str| -> Result<u64, serde::Error> {
+            match serde::__field(m, name) {
+                serde::Value::Null => Ok(0),
+                present => serde::Deserialize::from_value(present)
+                    .map_err(|e| serde::Error::custom(format!("Totals.{name}: {e}"))),
+            }
+        };
+        let mut base = [0u64; 9];
+        for (slot, name) in base.iter_mut().zip(TOTALS_FIELDS) {
+            *slot = strict(name)?;
+        }
+        let [swaps_proposed, swaps_applied, swaps_useless, updates_sent, samples_absorbed, dropped_messages, left, joined, slice_changes] =
+            base;
+        Ok(Totals {
+            swaps_proposed,
+            swaps_applied,
+            swaps_useless,
+            updates_sent,
+            samples_absorbed,
+            dropped_messages,
+            left,
+            joined,
+            slice_changes,
+            swaps_abandoned: optional("swaps_abandoned")?,
+            samples_rejected: optional("samples_rejected")?,
+        })
     }
 }
 
@@ -230,11 +327,60 @@ mod tests {
             timings: None,
         };
         stats.events.updates_sent = 10;
+        stats.events.swaps_abandoned = 1;
+        stats.events.samples_rejected = 5;
         totals.accumulate(&stats);
         totals.accumulate(&stats);
         assert_eq!(totals.updates_sent, 20);
         assert_eq!(totals.dropped_messages, 4);
         assert_eq!(totals.joined, 6);
         assert_eq!(totals.slice_changes, 8);
+        assert_eq!(totals.swaps_abandoned, 2);
+        assert_eq!(totals.samples_rejected, 10);
+    }
+
+    #[test]
+    fn defense_counters_serialize_only_when_nonzero() {
+        // Zero defense counters → invisible on the wire, so every
+        // pre-defense golden stays byte-identical.
+        let quiet = Totals {
+            swaps_proposed: 3,
+            ..Totals::default()
+        };
+        let json = serde_json::to_string(&quiet).unwrap();
+        assert!(!json.contains("swaps_abandoned"), "golden drift: {json}");
+        assert!(!json.contains("samples_rejected"), "golden drift: {json}");
+        let parsed: Totals = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, quiet);
+
+        // Non-zero counters round-trip.
+        let loud = Totals {
+            swaps_abandoned: 7,
+            samples_rejected: 11,
+            ..quiet.clone()
+        };
+        let json = serde_json::to_string(&loud).unwrap();
+        assert!(json.contains("\"swaps_abandoned\""));
+        assert!(json.contains("\"samples_rejected\""));
+        let parsed: Totals = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, loud);
+    }
+
+    #[test]
+    fn pre_defense_totals_json_still_parses() {
+        // The exact shape the derived impl used to emit (no defense keys).
+        let json = r#"{"swaps_proposed":1,"swaps_applied":2,"swaps_useless":3,
+            "updates_sent":4,"samples_absorbed":5,"dropped_messages":6,
+            "left":7,"joined":8,"slice_changes":9}"#;
+        let parsed: Totals = serde_json::from_str(json).unwrap();
+        assert_eq!(parsed.slice_changes, 9);
+        assert_eq!(parsed.swaps_abandoned, 0);
+        assert_eq!(parsed.samples_rejected, 0);
+        // A truncated record (missing an original counter) is still an error.
+        let truncated = r#"{"swaps_proposed":1}"#;
+        let err = serde_json::from_str::<Totals>(truncated)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("swaps_applied"), "got: {err}");
     }
 }

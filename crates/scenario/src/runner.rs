@@ -54,6 +54,12 @@ impl Scenario {
                     } => {
                         engine.corrupt_nodes(*fraction, *inflation);
                     }
+                    ScenarioEvent::CorruptBoundary {
+                        fraction,
+                        inflation,
+                    } => {
+                        engine.corrupt_boundary_nodes(*fraction, *inflation);
+                    }
                     ScenarioEvent::Repartition { slices: k } => {
                         engine.set_partition(Partition::equal(*k)?);
                         slices = *k;

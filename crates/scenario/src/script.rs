@@ -127,7 +127,9 @@ impl ChurnModel for ScriptedChurn {
                     self.distribution = distribution;
                 }
                 // Control events are the runner's business.
-                ScenarioEvent::Corrupt { .. } | ScenarioEvent::Repartition { .. } => {}
+                ScenarioEvent::Corrupt { .. }
+                | ScenarioEvent::CorruptBoundary { .. }
+                | ScenarioEvent::Repartition { .. } => {}
             }
         }
         ChurnPlan { leavers, joiners }

@@ -31,6 +31,8 @@ fn eventful(seed: u64) -> Scenario {
         .join(12)
         .at_cycle(40)
         .lying_nodes(0.1, 6.0)
+        .at_cycle(45)
+        .lying_boundary_nodes(0.05, 4.0)
         .at_cycle(50)
         .mass_leave(0.1)
         .at_cycle(55)
@@ -76,6 +78,41 @@ fn ordering_protocol_reports_are_deterministic_too() {
     cfg.shards = 4;
     let c = probe().with_config(cfg).run().unwrap().to_json();
     assert_eq!(a, c);
+}
+
+#[test]
+fn defended_protocol_variants_are_shard_invariant() {
+    // The hardened variants carry extra per-node state (decay totals,
+    // raw-value windows, strike books); none of it may observe the shard
+    // layout.
+    let variants = [
+        ProtocolKind::decay(0.998),
+        ProtocolKind::SlidingRanking { window: 512 },
+        ProtocolKind::RobustRanking { window: 64 },
+        ProtocolKind::ModJkLive {
+            strike_limit: 2,
+            cooldown: 64,
+        },
+    ];
+    for kind in variants {
+        let probe = || {
+            let view = match kind {
+                ProtocolKind::ModJkLive { .. } => 12,
+                _ => 8,
+            };
+            eventful(19).with_protocol(kind).view_size(view)
+        };
+        let reference = probe().run().unwrap().to_json();
+        for shards in [2usize, 4, 8] {
+            let mut cfg = probe().config().clone();
+            cfg.shards = shards;
+            let sharded = probe().with_config(cfg).run().unwrap().to_json();
+            assert_eq!(
+                reference, sharded,
+                "{kind:?}: shard count {shards} leaked into the report"
+            );
+        }
+    }
 }
 
 #[test]

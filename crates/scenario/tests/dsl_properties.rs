@@ -30,6 +30,12 @@ fn event_strategy() -> impl Strategy<Value = ScenarioEvent> {
                 inflation,
             }
         }),
+        (0.05f64..0.9, 1.0f64..20.0).prop_map(|(fraction, inflation)| {
+            ScenarioEvent::CorruptBoundary {
+                fraction,
+                inflation,
+            }
+        }),
         (1usize..9).prop_map(|slices| ScenarioEvent::Repartition { slices }),
     ]
 }
@@ -54,6 +60,10 @@ fn program(n: usize, cycles: usize, events: &[(usize, ScenarioEvent)]) -> Scenar
                 fraction,
                 inflation,
             } => s.lying_nodes(fraction, inflation),
+            ScenarioEvent::CorruptBoundary {
+                fraction,
+                inflation,
+            } => s.lying_boundary_nodes(fraction, inflation),
             ScenarioEvent::Repartition { slices } => s.repartition(slices),
         };
     }

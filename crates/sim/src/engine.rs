@@ -609,7 +609,59 @@ impl Engine {
             .map(|i| honest[i])
             .collect();
         chosen.sort_unstable();
-        for id in chosen {
+        self.make_liars(&chosen, inflation);
+        count
+    }
+
+    /// Converts the honest nodes whose *true* ranks sit closest to slice
+    /// boundaries into rank-inflating liars — the targeted variant of
+    /// [`corrupt_nodes`](Engine::corrupt_nodes). A boundary node needs to
+    /// move its estimate only marginally to defect to the adjacent slice,
+    /// and its poisoned samples land exactly where the ranking family's
+    /// `j1` boundary targeting concentrates traffic, so this adversary gets
+    /// the most displacement per corrupted node. Returns how many nodes
+    /// were corrupted (`round(still-honest × fraction)`).
+    ///
+    /// Selection is a pure function of the live population (true ranks from
+    /// the attribute order, ties broken by id) — no RNG is consumed, so
+    /// determinism across shard counts is trivial and the engine's
+    /// sequential RNG stream is left untouched for later events.
+    pub fn corrupt_boundary_nodes(&mut self, fraction: f64, inflation: f64) -> usize {
+        let fraction = fraction.clamp(0.0, 1.0);
+        // True normalized ranks over the *full* live population: sort by
+        // (attribute, id) exactly as the evaluation oracle does.
+        let mut by_attr: Vec<(NodeId, f64)> = self
+            .nodes
+            .iter()
+            .map(|(_, id, n)| (id, n.proto.attribute().value()))
+            .collect();
+        by_attr.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let n = by_attr.len();
+        let mut honest: Vec<(f64, NodeId)> = by_attr
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, _))| !self.liars.contains(id))
+            .map(|(pos, (id, _))| {
+                let rank = (pos + 1) as f64 / n as f64;
+                (self.cfg.partition.boundary_distance(rank), *id)
+            })
+            .collect();
+        let count = ((honest.len() as f64) * fraction).round() as usize;
+        let count = count.min(honest.len());
+        if count == 0 {
+            return 0;
+        }
+        honest.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut chosen: Vec<NodeId> = honest[..count].iter().map(|&(_, id)| id).collect();
+        chosen.sort_unstable();
+        self.make_liars(&chosen, inflation);
+        count
+    }
+
+    /// Wraps each listed live node's protocol in a [`Liar`] with the given
+    /// inflation factor and registers it in the liar set.
+    fn make_liars(&mut self, chosen: &[NodeId], inflation: f64) {
+        for &id in chosen {
             let Some((slot, node)) = self.nodes.take(id) else {
                 continue;
             };
@@ -624,7 +676,6 @@ impl Engine {
             );
             self.liars.insert(id);
         }
-        count
     }
 
     /// Number of live lying nodes.
@@ -1705,6 +1756,61 @@ mod tests {
         assert_eq!(engine.liar_count(), 110);
         // Zero fraction is a no-op.
         assert_eq!(engine.corrupt_nodes(0.0, 5.0), 0);
+    }
+
+    #[test]
+    fn corrupt_boundary_nodes_targets_the_slice_edges() {
+        let mut engine = Engine::new(small_cfg(200, 4, 61), ProtocolKind::Ranking).unwrap();
+        let corrupted = engine.corrupt_boundary_nodes(0.1, 10.0);
+        assert_eq!(corrupted, 20);
+        assert_eq!(engine.liar_count(), 20);
+        assert_eq!(engine.population(), 200, "corruption is not churn");
+        // Every chosen node's true rank must be nearer a slice boundary than
+        // every honest survivor's: compute true ranks the same way.
+        let mut by_attr: Vec<(u64, f64)> = engine
+            .snapshot()
+            .iter()
+            .map(|&(id, attr, _)| (id.as_u64(), attr.value()))
+            .collect();
+        by_attr.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let n = by_attr.len() as f64;
+        let part = engine.partition().clone();
+        let dist = |pos: usize| part.boundary_distance((pos + 1) as f64 / n);
+        let worst_liar = by_attr
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, _))| engine.is_liar(NodeId::new(*id)))
+            .map(|(pos, _)| dist(pos))
+            .fold(0.0f64, f64::max);
+        let best_honest = by_attr
+            .iter()
+            .enumerate()
+            .filter(|(_, (id, _))| !engine.is_liar(NodeId::new(*id)))
+            .map(|(pos, _)| dist(pos))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            worst_liar <= best_honest,
+            "boundary targeting must pick the edge-nearest ranks \
+             (worst liar {worst_liar} vs best honest {best_honest})"
+        );
+        // Deterministic and RNG-free: a fresh engine picks the same set.
+        let mut again = Engine::new(small_cfg(200, 4, 61), ProtocolKind::Ranking).unwrap();
+        again.corrupt_boundary_nodes(0.1, 10.0);
+        let liars_a: Vec<u64> = engine
+            .snapshot()
+            .iter()
+            .map(|&(id, _, _)| id.as_u64())
+            .filter(|&id| engine.is_liar(NodeId::new(id)))
+            .collect();
+        let liars_b: Vec<u64> = again
+            .snapshot()
+            .iter()
+            .map(|&(id, _, _)| id.as_u64())
+            .filter(|&id| again.is_liar(NodeId::new(id)))
+            .collect();
+        assert_eq!(liars_a, liars_b);
+        // Zero fraction is a no-op.
+        assert_eq!(engine.corrupt_boundary_nodes(0.0, 10.0), 0);
     }
 
     #[test]

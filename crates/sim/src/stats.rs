@@ -23,6 +23,12 @@ pub struct EventCounters {
     pub updates_sent: u64,
     /// Attribute samples folded into estimates.
     pub samples_absorbed: u64,
+    /// Swap proposals abandoned unresolved (liveness-tracking ordering
+    /// variant only; always 0 for the paper-faithful protocols).
+    pub swaps_abandoned: u64,
+    /// Attribute samples rejected by outlier-robust admission (defended
+    /// ranking variants only; always 0 otherwise).
+    pub samples_rejected: u64,
 }
 
 impl EventCounters {
@@ -34,6 +40,8 @@ impl EventCounters {
             Event::SwapUseless => self.swaps_useless += 1,
             Event::UpdateSent => self.updates_sent += 1,
             Event::SampleAbsorbed => self.samples_absorbed += 1,
+            Event::SwapAbandoned => self.swaps_abandoned += 1,
+            Event::SampleRejected => self.samples_rejected += 1,
         }
     }
 
@@ -56,6 +64,8 @@ impl EventCounters {
         self.swaps_useless += other.swaps_useless;
         self.updates_sent += other.updates_sent;
         self.samples_absorbed += other.samples_absorbed;
+        self.swaps_abandoned += other.swaps_abandoned;
+        self.samples_rejected += other.samples_rejected;
     }
 }
 
@@ -197,12 +207,12 @@ impl RunRecord {
     pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
         writeln!(
             w,
-            "cycle,n,sdm,gdm,unsuccessful_pct,swaps_proposed,swaps_applied,swaps_useless,updates_sent,dropped,left,joined,slice_changes"
+            "cycle,n,sdm,gdm,unsuccessful_pct,swaps_proposed,swaps_applied,swaps_useless,updates_sent,dropped,left,joined,slice_changes,swaps_abandoned,samples_rejected"
         )?;
         for c in &self.cycles {
             writeln!(
                 w,
-                "{},{},{},{},{:.4},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{:.4},{},{},{},{},{},{},{},{},{},{}",
                 c.cycle,
                 c.n,
                 c.sdm,
@@ -216,6 +226,8 @@ impl RunRecord {
                 c.left,
                 c.joined,
                 c.slice_changes,
+                c.events.swaps_abandoned,
+                c.events.samples_rejected,
             )?;
         }
         Ok(())
@@ -255,11 +267,16 @@ mod tests {
         c.record(Event::SwapUseless);
         c.record(Event::UpdateSent);
         c.record(Event::SampleAbsorbed);
+        c.record(Event::SwapAbandoned);
+        c.record(Event::SampleRejected);
+        c.record(Event::SampleRejected);
         assert_eq!(c.swaps_proposed, 1);
         assert_eq!(c.swaps_applied, 2);
         assert_eq!(c.swaps_useless, 1);
         assert_eq!(c.updates_sent, 1);
         assert_eq!(c.samples_absorbed, 1);
+        assert_eq!(c.swaps_abandoned, 1);
+        assert_eq!(c.samples_rejected, 2);
     }
 
     #[test]
@@ -279,11 +296,15 @@ mod tests {
             swaps_useless: 3,
             updates_sent: 4,
             samples_absorbed: 5,
+            swaps_abandoned: 6,
+            samples_rejected: 7,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.swaps_proposed, 2);
         assert_eq!(a.samples_absorbed, 10);
+        assert_eq!(a.swaps_abandoned, 12);
+        assert_eq!(a.samples_rejected, 14);
     }
 
     #[test]

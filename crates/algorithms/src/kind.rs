@@ -54,6 +54,25 @@ pub enum ProtocolKind {
         /// Number of raw samples the admission filter remembers.
         window: usize,
     },
+    /// The counter-based ranking algorithm with trimmed-mean sample
+    /// admission: samples outside the symmetric `[pct, 1 − pct]` quantile
+    /// band of the recent raw-value window are rejected. The trim fraction
+    /// is stored in parts per million (`pct = trim_ppm / 1_000_000`) to keep
+    /// the kind `Copy` and `Eq`.
+    TrimmedRanking {
+        /// Number of raw samples the admission filter remembers.
+        window: usize,
+        /// Symmetric trim fraction in parts per million, in `1..=499_999`.
+        trim_ppm: u32,
+    },
+    /// The composed poisoning defense: a sample must pass the Tukey fences
+    /// *and* fall inside the symmetric trim band.
+    FencedTrimmedRanking {
+        /// Number of raw samples the admission filter remembers.
+        window: usize,
+        /// Symmetric trim fraction in parts per million, in `1..=499_999`.
+        trim_ppm: u32,
+    },
 }
 
 impl ProtocolKind {
@@ -80,6 +99,48 @@ impl ProtocolKind {
         }
     }
 
+    /// The trim-only kind for a fraction `pct ∈ (0, 0.5)`, rounded to the
+    /// nearest part per million.
+    ///
+    /// # Panics
+    /// Panics if `pct` is outside `(0, 0.5)` (after ppm rounding) or the
+    /// window is degenerate.
+    pub fn trimmed(window: usize, pct: f64) -> Self {
+        let kind = ProtocolKind::TrimmedRanking {
+            window,
+            trim_ppm: (pct * 1e6).round() as u32,
+        };
+        kind.validate()
+            .unwrap_or_else(|e| panic!("invalid trim fraction {pct}: {e}"));
+        kind
+    }
+
+    /// The fence+trim kind for a fraction `pct ∈ (0, 0.5)`, rounded to the
+    /// nearest part per million.
+    ///
+    /// # Panics
+    /// Panics if `pct` is outside `(0, 0.5)` (after ppm rounding) or the
+    /// window is degenerate.
+    pub fn fenced_trimmed(window: usize, pct: f64) -> Self {
+        let kind = ProtocolKind::FencedTrimmedRanking {
+            window,
+            trim_ppm: (pct * 1e6).round() as u32,
+        };
+        kind.validate()
+            .unwrap_or_else(|e| panic!("invalid trim fraction {pct}: {e}"));
+        kind
+    }
+
+    /// The symmetric trim fraction of a trimming kind, `None` for every
+    /// other variant.
+    pub fn trim_fraction(&self) -> Option<f64> {
+        match self {
+            ProtocolKind::TrimmedRanking { trim_ppm, .. }
+            | ProtocolKind::FencedTrimmedRanking { trim_ppm, .. } => Some(*trim_ppm as f64 / 1e6),
+            _ => None,
+        }
+    }
+
     /// Short label for output files and run records.
     pub fn label(&self) -> &'static str {
         match self {
@@ -91,6 +152,8 @@ impl ProtocolKind {
             ProtocolKind::SlidingRanking { .. } => "sliding-ranking",
             ProtocolKind::DecayRanking { .. } => "decay-ranking",
             ProtocolKind::RobustRanking { .. } => "robust-ranking",
+            ProtocolKind::TrimmedRanking { .. } => "trimmed-ranking",
+            ProtocolKind::FencedTrimmedRanking { .. } => "fenced-trimmed-ranking",
         }
     }
 
@@ -120,6 +183,23 @@ impl ProtocolKind {
             ProtocolKind::RobustRanking { window } if *window < 4 => bad(format!(
                 "robust-ranking window must be at least 4 (quartiles need spread), got {window}"
             )),
+            ProtocolKind::TrimmedRanking { window, .. }
+            | ProtocolKind::FencedTrimmedRanking { window, .. }
+                if *window < 4 =>
+            {
+                bad(format!(
+                    "{} window must be at least 4 (quantiles need spread), got {window}",
+                    self.label()
+                ))
+            }
+            ProtocolKind::TrimmedRanking { trim_ppm, .. }
+            | ProtocolKind::FencedTrimmedRanking { trim_ppm, .. }
+                if !(1..=499_999).contains(trim_ppm) =>
+            {
+                bad(format!(
+                    "trim fraction must lie strictly between 0 and 0.5, got {trim_ppm} ppm"
+                ))
+            }
             ProtocolKind::ModJkLive {
                 strike_limit,
                 cooldown,
@@ -179,6 +259,14 @@ impl ProtocolKind {
                 Ranking::new(id, attribute, initial, partition.clone())
                     .with_filter(RobustFilter::new(window)),
             ),
+            ProtocolKind::TrimmedRanking { window, trim_ppm } => Box::new(
+                Ranking::new(id, attribute, initial, partition.clone())
+                    .with_filter(RobustFilter::trimmed(window, trim_ppm as f64 / 1e6)),
+            ),
+            ProtocolKind::FencedTrimmedRanking { window, trim_ppm } => Box::new(
+                Ranking::new(id, attribute, initial, partition.clone())
+                    .with_filter(RobustFilter::fenced_trimmed(window, trim_ppm as f64 / 1e6)),
+            ),
         }
     }
 }
@@ -210,6 +298,22 @@ mod tests {
             "robust-ranking"
         );
         assert_eq!(
+            ProtocolKind::TrimmedRanking {
+                window: 64,
+                trim_ppm: 100_000
+            }
+            .label(),
+            "trimmed-ranking"
+        );
+        assert_eq!(
+            ProtocolKind::FencedTrimmedRanking {
+                window: 64,
+                trim_ppm: 100_000
+            }
+            .label(),
+            "fenced-trimmed-ranking"
+        );
+        assert_eq!(
             ProtocolKind::ModJkLive {
                 strike_limit: 2,
                 cooldown: 16
@@ -235,6 +339,16 @@ mod tests {
         }
         .is_ordering());
         assert!(!ProtocolKind::RobustRanking { window: 64 }.is_ordering());
+        assert!(!ProtocolKind::TrimmedRanking {
+            window: 64,
+            trim_ppm: 100_000
+        }
+        .is_ordering());
+        assert!(!ProtocolKind::FencedTrimmedRanking {
+            window: 64,
+            trim_ppm: 100_000
+        }
+        .is_ordering());
     }
 
     #[test]
@@ -248,6 +362,33 @@ mod tests {
         );
         assert_eq!(kind.lambda(), Some(0.995));
         assert_eq!(ProtocolKind::Ranking.lambda(), None);
+    }
+
+    #[test]
+    fn trim_constructors_round_to_ppm() {
+        let kind = ProtocolKind::trimmed(64, 0.1);
+        assert_eq!(
+            kind,
+            ProtocolKind::TrimmedRanking {
+                window: 64,
+                trim_ppm: 100_000
+            }
+        );
+        assert_eq!(kind.trim_fraction(), Some(0.1));
+        let kind = ProtocolKind::fenced_trimmed(32, 0.05);
+        assert_eq!(
+            kind,
+            ProtocolKind::FencedTrimmedRanking {
+                window: 32,
+                trim_ppm: 50_000
+            }
+        );
+        assert_eq!(kind.trim_fraction(), Some(0.05));
+        assert_eq!(ProtocolKind::Ranking.trim_fraction(), None);
+        assert_eq!(
+            ProtocolKind::RobustRanking { window: 64 }.trim_fraction(),
+            None
+        );
     }
 
     #[test]
@@ -266,6 +407,30 @@ mod tests {
         assert!(ProtocolKind::RobustRanking { window: 3 }
             .validate()
             .is_err());
+        assert!(ProtocolKind::TrimmedRanking {
+            window: 3,
+            trim_ppm: 100_000
+        }
+        .validate()
+        .is_err());
+        assert!(ProtocolKind::TrimmedRanking {
+            window: 64,
+            trim_ppm: 0
+        }
+        .validate()
+        .is_err());
+        assert!(ProtocolKind::TrimmedRanking {
+            window: 64,
+            trim_ppm: 500_000
+        }
+        .validate()
+        .is_err());
+        assert!(ProtocolKind::FencedTrimmedRanking {
+            window: 64,
+            trim_ppm: 500_000
+        }
+        .validate()
+        .is_err());
         assert!(ProtocolKind::ModJkLive {
             strike_limit: 0,
             cooldown: 16
@@ -286,6 +451,8 @@ mod tests {
         assert!(ProtocolKind::RobustRanking { window: 64 }
             .validate()
             .is_ok());
+        assert!(ProtocolKind::trimmed(64, 0.1).validate().is_ok());
+        assert!(ProtocolKind::fenced_trimmed(64, 0.1).validate().is_ok());
         assert!(ProtocolKind::ModJkLive {
             strike_limit: 2,
             cooldown: 16
@@ -312,6 +479,14 @@ mod tests {
                 lambda_ppm: 995_000,
             },
             ProtocolKind::RobustRanking { window: 64 },
+            ProtocolKind::TrimmedRanking {
+                window: 64,
+                trim_ppm: 100_000,
+            },
+            ProtocolKind::FencedTrimmedRanking {
+                window: 64,
+                trim_ppm: 100_000,
+            },
         ] {
             let p = kind.build(
                 NodeId::new(7),
@@ -334,6 +509,14 @@ mod tests {
                 lambda_ppm: 998_000,
             },
             ProtocolKind::RobustRanking { window: 64 },
+            ProtocolKind::TrimmedRanking {
+                window: 64,
+                trim_ppm: 100_000,
+            },
+            ProtocolKind::FencedTrimmedRanking {
+                window: 32,
+                trim_ppm: 50_000,
+            },
             ProtocolKind::ModJkLive {
                 strike_limit: 2,
                 cooldown: 16,

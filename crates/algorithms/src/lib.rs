@@ -34,7 +34,16 @@
 //! ([`RobustFilter`] — bounds the influence of rank-inflating liars on
 //! honest estimates), and swap liveness ([`Ordering::mod_jk_live`] —
 //! excludes persistently unresponsive swap partners from selection so
-//! mod-JK cannot wedge against swap-refusers).
+//! mod-JK cannot wedge against swap-refusers), plus trimmed-mean sample
+//! admission ([`RobustFilter::trimmed`] — rejects samples outside a
+//! symmetric quantile band, robust even against fence-aware attackers).
+//!
+//! ## Adversaries
+//!
+//! [`Liar`] is the static attacker (fixed rank inflation, blanket swap
+//! refusal); [`adversary`] holds the *adaptive* tier — [`Colluder`],
+//! [`Throttler`], [`Drifter`] behind the [`AdaptiveAdversary`] trait and
+//! the [`Adaptive`] wrapper — attackers that observe the defense and react.
 //!
 //! ## Choosing between them
 //!
@@ -49,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod estimator;
 pub mod kind;
 pub mod liar;
@@ -57,6 +67,9 @@ pub mod ordering;
 pub mod ranking;
 pub mod window;
 
+pub use adversary::{
+    Adaptive, AdaptiveAdversary, AttackPlan, AttackerSpec, Colluder, Drifter, Throttler,
+};
 pub use estimator::{CounterEstimator, DecayEstimator, RankEstimator, WindowEstimator};
 pub use kind::ProtocolKind;
 pub use liar::Liar;

@@ -412,6 +412,7 @@ mod tests {
     use super::*;
     use dslice_core::protocol::MockContext;
     use dslice_core::{Partition, ViewEntry};
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -907,6 +908,61 @@ mod tests {
             0.1,
             "the live variant must reach the honest partner and swap"
         );
+    }
+
+    proptest! {
+        #[test]
+        fn liveness_bans_exactly_at_strike_limit_and_frees_at_cooldown_expiry(
+            strike_limit in 1u32..5,
+            cooldown in 1u64..20,
+        ) {
+            // A permanently refusing partner: each (propose, abandon)
+            // activation pair charges exactly one strike. The ban must land
+            // exactly at strike `strike_limit` — not one earlier — and
+            // expire exactly `cooldown` activations later — not one later.
+            let refuser = NodeId::new(2);
+            let view = view_of(&[(2, 120.0, 0.1)]);
+            let mut c = ctx();
+            let mut node = Ordering::mod_jk_live(
+                NodeId::new(1), attr(50.0), 0.9, strike_limit, cooldown,
+            );
+            for s in 1..=strike_limit {
+                prop_assert!(!node.is_partner_banned(refuser));
+                node.on_active(&view, &mut c); // propose
+                node.on_active(&view, &mut c); // abandon → strike s
+                if s < strike_limit {
+                    prop_assert!(
+                        !node.is_partner_banned(refuser),
+                        "strike {}/{} must not ban yet", s, strike_limit
+                    );
+                }
+            }
+            prop_assert!(
+                node.is_partner_banned(refuser),
+                "ban must land exactly at strike {}", strike_limit
+            );
+            prop_assert_eq!(
+                c.count(Event::SwapAbandoned), strike_limit as usize
+            );
+            // Banned for the next cooldown−1 activations...
+            for k in 1..cooldown {
+                node.on_active(&view, &mut c);
+                prop_assert!(
+                    node.is_partner_banned(refuser),
+                    "must stay banned at {}/{}", k, cooldown
+                );
+            }
+            // ...and free exactly on the cooldown-th, where selection
+            // resumes within the same activation.
+            node.on_active(&view, &mut c);
+            prop_assert!(
+                !node.is_partner_banned(refuser),
+                "ban must expire exactly at cooldown {}", cooldown
+            );
+            prop_assert_eq!(
+                c.count(Event::SwapProposed), strike_limit as usize + 1
+            );
+        }
     }
 
     #[test]

@@ -48,11 +48,40 @@ pub enum Targeting {
 /// A `Liar` poisons the sample stream by inflating its outgoing attribute
 /// values far beyond the honest range, dragging every honest estimate
 /// toward 0 without bound. The filter keeps a [`ValueWindow`] of the raw
-/// attribute values recently offered to this node and rejects a new sample
-/// whose value falls outside the Tukey fences `(q1 − k·IQR, q3 + k·IQR)` of
-/// that window — a bounded-influence test: quartiles tolerate up to a
-/// quarter of upper-tail contamination, so a minority of liars cannot move
-/// the fences enough to smuggle their claims through.
+/// attribute values recently offered to this node and judges each new
+/// sample against order statistics of that window, via one or both of two
+/// tests:
+///
+/// * **Tukey fences** ([`new`](RobustFilter::new) /
+///   [`with_fence`](RobustFilter::with_fence)): reject a sample outside
+///   `(q1 − k·IQR, q3 + k·IQR)` — a bounded-influence test: quartiles
+///   tolerate up to a quarter of upper-tail contamination, so a minority of
+///   naive liars cannot move the fences enough to smuggle their claims
+///   through. An *adaptive* attacker, however, can aim just inside the
+///   fences and still be admitted.
+/// * **Symmetric trimming** ([`trimmed`](RobustFilter::trimmed)): reject a
+///   sample outside the `[pct, 1 − pct]` quantile band of the window — the
+///   admission-side equivalent of a trimmed mean over the window's order
+///   statistics. Any coordinated minority smaller than `pct` of the stream
+///   lands in the trimmed tail *wherever* it aims, at the cost of also
+///   discarding the honest extremes (the ranking estimator rescales its raw
+///   band ratio to undo that systematic cost — see
+///   [`SliceProtocol::estimate`] on [`RankingProtocol`]).
+///
+/// Each test alone has a known hole. The fence admits fence-margin poison
+/// by construction. Pure trimming rejects such poison from the *estimate*,
+/// but the poison still sits in the window and drags the naive
+/// whole-window `quantile(1 − pct)` cut upward in honest terms — the
+/// admitted honest band shifts and every debiased estimate deflates by
+/// ≈ `ε·r` for a poison stream fraction `ε`, which costs as much accuracy
+/// as admitting the poison outright.
+///
+/// [`fenced_trimmed`](RobustFilter::fenced_trimmed) composes both and
+/// closes that hole: a sample must pass the outer fences *and* sit inside
+/// trim cuts computed over the window's inner-fence inliers
+/// ([`ValueWindow::fenced_trim_cuts`] with
+/// [`INNER_FENCE_RATIO`](RobustFilter::INNER_FENCE_RATIO) · `k`), so
+/// fence-margin poison can neither enter the estimate nor steer the cuts.
 ///
 /// Rejected samples are still *remembered* in the window (only excluded
 /// from the estimate): the window must keep tracking the genuine stream so
@@ -62,7 +91,10 @@ pub enum Targeting {
 #[derive(Clone, Debug)]
 pub struct RobustFilter {
     window: ValueWindow,
-    fence_k: f64,
+    /// Tukey-fence multiplier; `None` disables the fence test.
+    fence_k: Option<f64>,
+    /// Symmetric trim fraction in `(0, 0.5)`; `None` disables trimming.
+    trim_pct: Option<f64>,
 }
 
 impl RobustFilter {
@@ -71,13 +103,22 @@ impl RobustFilter {
     /// attributes) pass, tight enough to reject 10× inflation.
     pub const DEFAULT_FENCE_K: f64 = 3.0;
 
-    /// Creates a filter remembering the freshest `window` raw samples, with
-    /// the default fence multiplier.
+    /// Ratio of the admission fence multiplier used for the *inner* fences
+    /// that sanitize the trim-cut evidence base (see
+    /// [`ValueWindow::fenced_trim_cuts`]): with the default outer `k = 3`
+    /// this is Tukey's classical inner fence at `1.5 × IQR`. Mis-excluding
+    /// an honest tail sample from cut estimation only nudges the cuts;
+    /// including fence-margin poison shifts them systematically.
+    pub const INNER_FENCE_RATIO: f64 = 0.5;
+
+    /// Creates a fence-only filter remembering the freshest `window` raw
+    /// samples, with the default fence multiplier.
     pub fn new(window: usize) -> Self {
         Self::with_fence(window, Self::DEFAULT_FENCE_K)
     }
 
-    /// Creates a filter with an explicit fence multiplier `k > 0`.
+    /// Creates a fence-only filter with an explicit fence multiplier
+    /// `k > 0`.
     ///
     /// # Panics
     /// Panics if `fence_k` is not positive and finite, or `window` is zero.
@@ -88,8 +129,39 @@ impl RobustFilter {
         );
         RobustFilter {
             window: ValueWindow::new(window),
-            fence_k,
+            fence_k: Some(fence_k),
+            trim_pct: None,
         }
+    }
+
+    /// Creates a trim-only filter: admitted samples are those inside the
+    /// `[pct, 1 − pct]` quantile band of the remembered window.
+    ///
+    /// # Panics
+    /// Panics if `pct` is not strictly inside `(0, 0.5)`, or `window` is
+    /// zero.
+    pub fn trimmed(window: usize, pct: f64) -> Self {
+        assert!(
+            pct.is_finite() && pct > 0.0 && pct < 0.5,
+            "trim fraction must lie strictly inside (0, 0.5), got {pct}"
+        );
+        RobustFilter {
+            window: ValueWindow::new(window),
+            fence_k: None,
+            trim_pct: Some(pct),
+        }
+    }
+
+    /// Creates the composed defense: a sample must pass the default Tukey
+    /// fences *and* fall inside the `[pct, 1 − pct]` trim band.
+    ///
+    /// # Panics
+    /// Panics if `pct` is not strictly inside `(0, 0.5)`, or `window` is
+    /// zero.
+    pub fn fenced_trimmed(window: usize, pct: f64) -> Self {
+        let mut filter = Self::trimmed(window, pct);
+        filter.fence_k = Some(Self::DEFAULT_FENCE_K);
+        filter
     }
 
     /// Number of raw samples the filter remembers.
@@ -97,16 +169,52 @@ impl RobustFilter {
         self.window.capacity()
     }
 
-    /// Judges `value` against the fences of the remembered stream, then
-    /// remembers it either way. Returns `false` iff the sample is an
+    /// The symmetric trim fraction, if trimming is enabled.
+    pub fn trim_fraction(&self) -> Option<f64> {
+        self.trim_pct
+    }
+
+    /// Whether the Tukey-fence test is enabled.
+    pub fn has_fence(&self) -> bool {
+        self.fence_k.is_some()
+    }
+
+    /// Judges `value` against the enabled tests over the remembered stream,
+    /// then remembers it either way. Returns `false` iff the sample is an
     /// outlier and should not enter the estimate.
     pub fn admit(&mut self, value: f64) -> bool {
         let admitted = if self.window.is_full() {
-            match self.window.tukey_fences(self.fence_k) {
+            let fence_ok = match self.fence_k.and_then(|k| self.window.tukey_fences(k)) {
                 Some((lo, hi)) => value >= lo && value <= hi,
-                // Zero spread: no basis to call anything an outlier.
+                // Fence disabled, or zero spread: no basis to reject.
                 None => true,
-            }
+            };
+            let trim_ok = match self.trim_pct {
+                Some(pct) => {
+                    // Composed with a fence, the trim cuts are computed over
+                    // the window's *inner-fence* inliers (k/2, Tukey's
+                    // classical inner/outer split). A naive whole-window
+                    // quantile is itself poisonable: fence-margin samples
+                    // sitting in the window drag `quantile(1 − pct)` upward
+                    // in honest terms, deflating every debiased estimate by
+                    // ≈ ε·r even though the poison never enters the
+                    // estimate. Sanitizing the evidence base closes that
+                    // channel; admission keeps the forgiving outer fences.
+                    let (lo, hi) = match self.fence_k {
+                        Some(k) => self
+                            .window
+                            .fenced_trim_cuts(k * Self::INNER_FENCE_RATIO, pct)
+                            .expect("window is full"),
+                        None => (
+                            self.window.quantile(pct).expect("window is full"),
+                            self.window.quantile(1.0 - pct).expect("window is full"),
+                        ),
+                    };
+                    value >= lo && value <= hi
+                }
+                None => true,
+            };
+            fence_ok && trim_ok
         } else {
             true // warmup: the window has not seen a full stream yet
         };
@@ -279,8 +387,23 @@ impl<E: RankEstimator> SliceProtocol for RankingProtocol<E> {
 
     /// `r_i ← ℓ_i / g_i` (line 15), falling back to the initial random value
     /// before the first sample.
+    ///
+    /// Under a trim filter the raw ratio is a *band* position: admitted
+    /// samples span only the `[pct, 1 − pct]` quantile band of the stream,
+    /// so a node seeing fraction `raw` of the band below itself sits at
+    /// true rank `pct + raw·(1 − 2·pct)`. The rescaling undoes the
+    /// systematic bias symmetric trimming would otherwise impose on nodes
+    /// away from the median (its cost: estimates resolve no finer than
+    /// `pct` at the extremes, so keep `pct` below half the narrowest slice
+    /// width).
     fn estimate(&self) -> f64 {
-        self.estimator.estimate().unwrap_or(self.initial)
+        let Some(raw) = self.estimator.estimate() else {
+            return self.initial;
+        };
+        match self.filter.as_ref().and_then(|f| f.trim_fraction()) {
+            Some(pct) => pct + raw * (1.0 - 2.0 * pct),
+            None => raw,
+        }
     }
 
     /// Fig. 5 lines 2–16.
@@ -656,7 +779,177 @@ mod tests {
         let _ = RobustFilter::with_fence(8, 0.0);
     }
 
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn trimmed_filter_rejects_bad_fraction() {
+        let _ = RobustFilter::trimmed(8, 0.5);
+    }
+
+    #[test]
+    fn trimmed_filter_rejects_inside_fence_collusion() {
+        // A colluder aims just inside the upper Tukey fence: the fence-only
+        // filter admits the poison, the trim band does not.
+        let honest: Vec<f64> = (0..16).map(|i| 30.0 + (i % 8) as f64 * 10.0).collect();
+        let mut fenced = RobustFilter::new(16);
+        let mut trimmed = RobustFilter::trimmed(16, 0.2);
+        for &v in &honest {
+            fenced.admit(v);
+            trimmed.admit(v);
+        }
+        // Tukey fences over this spread: q1 ≈ 47.5, q3 ≈ 82.5, so the
+        // k=3 upper fence sits near 187. Aim just inside it.
+        let (_, hi) = {
+            let mut probe = ValueWindow::new(16);
+            for &v in &honest {
+                probe.push(v);
+            }
+            probe.tukey_fences(RobustFilter::DEFAULT_FENCE_K).unwrap()
+        };
+        let poison = hi * 0.999;
+        assert!(
+            fenced.admit(poison),
+            "fence-only admits the adaptive claim {poison}"
+        );
+        assert!(
+            !trimmed.admit(poison),
+            "the trim band rejects the same claim {poison}"
+        );
+        // The honest core still flows through the trimmed filter.
+        assert!(trimmed.admit(60.0));
+    }
+
+    #[test]
+    fn trimmed_estimate_is_debiased_to_true_rank() {
+        // Node at rank 0.7 of a uniform 0..100 stream under a 20% trim:
+        // admitted samples span only the [20, 80] quantile band, so the raw
+        // ratio converges near (0.7 − 0.2)/0.6 ≈ 0.83. The published
+        // estimate must be rescaled back to the true rank.
+        let mut node = Ranking::new(NodeId::new(1), attr(70.0), 0.5, part(4))
+            .with_filter(RobustFilter::trimmed(32, 0.2));
+        let view = View::new(4).unwrap();
+        let mut c = ctx();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..4000 {
+            let a = attr(rand::Rng::gen_range(&mut rng, 0..100) as f64);
+            node.on_message(
+                &view,
+                ProtocolMsg::Update {
+                    from: NodeId::new(2),
+                    a,
+                },
+                &mut c,
+            );
+        }
+        assert!(
+            (node.estimate() - 0.7).abs() < 0.05,
+            "debiased trimmed estimate should track the true rank, got {}",
+            node.estimate()
+        );
+        assert!(c.count(Event::SampleRejected) > 0, "the trim must be live");
+    }
+
+    #[test]
+    fn fenced_trimmed_composes_both_tests() {
+        let mut filter = RobustFilter::fenced_trimmed(8, 0.2);
+        assert!(filter.has_fence());
+        assert_eq!(filter.trim_fraction(), Some(0.2));
+        for i in 0..8 {
+            assert!(filter.admit(10.0 + i as f64));
+        }
+        // Far outside the fences: rejected.
+        assert!(!filter.admit(1000.0));
+        // Outside the trim band but inside the fences: still rejected.
+        assert!(!filter.admit(25.0));
+        // Inside both: admitted.
+        assert!(filter.admit(13.5));
+    }
+
+    #[test]
+    fn fenced_trimmed_cuts_resist_window_pollution() {
+        // The cut-shift attack: rejected samples still enter the window (so
+        // the filter can re-learn a shifted distribution), and a naive trim
+        // band computes its cuts over that polluted window. Poison parked at
+        // the fence margin therefore drags the whole-window `quantile(0.9)`
+        // cut upward *without a single poison sample being admitted* — every
+        // debiased honest estimate deflates. The composed filter computes
+        // its cuts over the fence-sanitized inlier subset instead, so the
+        // cuts stay put.
+        let honest: Vec<f64> = (0..64).map(|i| (i as f64 + 0.5) / 64.0).collect();
+        let poison = 2.25; // inside the k=3 admission fence of this stream
+        let probe = 0.93; // honest top band, above the clean 0.9-quantile cut
+
+        let mut clean = RobustFilter::trimmed(64, 0.1);
+        for &v in &honest {
+            clean.admit(v);
+        }
+        assert!(
+            !clean.admit(probe),
+            "clean trim band cuts the top decile: {probe} is rejected"
+        );
+
+        let mut naive = RobustFilter::trimmed(64, 0.1);
+        let mut fenced = RobustFilter::fenced_trimmed(64, 0.1);
+        for &v in &honest {
+            naive.admit(v);
+            fenced.admit(v);
+        }
+        for _ in 0..4 {
+            assert!(!naive.admit(poison), "poison is never admitted");
+            assert!(!fenced.admit(poison), "poison is never admitted");
+        }
+        // Naive cuts over the polluted window have shifted: the same probe
+        // the clean filter rejected now slips through.
+        assert!(
+            naive.admit(probe),
+            "naive trim cut was dragged up by unadmitted poison"
+        );
+        // Fence-sanitized cuts ignore the poison: the probe is still cut.
+        assert!(
+            !fenced.admit(probe),
+            "sanitized trim cut must not move under pollution"
+        );
+        // And the honest core still flows.
+        assert!(fenced.admit(0.5));
+    }
+
     proptest! {
+        #[test]
+        fn degenerate_windows_never_panic_and_admit_zero_spread(
+            w in 1usize..4,
+            value in -1e6f64..1e6,
+            probes in proptest::collection::vec(-1e6f64..1e6, 1..32),
+        ) {
+            // w < 4 leaves no room for a meaningful IQR, and an all-equal
+            // window has zero spread: both must degrade to admit-everything
+            // rather than panic or reject the (only) honest value.
+            for mut filter in [
+                RobustFilter::new(w),
+                RobustFilter::trimmed(w, 0.25),
+                RobustFilter::fenced_trimmed(w, 0.25),
+            ] {
+                for _ in 0..(w + 4) {
+                    prop_assert!(filter.admit(value), "all-equal stream must pass");
+                }
+                for &p in &probes {
+                    filter.admit(p); // must not panic, admission unspecified
+                }
+            }
+        }
+
+        #[test]
+        fn all_equal_full_windows_admit_their_own_value(
+            w in 4usize..32,
+            value in -1e6f64..1e6,
+        ) {
+            let mut filter = RobustFilter::fenced_trimmed(w, 0.1);
+            for _ in 0..(2 * w) {
+                prop_assert!(
+                    filter.admit(value),
+                    "zero-spread window must keep admitting its own value"
+                );
+            }
+        }
+
         #[test]
         fn estimate_is_always_a_probability(
             samples in proptest::collection::vec(-1e3f64..1e3, 0..200),

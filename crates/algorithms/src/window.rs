@@ -310,6 +310,43 @@ impl ValueWindow {
         }
         Some((q1 - k * iqr, q3 + k * iqr))
     }
+
+    /// Trim cuts `(quantile(pct), quantile(1 − pct))` computed over the
+    /// *fence-sanitized* subset of the window: samples outside the Tukey
+    /// fences with multiplier `k` are excluded from the evidence base
+    /// before the quantiles are taken.
+    ///
+    /// This is what makes a trim band robust to stream pollution: an
+    /// attacker injecting a few huge values into the window cannot drag the
+    /// naive `quantile(1 − pct)` cut up to its poison level, because those
+    /// values never enter the cut computation. The IQR box always lies
+    /// inside its own fences, so at least half the window survives the
+    /// sanitization and the quantiles stay well-defined. When the fences
+    /// are undefined (zero spread) the cuts fall back to whole-window
+    /// quantiles. `None` while the window is empty.
+    pub fn fenced_trim_cuts(&self, k: f64, pct: f64) -> Option<(f64, f64)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let q1 = Self::interpolate(&sorted, 0.25);
+        let q3 = Self::interpolate(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let inliers = if iqr > 0.0 {
+            let lo = q1 - k * iqr;
+            let hi = q3 + k * iqr;
+            let start = sorted.partition_point(|&v| v < lo);
+            let end = sorted.partition_point(|&v| v <= hi);
+            &sorted[start..end]
+        } else {
+            &sorted[..]
+        };
+        Some((
+            Self::interpolate(inliers, pct),
+            Self::interpolate(inliers, 1.0 - pct),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -518,6 +555,50 @@ mod tests {
         let _ = ValueWindow::new(0);
     }
 
+    #[test]
+    fn fenced_trim_cuts_ignore_fence_margin_pollution() {
+        // 60 honest samples spread over (0, 1) plus 4 poison samples parked
+        // just inside a generous admission fence. Naive whole-window cuts
+        // drift upward with the poison; fence-sanitized cuts must not.
+        let mut clean = ValueWindow::new(64);
+        let mut polluted = ValueWindow::new(64);
+        for i in 0..60 {
+            let v = (i as f64 + 0.5) / 60.0;
+            clean.push(v);
+            polluted.push(v);
+        }
+        for _ in 0..4 {
+            polluted.push(2.25);
+        }
+        let (clean_lo, clean_hi) = clean.fenced_trim_cuts(1.5, 0.1).unwrap();
+        let (lo, hi) = polluted.fenced_trim_cuts(1.5, 0.1).unwrap();
+        assert!(
+            (lo - clean_lo).abs() < 0.02 && (hi - clean_hi).abs() < 0.02,
+            "sanitized cuts ({lo:.3}, {hi:.3}) drifted from clean ({clean_lo:.3}, {clean_hi:.3})"
+        );
+        assert!(hi < 1.0, "upper cut must stay below the poison level");
+        // The naive whole-window cut, by contrast, is dragged upward by the
+        // four poison samples sitting at the top of the order: quantile 0.9
+        // of the polluted window lands ~0.06 above the clean cut.
+        assert!(polluted.quantile(0.9).unwrap() > clean_hi + 0.04);
+    }
+
+    #[test]
+    fn fenced_trim_cuts_degenerate_cases() {
+        let empty = ValueWindow::new(8);
+        assert_eq!(empty.fenced_trim_cuts(1.5, 0.1), None);
+        // Zero spread → fences undefined → whole-window fallback.
+        let mut flat = ValueWindow::new(8);
+        for _ in 0..8 {
+            flat.push(5.0);
+        }
+        assert_eq!(flat.fenced_trim_cuts(1.5, 0.1), Some((5.0, 5.0)));
+        // A single sample is its own cut on both sides.
+        let mut one = ValueWindow::new(8);
+        one.push(3.0);
+        assert_eq!(one.fenced_trim_cuts(1.5, 0.1), Some((3.0, 3.0)));
+    }
+
     proptest! {
         #[test]
         fn matches_reference_deque(
@@ -575,6 +656,27 @@ mod tests {
                 prop_assert!(lo <= w.quantile(0.25).unwrap());
                 prop_assert!(hi >= w.quantile(0.75).unwrap());
             }
+        }
+
+        #[test]
+        fn fenced_trim_cuts_always_defined_and_ordered(
+            cap in 1usize..50,
+            samples in proptest::collection::vec(-1e3f64..1e3, 1..200),
+            k in 0.5f64..4.0,
+            pct in 0.0f64..0.25,
+        ) {
+            // The IQR box lies inside its own fences, so the sanitized
+            // subset is never empty and the cuts are always defined and
+            // ordered, whatever the stream looks like.
+            let mut w = ValueWindow::new(cap);
+            for &s in &samples {
+                w.push(s);
+            }
+            let (lo, hi) = w.fenced_trim_cuts(k, pct).unwrap();
+            prop_assert!(lo <= hi);
+            // Cuts never leave the window's own range.
+            prop_assert!(lo >= w.quantile(0.0).unwrap());
+            prop_assert!(hi <= w.quantile(1.0).unwrap());
         }
     }
 }

@@ -129,7 +129,8 @@ dslice-cli — distributed slicing from the shell
 
 USAGE:
   dslice-cli sim [--protocol jk|mod-jk|mod-jk-live[:<strikes>:<cooldown>]|ranking
-                             |ranking-uniform|sliding:<window>|decay:<lambda>|robust:<window>]
+                             |ranking-uniform|sliding:<window>|decay:<lambda>|robust:<window>
+                             |trimmed:<window>:<pct>|fence-trim:<window>:<pct>]
                  [--sampler cyclon|newscast|lpbcast|uniform]
                  [--n N] [--slices K] [--view C] [--cycles T] [--seed S]
                  [--concurrency none|half|full]
@@ -167,6 +168,25 @@ const MOD_JK_LIVE_DEFAULTS: ProtocolKind = ProtocolKind::ModJkLive {
     cooldown: 64,
 };
 
+/// `<window>:<pct>` for the trimming kinds. The fraction is converted to
+/// parts per million (the `Copy + Eq` representation the kind stores);
+/// out-of-range fractions surface as parse errors via `validate`, not
+/// panics, so the constructors are bypassed deliberately.
+fn parse_trim_spec(kind: &str, spec: &str, raw: &str) -> Result<(usize, u32), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 2 {
+        return Err(format!("{kind} takes <window>:<pct>, got {raw:?}"));
+    }
+    let window = parse_num(&format!("--protocol {kind} window"), parts[0])?;
+    let pct: f64 = parse_num(&format!("--protocol {kind} fraction"), parts[1])?;
+    if !pct.is_finite() || pct < 0.0 {
+        return Err(format!(
+            "{kind} fraction must be a fraction in (0, 0.5), got {pct}"
+        ));
+    }
+    Ok((window, (pct * 1e6).round() as u32))
+}
+
 pub fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
     let kind = match raw {
         "jk" => ProtocolKind::Jk,
@@ -193,6 +213,12 @@ pub fn parse_protocol(raw: &str) -> Result<ProtocolKind, String> {
                 ProtocolKind::RobustRanking {
                     window: parse_num("--protocol robust", window)?,
                 }
+            } else if let Some(spec) = other.strip_prefix("trimmed:") {
+                let (window, trim_ppm) = parse_trim_spec("trimmed", spec, raw)?;
+                ProtocolKind::TrimmedRanking { window, trim_ppm }
+            } else if let Some(spec) = other.strip_prefix("fence-trim:") {
+                let (window, trim_ppm) = parse_trim_spec("fence-trim", spec, raw)?;
+                ProtocolKind::FencedTrimmedRanking { window, trim_ppm }
             } else if let Some(spec) = other.strip_prefix("mod-jk-live:") {
                 let parts: Vec<&str> = spec.split(':').collect();
                 if parts.len() != 2 {
@@ -594,6 +620,26 @@ mod tests {
             parse_protocol("robust:2").is_err(),
             "window below quartiles"
         );
+        assert_eq!(
+            parse_protocol("trimmed:128:0.1").unwrap(),
+            ProtocolKind::TrimmedRanking {
+                window: 128,
+                trim_ppm: 100_000
+            }
+        );
+        assert_eq!(
+            parse_protocol("fence-trim:128:0.1").unwrap(),
+            ProtocolKind::FencedTrimmedRanking {
+                window: 128,
+                trim_ppm: 100_000
+            }
+        );
+        assert!(parse_protocol("trimmed:128").is_err(), "missing fraction");
+        assert!(parse_protocol("trimmed:128:0.5").is_err(), "pct at 0.5");
+        assert!(parse_protocol("trimmed:128:0").is_err(), "pct at 0");
+        assert!(parse_protocol("trimmed:128:-0.1").is_err());
+        assert!(parse_protocol("fence-trim:0:0.1").is_err(), "zero window");
+        assert!(parse_protocol("fence-trim:128:x").is_err());
         assert_eq!(parse_protocol("mod-jk-live").unwrap(), MOD_JK_LIVE_DEFAULTS);
         assert_eq!(
             parse_protocol("mod-jk-live:3:128").unwrap(),

@@ -28,6 +28,12 @@ pub enum Error {
     /// A protocol was configured with out-of-range parameters (window,
     /// decay factor, strike limit, ...).
     InvalidProtocol(String),
+    /// A latency model was configured with out-of-range parameters (e.g. a
+    /// uniform range whose minimum exceeds its maximum).
+    InvalidLatency(String),
+    /// A network-fault injection was configured with out-of-range
+    /// parameters (band count, drop rate, region index, ...).
+    InvalidFault(String),
     /// A view was created with a capacity of zero.
     ZeroViewCapacity,
     /// An operation referenced a node that does not exist.
@@ -47,6 +53,8 @@ impl fmt::Display for Error {
                 write!(f, "{what} must lie in (0, 1], got {value}")
             }
             Error::InvalidProtocol(msg) => write!(f, "invalid protocol configuration: {msg}"),
+            Error::InvalidLatency(msg) => write!(f, "invalid latency model: {msg}"),
+            Error::InvalidFault(msg) => write!(f, "invalid network fault: {msg}"),
             Error::ZeroViewCapacity => write!(f, "view capacity must be at least 1"),
             Error::UnknownNode(id) => write!(f, "unknown node {id}"),
         }
@@ -73,6 +81,14 @@ mod tests {
             (
                 Error::InvalidProtocol("window must be at least 1".into()),
                 "protocol",
+            ),
+            (
+                Error::InvalidLatency("uniform range 5-2 is inverted".into()),
+                "latency",
+            ),
+            (
+                Error::InvalidFault("at least 2 bands".into()),
+                "network fault",
             ),
             (
                 Error::OutOfRange {

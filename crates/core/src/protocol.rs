@@ -32,8 +32,12 @@ pub enum Event {
     /// A swap proposal was abandoned unresolved — the partner never
     /// answered (dead, or it refused the transactional swap). Recorded by
     /// the liveness-tracking ordering variant when it clears a stale
-    /// `pending` slot, so `SwapProposed` totals reconcile:
-    /// `proposed = applied-by-initiator + useless + abandoned`.
+    /// `pending` slot. On the wire path `SwapProposed` totals reconcile as
+    /// `proposed = applied-by-initiator + useless + abandoned`; under the
+    /// simulator's *atomic* delivery path a refused proposal is un-counted
+    /// from `SwapProposed` before the replayed activation abandons it, so
+    /// there the gross proposal count is `proposed + abandoned` and each
+    /// abandon is one wasted activation.
     SwapAbandoned,
     /// An attribute sample was rejected by outlier-robust admission instead
     /// of being folded into the estimate (defended ranking variants).

@@ -57,6 +57,47 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// First line where the two texts differ: 1-based line number plus the
+/// expected and actual line contents (`None` past the shorter text).
+fn first_divergence<'a>(
+    golden: &'a str,
+    actual: &'a str,
+) -> (usize, Option<&'a str>, Option<&'a str>) {
+    let mut golden_lines = golden.lines();
+    let mut actual_lines = actual.lines();
+    let mut line = 0;
+    loop {
+        line += 1;
+        match (golden_lines.next(), actual_lines.next()) {
+            (Some(g), Some(a)) if g == a => continue,
+            (g, a) => return (line, g, a),
+        }
+    }
+}
+
+/// Minimal diff artifact for CI upload: the divergence point plus a few
+/// lines of context from each side. Not a unified diff — the reports are
+/// line-stable JSON, so the first divergent line plus context is enough to
+/// read the change without rerunning locally.
+fn diff_artifact(name: &str, golden: &str, actual: &str) -> String {
+    const CONTEXT: usize = 3;
+    let (line, _, _) = first_divergence(golden, actual);
+    let start = line.saturating_sub(CONTEXT + 1);
+    let mut out = format!("scenario `{name}` diverged at line {line}\n");
+    for (marker, text) in [("expected", golden), ("actual", actual)] {
+        out.push_str(&format!(
+            "--- {marker} (lines {}..{}) ---\n",
+            start + 1,
+            line + CONTEXT
+        ));
+        for l in text.lines().skip(start).take(2 * CONTEXT + 1) {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -125,12 +166,21 @@ fn main() -> ExitCode {
         } else if args.check {
             match fs::read_to_string(&golden_path) {
                 Ok(golden) if golden == json => {}
-                Ok(_) => {
+                Ok(golden) => {
+                    let (line, expected, actual) = first_divergence(&golden, &json);
                     eprintln!(
-                        "scenario_matrix: `{name}` diverged from {} \
-                         (run with --update to accept the new behavior)",
-                        golden_path.display()
+                        "scenario_matrix: `{name}` diverged from {} at line {line}:\n\
+                         \x20 expected: {}\n\
+                         \x20 actual:   {}\n\
+                         \x20 (run with --update to accept the new behavior)",
+                        golden_path.display(),
+                        expected.unwrap_or("<end of file>"),
+                        actual.unwrap_or("<end of file>"),
                     );
+                    let diff_path = args.out.join(format!("{name}.diff"));
+                    if let Err(e) = fs::write(&diff_path, diff_artifact(&name, &golden, &json)) {
+                        eprintln!("scenario_matrix: cannot write {}: {e}", diff_path.display());
+                    }
                     failures.push(name);
                 }
                 Err(e) => {

@@ -29,7 +29,7 @@
 //! executes.
 
 use dslice_core::{Error, Result};
-use dslice_sim::{AttributeDistribution, ProtocolKind, SimConfig};
+use dslice_sim::{AttackerSpec, AttributeDistribution, LatencyModel, ProtocolKind, SimConfig};
 use serde::{Deserialize, Serialize};
 
 /// One scenario event. Cycle placement lives in [`TimedEvent`].
@@ -103,6 +103,45 @@ pub enum ScenarioEvent {
         /// Number of equal slices in the new partition.
         slices: usize,
     },
+    /// Partitions the network into contiguous attribute bands: cross-band
+    /// protocol messages and membership exchanges are severed until a
+    /// [`Heal`](ScenarioEvent::Heal) event or the optional `heal_at` cycle
+    /// (see `dslice_sim::Engine::set_network_partition`).
+    PartitionBands {
+        /// Number of equal-population attribute bands (≥ 2).
+        bands: usize,
+        /// Cycle at which the partition heals itself, if scheduled (must
+        /// fall strictly after the event's own cycle).
+        heal_at: Option<usize>,
+    },
+    /// Tears the installed network partition down (with its region latency
+    /// overrides). A no-op when nothing is partitioned.
+    Heal,
+    /// Sets the per-message drop probability from this cycle on (`0.0`
+    /// turns message drop back off).
+    DropRate {
+        /// Probability in `[0, 1)` that a routed message is lost.
+        rate: f64,
+    },
+    /// Overrides the delivery latency of messages *into* one band of the
+    /// installed partition — an asymmetric long-haul link. Requires a
+    /// partition that is still holding at this cycle.
+    RegionLatency {
+        /// Band index (0-based) of the recipient region.
+        region: usize,
+        /// The latency model messages into the region follow.
+        model: LatencyModel,
+    },
+    /// Converts `round(fraction × still-honest population)` nodes into
+    /// adaptive adversaries running the given attacker strategy (see
+    /// `dslice_sim::Engine::corrupt_adaptive`) — liars that probe the
+    /// defenses instead of inflating blindly.
+    AdaptiveLiars {
+        /// Fraction of the still-honest population to corrupt.
+        fraction: f64,
+        /// The adaptive strategy the corrupted nodes run.
+        attacker: AttackerSpec,
+    },
 }
 
 impl ScenarioEvent {
@@ -115,6 +154,11 @@ impl ScenarioEvent {
             ScenarioEvent::Corrupt { .. }
                 | ScenarioEvent::CorruptBoundary { .. }
                 | ScenarioEvent::Repartition { .. }
+                | ScenarioEvent::PartitionBands { .. }
+                | ScenarioEvent::Heal
+                | ScenarioEvent::DropRate { .. }
+                | ScenarioEvent::RegionLatency { .. }
+                | ScenarioEvent::AdaptiveLiars { .. }
         )
     }
 
@@ -130,6 +174,11 @@ impl ScenarioEvent {
             ScenarioEvent::Corrupt { .. } => "corrupt",
             ScenarioEvent::CorruptBoundary { .. } => "corrupt-boundary",
             ScenarioEvent::Repartition { .. } => "repartition",
+            ScenarioEvent::PartitionBands { .. } => "partition-bands",
+            ScenarioEvent::Heal => "heal",
+            ScenarioEvent::DropRate { .. } => "drop-rate",
+            ScenarioEvent::RegionLatency { .. } => "region-latency",
+            ScenarioEvent::AdaptiveLiars { .. } => "adaptive-liars",
         }
     }
 }
@@ -168,7 +217,12 @@ pub fn population_delta(event: &ScenarioEvent, n0: usize) -> (usize, usize) {
         ScenarioEvent::ShiftDistribution { .. }
         | ScenarioEvent::Corrupt { .. }
         | ScenarioEvent::CorruptBoundary { .. }
-        | ScenarioEvent::Repartition { .. } => (0, 0),
+        | ScenarioEvent::Repartition { .. }
+        | ScenarioEvent::PartitionBands { .. }
+        | ScenarioEvent::Heal
+        | ScenarioEvent::DropRate { .. }
+        | ScenarioEvent::RegionLatency { .. }
+        | ScenarioEvent::AdaptiveLiars { .. } => (0, 0),
     }
 }
 
@@ -226,6 +280,7 @@ pub struct Scenario {
     protocol: ProtocolKind,
     cycles: usize,
     sample_every: usize,
+    track_defense: bool,
     cursor: usize,
     events: Vec<TimedEvent>,
 }
@@ -241,6 +296,7 @@ impl Scenario {
             protocol: ProtocolKind::Ranking,
             cycles: 200,
             sample_every: 10,
+            track_defense: false,
             cursor: 1,
             events: Vec::new(),
         }
@@ -338,6 +394,20 @@ impl Scenario {
         self.sample_every
     }
 
+    /// Records the per-cycle defense counters (`samples_rejected`,
+    /// `swaps_abandoned`) in the sampled trajectory. Opt-in — like
+    /// `time_phases`, tracking is off by default so reports (and goldens)
+    /// authored before the counters existed stay byte-identical.
+    pub fn track_defense(mut self) -> Self {
+        self.track_defense = true;
+        self
+    }
+
+    /// Whether the trajectory records per-cycle defense counters.
+    pub fn defense_tracking(&self) -> bool {
+        self.track_defense
+    }
+
     // ----- the timed-event language ---------------------------------------
 
     /// Moves the cursor: subsequent events fire at the start of `cycle`
@@ -413,6 +483,52 @@ impl Scenario {
         self.push(ScenarioEvent::Repartition { slices })
     }
 
+    /// Partitions the network into `bands` attribute bands at the cursor
+    /// cycle; the partition holds until a [`heal`](Scenario::heal) event
+    /// (see [`ScenarioEvent::PartitionBands`]).
+    pub fn partition_bands(self, bands: usize) -> Self {
+        self.push(ScenarioEvent::PartitionBands {
+            bands,
+            heal_at: None,
+        })
+    }
+
+    /// Partitions the network at the cursor cycle, healing automatically at
+    /// the start of cycle `heal_at` (see
+    /// [`ScenarioEvent::PartitionBands`]).
+    pub fn partition_bands_until(self, bands: usize, heal_at: usize) -> Self {
+        self.push(ScenarioEvent::PartitionBands {
+            bands,
+            heal_at: Some(heal_at),
+        })
+    }
+
+    /// Heals the installed network partition at the cursor cycle (see
+    /// [`ScenarioEvent::Heal`]).
+    pub fn heal(self) -> Self {
+        self.push(ScenarioEvent::Heal)
+    }
+
+    /// Sets the per-message drop probability from the cursor cycle on (see
+    /// [`ScenarioEvent::DropRate`]).
+    pub fn drop_rate(self, rate: f64) -> Self {
+        self.push(ScenarioEvent::DropRate { rate })
+    }
+
+    /// Overrides the delivery latency into band `region` of the installed
+    /// partition from the cursor cycle on (see
+    /// [`ScenarioEvent::RegionLatency`]).
+    pub fn region_latency(self, region: usize, model: LatencyModel) -> Self {
+        self.push(ScenarioEvent::RegionLatency { region, model })
+    }
+
+    /// Corrupts a fraction of the honest population into adaptive
+    /// adversaries at the cursor cycle (see
+    /// [`ScenarioEvent::AdaptiveLiars`]).
+    pub fn adaptive_liars(self, fraction: f64, attacker: AttackerSpec) -> Self {
+        self.push(ScenarioEvent::AdaptiveLiars { fraction, attacker })
+    }
+
     // ----- compilation -----------------------------------------------------
 
     /// Validates the program and compiles it into a deterministic
@@ -445,6 +561,51 @@ impl Scenario {
 
         let mut events = self.events.clone();
         events.sort_by_key(|te| te.cycle); // stable: authoring order kept
+
+        // Partition-consistency scan (events are now cycle-ordered, matching
+        // the order the runner applies them): a region latency override must
+        // land inside a partition still holding at its cycle, and a
+        // scheduled heal must fall strictly after the install cycle — the
+        // engine would reject these at runtime, but rejecting them here
+        // names the offending event before anything runs.
+        let mut bands_now: Option<(usize, Option<usize>)> = None;
+        for te in &events {
+            if let Some((_, Some(at))) = bands_now {
+                if te.cycle >= at {
+                    bands_now = None; // the scheduled heal fired first
+                }
+            }
+            match &te.event {
+                ScenarioEvent::PartitionBands { bands, heal_at } => {
+                    if let Some(at) = heal_at {
+                        if *at <= te.cycle {
+                            return Err(Error::InvalidFault(format!(
+                                "partition installed at cycle {} cannot heal at cycle {at}",
+                                te.cycle
+                            )));
+                        }
+                    }
+                    bands_now = Some((*bands, *heal_at));
+                }
+                ScenarioEvent::Heal => bands_now = None,
+                ScenarioEvent::RegionLatency { region, .. } => match bands_now {
+                    Some((bands, _)) if *region < bands => {}
+                    Some((bands, _)) => {
+                        return Err(Error::InvalidFault(format!(
+                            "region {region} at cycle {} is out of range for {bands} bands",
+                            te.cycle
+                        )))
+                    }
+                    None => {
+                        return Err(Error::InvalidFault(format!(
+                            "region latency at cycle {} has no installed partition to override",
+                            te.cycle
+                        )))
+                    }
+                },
+                _ => {}
+            }
+        }
 
         // Population projection: replay the exact arithmetic the scripted
         // churn model will use — fraction counts against the start-of-cycle
@@ -535,6 +696,30 @@ impl Scenario {
                 if *slices == 0 {
                     return bad("a repartition needs at least one slice".into());
                 }
+            }
+            ScenarioEvent::PartitionBands { bands, .. } => {
+                if *bands < 2 {
+                    return bad(format!(
+                        "a network partition needs at least 2 bands, got {bands}"
+                    ));
+                }
+            }
+            ScenarioEvent::Heal => {}
+            ScenarioEvent::DropRate { rate } => {
+                if !rate.is_finite() || !(0.0..1.0).contains(rate) {
+                    return bad(format!("drop rate must lie in [0, 1), got {rate}"));
+                }
+            }
+            ScenarioEvent::RegionLatency { model, .. } => {
+                model.validate()?;
+            }
+            ScenarioEvent::AdaptiveLiars { fraction, attacker } => {
+                if !(0.0..=1.0).contains(fraction) || *fraction <= 0.0 {
+                    return bad(format!(
+                        "`adaptive-liars` fraction must lie in (0, 1], got {fraction}"
+                    ));
+                }
+                attacker.validate()?;
             }
         }
         Ok(())
@@ -651,6 +836,101 @@ mod tests {
     }
 
     #[test]
+    fn fault_events_are_validated() {
+        let base = || Scenario::new("t").population(100).for_cycles(50);
+        assert!(base().at_cycle(10).partition_bands(1).compile().is_err());
+        assert!(base().at_cycle(10).partition_bands(2).compile().is_ok());
+        // A scheduled heal must fall strictly after the install cycle.
+        assert!(base()
+            .at_cycle(10)
+            .partition_bands_until(2, 10)
+            .compile()
+            .is_err());
+        assert!(base()
+            .at_cycle(10)
+            .partition_bands_until(2, 30)
+            .compile()
+            .is_ok());
+        assert!(base().at_cycle(10).drop_rate(1.0).compile().is_err());
+        assert!(base().at_cycle(10).drop_rate(-0.1).compile().is_err());
+        assert!(base().at_cycle(10).drop_rate(f64::NAN).compile().is_err());
+        assert!(base().at_cycle(10).drop_rate(0.25).compile().is_ok());
+        assert!(base()
+            .at_cycle(10)
+            .adaptive_liars(0.0, AttackerSpec::Colluder { target: 0.9 })
+            .compile()
+            .is_err());
+        assert!(
+            base()
+                .at_cycle(10)
+                .adaptive_liars(0.2, AttackerSpec::Colluder { target: 2.0 })
+                .compile()
+                .is_err(),
+            "the attacker spec itself must validate"
+        );
+        assert!(base()
+            .at_cycle(10)
+            .adaptive_liars(0.2, AttackerSpec::Colluder { target: 0.9 })
+            .compile()
+            .is_ok());
+    }
+
+    #[test]
+    fn region_latency_needs_a_holding_partition() {
+        let base = || Scenario::new("t").population(100).for_cycles(50);
+        let slow = LatencyModel::Fixed { cycles: 3 };
+        // No partition at all.
+        assert!(base()
+            .at_cycle(10)
+            .region_latency(0, slow)
+            .compile()
+            .is_err());
+        // Region index out of range for the installed band count.
+        assert!(base()
+            .at_cycle(10)
+            .partition_bands(2)
+            .at_cycle(12)
+            .region_latency(2, slow)
+            .compile()
+            .is_err());
+        // After an explicit heal the override has nothing to attach to.
+        assert!(base()
+            .at_cycle(10)
+            .partition_bands(2)
+            .at_cycle(20)
+            .heal()
+            .at_cycle(25)
+            .region_latency(1, slow)
+            .compile()
+            .is_err());
+        // Same once the scheduled heal has fired (heal cycle inclusive:
+        // the engine heals before the cycle's exchanges run).
+        assert!(base()
+            .at_cycle(10)
+            .partition_bands_until(2, 20)
+            .at_cycle(20)
+            .region_latency(1, slow)
+            .compile()
+            .is_err());
+        // Inside the holding window the override compiles; a degenerate
+        // latency model is still rejected.
+        assert!(base()
+            .at_cycle(10)
+            .partition_bands_until(2, 30)
+            .at_cycle(12)
+            .region_latency(1, slow)
+            .compile()
+            .is_ok());
+        assert!(base()
+            .at_cycle(10)
+            .partition_bands(2)
+            .at_cycle(12)
+            .region_latency(1, LatencyModel::Uniform { min: 5, max: 2 })
+            .compile()
+            .is_err());
+    }
+
+    #[test]
     fn degenerate_protocol_parameters_fail_compilation() {
         let bad = Scenario::new("t")
             .population(100)
@@ -689,6 +969,22 @@ mod tests {
             })
             .at_cycle(20)
             .lying_nodes(0.1, 5.0)
+            .at_cycle(30)
+            .partition_bands_until(2, 45)
+            .at_cycle(32)
+            .region_latency(1, LatencyModel::Uniform { min: 1, max: 3 })
+            .at_cycle(35)
+            .drop_rate(0.05)
+            .at_cycle(40)
+            .heal()
+            .at_cycle(50)
+            .adaptive_liars(
+                0.1,
+                AttackerSpec::Throttler {
+                    accept_period: 2,
+                    inflation: 8.0,
+                },
+            )
             .compile()
             .unwrap();
         let json = serde_json::to_string(&schedule).unwrap();

@@ -19,7 +19,7 @@
 //! until the golden exists).
 
 use crate::dsl::Scenario;
-use dslice_sim::{AttributeDistribution, ProtocolKind};
+use dslice_sim::{AttackerSpec, AttributeDistribution, ProtocolKind};
 
 /// Base shape shared by the ranking-family scenarios.
 fn ranking_base(name: &str, n: usize, seed: u64) -> Scenario {
@@ -246,6 +246,178 @@ pub fn boundary_corruption_robust() -> Scenario {
         .lying_boundary_nodes(0.1, 10.0)
 }
 
+// ----- adaptive adversaries and network faults -----------------------------
+//
+// The escalation tier: attackers that probe the defenses instead of lying
+// blindly, and wide-area network faults the cycle model abstracts away.
+// These scenarios opt into per-cycle defense tracking, so their trajectories
+// carry `samples_rejected` / `swaps_abandoned` columns.
+
+/// Shared shape of the colluding-liar trio: 20% of a converged population
+/// turns into [`Colluder`](dslice_sim::AttackerSpec::Colluder)s at cycle
+/// 120 — coordinated inflation pitched at the 95th percentile, sized to
+/// stay *just inside* the Tukey fences — and the three defense tiers face
+/// the identical attack under the same seed-per-scenario convention.
+fn colluding(name: &str, seed: u64, protocol: ProtocolKind) -> Scenario {
+    Scenario::new(name)
+        .population(600)
+        .view_size(10)
+        .slices(5)
+        .seed(seed)
+        .sample_every(10)
+        .track_defense()
+        .with_protocol(protocol)
+        .for_cycles(260)
+        .at_cycle(120)
+        .adaptive_liars(0.2, AttackerSpec::Colluder { target: 0.95 })
+}
+
+/// Colluders against the fence-only robust filter: inflation calibrated to
+/// sit inside the fences is admitted, so the defense that beat blind liars
+/// leaks — the golden that motivates the trimmed tier.
+pub fn colluding_liars_robust() -> Scenario {
+    colluding(
+        "colluding-liars-robust",
+        118,
+        ProtocolKind::RobustRanking { window: 64 },
+    )
+}
+
+/// The same colluders against trimmed-mean aggregation: the top quantile of
+/// every window is discarded wholesale, fences or not, so in-fence
+/// inflation is rejected and honest accuracy holds near the baseline.
+pub fn colluding_liars_trimmed() -> Scenario {
+    colluding(
+        "colluding-liars-trimmed",
+        119,
+        ProtocolKind::trimmed(128, 0.1),
+    )
+}
+
+/// The composed defense: Tukey fences against far-out inflation *and*
+/// quantile trimming against in-fence collusion.
+pub fn colluding_liars_fence_trim() -> Scenario {
+    colluding(
+        "colluding-liars-fence-trim",
+        120,
+        ProtocolKind::fenced_trimmed(128, 0.1),
+    )
+}
+
+/// Shared shape of the partition/heal pair: the network splits into two
+/// attribute bands at cycle 80 (each island sees a censored sample stream,
+/// so rank estimates skew toward the island's local order) and heals at
+/// cycle 200, leaving 100 cycles to recover.
+fn partition_heal(name: &str, seed: u64, protocol: ProtocolKind) -> Scenario {
+    Scenario::new(name)
+        .population(600)
+        .view_size(10)
+        .slices(5)
+        .seed(seed)
+        .sample_every(10)
+        .track_defense()
+        .with_protocol(protocol)
+        .for_cycles(300)
+        .at_cycle(80)
+        .partition_bands_until(2, 200)
+}
+
+/// Partition/heal against the undefended ranking estimator: the harmonic
+/// sample counters anchor every estimate to the partition-era evidence, so
+/// recovery after the heal is glacial.
+pub fn partition_heal_ranking() -> Scenario {
+    partition_heal("partition-heal-ranking", 121, ProtocolKind::Ranking)
+}
+
+/// Partition/heal under exponential sample aging: decayed evidence forgets
+/// the censored partition-era stream geometrically, so post-heal accuracy
+/// climbs back above 0.85 within the run.
+pub fn partition_heal_decay() -> Scenario {
+    partition_heal("partition-heal-decay", 122, ProtocolKind::decay(0.99))
+}
+
+/// A lossy wide-area network: from cycle 60 on, 15% of all routed messages
+/// are dropped. The ranking family's one-way samples are individually
+/// expendable, so convergence slows but does not stall.
+pub fn lossy_network_ranking() -> Scenario {
+    Scenario::new("lossy-network-ranking")
+        .population(600)
+        .view_size(10)
+        .slices(10)
+        .seed(123)
+        .sample_every(10)
+        .track_defense()
+        .for_cycles(260)
+        .at_cycle(60)
+        .drop_rate(0.15)
+}
+
+/// Shared shape of the throttler pair: 20% of the population starts
+/// answering only every 2nd swap proposal (staying under a strike limit of
+/// 2) while claiming 10× rank inflation, against `mod-jk-live` at the
+/// given tuning.
+fn throttling(name: &str, seed: u64, strike_limit: u32, cooldown: u32) -> Scenario {
+    Scenario::new(name)
+        .population(600)
+        .view_size(20)
+        .slices(10)
+        .seed(seed)
+        .sample_every(10)
+        .track_defense()
+        .with_protocol(ProtocolKind::ModJkLive {
+            strike_limit,
+            cooldown,
+        })
+        .for_cycles(260)
+        .at_cycle(120)
+        .adaptive_liars(
+            0.2,
+            AttackerSpec::Throttler {
+                accept_period: 2,
+                inflation: 10.0,
+            },
+        )
+}
+
+/// Throttlers against the original `mod-jk-live` tuning (2 strikes, 64
+/// cooldown): answering every 2nd probe resets the strike counter before
+/// the ban lands, so the defense never fires and honest proposals keep
+/// burning against wedged partners.
+pub fn throttling_ordering_live() -> Scenario {
+    throttling("throttling-ordering-live", 124, 2, 64)
+}
+
+/// The re-tuned defense (1 strike, 128 cooldown): a single unresolved
+/// proposal now bans the partner, so every-2nd-answer throttling is caught
+/// and the useless-swap rate falls back toward the blind-liar level.
+pub fn throttling_ordering_live_tuned() -> Scenario {
+    throttling("throttling-ordering-live-tuned", 125, 1, 128)
+}
+
+/// Drifting liars against the fence-only filter: each epoch the attacker
+/// halves or raises its inflation based on observed rejection feedback,
+/// walking its claims down until they slip inside the fences.
+pub fn drifting_liars_robust() -> Scenario {
+    Scenario::new("drifting-liars-robust")
+        .population(600)
+        .view_size(10)
+        .slices(5)
+        .seed(126)
+        .sample_every(10)
+        .track_defense()
+        .with_protocol(ProtocolKind::RobustRanking { window: 64 })
+        .for_cycles(260)
+        .at_cycle(120)
+        .adaptive_liars(
+            0.2,
+            AttackerSpec::Drifter {
+                inflation: 8.0,
+                step: 0.25,
+                epoch: 8,
+            },
+        )
+}
+
 /// Every scenario in the matrix, in the order `scenario_matrix` runs them.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -266,6 +438,15 @@ pub fn all() -> Vec<Scenario> {
         lying_ordering_live(),
         boundary_corruption(),
         boundary_corruption_robust(),
+        colluding_liars_robust(),
+        colluding_liars_trimmed(),
+        colluding_liars_fence_trim(),
+        partition_heal_ranking(),
+        partition_heal_decay(),
+        lossy_network_ranking(),
+        throttling_ordering_live(),
+        throttling_ordering_live_tuned(),
+        drifting_liars_robust(),
     ]
 }
 
@@ -310,6 +491,20 @@ mod tests {
             "boundary-corruption-robust",
         ] {
             assert!(names.contains(defended), "missing `{defended}`");
+        }
+        // The adaptive-adversary / network-fault tier is present too.
+        for escalated in [
+            "colluding-liars-robust",
+            "colluding-liars-trimmed",
+            "colluding-liars-fence-trim",
+            "partition-heal-ranking",
+            "partition-heal-decay",
+            "lossy-network-ranking",
+            "throttling-ordering-live",
+            "throttling-ordering-live-tuned",
+            "drifting-liars-robust",
+        ] {
+            assert!(names.contains(escalated), "missing `{escalated}`");
         }
     }
 

@@ -12,7 +12,7 @@ use dslice_sim::{CycleStats, PhaseTimings};
 use serde::{Deserialize, Serialize};
 
 /// One sampled point of the run's trajectory.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrajectoryPoint {
     /// The cycle this point was sampled after.
     pub cycle: usize,
@@ -35,6 +35,91 @@ pub struct TrajectoryPoint {
     pub joined: usize,
     /// Nodes whose believed slice changed this cycle (§3.2 stability).
     pub slice_changes: usize,
+    /// Attribute samples rejected by outlier-robust admission *during the
+    /// sampled cycle* (defended ranking variants only; 0 otherwise).
+    pub samples_rejected: u64,
+    /// Swap proposals abandoned unresolved *during the sampled cycle*
+    /// (liveness-tracking ordering variant only; 0 otherwise).
+    pub swaps_abandoned: u64,
+}
+
+impl serde::Serialize for TrajectoryPoint {
+    /// Hand-written on the same scheme as [`Totals`]: the ten original
+    /// columns serialize exactly as the derived impl always did, and the
+    /// per-cycle defense counters are appended **only when non-zero** —
+    /// undefended scenarios can never record them, so their goldens stay
+    /// byte-identical.
+    fn to_value(&self) -> serde::Value {
+        let mut map: Vec<(String, serde::Value)> = vec![
+            ("cycle".into(), serde::Serialize::to_value(&self.cycle)),
+            ("n".into(), serde::Serialize::to_value(&self.n)),
+            ("sdm".into(), serde::Serialize::to_value(&self.sdm)),
+            ("gdm".into(), serde::Serialize::to_value(&self.gdm)),
+            (
+                "accuracy".into(),
+                serde::Serialize::to_value(&self.accuracy),
+            ),
+            (
+                "honest_accuracy".into(),
+                serde::Serialize::to_value(&self.honest_accuracy),
+            ),
+            ("liars".into(), serde::Serialize::to_value(&self.liars)),
+            ("left".into(), serde::Serialize::to_value(&self.left)),
+            ("joined".into(), serde::Serialize::to_value(&self.joined)),
+            (
+                "slice_changes".into(),
+                serde::Serialize::to_value(&self.slice_changes),
+            ),
+        ];
+        for (name, v) in [
+            ("samples_rejected", self.samples_rejected),
+            ("swaps_abandoned", self.swaps_abandoned),
+        ] {
+            if v != 0 {
+                map.push((name.to_string(), serde::Serialize::to_value(&v)));
+            }
+        }
+        serde::Value::Map(map)
+    }
+}
+
+impl serde::Deserialize for TrajectoryPoint {
+    /// Mirror of the conditional [`serde::Serialize`] impl: the defense
+    /// counters default to 0 when absent, so pre-defense goldens parse.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct TrajectoryPoint"))?;
+        let count = |name: &str| -> Result<usize, serde::Error> {
+            serde::Deserialize::from_value(serde::__field(m, name))
+                .map_err(|e| serde::Error::custom(format!("TrajectoryPoint.{name}: {e}")))
+        };
+        let metric = |name: &str| -> Result<f64, serde::Error> {
+            serde::Deserialize::from_value(serde::__field(m, name))
+                .map_err(|e| serde::Error::custom(format!("TrajectoryPoint.{name}: {e}")))
+        };
+        let optional = |name: &str| -> Result<u64, serde::Error> {
+            match serde::__field(m, name) {
+                serde::Value::Null => Ok(0),
+                present => serde::Deserialize::from_value(present)
+                    .map_err(|e| serde::Error::custom(format!("TrajectoryPoint.{name}: {e}"))),
+            }
+        };
+        Ok(TrajectoryPoint {
+            cycle: count("cycle")?,
+            n: count("n")?,
+            sdm: metric("sdm")?,
+            gdm: metric("gdm")?,
+            accuracy: metric("accuracy")?,
+            honest_accuracy: metric("honest_accuracy")?,
+            liars: count("liars")?,
+            left: count("left")?,
+            joined: count("joined")?,
+            slice_changes: count("slice_changes")?,
+            samples_rejected: optional("samples_rejected")?,
+            swaps_abandoned: optional("swaps_abandoned")?,
+        })
+    }
 }
 
 /// Event and message counters accumulated over the whole run.
@@ -274,6 +359,8 @@ mod tests {
                     left: 0,
                     joined: 20,
                     slice_changes: 3,
+                    samples_rejected: 0,
+                    swaps_abandoned: 0,
                 },
                 TrajectoryPoint {
                     cycle: 50,
@@ -286,6 +373,8 @@ mod tests {
                     left: 0,
                     joined: 0,
                     slice_changes: 0,
+                    samples_rejected: 0,
+                    swaps_abandoned: 0,
                 },
             ],
             totals: Totals::default(),
@@ -364,6 +453,40 @@ mod tests {
         assert!(json.contains("\"samples_rejected\""));
         let parsed: Totals = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, loud);
+    }
+
+    #[test]
+    fn trajectory_defense_counters_serialize_only_when_nonzero() {
+        let mut point = report().trajectory[0].clone();
+        let json = serde_json::to_string(&point).unwrap();
+        assert!(!json.contains("samples_rejected"), "golden drift: {json}");
+        assert!(!json.contains("swaps_abandoned"), "golden drift: {json}");
+        let parsed: TrajectoryPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, point);
+
+        point.samples_rejected = 4;
+        point.swaps_abandoned = 2;
+        let json = serde_json::to_string(&point).unwrap();
+        assert!(json.contains("\"samples_rejected\""));
+        assert!(json.contains("\"swaps_abandoned\""));
+        let parsed: TrajectoryPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, point);
+    }
+
+    #[test]
+    fn pre_defense_trajectory_json_still_parses() {
+        // The exact shape the derived impl used to emit (no defense keys).
+        let json = r#"{"cycle":10,"n":120,"sdm":5.0,"gdm":1.0,"accuracy":0.8,
+            "honest_accuracy":0.8,"liars":0,"left":0,"joined":20,
+            "slice_changes":3}"#;
+        let parsed: TrajectoryPoint = serde_json::from_str(json).unwrap();
+        assert_eq!(parsed, report().trajectory[0]);
+        // A truncated record (missing an original column) is still an error.
+        let truncated = r#"{"cycle":10}"#;
+        let err = serde_json::from_str::<TrajectoryPoint>(truncated)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("TrajectoryPoint.n"), "got: {err}");
     }
 
     #[test]

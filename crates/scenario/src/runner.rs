@@ -64,6 +64,17 @@ impl Scenario {
                         engine.set_partition(Partition::equal(*k)?);
                         slices = *k;
                     }
+                    ScenarioEvent::PartitionBands { bands, heal_at } => {
+                        engine.set_network_partition(*bands, *heal_at)?;
+                    }
+                    ScenarioEvent::Heal => engine.heal_network_partition(),
+                    ScenarioEvent::DropRate { rate } => engine.set_drop_rate(*rate)?,
+                    ScenarioEvent::RegionLatency { region, model } => {
+                        engine.set_region_latency(*region, *model)?;
+                    }
+                    ScenarioEvent::AdaptiveLiars { fraction, attacker } => {
+                        engine.corrupt_adaptive(*fraction, *attacker);
+                    }
                     _ => unreachable!("is_churn() filtered everything else"),
                 }
                 next_control += 1;
@@ -86,6 +97,16 @@ impl Scenario {
                     left: stats.left,
                     joined: stats.joined,
                     slice_changes: stats.slice_changes,
+                    samples_rejected: if self.defense_tracking() {
+                        stats.events.samples_rejected
+                    } else {
+                        0
+                    },
+                    swaps_abandoned: if self.defense_tracking() {
+                        stats.events.swaps_abandoned
+                    } else {
+                        0
+                    },
                 });
             }
         }
@@ -114,7 +135,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dslice_sim::{AttributeDistribution, ProtocolKind};
+    use dslice_sim::{AttackerSpec, AttributeDistribution, LatencyModel, ProtocolKind};
 
     fn small(name: &str) -> Scenario {
         Scenario::new(name)
@@ -181,6 +202,69 @@ mod tests {
             report.final_accuracy < report.final_honest_accuracy,
             "liars must drag the overall accuracy down"
         );
+    }
+
+    #[test]
+    fn fault_events_drive_the_engine() {
+        let report = small("faults")
+            .at_cycle(10)
+            .partition_bands(2)
+            .at_cycle(12)
+            .region_latency(1, LatencyModel::Fixed { cycles: 2 })
+            .at_cycle(30)
+            .heal()
+            .at_cycle(35)
+            .drop_rate(0.2)
+            .run()
+            .unwrap();
+        assert!(
+            report.totals.dropped_messages > 0,
+            "severed and dropped messages must surface in the totals"
+        );
+        // The same scenario without faults drops nothing.
+        let quiet = small("faults").run().unwrap();
+        assert_eq!(quiet.totals.dropped_messages, 0);
+    }
+
+    #[test]
+    fn adaptive_liars_take_effect_at_their_cycle() {
+        let report = small("adaptive")
+            .with_protocol(ProtocolKind::trimmed(32, 0.1))
+            .track_defense()
+            .at_cycle(20)
+            .adaptive_liars(0.2, AttackerSpec::Colluder { target: 0.95 })
+            .run()
+            .unwrap();
+        assert_eq!(report.liars, 30);
+        for p in &report.trajectory {
+            if p.cycle < 20 {
+                assert_eq!(p.liars, 0, "cycle {}", p.cycle);
+            } else {
+                assert_eq!(p.liars, 30, "cycle {}", p.cycle);
+            }
+        }
+        assert!(
+            report.totals.samples_rejected > 0,
+            "the trim defense must reject samples"
+        );
+        assert!(
+            report.trajectory.iter().any(|p| p.samples_rejected > 0),
+            "per-cycle defense counters must surface in the trajectory"
+        );
+        // Without the opt-in the trajectory keeps its pre-defense shape,
+        // even though the protocol rejects samples — this is what holds the
+        // legacy goldens byte-stable.
+        let untracked = small("adaptive")
+            .with_protocol(ProtocolKind::trimmed(32, 0.1))
+            .at_cycle(20)
+            .adaptive_liars(0.2, AttackerSpec::Colluder { target: 0.95 })
+            .run()
+            .unwrap();
+        assert!(untracked.totals.samples_rejected > 0);
+        assert!(untracked
+            .trajectory
+            .iter()
+            .all(|p| p.samples_rejected == 0 && p.swaps_abandoned == 0));
     }
 
     #[test]

@@ -129,7 +129,12 @@ impl ChurnModel for ScriptedChurn {
                 // Control events are the runner's business.
                 ScenarioEvent::Corrupt { .. }
                 | ScenarioEvent::CorruptBoundary { .. }
-                | ScenarioEvent::Repartition { .. } => {}
+                | ScenarioEvent::Repartition { .. }
+                | ScenarioEvent::PartitionBands { .. }
+                | ScenarioEvent::Heal
+                | ScenarioEvent::DropRate { .. }
+                | ScenarioEvent::RegionLatency { .. }
+                | ScenarioEvent::AdaptiveLiars { .. } => {}
             }
         }
         ChurnPlan { leavers, joiners }

@@ -5,7 +5,7 @@
 //! meaningful.
 
 use dslice_scenario::{Scenario, ScenarioReport};
-use dslice_sim::{AttributeDistribution, ProtocolKind};
+use dslice_sim::{AttackerSpec, AttributeDistribution, LatencyModel, ProtocolKind};
 
 /// A small but eventful program touching every event kind, sized so the
 /// full determinism matrix stays fast in debug builds.
@@ -37,6 +37,14 @@ fn eventful(seed: u64) -> Scenario {
         .mass_leave(0.1)
         .at_cycle(55)
         .repartition(3)
+        .at_cycle(58)
+        .partition_bands_until(2, 66)
+        .at_cycle(59)
+        .region_latency(1, LatencyModel::Uniform { min: 1, max: 2 })
+        .at_cycle(60)
+        .drop_rate(0.05)
+        .at_cycle(62)
+        .adaptive_liars(0.05, AttackerSpec::Colluder { target: 0.9 })
 }
 
 #[test]
@@ -132,4 +140,32 @@ fn compiled_schedules_are_byte_identical_across_reruns() {
     let a = serde_json::to_string_pretty(&eventful(0).compile().unwrap()).unwrap();
     let b = serde_json::to_string_pretty(&eventful(0).compile().unwrap()).unwrap();
     assert_eq!(a, b);
+}
+
+/// The committed goldens are written by a shard-1 run; every library
+/// scenario must reproduce them byte-for-byte at 2/4/8 shards too.
+/// Full-size library runs are slow in debug builds, so this sweep is
+/// `#[ignore]`d out of tier-1 and exercised by CI's release-mode
+/// ignored-test job.
+#[test]
+#[ignore = "full library at three shard counts; run in release"]
+fn library_reports_are_shard_invariant() {
+    use dslice_scenario::library;
+    for scenario in library::all() {
+        let name = scenario.name().to_string();
+        let reference = scenario.run().unwrap().to_json();
+        for shards in [2usize, 4, 8] {
+            let rerun = library::all()
+                .into_iter()
+                .find(|s| s.name() == name)
+                .expect("library is stable");
+            let mut cfg = rerun.config().clone();
+            cfg.shards = shards;
+            let sharded = rerun.with_config(cfg).run().unwrap().to_json();
+            assert_eq!(
+                reference, sharded,
+                "`{name}`: shard count {shards} leaked into the report"
+            );
+        }
+    }
 }

@@ -4,7 +4,7 @@
 //! exactly replays the event arithmetic without ever emptying the system.
 
 use dslice_scenario::{population_delta, Scenario, ScenarioEvent};
-use dslice_sim::AttributeDistribution;
+use dslice_sim::{AttackerSpec, AttributeDistribution};
 use proptest::prelude::*;
 
 /// Strategy for one random (but individually valid) scenario event.
@@ -37,6 +37,18 @@ fn event_strategy() -> impl Strategy<Value = ScenarioEvent> {
             }
         }),
         (1usize..9).prop_map(|slices| ScenarioEvent::Repartition { slices }),
+        (2usize..5).prop_map(|bands| ScenarioEvent::PartitionBands {
+            bands,
+            heal_at: None,
+        }),
+        Just(ScenarioEvent::Heal),
+        (0.0f64..0.5).prop_map(|rate| ScenarioEvent::DropRate { rate }),
+        (0.05f64..0.9, 0.5f64..0.99).prop_map(|(fraction, target)| {
+            ScenarioEvent::AdaptiveLiars {
+                fraction,
+                attacker: AttackerSpec::Colluder { target },
+            }
+        }),
     ]
 }
 
@@ -65,6 +77,16 @@ fn program(n: usize, cycles: usize, events: &[(usize, ScenarioEvent)]) -> Scenar
                 inflation,
             } => s.lying_boundary_nodes(fraction, inflation),
             ScenarioEvent::Repartition { slices } => s.repartition(slices),
+            ScenarioEvent::PartitionBands { bands, heal_at } => match heal_at {
+                Some(at) => s.partition_bands_until(bands, at),
+                None => s.partition_bands(bands),
+            },
+            ScenarioEvent::Heal => s.heal(),
+            ScenarioEvent::DropRate { rate } => s.drop_rate(rate),
+            ScenarioEvent::RegionLatency { region, model } => s.region_latency(region, model),
+            ScenarioEvent::AdaptiveLiars { fraction, attacker } => {
+                s.adaptive_liars(fraction, attacker)
+            }
         };
     }
     s

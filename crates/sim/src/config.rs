@@ -85,6 +85,7 @@ impl SimConfig {
             return Err(Error::ZeroViewCapacity);
         }
         self.distribution.validate()?;
+        self.latency.validate()?;
         if !(0.0..=1.0).contains(&self.loss_rate) {
             return Err(Error::InvalidFractions(format!(
                 "loss rate must lie in [0, 1], got {}",
@@ -157,6 +158,11 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = SimConfig {
             loss_rate: 1.5,
+            ..SimConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig {
+            latency: LatencyModel::Uniform { min: 3, max: 1 },
             ..SimConfig::default()
         };
         assert!(cfg.validate().is_err());

@@ -82,9 +82,11 @@
 
 use crate::churn::{ChurnModel, NoChurn};
 use crate::config::{ProtocolKind, SimConfig};
+use crate::fault::{BandPartition, NetworkFault};
+use crate::latency::LatencyModel;
 use crate::stats::{CycleStats, EventCounters, PhaseTimings, RunRecord};
 use crate::stream::NodeRng;
-use dslice_algorithms::Liar;
+use dslice_algorithms::{Adaptive, AttackerSpec, Liar};
 use dslice_core::node::NodeIdAllocator;
 use dslice_core::protocol::{Context, Event, SliceProtocol};
 use dslice_core::slab::SlabChunk;
@@ -398,6 +400,9 @@ pub struct Engine {
     /// [`corrupt_nodes`](Engine::corrupt_nodes); maintained across churn
     /// (a departed liar is forgotten, joiners are honest).
     liars: HashSet<NodeId>,
+    /// Network-condition fault injection (partitions, drop rate, region
+    /// latency); quiet by default and guaranteed RNG-free while quiet.
+    fault: NetworkFault,
     /// Test hook: when `Some`, each step records its membership schedule as
     /// `(initiator, partner, batch)` triples.
     schedule_log: Option<Vec<(u64, u64, usize)>>,
@@ -449,6 +454,7 @@ impl Engine {
             last_gdm: 0.0,
             scratch: Scratch::default(),
             liars: HashSet::new(),
+            fault: NetworkFault::default(),
             schedule_log: None,
         };
         engine.bootstrap_views(&ids);
@@ -658,6 +664,60 @@ impl Engine {
         count
     }
 
+    /// Converts a deterministic random sample of the live, still-honest
+    /// population into *adaptive* adversaries — the reactive counterpart of
+    /// [`corrupt_nodes`](Engine::corrupt_nodes). Each chosen node keeps its
+    /// protocol state but is wrapped in
+    /// [`Adaptive`] running the given
+    /// [`AttackerSpec`] (`spec.validate()`
+    /// must have passed — invalid specs panic here, mirroring
+    /// [`ProtocolKind::build`]). Returns how many nodes were corrupted
+    /// (`round(still-honest × fraction)`).
+    ///
+    /// Selection draws from the engine's sequential RNG exactly like
+    /// [`corrupt_nodes`](Engine::corrupt_nodes) — same pool ordering, same
+    /// draw count — so swapping a static attack for an adaptive one in a
+    /// scenario perturbs nothing upstream of the attackers' behavior.
+    /// The attackers themselves consume no randomness at all.
+    pub fn corrupt_adaptive(&mut self, fraction: f64, spec: AttackerSpec) -> usize {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid attacker spec: {e}"));
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut honest: Vec<NodeId> = self
+            .nodes
+            .ids()
+            .filter(|id| !self.liars.contains(id))
+            .collect();
+        // Slot order varies with churn history; id order is canonical.
+        honest.sort_unstable();
+        let count = ((honest.len() as f64) * fraction).round() as usize;
+        let count = count.min(honest.len());
+        if count == 0 {
+            return 0;
+        }
+        let mut chosen: Vec<NodeId> = rand::seq::index::sample(&mut self.rng, honest.len(), count)
+            .into_iter()
+            .map(|i| honest[i])
+            .collect();
+        chosen.sort_unstable();
+        for &id in &chosen {
+            let Some((slot, node)) = self.nodes.take(id) else {
+                continue;
+            };
+            let SimNode { proto, sampler } = node;
+            self.nodes.put_back(
+                slot,
+                id,
+                SimNode {
+                    proto: Box::new(Adaptive::new(proto, spec)),
+                    sampler,
+                },
+            );
+            self.liars.insert(id);
+        }
+        count
+    }
+
     /// Wraps each listed live node's protocol in a [`Liar`] with the given
     /// inflation factor and registers it in the liar set.
     fn make_liars(&mut self, chosen: &[NodeId], inflation: f64) {
@@ -676,6 +736,53 @@ impl Engine {
             );
             self.liars.insert(id);
         }
+    }
+
+    /// Partitions the network into `bands ≥ 2` equal-population contiguous
+    /// attribute bands (see [`BandPartition`]), optionally healing itself
+    /// at cycle `heal_at`. While the partition holds, protocol messages and
+    /// membership exchanges crossing bands are severed and counted as
+    /// dropped; the uniform-oracle substrate and joiner bootstrap are *not*
+    /// constrained (they model out-of-band services). Replaces any
+    /// previously installed partition and clears its region overrides.
+    ///
+    /// Band boundaries are frozen from the current live population and
+    /// consume no RNG, so installing (and healing) a partition never shifts
+    /// the engine's random stream.
+    pub fn set_network_partition(&mut self, bands: usize, heal_at: Option<usize>) -> Result<()> {
+        let attributes: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|(_, _, n)| n.proto.attribute().value())
+            .collect();
+        let partition = BandPartition::from_attributes(bands, &attributes, heal_at)?;
+        self.fault.install_partition(partition);
+        Ok(())
+    }
+
+    /// Tears down the installed network partition (and its region latency
+    /// overrides). Idempotent; consumes no RNG.
+    pub fn heal_network_partition(&mut self) {
+        self.fault.heal();
+    }
+
+    /// Sets the probability in `[0, 1)` that any routed message is lost
+    /// (on top of [`SimConfig::loss_rate`]; the coin is flipped per message
+    /// only while the rate is non-zero).
+    pub fn set_drop_rate(&mut self, rate: f64) -> Result<()> {
+        self.fault.set_drop_rate(rate)
+    }
+
+    /// Overrides the latency of messages delivered *into* band `region` of
+    /// the installed network partition (asymmetric long-haul links). Fails
+    /// without an installed partition.
+    pub fn set_region_latency(&mut self, region: usize, model: LatencyModel) -> Result<()> {
+        self.fault.set_region_latency(region, model)
+    }
+
+    /// Read access to the network-fault state.
+    pub fn network_fault(&self) -> &NetworkFault {
+        &self.fault
     }
 
     /// Number of live lying nodes.
@@ -738,6 +845,10 @@ impl Engine {
     /// Executes one full cycle and returns its statistics.
     pub fn step(&mut self) -> CycleStats {
         self.cycle += 1;
+        // Scheduled partition heal: the heal cycle itself runs connected.
+        if self.fault.due_heal(self.cycle) {
+            self.heal_network_partition();
+        }
         let mut timings = PhaseTimings::default();
         let mut timer = PhaseTimer::new(self.cfg.time_phases);
 
@@ -782,8 +893,9 @@ impl Engine {
         timer.lap(&mut timings.drain_us);
 
         // Membership phase: schedule → conflict-free batches → sharded
-        // execute (see module docs).
-        self.membership_phase();
+        // execute (see module docs). A network partition severs cross-band
+        // exchanges here too (their REQ′ never crosses).
+        self.membership_phase(&mut dropped);
         timer.lap(&mut timings.membership_us);
 
         // Refresh phase: every value snapshot in every view is brought up to
@@ -873,8 +985,11 @@ impl Engine {
 
     /// Executes the membership phase as schedule → batch → execute (see
     /// module docs). The uniform-oracle substrate goes through
-    /// [`oracle_refill_phase`](Engine::oracle_refill_phase) instead.
-    fn membership_phase(&mut self) {
+    /// [`oracle_refill_phase`](Engine::oracle_refill_phase) instead (and is
+    /// deliberately *not* constrained by network partitions — it models an
+    /// out-of-band sampling service). Scheduled exchanges crossing an
+    /// installed partition are severed and counted in `dropped`.
+    fn membership_phase(&mut self, dropped: &mut u64) {
         if self.cfg.sampler == SamplerKind::UniformOracle {
             self.oracle_refill_phase();
             return;
@@ -914,6 +1029,28 @@ impl Engine {
             }
         }
         scheduled.retain(|s| s.partner_slot != usize::MAX);
+
+        // Partition gating: a cross-band exchange's REQ′ never crosses —
+        // the pair is severed before batching (the initiator keeps its
+        // stale pointer; failure detection is the view's business, not the
+        // partition's). RNG-free: band membership is a pure attribute
+        // lookup against the frozen cuts.
+        if let Some(partition) = self.fault.partition() {
+            let nodes = &self.nodes;
+            scheduled.retain(|s| {
+                let connected = match (nodes.get(s.id), nodes.get(s.partner)) {
+                    (Some(a), Some(b)) => {
+                        partition.band_of(a.proto.attribute().value())
+                            == partition.band_of(b.proto.attribute().value())
+                    }
+                    _ => false,
+                };
+                if !connected {
+                    *dropped += 1;
+                }
+                connected
+            });
+        }
 
         // Batch: greedy first-fit, in slot order, into conflict-free
         // batches — no node appears twice within one batch. Occupancy is a
@@ -1129,10 +1266,21 @@ impl Engine {
         deferred: &mut Vec<(NodeId, ProtocolMsg)>,
         dropped: &mut u64,
     ) -> Option<(NodeId, ProtocolMsg)> {
+        // Fault injection first: a quiet fault (the default) takes neither
+        // branch and flips no coin, keeping fault-free runs byte-identical.
+        if !self.fault.is_quiet() {
+            if self.fault_severed(to, &msg) {
+                *dropped += 1;
+                return None;
+            }
+            if self.fault_dropped(dropped) {
+                return None;
+            }
+        }
         if self.lost(dropped) {
             return None;
         }
-        let delay = self.cfg.latency.sample(&mut self.rng);
+        let delay = self.delivery_latency(to).sample(&mut self.rng);
         if delay > 0 {
             self.in_flight.push((self.cycle + delay as usize, to, msg));
             return None;
@@ -1142,6 +1290,48 @@ impl Engine {
             return None;
         }
         Some((to, msg))
+    }
+
+    /// Whether `msg`'s delivery to `to` crosses an installed network
+    /// partition (both endpoints live in different attribute bands).
+    /// Consumes no RNG; a departed endpoint is not this check's concern
+    /// (delivery handles it).
+    fn fault_severed(&self, to: NodeId, msg: &ProtocolMsg) -> bool {
+        if self.fault.partition().is_none() {
+            return false;
+        }
+        match (self.nodes.get(msg.from()), self.nodes.get(to)) {
+            (Some(f), Some(t)) => self
+                .fault
+                .severed(f.proto.attribute().value(), t.proto.attribute().value()),
+            _ => false,
+        }
+    }
+
+    /// Draws the fault-injection drop coin for one message (counts a drop
+    /// on loss). The coin is flipped only while a non-zero drop rate is
+    /// configured, mirroring [`lost`](Engine::lost).
+    fn fault_dropped(&mut self, dropped: &mut u64) -> bool {
+        use rand::Rng;
+        if self.fault.drop_rate() > 0.0 && self.rng.gen::<f64>() < self.fault.drop_rate() {
+            *dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The latency model governing delivery to `to`: the recipient band's
+    /// fault override while a partition holds, the configured model
+    /// otherwise.
+    fn delivery_latency(&self, to: NodeId) -> LatencyModel {
+        if self.fault.partition().is_none() {
+            return self.cfg.latency;
+        }
+        self.nodes
+            .get(to)
+            .and_then(|n| self.fault.latency_override(n.proto.attribute().value()))
+            .unwrap_or(self.cfg.latency)
     }
 
     /// Draws the loss coin for one message (counts a drop on loss).
@@ -1828,6 +2018,186 @@ mod tests {
         for shards in [2, 4] {
             assert_eq!(sequential, run(shards), "shards = {shards} diverged");
         }
+    }
+
+    #[test]
+    fn network_partition_severs_cross_band_traffic_until_healed() {
+        let mut engine = Engine::new(small_cfg(128, 4, 70), ProtocolKind::Ranking).unwrap();
+        engine.run(5);
+        engine.set_network_partition(2, None).unwrap();
+        let partitioned = engine.run(10);
+        let severed: u64 = partitioned.cycles.iter().map(|c| c.dropped_messages).sum();
+        assert!(severed > 0, "cross-band updates must be dropped");
+        engine.heal_network_partition();
+        assert!(engine.network_fault().is_quiet());
+        let healed = engine.run(10);
+        let after: u64 = healed.cycles.iter().map(|c| c.dropped_messages).sum();
+        assert_eq!(after, 0, "a healed network loses nothing");
+    }
+
+    #[test]
+    fn scheduled_heal_fires_at_the_given_cycle() {
+        let mut engine = Engine::new(small_cfg(64, 4, 71), ProtocolKind::Ranking).unwrap();
+        // Heal at cycle 4: cycles 1–3 partitioned, 4 onward connected.
+        engine.set_network_partition(2, Some(4)).unwrap();
+        for _ in 0..3 {
+            engine.step();
+            assert!(engine.network_fault().partition().is_some());
+        }
+        let healed_cycle = engine.step();
+        assert!(engine.network_fault().partition().is_none());
+        assert_eq!(healed_cycle.dropped_messages, 0);
+    }
+
+    #[test]
+    fn drop_rate_loses_a_matching_share_of_messages() {
+        let run = |rate: f64| {
+            let mut e = Engine::new(small_cfg(128, 4, 72), ProtocolKind::Ranking).unwrap();
+            e.set_drop_rate(rate).unwrap();
+            let record = e.run(10);
+            record
+                .cycles
+                .iter()
+                .map(|c| c.dropped_messages)
+                .sum::<u64>()
+        };
+        assert_eq!(run(0.0), 0);
+        let half = run(0.5);
+        let tenth = run(0.1);
+        assert!(half > tenth, "drop counts must scale: {tenth} vs {half}");
+        assert!(tenth > 0);
+    }
+
+    #[test]
+    fn region_latency_override_holds_messages_in_flight() {
+        let mut engine = Engine::new(small_cfg(128, 4, 73), ProtocolKind::Ranking).unwrap();
+        engine.set_network_partition(2, None).unwrap();
+        engine
+            .set_region_latency(1, LatencyModel::Fixed { cycles: 3 })
+            .unwrap();
+        engine.run(5);
+        assert!(
+            !engine.in_flight.is_empty(),
+            "band-1 deliveries must be delayed under the override"
+        );
+        // Region overrides need an installed partition.
+        engine.heal_network_partition();
+        assert!(engine
+            .set_region_latency(1, LatencyModel::Fixed { cycles: 3 })
+            .is_err());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_across_shard_counts() {
+        let run = |shards| {
+            let mut cfg = small_cfg(128, 4, 74);
+            cfg.shards = shards;
+            let mut e = Engine::new(cfg, ProtocolKind::decay(0.98)).unwrap();
+            e.run(5);
+            e.set_network_partition(2, Some(12)).unwrap();
+            e.set_drop_rate(0.05).unwrap();
+            e.set_region_latency(1, LatencyModel::Uniform { min: 1, max: 2 })
+                .unwrap();
+            let record = e.run(15);
+            (record, e.accuracy())
+        };
+        let sequential = run(1);
+        for shards in [2, 4] {
+            assert_eq!(sequential, run(shards), "shards = {shards} diverged");
+        }
+    }
+
+    #[test]
+    fn partition_starves_cross_band_evidence_under_correlated_churn() {
+        // The acceptance-(b) mechanism in miniature: during an attribute
+        // partition, correlated churn reshapes the other band invisibly, so
+        // estimates go stale; after the heal, the decay estimator re-adapts.
+        let schedule = ChurnSchedule {
+            rate: 0.05,
+            period: 1,
+            stop_after: Some(20),
+        };
+        let mut engine = Engine::new(small_cfg(256, 4, 75), ProtocolKind::decay(0.98))
+            .unwrap()
+            .with_churn(Box::new(CorrelatedChurn::new(schedule, 1.0)));
+        engine.run(30);
+        engine.set_network_partition(2, None).unwrap();
+        engine.run(25);
+        let partitioned = engine.accuracy();
+        engine.heal_network_partition();
+        engine.run(40);
+        let healed = engine.accuracy();
+        assert!(
+            healed > partitioned,
+            "post-heal accuracy must recover: {partitioned} -> {healed}"
+        );
+        assert!(healed >= 0.85, "decay must re-converge, got {healed}");
+    }
+
+    #[test]
+    fn corrupt_adaptive_converts_the_requested_fraction() {
+        let mut engine = Engine::new(small_cfg(200, 4, 64), ProtocolKind::Ranking).unwrap();
+        let spec = AttackerSpec::Colluder { target: 0.95 };
+        assert_eq!(engine.corrupt_adaptive(0.1, spec), 20);
+        assert_eq!(engine.liar_count(), 20);
+        assert_eq!(engine.population(), 200, "corruption is not churn");
+        // A second wave only draws from the still-honest pool, and the
+        // static and adaptive tiers share one liar set.
+        assert_eq!(engine.corrupt_nodes(0.5, 5.0), 90);
+        assert_eq!(engine.liar_count(), 110);
+        assert_eq!(engine.corrupt_adaptive(0.0, spec), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid attacker spec")]
+    fn corrupt_adaptive_rejects_invalid_specs() {
+        let mut engine = Engine::new(small_cfg(16, 4, 65), ProtocolKind::Ranking).unwrap();
+        engine.corrupt_adaptive(0.1, AttackerSpec::Colluder { target: 2.0 });
+    }
+
+    #[test]
+    fn adaptive_corruption_is_deterministic_across_shard_counts() {
+        let run = |shards| {
+            let mut cfg = small_cfg(128, 4, 66);
+            cfg.shards = shards;
+            let mut e = Engine::new(cfg, ProtocolKind::RobustRanking { window: 16 }).unwrap();
+            e.run(5);
+            e.corrupt_adaptive(
+                0.2,
+                AttackerSpec::Drifter {
+                    inflation: 4.0,
+                    step: 0.25,
+                    epoch: 4,
+                },
+            );
+            let record = e.run(10);
+            (record, e.honest_accuracy(), e.accuracy())
+        };
+        let sequential = run(1);
+        for shards in [2, 4] {
+            assert_eq!(sequential, run(shards), "shards = {shards} diverged");
+        }
+    }
+
+    #[test]
+    fn trimming_blunts_colluders_that_static_fences_admit() {
+        // The acceptance experiment in miniature: colluders aim their poison
+        // just inside the Tukey fences, so the fence-only filter absorbs it
+        // while the trimmed filter clips it as an order-statistic outlier.
+        let honest = |kind: ProtocolKind, seed| {
+            let mut e = Engine::new(small_cfg(256, 4, seed), kind).unwrap();
+            e.run(60);
+            e.corrupt_adaptive(0.2, AttackerSpec::Colluder { target: 0.95 });
+            e.run(60);
+            e.honest_accuracy()
+        };
+        let fenced = honest(ProtocolKind::RobustRanking { window: 32 }, 67);
+        let trimmed = honest(ProtocolKind::trimmed(32, 0.1), 67);
+        assert!(
+            trimmed > fenced,
+            "trimmed admission must out-defend the static fence \
+             against fence-aware collusion: {trimmed} vs {fenced}"
+        );
     }
 
     #[test]

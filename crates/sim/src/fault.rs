@@ -1,0 +1,306 @@
+//! Network-condition fault injection: attribute-band partitions,
+//! per-region latency overrides, and probabilistic message drop.
+//!
+//! The paper evaluates its protocols on a fully connected cycle model;
+//! this module injects the wide-area failure modes that model abstracts
+//! away, as engine-held state consulted on the routing path:
+//!
+//! * **Attribute-band partition** ([`BandPartition`]) — the live population
+//!   is split into contiguous attribute ranges ("regions"); while the
+//!   partition holds, protocol messages *and* membership exchanges whose
+//!   endpoints sit in different bands are severed (counted as dropped).
+//!   Attribute-contiguous partitions are the adversarial shape for slicing:
+//!   each island sees a censored sample stream, so rank estimates skew
+//!   toward the island's local order. An optional heal cycle tears the
+//!   partition down automatically.
+//! * **Per-region latency overrides** — while a partition holds, messages
+//!   *into* a band can follow a different [`LatencyModel`] than the global
+//!   configuration, modeling asymmetric long-haul links (band 0 answers in
+//!   one cycle, band 1 across an ocean).
+//! * **Probabilistic drop** — every routed message is lost with a fixed
+//!   probability, drawn from the engine's sequential RNG with a dedicated
+//!   per-message coin (flipped only while the rate is non-zero, so a quiet
+//!   fault consumes **no** randomness and leaves existing runs
+//!   byte-identical).
+//!
+//! All fault state lives in [`NetworkFault`] and is mutated through the
+//! engine's `set_network_partition` / `heal_network_partition` /
+//! `set_drop_rate` / `set_region_latency` methods. Dropped and severed
+//! messages surface through the existing accounting: a lost swap proposal
+//! is simply never resolved, so the proposer's next activation abandons it
+//! through the transactional path (`SwapAbandoned`, strikes, …).
+
+use crate::latency::LatencyModel;
+use dslice_core::{Error, Result};
+
+/// A partition of the attribute axis into contiguous, equal-population
+/// bands, frozen at activation time.
+///
+/// Band boundaries are computed **once**, from the live population's sorted
+/// attribute values, when the partition is installed; later churn does not
+/// move them (a real partition severs links, it does not re-balance
+/// itself). Membership is by value: a node (or message endpoint) belongs to
+/// the band whose frozen attribute range contains its attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BandPartition {
+    /// Ascending attribute cut points between adjacent bands
+    /// (`bands − 1` entries). A value `a` belongs to band
+    /// `#{cuts < a}`; boundary attributes stay in the lower band.
+    cuts: Vec<f64>,
+    /// Cycle at which the partition heals itself, if scheduled.
+    heal_at: Option<usize>,
+}
+
+impl BandPartition {
+    /// Splits `attributes` (any order, one entry per live node) into
+    /// `bands ≥ 2` equal-population contiguous attribute ranges, healing
+    /// automatically at cycle `heal_at` if given.
+    ///
+    /// Duplicated attribute values across a boundary collapse into the
+    /// lower band (bands may then be unequal, but membership stays a pure
+    /// function of the attribute).
+    pub fn from_attributes(
+        bands: usize,
+        attributes: &[f64],
+        heal_at: Option<usize>,
+    ) -> Result<Self> {
+        if bands < 2 {
+            return Err(Error::InvalidFault(format!(
+                "a partition needs at least 2 bands, got {bands}"
+            )));
+        }
+        if attributes.len() < bands {
+            return Err(Error::InvalidFault(format!(
+                "cannot split {} nodes into {bands} bands",
+                attributes.len()
+            )));
+        }
+        let mut sorted = attributes.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let n = sorted.len();
+        let cuts = (1..bands).map(|b| sorted[b * n / bands - 1]).collect();
+        Ok(BandPartition { cuts, heal_at })
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// The band containing `attribute` (boundary values fall into the
+    /// lower band).
+    pub fn band_of(&self, attribute: f64) -> usize {
+        self.cuts.partition_point(|&c| c < attribute)
+    }
+
+    /// The cycle at which this partition heals itself, if scheduled.
+    pub fn heal_at(&self) -> Option<usize> {
+        self.heal_at
+    }
+}
+
+/// The engine's network-fault state: at most one [`BandPartition`], its
+/// per-band latency overrides, and a global per-message drop rate.
+///
+/// The default value is *quiet*: no partition, no overrides, zero drop
+/// rate — and a quiet fault is guaranteed to consume no RNG draws and
+/// sever no messages, so it cannot perturb existing deterministic runs.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkFault {
+    partition: Option<BandPartition>,
+    drop_rate: f64,
+    /// Latency override per band (index = *recipient's* band); only
+    /// meaningful while a partition is installed.
+    region_latency: Vec<Option<LatencyModel>>,
+}
+
+impl NetworkFault {
+    /// Whether this fault state can influence a run at all.
+    pub fn is_quiet(&self) -> bool {
+        self.partition.is_none() && self.drop_rate == 0.0
+    }
+
+    /// The installed partition, if any.
+    pub fn partition(&self) -> Option<&BandPartition> {
+        self.partition.as_ref()
+    }
+
+    /// The per-message drop probability.
+    pub fn drop_rate(&self) -> f64 {
+        self.drop_rate
+    }
+
+    /// Installs `partition`, resetting all region latency overrides.
+    pub fn install_partition(&mut self, partition: BandPartition) {
+        self.region_latency = vec![None; partition.bands()];
+        self.partition = Some(partition);
+    }
+
+    /// Tears the partition down (with its region overrides). Idempotent.
+    pub fn heal(&mut self) {
+        self.partition = None;
+        self.region_latency.clear();
+    }
+
+    /// Whether an installed partition is scheduled to heal at `cycle` (or
+    /// earlier).
+    pub fn due_heal(&self, cycle: usize) -> bool {
+        self.partition
+            .as_ref()
+            .and_then(BandPartition::heal_at)
+            .is_some_and(|at| cycle >= at)
+    }
+
+    /// Sets the per-message drop probability, a finite value in `[0, 1)`.
+    pub fn set_drop_rate(&mut self, rate: f64) -> Result<()> {
+        if !rate.is_finite() || !(0.0..1.0).contains(&rate) {
+            return Err(Error::InvalidFault(format!(
+                "drop rate must lie in [0, 1), got {rate}"
+            )));
+        }
+        self.drop_rate = rate;
+        Ok(())
+    }
+
+    /// Overrides the latency of messages delivered *into* band `region` of
+    /// the installed partition. Fails when no partition is installed, the
+    /// region index is out of range, or the model itself is invalid.
+    pub fn set_region_latency(&mut self, region: usize, model: LatencyModel) -> Result<()> {
+        model.validate()?;
+        let bands = match &self.partition {
+            Some(p) => p.bands(),
+            None => {
+                return Err(Error::InvalidFault(
+                    "region latency requires an installed partition".into(),
+                ))
+            }
+        };
+        if region >= bands {
+            return Err(Error::InvalidFault(format!(
+                "region {region} out of range for {bands} bands"
+            )));
+        }
+        self.region_latency[region] = Some(model);
+        Ok(())
+    }
+
+    /// Whether a message between the given endpoint attributes crosses the
+    /// installed partition (always `false` when quiet).
+    pub fn severed(&self, from_attribute: f64, to_attribute: f64) -> bool {
+        match &self.partition {
+            Some(p) => p.band_of(from_attribute) != p.band_of(to_attribute),
+            None => false,
+        }
+    }
+
+    /// The latency override for a message delivered to a node with the
+    /// given attribute, if one is configured for its band.
+    pub fn latency_override(&self, to_attribute: f64) -> Option<LatencyModel> {
+        let p = self.partition.as_ref()?;
+        self.region_latency[p.band_of(to_attribute)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_partition_splits_equal_populations() {
+        let attrs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let p = BandPartition::from_attributes(4, &attrs, None).unwrap();
+        assert_eq!(p.bands(), 4);
+        assert_eq!(p.band_of(0.0), 0);
+        assert_eq!(p.band_of(24.0), 0, "boundary value stays low");
+        assert_eq!(p.band_of(24.5), 1);
+        assert_eq!(p.band_of(60.0), 2);
+        assert_eq!(p.band_of(99.0), 3);
+        assert_eq!(p.band_of(1e9), 3, "beyond the frozen range: top band");
+        assert_eq!(p.band_of(-1e9), 0);
+    }
+
+    #[test]
+    fn band_partition_is_order_independent() {
+        let fwd: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(
+            BandPartition::from_attributes(2, &fwd, None).unwrap(),
+            BandPartition::from_attributes(2, &rev, None).unwrap()
+        );
+    }
+
+    #[test]
+    fn band_partition_rejects_degenerate_parameters() {
+        let attrs = [1.0, 2.0, 3.0];
+        assert!(BandPartition::from_attributes(1, &attrs, None).is_err());
+        assert!(BandPartition::from_attributes(4, &attrs, None).is_err());
+        assert!(BandPartition::from_attributes(0, &[], None).is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_collapse_into_the_lower_band() {
+        let attrs = [5.0, 5.0, 5.0, 5.0, 9.0, 9.0];
+        let p = BandPartition::from_attributes(2, &attrs, None).unwrap();
+        assert_eq!(p.band_of(5.0), 0);
+        assert_eq!(p.band_of(9.0), 1);
+    }
+
+    #[test]
+    fn quiet_fault_severs_nothing() {
+        let f = NetworkFault::default();
+        assert!(f.is_quiet());
+        assert!(!f.severed(0.0, 1e9));
+        assert_eq!(f.latency_override(42.0), None);
+        assert!(!f.due_heal(usize::MAX));
+    }
+
+    #[test]
+    fn partition_severs_cross_band_endpoints_until_healed() {
+        let attrs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut f = NetworkFault::default();
+        f.install_partition(BandPartition::from_attributes(2, &attrs, Some(7)).unwrap());
+        assert!(!f.is_quiet());
+        assert!(f.severed(1.0, 8.0));
+        assert!(!f.severed(1.0, 3.0));
+        assert!(!f.severed(8.0, 9.0));
+        assert!(!f.due_heal(6));
+        assert!(f.due_heal(7));
+        f.heal();
+        assert!(f.is_quiet());
+        assert!(!f.severed(1.0, 8.0));
+    }
+
+    #[test]
+    fn drop_rate_is_validated() {
+        let mut f = NetworkFault::default();
+        assert!(f.set_drop_rate(1.0).is_err());
+        assert!(f.set_drop_rate(-0.1).is_err());
+        assert!(f.set_drop_rate(f64::NAN).is_err());
+        assert!(f.set_drop_rate(0.25).is_ok());
+        assert_eq!(f.drop_rate(), 0.25);
+        assert!(!f.is_quiet());
+        assert!(f.set_drop_rate(0.0).is_ok());
+        assert!(f.is_quiet());
+    }
+
+    #[test]
+    fn region_latency_requires_a_partition_and_a_valid_region() {
+        let mut f = NetworkFault::default();
+        let slow = LatencyModel::Fixed { cycles: 3 };
+        assert!(f.set_region_latency(0, slow).is_err());
+
+        let attrs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        f.install_partition(BandPartition::from_attributes(2, &attrs, None).unwrap());
+        assert!(f.set_region_latency(2, slow).is_err(), "out of range");
+        assert!(f
+            .set_region_latency(1, LatencyModel::Uniform { min: 5, max: 2 })
+            .is_err());
+        assert!(f.set_region_latency(1, slow).is_ok());
+        assert_eq!(f.latency_override(8.0), Some(slow));
+        assert_eq!(f.latency_override(1.0), None, "band 0 keeps the default");
+        // Healing clears the overrides with the partition.
+        f.heal();
+        assert_eq!(f.latency_override(8.0), None);
+    }
+}

@@ -16,6 +16,7 @@
 //! the same transactional path and surface as unsuccessful swaps when
 //! stale.
 
+use dslice_core::{Error, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -48,6 +49,24 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
+    /// Validates the model's parameters: a [`Uniform`](LatencyModel::Uniform)
+    /// range must satisfy `min ≤ max` (an inverted range would silently
+    /// collapse to `min` in [`sample`](LatencyModel::sample)), and a
+    /// [`Geometric`](LatencyModel::Geometric) probability must be a finite
+    /// value in `[0, 1)`. `min == max` is a valid degenerate (constant)
+    /// uniform range.
+    pub fn validate(self) -> Result<()> {
+        match self {
+            LatencyModel::Uniform { min, max } if min > max => Err(Error::InvalidLatency(format!(
+                "uniform range requires min ≤ max, got {min}-{max}"
+            ))),
+            LatencyModel::Geometric { p } if !p.is_finite() || !(0.0..1.0).contains(&p) => Err(
+                Error::InvalidLatency(format!("geometric probability must lie in [0, 1), got {p}")),
+            ),
+            _ => Ok(()),
+        }
+    }
+
     /// Draws the delay for one message, in cycles (0 = within-cycle).
     pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> u32 {
         match self {
@@ -148,6 +167,20 @@ mod tests {
         let sum: u64 = (0..20_000).map(|_| m.sample(&mut rng) as u64).sum();
         let mean = sum as f64 / 20_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean} vs 1.0");
+    }
+
+    #[test]
+    fn validate_rejects_inverted_uniform_range() {
+        assert!(LatencyModel::Uniform { min: 5, max: 2 }.validate().is_err());
+        assert!(LatencyModel::Geometric { p: 1.0 }.validate().is_err());
+        assert!(LatencyModel::Geometric { p: -0.1 }.validate().is_err());
+        assert!(LatencyModel::Geometric { p: f64::NAN }.validate().is_err());
+        // Degenerate-but-consistent parameterizations stay valid.
+        assert!(LatencyModel::Uniform { min: 4, max: 4 }.validate().is_ok());
+        assert!(LatencyModel::Uniform { min: 0, max: 3 }.validate().is_ok());
+        assert!(LatencyModel::Geometric { p: 0.0 }.validate().is_ok());
+        assert!(LatencyModel::Zero.validate().is_ok());
+        assert!(LatencyModel::Fixed { cycles: 7 }.validate().is_ok());
     }
 
     #[test]

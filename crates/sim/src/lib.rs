@@ -63,6 +63,7 @@ pub mod concurrency;
 pub mod config;
 pub mod distributions;
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod sessions;
 pub mod stats;
@@ -75,7 +76,9 @@ pub use churn::{
 pub use concurrency::Concurrency;
 pub use config::{ProtocolKind, SamplerKind, SimConfig};
 pub use distributions::AttributeDistribution;
+pub use dslice_algorithms::AttackerSpec;
 pub use engine::Engine;
+pub use fault::{BandPartition, NetworkFault};
 pub use latency::LatencyModel;
 pub use sessions::{FlashCrowd, SessionChurn, WeibullSessions};
 pub use stats::{CycleStats, PhaseTimings, RunRecord};

@@ -19,8 +19,66 @@ pub enum Command {
     },
     /// Run one scenario from the committed library.
     RunScenario(ScenarioArgs),
+    /// Run the protocols over real sockets on loopback, with chaos knobs.
+    NetRun(NetRunArgs),
     /// Print usage.
     Help,
+}
+
+/// Arguments of `dslice-cli net-run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetRunArgs {
+    pub protocol: ProtocolKind,
+    pub sampler: SamplerKind,
+    pub n: usize,
+    pub slices: usize,
+    pub view: usize,
+    pub period_ms: u64,
+    pub duration_ms: u64,
+    pub seed: u64,
+    pub bootstrap: usize,
+    pub distribution: AttributeDistribution,
+    /// Wire-level loss probability.
+    pub loss: f64,
+    /// Wire-level extra delay range in milliseconds.
+    pub delay_ms: Option<(u64, u64)>,
+    /// Crash this fraction of the nodes at this offset: `(frac, at_ms)`.
+    pub crash: Option<(f64, u64)>,
+    /// Restart the crashed nodes at this offset (requires `--crash`).
+    pub restart_at_ms: Option<u64>,
+    /// Refuse inbound connections on a fraction of the nodes:
+    /// `(frac, at_ms, window_ms)`.
+    pub refuse: Option<(f64, u64, u64)>,
+    /// Stall (accept but never read) inbound connections:
+    /// `(frac, at_ms, window_ms)`.
+    pub stall: Option<(f64, u64, u64)>,
+    pub json: Option<String>,
+    pub quiet: bool,
+}
+
+impl Default for NetRunArgs {
+    fn default() -> Self {
+        NetRunArgs {
+            protocol: ProtocolKind::Ranking,
+            sampler: SamplerKind::Cyclon,
+            n: 16,
+            slices: 2,
+            view: 8,
+            period_ms: 20,
+            duration_ms: 1000,
+            seed: 0xD51CE,
+            bootstrap: 4,
+            distribution: AttributeDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            loss: 0.0,
+            delay_ms: None,
+            crash: None,
+            restart_at_ms: None,
+            refuse: None,
+            stall: None,
+            json: None,
+            quiet: false,
+        }
+    }
 }
 
 /// Arguments of `dslice-cli run-scenario`.
@@ -145,6 +203,13 @@ USAGE:
   dslice-cli slice-of --slices K --rank R
   dslice-cli run-scenario <NAME> [--json FILE] [--quiet]
   dslice-cli run-scenario --list
+  dslice-cli net-run [--protocol P] [--sampler S] [--n N] [--slices K]
+                     [--view C] [--period-ms MS] [--duration-ms MS] [--seed S]
+                     [--bootstrap B] [--distribution D]
+                     [--loss P] [--delay-ms MIN:MAX]
+                     [--crash FRAC:AT_MS] [--restart AT_MS]
+                     [--refuse FRAC:AT_MS:DUR_MS] [--stall FRAC:AT_MS:DUR_MS]
+                     [--json FILE] [--quiet]
   dslice-cli help";
 
 fn value(argv: &[String], i: usize) -> Result<&str, String> {
@@ -329,6 +394,169 @@ pub fn parse_distribution(raw: &str) -> Result<AttributeDistribution, String> {
     };
     dist.validate().map_err(|e| e.to_string())?;
     Ok(dist)
+}
+
+/// `<frac>` in (0, 1] — the node fraction a chaos flag targets.
+fn parse_frac(flag: &str, raw: &str) -> Result<f64, String> {
+    let frac: f64 = parse_num(flag, raw)?;
+    if !frac.is_finite() || !(0.0..=1.0).contains(&frac) || frac == 0.0 {
+        return Err(format!("{flag} fraction must lie in (0, 1], got {frac}"));
+    }
+    Ok(frac)
+}
+
+/// `<frac>:<at-ms>` for `--crash`.
+fn parse_crash_spec(raw: &str) -> Result<(f64, u64), String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 2 {
+        return Err(format!("--crash takes <frac>:<at-ms>, got {raw:?}"));
+    }
+    Ok((
+        parse_frac("--crash", parts[0])?,
+        parse_num("--crash at-ms", parts[1])?,
+    ))
+}
+
+/// `<frac>:<at-ms>:<dur-ms>` for `--refuse` / `--stall`.
+fn parse_gate_spec(flag: &str, raw: &str) -> Result<(f64, u64, u64), String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("{flag} takes <frac>:<at-ms>:<dur-ms>, got {raw:?}"));
+    }
+    let window: u64 = parse_num(&format!("{flag} dur-ms"), parts[2])?;
+    if window == 0 {
+        return Err(format!("{flag} window must be positive"));
+    }
+    Ok((
+        parse_frac(flag, parts[0])?,
+        parse_num(&format!("{flag} at-ms"), parts[1])?,
+        window,
+    ))
+}
+
+/// `<min>:<max>` milliseconds for `--delay-ms`.
+fn parse_delay_spec(raw: &str) -> Result<(u64, u64), String> {
+    let parts: Vec<&str> = raw.split(':').collect();
+    if parts.len() != 2 {
+        return Err(format!("--delay-ms takes <min>:<max>, got {raw:?}"));
+    }
+    let min: u64 = parse_num("--delay-ms min", parts[0])?;
+    let max: u64 = parse_num("--delay-ms max", parts[1])?;
+    if min > max {
+        return Err(format!("--delay-ms range inverted: {min} > {max}"));
+    }
+    Ok((min, max))
+}
+
+fn parse_net_run(argv: &[String]) -> Result<NetRunArgs, String> {
+    let mut args = NetRunArgs::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--protocol" => {
+                args.protocol = parse_protocol(value(argv, i)?)?;
+                i += 2;
+            }
+            "--sampler" => {
+                args.sampler = parse_sampler(value(argv, i)?)?;
+                i += 2;
+            }
+            "--n" => {
+                args.n = parse_num("--n", value(argv, i)?)?;
+                i += 2;
+            }
+            "--slices" => {
+                args.slices = parse_num("--slices", value(argv, i)?)?;
+                i += 2;
+            }
+            "--view" => {
+                args.view = parse_num("--view", value(argv, i)?)?;
+                i += 2;
+            }
+            "--period-ms" => {
+                args.period_ms = parse_num("--period-ms", value(argv, i)?)?;
+                i += 2;
+            }
+            "--duration-ms" => {
+                args.duration_ms = parse_num("--duration-ms", value(argv, i)?)?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = parse_num("--seed", value(argv, i)?)?;
+                i += 2;
+            }
+            "--bootstrap" => {
+                args.bootstrap = parse_num("--bootstrap", value(argv, i)?)?;
+                i += 2;
+            }
+            "--distribution" => {
+                args.distribution = parse_distribution(value(argv, i)?)?;
+                i += 2;
+            }
+            "--loss" => {
+                let loss: f64 = parse_num("--loss", value(argv, i)?)?;
+                if !loss.is_finite() || !(0.0..=1.0).contains(&loss) {
+                    return Err(format!("--loss must lie in [0, 1], got {loss}"));
+                }
+                args.loss = loss;
+                i += 2;
+            }
+            "--delay-ms" => {
+                args.delay_ms = Some(parse_delay_spec(value(argv, i)?)?);
+                i += 2;
+            }
+            "--crash" => {
+                args.crash = Some(parse_crash_spec(value(argv, i)?)?);
+                i += 2;
+            }
+            "--restart" => {
+                args.restart_at_ms = Some(parse_num("--restart", value(argv, i)?)?);
+                i += 2;
+            }
+            "--refuse" => {
+                args.refuse = Some(parse_gate_spec("--refuse", value(argv, i)?)?);
+                i += 2;
+            }
+            "--stall" => {
+                args.stall = Some(parse_gate_spec("--stall", value(argv, i)?)?);
+                i += 2;
+            }
+            "--json" => {
+                args.json = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--quiet" => {
+                args.quiet = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown net-run argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    if args.n == 0 {
+        return Err("net-run needs at least one node (--n)".into());
+    }
+    // One OS thread per task in the vendored runtime: keep localhost
+    // clusters small enough that parked threads don't dominate the box.
+    if args.n > 128 {
+        return Err(format!(
+            "net-run is a localhost harness; --n must be at most 128, got {}",
+            args.n
+        ));
+    }
+    if args.period_ms == 0 {
+        return Err("--period-ms must be positive".into());
+    }
+    if args.restart_at_ms.is_some() && args.crash.is_none() {
+        return Err("--restart requires --crash (nothing would be down)".into());
+    }
+    if let (Some((_, crash_at)), Some(restart_at)) = (args.crash, args.restart_at_ms) {
+        if restart_at <= crash_at {
+            return Err(format!(
+                "--restart at {restart_at} ms must come after the crash at {crash_at} ms"
+            ));
+        }
+    }
+    Ok(args)
 }
 
 fn parse_sim(argv: &[String]) -> Result<SimArgs, String> {
@@ -532,6 +760,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             })
         }
         Some("run-scenario") => Ok(Command::RunScenario(parse_scenario(&argv[1..])?)),
+        Some("net-run") => Ok(Command::NetRun(parse_net_run(&argv[1..])?)),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
 }
@@ -816,6 +1045,81 @@ mod tests {
         );
         assert!(parse(&argv("run-scenario a b")).is_err(), "one name only");
         assert!(parse(&argv("run-scenario a --frob")).is_err());
+    }
+
+    #[test]
+    fn net_run_command() {
+        let cmd = parse(&argv(
+            "net-run --protocol mod-jk --sampler newscast --n 24 --slices 3 \
+             --view 6 --period-ms 15 --duration-ms 600 --seed 11 --bootstrap 5 \
+             --loss 0.1 --delay-ms 1:4 --crash 0.25:200 --restart 400 \
+             --refuse 0.2:100:150 --stall 0.1:300:80 --json out.json --quiet",
+        ))
+        .unwrap();
+        let Command::NetRun(a) = cmd else {
+            panic!("not net-run")
+        };
+        assert_eq!(a.protocol, ProtocolKind::ModJk);
+        assert_eq!(a.sampler, SamplerKind::Newscast);
+        assert_eq!(a.n, 24);
+        assert_eq!(a.slices, 3);
+        assert_eq!(a.view, 6);
+        assert_eq!(a.period_ms, 15);
+        assert_eq!(a.duration_ms, 600);
+        assert_eq!(a.seed, 11);
+        assert_eq!(a.bootstrap, 5);
+        assert_eq!(a.loss, 0.1);
+        assert_eq!(a.delay_ms, Some((1, 4)));
+        assert_eq!(a.crash, Some((0.25, 200)));
+        assert_eq!(a.restart_at_ms, Some(400));
+        assert_eq!(a.refuse, Some((0.2, 100, 150)));
+        assert_eq!(a.stall, Some((0.1, 300, 80)));
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert!(a.quiet);
+    }
+
+    #[test]
+    fn net_run_defaults() {
+        let Command::NetRun(a) = parse(&argv("net-run")).unwrap() else {
+            panic!("not net-run")
+        };
+        assert_eq!(a, NetRunArgs::default());
+        assert_eq!(a.n, 16);
+        assert!(a.crash.is_none());
+    }
+
+    #[test]
+    fn net_run_rejects_bad_chaos_specs() {
+        assert!(
+            parse(&argv("net-run --crash 0.5")).is_err(),
+            "missing at-ms"
+        );
+        assert!(parse(&argv("net-run --crash 0:100")).is_err(), "zero frac");
+        assert!(parse(&argv("net-run --crash 1.5:100")).is_err(), "frac > 1");
+        assert!(
+            parse(&argv("net-run --restart 400")).is_err(),
+            "restart without crash"
+        );
+        assert!(
+            parse(&argv("net-run --crash 0.5:400 --restart 200")).is_err(),
+            "restart before crash"
+        );
+        assert!(
+            parse(&argv("net-run --refuse 0.5:100:0")).is_err(),
+            "zero window"
+        );
+        assert!(
+            parse(&argv("net-run --stall 0.5:100")).is_err(),
+            "missing window"
+        );
+        assert!(parse(&argv("net-run --delay-ms 5:2")).is_err(), "inverted");
+        assert!(parse(&argv("net-run --loss 1.2")).is_err(), "loss > 1");
+        assert!(parse(&argv("net-run --n 0")).is_err(), "no nodes");
+        assert!(parse(&argv("net-run --n 500")).is_err(), "thread budget");
+        assert!(
+            parse(&argv("net-run --period-ms 0")).is_err(),
+            "zero period"
+        );
     }
 
     #[test]

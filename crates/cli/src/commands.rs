@@ -1,11 +1,15 @@
 //! Command execution.
 
-use crate::args::{AnalyzeArgs, ChurnSpec, Command, ScenarioArgs, SimArgs, USAGE};
+use crate::args::{AnalyzeArgs, ChurnSpec, Command, NetRunArgs, ScenarioArgs, SimArgs, USAGE};
 use dslice_analysis as analysis;
-use dslice_core::Partition;
+use dslice_core::{NodeId, Partition};
+use dslice_net::{ChaosPlan, ClusterConfig, FaultPlan, LocalCluster};
 use dslice_scenario::library;
 use dslice_sim::{ChurnModel, CorrelatedChurn, Engine, SimConfig, UncorrelatedChurn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fs::File;
+use std::time::Duration;
 
 /// Runs a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -18,7 +22,136 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Analyze(args) => run_analyze(args),
         Command::SliceOf { slices, rank } => run_slice_of(slices, rank),
         Command::RunScenario(args) => run_scenario(args),
+        Command::NetRun(args) => run_net_run(args),
     }
+}
+
+/// How many of `n` nodes a chaos fraction targets (at least one).
+fn chaos_count(frac: f64, n: usize) -> usize {
+    ((frac * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Builds the chaos schedule the CLI flags describe: crashes hit the
+/// lowest-id nodes, refusal/stall windows the highest-id ones, so the two
+/// fault families overlap as little as possible at small fractions.
+fn build_chaos(args: &NetRunArgs) -> ChaosPlan {
+    let n = args.n;
+    let mut chaos = ChaosPlan::new();
+    if let Some((frac, at_ms)) = args.crash {
+        let k = chaos_count(frac, n);
+        chaos = chaos.at_ms(at_ms);
+        for i in 0..k {
+            chaos = chaos.crash(NodeId::new(i as u64));
+        }
+        if let Some(restart_at) = args.restart_at_ms {
+            chaos = chaos.at_ms(restart_at);
+            for i in 0..k {
+                chaos = chaos.restart(NodeId::new(i as u64));
+            }
+        }
+    }
+    if let Some((frac, at_ms, window_ms)) = args.refuse {
+        let k = chaos_count(frac, n);
+        chaos = chaos.at_ms(at_ms);
+        for i in (n - k)..n {
+            chaos = chaos.refuse_for_ms(NodeId::new(i as u64), window_ms);
+        }
+    }
+    if let Some((frac, at_ms, window_ms)) = args.stall {
+        let k = chaos_count(frac, n);
+        chaos = chaos.at_ms(at_ms);
+        for i in (n - k)..n {
+            chaos = chaos.stall_for_ms(NodeId::new(i as u64), window_ms);
+        }
+    }
+    chaos
+}
+
+fn run_net_run(args: NetRunArgs) -> Result<(), String> {
+    let partition = Partition::equal(args.slices).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xA77);
+    let attributes = args.distribution.sample_n(args.n, &mut rng);
+    let faults = FaultPlan {
+        loss: args.loss,
+        delay: args
+            .delay_ms
+            .map(|(lo, hi)| (Duration::from_millis(lo), Duration::from_millis(hi))),
+    };
+    let chaos = build_chaos(&args);
+    let cfg = ClusterConfig {
+        sampler: args.sampler,
+        faults,
+        view_size: args.view,
+        period: Duration::from_millis(args.period_ms),
+        bootstrap_degree: args.bootstrap,
+        seed: args.seed,
+        chaos,
+        ..ClusterConfig::new(attributes, partition, args.protocol)
+    };
+
+    if !args.quiet {
+        eprintln!(
+            "net-run {} | n = {} | {} slices | view {} | period {} ms | {} ms | seed {}",
+            args.protocol.label(),
+            args.n,
+            args.slices,
+            args.view,
+            args.period_ms,
+            args.duration_ms,
+            args.seed,
+        );
+        if !cfg.chaos.is_empty() {
+            eprintln!("chaos plan: {} event(s)", cfg.chaos.len());
+        }
+    }
+
+    let report = tokio::runtime::Runtime::new()
+        .map_err(|e| e.to_string())?
+        .block_on(async {
+            let mut cluster = LocalCluster::spawn(cfg).await?;
+            cluster
+                .run_for(Duration::from_millis(args.duration_ms))
+                .await;
+            Ok::<_, std::io::Error>(cluster.shutdown().await)
+        })
+        .map_err(|e| format!("cluster run failed: {e}"))?;
+
+    if !args.quiet {
+        println!(
+            "final: {} node(s), SDM {:.3}, accuracy {:.1}%",
+            report.nodes.len(),
+            report.sdm(),
+            report.accuracy() * 100.0
+        );
+        let t = &report.totals;
+        println!(
+            "wire:  {} retries, {} timeouts, {} send failures, {} evictions, \
+             {} dropped, {} queue drops",
+            t.retries, t.timeouts, t.send_failures, t.evictions, t.dropped, t.queue_drops
+        );
+        println!(
+            "chaos: {} crash(es), {} chaos kill(s), {} restart(s)",
+            t.crashes, t.chaos_kills, t.restarts
+        );
+        for exit in &report.exits {
+            println!(
+                "  @{:<6} node {} exited: {:?}{}",
+                exit.at_ms,
+                exit.id,
+                exit.kind,
+                if exit.restarted { " (restarted)" } else { "" }
+            );
+        }
+    }
+    if let Some(path) = &args.json {
+        let json =
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            eprintln!("cluster report JSON -> {path}");
+        }
+    }
+    Ok(())
 }
 
 fn run_scenario(args: ScenarioArgs) -> Result<(), String> {
@@ -447,6 +580,24 @@ mod tests {
         let err = run(parse(&argv("run-scenario no-such-scenario")).unwrap()).unwrap_err();
         assert!(err.contains("unknown scenario"));
         assert!(err.contains("lying-nodes"), "error lists the library");
+    }
+
+    #[test]
+    fn tiny_net_run_with_chaos_writes_report() {
+        let json = std::env::temp_dir().join("dslice_cli_net_run_test.json");
+        let cmd = parse(&argv(&format!(
+            "net-run --n 6 --slices 2 --view 4 --period-ms 10 --duration-ms 250 \
+             --crash 0.2:60 --restart 140 --quiet --json {}",
+            json.display()
+        )))
+        .unwrap();
+        run(cmd).unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"totals\""));
+        // ceil(0.2 * 6) = 2 nodes crash and restart.
+        assert!(text.contains("\"chaos_kills\": 2"), "report: {text}");
+        assert!(text.contains("\"restarts\": 2"), "report: {text}");
+        let _ = std::fs::remove_file(json);
     }
 
     #[test]

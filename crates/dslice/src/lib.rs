@@ -74,7 +74,11 @@ pub mod prelude {
     pub use dslice_gossip::{
         CyclonSampler, LpbcastSampler, NewscastSampler, PeerSampler, SamplerKind, UniformOracle,
     };
-    pub use dslice_net::{ClusterConfig, ClusterReport, LocalCluster};
+    pub use dslice_net::{
+        AcceptGate, ChaosAction, ChaosEvent, ChaosPlan, ClusterConfig, ClusterReport,
+        ClusterTotals, FaultPlan, LocalCluster, NodeExit, NodeExitKind, NodeExitRecord,
+        RestartPolicy, RetryPolicy,
+    };
     pub use dslice_sim::{
         AttributeDistribution, ChurnModel, Concurrency, CorrelatedChurn, CycleStats, Engine,
         FlashCrowd, LatencyModel, NoChurn, PhaseTimings, RunRecord, SessionChurn, SimConfig,

@@ -1,0 +1,241 @@
+//! Scriptable process-level fault injection for cluster runs.
+//!
+//! [`FaultPlan`](crate::node::FaultPlan) perturbs the *wire* (loss, delay);
+//! a [`ChaosPlan`] perturbs the *processes*: timed node crashes, restarts,
+//! listener refusal windows and connection stalls, replayed by the cluster
+//! supervision loop during [`run_for`](crate::cluster::LocalCluster::run_for).
+//! Event times are offsets from the moment the cluster was spawned, and
+//! each event fires at most once — a plan reads like a script, the
+//! socket-level analogue of the scenario DSL's timed churn and fault
+//! clauses on the simulator side.
+//!
+//! ```
+//! use dslice_net::chaos::ChaosPlan;
+//! use dslice_core::NodeId;
+//!
+//! let plan = ChaosPlan::new()
+//!     .at_ms(500)
+//!     .crash(NodeId::new(3))
+//!     .crash(NodeId::new(4))
+//!     .at_ms(1500)
+//!     .restart(NodeId::new(3))
+//!     .restart(NodeId::new(4))
+//!     .at_ms(2000)
+//!     .refuse_for_ms(NodeId::new(0), 300);
+//! assert_eq!(plan.len(), 5);
+//! assert!(plan.validate().is_ok());
+//! ```
+
+use dslice_core::NodeId;
+use std::io;
+use std::time::Duration;
+
+/// One process-level fault to inject.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Abort the node task and close its listener — a process crash.
+    Crash,
+    /// Respawn a crashed/downed node: same id and attribute, fresh empty
+    /// view, re-bootstrapped via introduction to live peers.
+    Restart,
+    /// Close the node's listener for the window: inbound connects are
+    /// refused, then the same address is rebound.
+    Refuse {
+        /// How long the listener stays closed.
+        window: Duration,
+    },
+    /// Accept inbound connections but never read them for the window; the
+    /// held connections are reset when the window ends.
+    Stall {
+        /// How long accepted connections are held unread.
+        window: Duration,
+    },
+}
+
+/// A [`ChaosAction`] aimed at a node at a point in run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Offset from the moment the cluster was spawned.
+    pub at: Duration,
+    /// The target node.
+    pub node: NodeId,
+    /// What happens to it.
+    pub action: ChaosAction,
+}
+
+/// A time-stamped schedule of process faults, built fluently: [`at_ms`]
+/// moves the cursor, the action methods append events at the cursor.
+///
+/// [`at_ms`]: ChaosPlan::at_ms
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+    cursor: Duration,
+}
+
+impl ChaosPlan {
+    /// An empty plan with the cursor at time zero.
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Moves the cursor to `ms` milliseconds after cluster spawn. The
+    /// cursor may move backwards; the schedule is replayed in time order
+    /// regardless of build order.
+    pub fn at_ms(mut self, ms: u64) -> Self {
+        self.cursor = Duration::from_millis(ms);
+        self
+    }
+
+    /// Crashes `node` at the cursor.
+    pub fn crash(mut self, node: NodeId) -> Self {
+        self.events.push(ChaosEvent {
+            at: self.cursor,
+            node,
+            action: ChaosAction::Crash,
+        });
+        self
+    }
+
+    /// Restarts `node` at the cursor.
+    pub fn restart(mut self, node: NodeId) -> Self {
+        self.events.push(ChaosEvent {
+            at: self.cursor,
+            node,
+            action: ChaosAction::Restart,
+        });
+        self
+    }
+
+    /// Refuses inbound connections on `node` for `window_ms` starting at
+    /// the cursor.
+    pub fn refuse_for_ms(mut self, node: NodeId, window_ms: u64) -> Self {
+        self.events.push(ChaosEvent {
+            at: self.cursor,
+            node,
+            action: ChaosAction::Refuse {
+                window: Duration::from_millis(window_ms),
+            },
+        });
+        self
+    }
+
+    /// Stalls (accepts but never reads) inbound connections on `node` for
+    /// `window_ms` starting at the cursor.
+    pub fn stall_for_ms(mut self, node: NodeId, window_ms: u64) -> Self {
+        self.events.push(ChaosEvent {
+            at: self.cursor,
+            node,
+            action: ChaosAction::Stall {
+                window: Duration::from_millis(window_ms),
+            },
+        });
+        self
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Rejects degenerate plans: zero-length refusal/stall windows, and a
+    /// restart of a node the plan never crashed (which would be a no-op and
+    /// almost certainly a scripting mistake).
+    pub fn validate(&self) -> io::Result<()> {
+        let invalid = |what: String| Err(io::Error::new(io::ErrorKind::InvalidInput, what));
+        for event in &self.events {
+            match &event.action {
+                ChaosAction::Refuse { window } | ChaosAction::Stall { window } => {
+                    if window.is_zero() {
+                        return invalid(format!(
+                            "chaos window for node {} at {:?} must be positive",
+                            event.node, event.at
+                        ));
+                    }
+                }
+                ChaosAction::Restart => {
+                    let crashed_before = self.events.iter().any(|e| {
+                        e.node == event.node && e.action == ChaosAction::Crash && e.at <= event.at
+                    });
+                    if !crashed_before {
+                        return invalid(format!(
+                            "restart of node {} at {:?} without a prior crash",
+                            event.node, event.at
+                        ));
+                    }
+                }
+                ChaosAction::Crash => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The events in replay order (stable sort by time, so same-time events
+    /// fire in build order).
+    pub fn schedule(&self) -> Vec<ChaosEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_stamps_events_at_the_cursor() {
+        let plan = ChaosPlan::new()
+            .at_ms(100)
+            .crash(NodeId::new(1))
+            .at_ms(300)
+            .restart(NodeId::new(1))
+            .stall_for_ms(NodeId::new(2), 50);
+        assert_eq!(plan.len(), 3);
+        let schedule = plan.schedule();
+        assert_eq!(schedule[0].at, Duration::from_millis(100));
+        assert_eq!(schedule[0].action, ChaosAction::Crash);
+        assert_eq!(schedule[2].node, NodeId::new(2));
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn schedule_is_replayed_in_time_order_regardless_of_build_order() {
+        let plan = ChaosPlan::new()
+            .at_ms(900)
+            .crash(NodeId::new(5))
+            .at_ms(100)
+            .crash(NodeId::new(6));
+        let schedule = plan.schedule();
+        assert_eq!(schedule[0].node, NodeId::new(6));
+        assert_eq!(schedule[1].node, NodeId::new(5));
+    }
+
+    #[test]
+    fn validate_rejects_zero_windows_and_orphan_restarts() {
+        let zero_window = ChaosPlan::new().refuse_for_ms(NodeId::new(1), 0);
+        assert!(zero_window.validate().is_err());
+
+        let orphan_restart = ChaosPlan::new().at_ms(100).restart(NodeId::new(1));
+        assert!(orphan_restart.validate().is_err());
+
+        let paired = ChaosPlan::new()
+            .at_ms(50)
+            .crash(NodeId::new(1))
+            .at_ms(150)
+            .restart(NodeId::new(1));
+        assert!(paired.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_plan_is_valid() {
+        let plan = ChaosPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.validate().is_ok());
+    }
+}

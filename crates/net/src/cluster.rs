@@ -1,22 +1,39 @@
-//! A localhost cluster harness.
+//! A supervised localhost cluster harness.
 //!
-//! [`LocalCluster`] spins up `n` [`NodeRuntime`] instances
-//! on loopback, seeds every view with random bootstrap neighbors (the
-//! out-of-band introduction every deployed gossip system needs), lets the
-//! protocols run in real time, and harvests the slice assignments into a
+//! [`LocalCluster`] spins up `n` [`NodeRuntime`] instances on loopback,
+//! seeds every view with random bootstrap neighbors (the out-of-band
+//! introduction every deployed gossip system needs), lets the protocols run
+//! in real time, and harvests the slice assignments into a
 //! [`ClusterReport`] whose SDM is directly comparable with the simulator's.
+//!
+//! Unlike a plain join-at-the-end harness, the cluster *supervises* its
+//! nodes: [`run_for`](LocalCluster::run_for) replays the configured
+//! [`ChaosPlan`] (crashes, restarts, refusal/stall windows), reaps every
+//! task exit into a structured [`NodeExitRecord`] — a panicking node never
+//! takes the harness down — and restarts crashed nodes under the
+//! [`RestartPolicy`] with capped backoff. Exit records and per-node
+//! retry/timeout/eviction counters are folded into the report so
+//! degradation under faults is observable, not silent.
 
+use crate::chaos::{ChaosAction, ChaosEvent, ChaosPlan};
 use crate::codec::{write_frame, WireMsg};
-use crate::node::{Directory, NodeConfig, NodeHandle, NodeRuntime, NodeSnapshot};
+use crate::node::{
+    AcceptGate, Directory, NodeConfig, NodeExit, NodeHandle, NodeRuntime, NodeSnapshot,
+};
+use crate::retry::RetryPolicy;
+use crate::supervisor::{NodeExitKind, NodeExitRecord, RestartPolicy};
 use dslice_algorithms::ProtocolKind;
 use dslice_core::{metrics, rank, Attribute, NodeId, Partition, ProtocolMsg, ViewEntry};
 use dslice_gossip::SamplerKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tokio::net::TcpStream;
 use tokio::sync::Mutex;
 
@@ -41,6 +58,17 @@ pub struct ClusterConfig {
     pub bootstrap_degree: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Outbound timeout/retry policy; `None` derives one from `period`
+    /// via [`RetryPolicy::for_period`].
+    pub retry: Option<RetryPolicy>,
+    /// Process-level fault schedule replayed during
+    /// [`run_for`](LocalCluster::run_for).
+    pub chaos: ChaosPlan,
+    /// When the supervisor restarts crashed nodes.
+    pub restart: RestartPolicy,
+    /// Fault-injection hook: the node at this index panics after completing
+    /// this many ticks (initial spawn only; a supervised restart clears it).
+    pub die_after_ticks: Option<(usize, u64)>,
 }
 
 impl ClusterConfig {
@@ -56,17 +84,50 @@ impl ClusterConfig {
             period: Duration::from_millis(20),
             bootstrap_degree: 4,
             seed: 0xD51CE,
+            retry: None,
+            chaos: ChaosPlan::new(),
+            restart: RestartPolicy::default(),
+            die_after_ticks: None,
         }
     }
 }
 
+/// Aggregate fault-handling counters for a run: network counters summed
+/// over the nodes alive at shutdown, plus supervision counts from the exit
+/// records.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTotals {
+    /// Delivery retries across surviving nodes.
+    pub retries: u64,
+    /// Connect/write timeouts across surviving nodes.
+    pub timeouts: u64,
+    /// Messages undelivered after all attempts.
+    pub send_failures: u64,
+    /// Dead-peer evictions performed.
+    pub evictions: u64,
+    /// Messages dropped by wire-level fault injection.
+    pub dropped: u64,
+    /// Messages shed because a link queue was full.
+    pub queue_drops: u64,
+    /// Node tasks that panicked.
+    pub crashes: u64,
+    /// Node tasks killed by the chaos plan.
+    pub chaos_kills: u64,
+    /// Restarts performed (by policy or by plan).
+    pub restarts: u64,
+}
+
 /// The harvested outcome of a cluster run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ClusterReport {
-    /// Final state of every node.
+    /// Final state of every node alive at shutdown.
     pub nodes: Vec<NodeSnapshot>,
     /// The partition the run used.
     pub partition: Partition,
+    /// Every reaped exit, in reap order.
+    pub exits: Vec<NodeExitRecord>,
+    /// Aggregate fault-handling counters.
+    pub totals: ClusterTotals,
 }
 
 impl ClusterReport {
@@ -113,26 +174,75 @@ impl ClusterReport {
     }
 }
 
-/// A running local cluster.
+/// Where a supervised node slot currently stands.
+#[derive(Debug)]
+enum SlotState {
+    /// Alive, handle attached.
+    Running(NodeHandle),
+    /// Crashed; the supervisor restarts it at `due`.
+    Backoff {
+        /// When the restart fires.
+        due: Instant,
+    },
+    /// Dead with no scheduled restart (chaos kill, exhausted restarts, or
+    /// a mid-run clean exit). A scripted `Restart` event can revive it.
+    Down,
+    /// Permanently departed ([`LocalCluster::kill_node`]); never revived.
+    Retired,
+}
+
+/// One supervised node: identity, lifecycle state, restart bookkeeping.
+#[derive(Debug)]
+struct Slot {
+    id: NodeId,
+    attribute: Attribute,
+    state: SlotState,
+    /// Restarts performed so far (policy and scripted).
+    restarts: u32,
+    /// Spawn generation, folded into the respawn seed so a restarted node
+    /// does not replay its previous random choices.
+    generation: u64,
+    /// When a refusal/stall window ends and the gate reopens.
+    gate_restore: Option<Instant>,
+    /// Last snapshot observed when the node was reaped.
+    last: NodeSnapshot,
+}
+
+/// A running, supervised local cluster.
 #[derive(Debug)]
 pub struct LocalCluster {
-    handles: Vec<NodeHandle>,
+    cfg: ClusterConfig,
+    retry: RetryPolicy,
+    slots: Vec<Slot>,
     directory: Directory,
     partition: Partition,
     /// Next identity for [`join_node`](Self::join_node); never reused.
     next_id: u64,
+    exits: Vec<NodeExitRecord>,
+    /// Chaos schedule (sorted) and how much of it has fired.
+    schedule: Vec<ChaosEvent>,
+    fired: usize,
+    started: Instant,
 }
 
 impl LocalCluster {
     /// Spawns the cluster and performs the bootstrap introductions.
-    pub async fn spawn(cfg: ClusterConfig) -> std::io::Result<LocalCluster> {
+    pub async fn spawn(cfg: ClusterConfig) -> io::Result<LocalCluster> {
         assert!(
             !cfg.attributes.is_empty(),
             "cluster needs at least one node"
         );
         assert!(cfg.view_size >= 1, "view size must be at least 1");
+        cfg.faults.validate()?;
+        cfg.chaos.validate()?;
+        cfg.restart.validate()?;
+        let retry = cfg
+            .retry
+            .unwrap_or_else(|| RetryPolicy::for_period(cfg.period));
+        retry.validate()?;
+
         let directory: Directory = Arc::new(Mutex::new(HashMap::new()));
-        let mut handles = Vec::with_capacity(cfg.attributes.len());
+        let mut slots = Vec::with_capacity(cfg.attributes.len());
 
         for (i, &attribute) in cfg.attributes.iter().enumerate() {
             let node_cfg = NodeConfig {
@@ -145,37 +255,61 @@ impl LocalCluster {
                 period: cfg.period,
                 seed: cfg.seed.wrapping_add(i as u64),
                 faults: cfg.faults,
+                retry,
+                die_after_ticks: cfg
+                    .die_after_ticks
+                    .and_then(|(idx, ticks)| (idx == i).then_some(ticks)),
             };
-            handles.push(NodeRuntime::spawn(node_cfg, directory.clone()).await?);
+            let handle = NodeRuntime::spawn(node_cfg, directory.clone()).await?;
+            let last = handle.snapshot();
+            slots.push(Slot {
+                id: handle.id,
+                attribute,
+                state: SlotState::Running(handle),
+                restarts: 0,
+                generation: 0,
+                gate_restore: None,
+                last,
+            });
         }
 
+        let schedule = cfg.chaos.schedule();
         let cluster = LocalCluster {
-            handles,
-            directory,
             partition: cfg.partition.clone(),
             next_id: cfg.attributes.len() as u64,
+            retry,
+            slots,
+            directory,
+            exits: Vec::new(),
+            schedule,
+            fired: 0,
+            started: Instant::now(),
+            cfg,
         };
-        cluster.bootstrap(&cfg).await;
+        cluster.bootstrap().await;
         Ok(cluster)
     }
 
     /// Introduces every node to `bootstrap_degree` random peers by sending
     /// it a `ViewAck` carrying their descriptors (the discovery handshake).
-    async fn bootstrap(&self, cfg: &ClusterConfig) {
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xB007);
-        let n = self.handles.len();
-        let addresses: HashMap<NodeId, std::net::SocketAddr> = self.directory.lock().await.clone();
+    async fn bootstrap(&self) {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xB007);
+        let n = self.slots.len();
+        let addresses: HashMap<NodeId, SocketAddr> = self.directory.lock().await.clone();
 
-        for (i, handle) in self.handles.iter().enumerate() {
+        for (i, slot) in self.slots.iter().enumerate() {
+            let SlotState::Running(handle) = &slot.state else {
+                continue;
+            };
             let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
             others.shuffle(&mut rng);
             let entries: Vec<ViewEntry> = others
                 .into_iter()
-                .take(cfg.bootstrap_degree)
+                .take(self.cfg.bootstrap_degree)
                 .map(|j| {
                     ViewEntry::new(
-                        self.handles[j].id,
-                        cfg.attributes[j],
+                        self.slots[j].id,
+                        self.cfg.attributes[j],
                         rng.gen_range(0.0..1.0f64).max(f64::MIN_POSITIVE),
                     )
                 })
@@ -198,19 +332,28 @@ impl LocalCluster {
         }
     }
 
-    /// Number of nodes.
+    /// Number of currently live nodes.
     pub fn len(&self) -> usize {
-        self.handles.len()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.state, SlotState::Running(_)))
+            .count()
     }
 
-    /// Whether the cluster is empty (never true after `spawn`).
+    /// Whether no node is currently live.
     pub fn is_empty(&self) -> bool {
-        self.handles.is_empty()
+        self.len() == 0
     }
 
-    /// Live snapshots of all nodes.
+    /// Live snapshots of the currently running nodes.
     pub fn snapshots(&self) -> Vec<NodeSnapshot> {
-        self.handles.iter().map(|h| h.snapshot()).collect()
+        self.slots
+            .iter()
+            .filter_map(|s| match &s.state {
+                SlotState::Running(h) => Some(h.snapshot()),
+                _ => None,
+            })
+            .collect()
     }
 
     /// The SDM of the current live snapshots.
@@ -223,96 +366,347 @@ impl LocalCluster {
         metrics::sdm(&self.partition, &population)
     }
 
-    /// Lets the cluster run for the given wall-clock duration.
-    pub async fn run_for(&self, duration: Duration) {
-        tokio::time::sleep(duration).await;
+    /// Exit records reaped so far.
+    pub fn exits(&self) -> &[NodeExitRecord] {
+        &self.exits
     }
 
-    /// Dynamic membership: spawns one additional node mid-run and introduces
-    /// it to `bootstrap_degree` random live peers. Returns its id.
+    fn elapsed_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn exit_kind(exit: &NodeExit) -> NodeExitKind {
+        match exit {
+            NodeExit::Clean(_) => NodeExitKind::Clean,
+            NodeExit::Crashed { reason, .. } => NodeExitKind::Crashed {
+                reason: reason.clone(),
+            },
+            NodeExit::Killed { .. } => NodeExitKind::KilledByChaos,
+        }
+    }
+
+    /// Marks the most recent exit record of `id` as leading to a restart.
+    fn mark_restarted(&mut self, id: NodeId) {
+        if let Some(record) = self.exits.iter_mut().rev().find(|r| r.id == id) {
+            record.restarted = true;
+        }
+    }
+
+    /// Respawns the node in `idx` with the same id and attribute, a fresh
+    /// empty view, and a generation-decorrelated seed, then re-introduces
+    /// it to live peers.
+    async fn respawn_slot(&mut self, idx: usize) -> io::Result<()> {
+        self.slots[idx].generation += 1;
+        let slot = &self.slots[idx];
+        let seed = self
+            .cfg
+            .seed
+            .wrapping_add(slot.id.as_u64())
+            .wrapping_add(slot.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let node_cfg = NodeConfig {
+            id: slot.id,
+            attribute: slot.attribute,
+            partition: self.partition.clone(),
+            protocol: self.cfg.protocol,
+            sampler: self.cfg.sampler,
+            view_size: self.cfg.view_size,
+            period: self.cfg.period,
+            seed,
+            faults: self.cfg.faults,
+            retry: self.retry,
+            die_after_ticks: None,
+        };
+        let handle = NodeRuntime::spawn(node_cfg, self.directory.clone()).await?;
+        self.introduce(&handle, seed).await;
+        self.slots[idx].state = SlotState::Running(handle);
+        self.slots[idx].gate_restore = None;
+        Ok(())
+    }
+
+    /// Introduces `handle` to up to `bootstrap_degree` random live peers.
+    async fn introduce(&self, handle: &NodeHandle, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB007);
+        let mut peers: Vec<(NodeId, Attribute, SocketAddr)> = {
+            let dir = self.directory.lock().await;
+            self.slots
+                .iter()
+                .filter(|s| s.id != handle.id && matches!(s.state, SlotState::Running(_)))
+                .filter_map(|s| dir.get(&s.id).map(|addr| (s.id, s.attribute, *addr)))
+                .collect()
+        };
+        peers.shuffle(&mut rng);
+        peers.truncate(self.cfg.bootstrap_degree);
+        let Some(first) = peers.first() else { return };
+        let entries: Vec<ViewEntry> = peers
+            .iter()
+            .map(|(pid, pattr, _)| ViewEntry::new(*pid, *pattr, 0.5))
+            .collect();
+        let intro = WireMsg {
+            reply_to: first.2.to_string(),
+            msg: ProtocolMsg::ViewAck {
+                from: first.0,
+                entries,
+            },
+        };
+        if let Ok(mut stream) = TcpStream::connect(handle.addr).await {
+            let _ = write_frame(&mut stream, &intro).await;
+        }
+    }
+
+    /// Applies one due chaos event.
+    async fn apply_chaos(&mut self, event: ChaosEvent, now: Instant) {
+        let Some(idx) = self.slots.iter().position(|s| s.id == event.node) else {
+            return;
+        };
+        match event.action {
+            ChaosAction::Crash => {
+                if !matches!(self.slots[idx].state, SlotState::Running(_)) {
+                    return;
+                }
+                let SlotState::Running(handle) =
+                    std::mem::replace(&mut self.slots[idx].state, SlotState::Down)
+                else {
+                    unreachable!("checked Running above");
+                };
+                handle.crash();
+                let exit = handle.reap().await;
+                self.slots[idx].last = exit.last_snapshot();
+                let at_ms = self.elapsed_ms();
+                self.exits.push(NodeExitRecord {
+                    id: event.node,
+                    kind: NodeExitKind::KilledByChaos,
+                    at_ms,
+                    restarted: false,
+                });
+            }
+            ChaosAction::Restart => {
+                if matches!(
+                    self.slots[idx].state,
+                    SlotState::Down | SlotState::Backoff { .. }
+                ) {
+                    self.slots[idx].restarts += 1;
+                    if self.respawn_slot(idx).await.is_ok() {
+                        self.mark_restarted(event.node);
+                    }
+                }
+            }
+            ChaosAction::Refuse { window } => {
+                if let SlotState::Running(handle) = &self.slots[idx].state {
+                    handle.set_accept_gate(AcceptGate::Refuse);
+                    self.slots[idx].gate_restore = Some(now + window);
+                }
+            }
+            ChaosAction::Stall { window } => {
+                if let SlotState::Running(handle) = &self.slots[idx].state {
+                    handle.set_accept_gate(AcceptGate::Stall);
+                    self.slots[idx].gate_restore = Some(now + window);
+                }
+            }
+        }
+    }
+
+    /// One supervision pass: reopen elapsed gates, reap finished tasks,
+    /// restart crashed nodes whose backoff has elapsed.
+    async fn supervise(&mut self, now: Instant) {
+        for idx in 0..self.slots.len() {
+            // Reopen gates whose chaos window has elapsed.
+            if self.slots[idx].gate_restore.is_some_and(|t| t <= now) {
+                if let SlotState::Running(handle) = &self.slots[idx].state {
+                    handle.set_accept_gate(AcceptGate::Open);
+                }
+                self.slots[idx].gate_restore = None;
+            }
+
+            // Reap tasks that exited on their own (panic or stray abort).
+            let finished =
+                matches!(&self.slots[idx].state, SlotState::Running(h) if h.is_finished());
+            if finished {
+                let SlotState::Running(handle) =
+                    std::mem::replace(&mut self.slots[idx].state, SlotState::Down)
+                else {
+                    unreachable!("checked Running above");
+                };
+                let exit = handle.reap().await;
+                self.slots[idx].last = exit.last_snapshot();
+                let at_ms = self.elapsed_ms();
+                self.exits.push(NodeExitRecord {
+                    id: self.slots[idx].id,
+                    kind: Self::exit_kind(&exit),
+                    at_ms,
+                    restarted: false,
+                });
+                if matches!(exit, NodeExit::Crashed { .. })
+                    && self.cfg.restart.auto_restart
+                    && self.slots[idx].restarts < self.cfg.restart.max_restarts
+                {
+                    let pause = self.cfg.restart.backoff(self.slots[idx].restarts);
+                    self.slots[idx].state = SlotState::Backoff { due: now + pause };
+                }
+            }
+
+            // Fire due restarts.
+            if matches!(self.slots[idx].state, SlotState::Backoff { due } if due <= now) {
+                self.slots[idx].restarts += 1;
+                let id = self.slots[idx].id;
+                if self.respawn_slot(idx).await.is_ok() {
+                    self.mark_restarted(id);
+                } else {
+                    self.slots[idx].state = SlotState::Down;
+                }
+            }
+        }
+    }
+
+    /// Lets the cluster run for the given wall-clock duration under
+    /// supervision: due chaos events fire, finished tasks are reaped, and
+    /// crashed nodes restart per policy. Steps at roughly half the gossip
+    /// period.
+    pub async fn run_for(&mut self, duration: Duration) {
+        let deadline = Instant::now() + duration;
+        let step = (self.cfg.period / 2).clamp(Duration::from_millis(2), Duration::from_millis(20));
+        loop {
+            let now = Instant::now();
+            let elapsed = now - self.started;
+            while self.fired < self.schedule.len() && self.schedule[self.fired].at <= elapsed {
+                let event = self.schedule[self.fired].clone();
+                self.fired += 1;
+                self.apply_chaos(event, now).await;
+            }
+            self.supervise(now).await;
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            tokio::time::sleep(step.min(deadline - now)).await;
+        }
+    }
+
+    /// Dynamic membership: spawns one additional node mid-run and
+    /// introduces it to `bootstrap_degree` random live peers. Returns its
+    /// id.
     ///
     /// This is the network-runtime counterpart of the simulator's churn
-    /// joiner path — fresh identity, fresh protocol state, bootstrapped view.
-    pub async fn join_node(
-        &mut self,
-        cfg: &ClusterConfig,
-        attribute: Attribute,
-    ) -> std::io::Result<NodeId> {
+    /// joiner path — fresh identity, fresh protocol state, bootstrapped
+    /// view.
+    pub async fn join_node(&mut self, attribute: Attribute) -> io::Result<NodeId> {
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
+        let seed = self.cfg.seed.wrapping_add(id.as_u64()).wrapping_mul(0x9E37);
         let node_cfg = NodeConfig {
             id,
             attribute,
             partition: self.partition.clone(),
-            protocol: cfg.protocol,
-            sampler: cfg.sampler,
-            view_size: cfg.view_size,
-            period: cfg.period,
-            seed: cfg.seed.wrapping_add(id.as_u64()).wrapping_mul(0x9E37),
-            faults: cfg.faults,
+            protocol: self.cfg.protocol,
+            sampler: self.cfg.sampler,
+            view_size: self.cfg.view_size,
+            period: self.cfg.period,
+            seed,
+            faults: self.cfg.faults,
+            retry: self.retry,
+            die_after_ticks: None,
         };
         let handle = NodeRuntime::spawn(node_cfg, self.directory.clone()).await?;
-
-        // Introduce the newcomer to a few live peers.
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ id.as_u64());
-        let peers: Vec<(NodeId, Attribute, std::net::SocketAddr)> = {
-            let dir = self.directory.lock().await;
-            self.handles
-                .iter()
-                .filter_map(|h| {
-                    dir.get(&h.id)
-                        .map(|addr| (h.id, h.snapshot().attribute, *addr))
-                })
-                .collect()
-        };
-        let mut sample = peers;
-        sample.shuffle(&mut rng);
-        sample.truncate(cfg.bootstrap_degree);
-        if let Some(first) = sample.first() {
-            let entries: Vec<ViewEntry> = sample
-                .iter()
-                .map(|(pid, pattr, _)| ViewEntry::new(*pid, *pattr, 0.5))
-                .collect();
-            let intro = WireMsg {
-                reply_to: first.2.to_string(),
-                msg: ProtocolMsg::ViewAck {
-                    from: first.0,
-                    entries,
-                },
-            };
-            if let Ok(mut stream) = TcpStream::connect(handle.addr).await {
-                let _ = write_frame(&mut stream, &intro).await;
-            }
-        }
-        self.handles.push(handle);
+        self.introduce(&handle, seed).await;
+        let last = handle.snapshot();
+        self.slots.push(Slot {
+            id,
+            attribute,
+            state: SlotState::Running(handle),
+            restarts: 0,
+            generation: 0,
+            gate_restore: None,
+            last,
+        });
         Ok(id)
     }
 
-    /// Dynamic membership: kills the node with the given id (abrupt
-    /// departure — peers discover it through failed connections, which
-    /// gossip tolerates as message loss). Returns its final snapshot, or
-    /// `None` if the id is unknown.
+    /// Dynamic membership: permanently removes the node with the given id
+    /// (departure — peers discover it through failed connections, which
+    /// the link layer turns into strikes and eviction). Returns its final
+    /// snapshot, or `None` if the id is not currently live.
     pub async fn kill_node(&mut self, id: NodeId) -> Option<NodeSnapshot> {
-        let idx = self.handles.iter().position(|h| h.id == id)?;
-        let handle = self.handles.swap_remove(idx);
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.id == id && matches!(s.state, SlotState::Running(_)))?;
+        let SlotState::Running(handle) =
+            std::mem::replace(&mut self.slots[idx].state, SlotState::Retired)
+        else {
+            unreachable!("checked Running above");
+        };
         self.directory.lock().await.remove(&id);
-        Some(handle.shutdown().await)
+        let exit = handle.stop().await;
+        self.slots[idx].last = exit.last_snapshot();
+        let at_ms = self.elapsed_ms();
+        self.exits.push(NodeExitRecord {
+            id,
+            kind: Self::exit_kind(&exit),
+            at_ms,
+            restarted: false,
+        });
+        Some(exit.last_snapshot())
     }
 
     /// Ids of the currently live nodes.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.handles.iter().map(|h| h.id).collect()
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.state, SlotState::Running(_)))
+            .map(|s| s.id)
+            .collect()
     }
 
-    /// Shuts every node down and harvests the final report.
+    /// Shuts every live node down and harvests the final report. A node
+    /// that panics at the very end is reported as an exit record, never a
+    /// harness panic.
     pub async fn shutdown(self) -> ClusterReport {
-        let mut nodes = Vec::with_capacity(self.handles.len());
-        for handle in self.handles {
-            nodes.push(handle.shutdown().await);
+        let mut nodes = Vec::new();
+        let mut exits = self.exits;
+        let started = self.started;
+        for slot in self.slots {
+            let SlotState::Running(handle) = slot.state else {
+                continue;
+            };
+            let exit = handle.stop().await;
+            match &exit {
+                NodeExit::Clean(snapshot) => nodes.push(*snapshot),
+                other => {
+                    exits.push(NodeExitRecord {
+                        id: slot.id,
+                        kind: Self::exit_kind(other),
+                        at_ms: started.elapsed().as_millis() as u64,
+                        restarted: false,
+                    });
+                    nodes.push(other.last_snapshot());
+                }
+            }
         }
+
+        let mut totals = ClusterTotals::default();
+        for snapshot in &nodes {
+            totals.retries += snapshot.retries;
+            totals.timeouts += snapshot.timeouts;
+            totals.send_failures += snapshot.send_failures;
+            totals.evictions += snapshot.evictions;
+            totals.dropped += snapshot.dropped;
+            totals.queue_drops += snapshot.queue_drops;
+        }
+        for record in &exits {
+            match record.kind {
+                NodeExitKind::Crashed { .. } => totals.crashes += 1,
+                NodeExitKind::KilledByChaos => totals.chaos_kills += 1,
+                NodeExitKind::Clean => {}
+            }
+            if record.restarted {
+                totals.restarts += 1;
+            }
+        }
+
         ClusterReport {
             nodes,
             partition: self.partition,
+            exits,
+            totals,
         }
     }
 }
@@ -337,7 +731,7 @@ mod tests {
                 ProtocolKind::Ranking,
             )
         };
-        let cluster = LocalCluster::spawn(cfg).await.unwrap();
+        let mut cluster = LocalCluster::spawn(cfg).await.unwrap();
         assert_eq!(cluster.len(), 16);
         cluster.run_for(Duration::from_millis(900)).await;
         let report = cluster.shutdown().await;
@@ -349,10 +743,12 @@ mod tests {
             "accuracy {acc} too low; sdm = {}",
             report.sdm()
         );
-        // Everyone ticked.
+        // Everyone ticked; nothing crashed.
         for s in &report.nodes {
             assert!(s.ticks > 10, "node {} only ticked {}", s.id, s.ticks);
         }
+        assert!(report.exits.is_empty(), "exits: {:?}", report.exits);
+        assert_eq!(report.totals.crashes, 0);
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
@@ -367,7 +763,7 @@ mod tests {
                 ProtocolKind::ModJk,
             )
         };
-        let cluster = LocalCluster::spawn(cfg).await.unwrap();
+        let mut cluster = LocalCluster::spawn(cfg).await.unwrap();
         let sdm_start = cluster.live_sdm();
         cluster.run_for(Duration::from_millis(800)).await;
         let report = cluster.shutdown().await;
@@ -379,5 +775,24 @@ mod tests {
             "SDM should not grow: {sdm_start} -> {sdm_end}"
         );
         assert_eq!(report.assignments().len(), 12);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn report_serializes_to_json() {
+        let cfg = ClusterConfig {
+            period: Duration::from_millis(10),
+            ..ClusterConfig::new(
+                attrs(&[1.0, 2.0, 3.0, 4.0]),
+                Partition::equal(2).unwrap(),
+                ProtocolKind::Ranking,
+            )
+        };
+        let mut cluster = LocalCluster::spawn(cfg).await.unwrap();
+        cluster.run_for(Duration::from_millis(50)).await;
+        let report = cluster.shutdown().await;
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ClusterReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes.len(), report.nodes.len());
+        assert_eq!(back.totals, report.totals);
     }
 }

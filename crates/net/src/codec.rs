@@ -84,6 +84,22 @@ pub async fn read_frame<R: AsyncReadExt + Unpin>(reader: &mut R) -> io::Result<W
     serde_json::from_slice(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Reads exactly one frame, giving up (with `ErrorKind::TimedOut`) if it
+/// does not complete within `limit`.
+///
+/// Connection readers use this so a peer that connects and then stalls —
+/// deliberately, under chaos injection, or because it died mid-frame —
+/// cannot pin a reader task forever.
+pub async fn read_frame_timeout<R: AsyncReadExt + Unpin>(
+    reader: &mut R,
+    limit: std::time::Duration,
+) -> io::Result<WireMsg> {
+    match tokio::time::timeout(limit, read_frame(reader)).await {
+        Ok(result) => result,
+        Err(elapsed) => Err(elapsed.into()),
+    }
+}
+
 /// Writes one frame to an async stream.
 pub async fn write_frame<W: AsyncWriteExt + Unpin>(
     writer: &mut W,
@@ -193,6 +209,23 @@ mod tests {
         let msg = sample_msg();
         write_frame(&mut a, &msg).await.unwrap();
         let got = read_frame(&mut b).await.unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[tokio::test]
+    async fn read_frame_timeout_fires_on_a_silent_peer() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        // Nothing is ever written to `a`: the read must give up.
+        let err = read_frame_timeout(&mut b, std::time::Duration::from_millis(20))
+            .await
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // A prompt frame still goes through untouched.
+        let msg = sample_msg();
+        write_frame(&mut a, &msg).await.unwrap();
+        let got = read_frame_timeout(&mut b, std::time::Duration::from_secs(5))
+            .await
+            .unwrap();
         assert_eq!(got, msg);
     }
 

@@ -19,19 +19,37 @@
 //!   nodes on loopback, bootstraps their views, lets them gossip for a
 //!   while, and harvests the slice assignments — the integration-level
 //!   proof that the protocols work outside the simulator.
+//! * [`retry`] — [`retry::RetryPolicy`]: connect/write timeouts, bounded
+//!   retries with deterministic exponential backoff, and strike-based
+//!   dead-peer eviction for the outbound path.
+//! * [`chaos`] — [`chaos::ChaosPlan`]: a scriptable schedule of process
+//!   faults (crashes, restarts, listener refusal/stall windows) replayed
+//!   by the cluster harness.
+//! * [`supervisor`] — exit classification ([`supervisor::NodeExitRecord`])
+//!   and the [`supervisor::RestartPolicy`] under which crashed nodes are
+//!   revived with capped backoff.
 //!
 //! Messages here genuinely overlap (there is no atomic exchange), so this
 //! runtime exercises the §4.5.2 staleness paths for real: what the simulator
-//! injects artificially, the network does on its own.
+//! injects artificially, the network does on its own. The chaos layer goes
+//! further and injects what the paper assumes as ambient: crash/recovery
+//! churn and refused connections, survived without stalling any gossip
+//! period.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod codec;
 pub mod node;
+pub mod retry;
+pub mod supervisor;
 
-pub use cluster::{ClusterConfig, ClusterReport, LocalCluster};
-pub use codec::{decode_frame, encode_frame, read_frame, write_frame, WireMsg};
-pub use node::{FaultPlan, NodeConfig, NodeHandle, NodeRuntime};
+pub use chaos::{ChaosAction, ChaosEvent, ChaosPlan};
+pub use cluster::{ClusterConfig, ClusterReport, ClusterTotals, LocalCluster};
+pub use codec::{decode_frame, encode_frame, read_frame, read_frame_timeout, write_frame, WireMsg};
+pub use node::{AcceptGate, FaultPlan, NodeConfig, NodeExit, NodeHandle, NodeRuntime};
+pub use retry::RetryPolicy;
+pub use supervisor::{NodeExitKind, NodeExitRecord, RestartPolicy};

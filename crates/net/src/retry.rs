@@ -1,0 +1,198 @@
+//! Timeout/retry/backoff policy for the outbound socket path.
+//!
+//! The paper's setting is a *dynamic* network: peers crash, restart and
+//! refuse connections all the time, and a slicing node must treat that as
+//! routine. [`RetryPolicy`] bounds how long a node is willing to wait on any
+//! one peer (connect/write timeouts), how often it retries a failed
+//! delivery (bounded attempts with exponential backoff), and when it gives
+//! up on the peer entirely (consecutive-failure strikes that trigger a
+//! dead-peer verdict — eviction from the view and the directory).
+//!
+//! Backoff jitter is **deterministic**: it is drawn from the same SplitMix64
+//! stream discipline the simulator uses (`dslice-sim`'s per-node streams),
+//! keyed by `(seed, peer, attempt)`. Two runs with the same seeds back off
+//! on the same schedule, which keeps chaos runs reproducible.
+
+use std::io;
+use std::time::Duration;
+
+/// One SplitMix64 step: advance the Weyl sequence, then mix. Mirrors the
+/// simulator's stream generator so both runtimes share one RNG discipline
+/// (`dslice-net` deliberately does not depend on `dslice-sim`).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a key tuple into one SplitMix64 state (same shape as the sim's
+/// `NodeRng::for_node`, with domain-separating multipliers).
+fn mix_key(seed: u64, peer: u64, attempt: u64) -> u64 {
+    let mut s = seed;
+    let mut state = splitmix64(&mut s);
+    s ^= peer.wrapping_mul(0xA076_1D64_78BD_642F);
+    state ^= splitmix64(&mut s);
+    s ^= attempt.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    state ^= splitmix64(&mut s);
+    state
+}
+
+/// How the outbound path treats a peer that does not answer promptly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Budget for establishing a connection to the peer.
+    pub connect_timeout: Duration,
+    /// Budget for writing one frame once connected.
+    pub write_timeout: Duration,
+    /// Delivery attempts per message (first try included).
+    pub attempts: u32,
+    /// Backoff before retry `k` starts at `backoff_base * 2^(k-1)` …
+    pub backoff_base: Duration,
+    /// … and is capped here (before jitter).
+    pub backoff_cap: Duration,
+    /// Consecutive failed *messages* to a peer before it is declared dead
+    /// and evicted from the view and the directory.
+    pub strike_limit: u32,
+}
+
+impl RetryPolicy {
+    /// Derives a policy from the gossip period: generous enough that a
+    /// healthy peer always answers in time, tight enough that a dead peer
+    /// costs at most a couple of periods before eviction.
+    pub fn for_period(period: Duration) -> Self {
+        let period = period.max(Duration::from_millis(1));
+        RetryPolicy {
+            connect_timeout: period,
+            write_timeout: period,
+            attempts: 3,
+            backoff_base: period / 4,
+            backoff_cap: period * 2,
+            strike_limit: 3,
+        }
+    }
+
+    /// Rejects nonsensical policies (zero timeouts/attempts/strikes, or a
+    /// backoff base above its cap).
+    pub fn validate(&self) -> io::Result<()> {
+        let invalid = |what: &str| {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid RetryPolicy: {what}"),
+            ))
+        };
+        if self.connect_timeout.is_zero() {
+            return invalid("connect_timeout must be positive");
+        }
+        if self.write_timeout.is_zero() {
+            return invalid("write_timeout must be positive");
+        }
+        if self.attempts == 0 {
+            return invalid("attempts must be at least 1");
+        }
+        if self.strike_limit == 0 {
+            return invalid("strike_limit must be at least 1");
+        }
+        if self.backoff_base > self.backoff_cap {
+            return invalid("backoff_base exceeds backoff_cap");
+        }
+        Ok(())
+    }
+
+    /// The pause before retry `attempt` (1-based: attempt 1 is the first
+    /// *retry*). Exponential in the attempt number, capped, then scaled by
+    /// a deterministic jitter factor in `[0.5, 1.5)` keyed by
+    /// `(seed, peer, attempt)`.
+    pub fn backoff(&self, seed: u64, peer: u64, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let raw = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_cap);
+        let draw = mix_key(seed, peer, u64::from(attempt));
+        // 53-bit uniform in [0,1), shifted to [0.5, 1.5).
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        raw.mul_f64(0.5 + unit)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::for_period(Duration::from_millis(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_period_scales_with_the_gossip_period() {
+        let p = RetryPolicy::for_period(Duration::from_millis(40));
+        assert_eq!(p.connect_timeout, Duration::from_millis(40));
+        assert_eq!(p.backoff_base, Duration::from_millis(10));
+        assert_eq!(p.backoff_cap, Duration::from_millis(80));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_policies() {
+        let good = RetryPolicy::default();
+        assert!(good.validate().is_ok());
+        let zero_attempts = RetryPolicy {
+            attempts: 0,
+            ..good
+        };
+        assert!(zero_attempts.validate().is_err());
+        let zero_strikes = RetryPolicy {
+            strike_limit: 0,
+            ..good
+        };
+        assert!(zero_strikes.validate().is_err());
+        let inverted = RetryPolicy {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(10),
+            ..good
+        };
+        assert!(inverted.validate().is_err());
+        let zero_timeout = RetryPolicy {
+            connect_timeout: Duration::ZERO,
+            ..good
+        };
+        assert!(zero_timeout.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::for_period(Duration::from_millis(20));
+        let a = p.backoff(42, 7, 1);
+        let b = p.backoff(42, 7, 1);
+        assert_eq!(a, b, "same key, same backoff");
+        assert_ne!(
+            p.backoff(42, 7, 1),
+            p.backoff(42, 8, 1),
+            "different peers jitter differently"
+        );
+        for attempt in 1..=8 {
+            let d = p.backoff(1, 2, attempt);
+            // Cap is 2 * period = 40ms; jitter at most 1.5x.
+            assert!(d <= p.backoff_cap.mul_f64(1.5), "attempt {attempt}: {d:?}");
+            assert!(d >= p.backoff_base.mul_f64(0.5), "attempt {attempt}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_before_the_cap() {
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        };
+        // Strip jitter by comparing lower bounds: attempt k's floor is
+        // base * 2^(k-1) * 0.5, which doubles per attempt.
+        assert!(p.backoff(0, 0, 3) >= Duration::from_millis(20));
+        assert!(p.backoff(0, 0, 5) >= Duration::from_millis(80));
+    }
+}

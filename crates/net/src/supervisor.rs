@@ -1,0 +1,152 @@
+//! Supervision types: exit classification and restart policy.
+//!
+//! The cluster harness never lets a node failure propagate: every task exit
+//! is reaped into a [`NodeExitRecord`] (clean, crashed, or killed by chaos)
+//! and, for crashes, the node is restarted under a [`RestartPolicy`] with
+//! capped exponential backoff. The records are folded into the final
+//! [`ClusterReport`](crate::cluster::ClusterReport), so degradation is
+//! observable instead of silent — the harness-level counterpart of the
+//! paper's assumption that slicing must keep working while nodes come and
+//! go.
+
+use dslice_core::NodeId;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::time::Duration;
+
+/// How a supervised node task ended.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeExitKind {
+    /// Graceful shutdown (harness stop or scripted departure).
+    Clean,
+    /// The node task panicked.
+    Crashed {
+        /// The panic message.
+        reason: String,
+    },
+    /// The node was killed by a [`ChaosPlan`](crate::chaos::ChaosPlan)
+    /// crash event (or an explicit harness abort).
+    KilledByChaos,
+}
+
+/// One reaped exit, as recorded by the cluster supervision loop.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeExitRecord {
+    /// The node that exited.
+    pub id: NodeId,
+    /// How it exited.
+    pub kind: NodeExitKind,
+    /// Milliseconds since the cluster was spawned.
+    pub at_ms: u64,
+    /// Whether the node was subsequently restarted (by policy or by a
+    /// scripted chaos restart).
+    pub restarted: bool,
+}
+
+/// When and how often the supervisor restarts a crashed node.
+///
+/// Only *crashes* (panics) are auto-restarted: chaos kills stay down until
+/// the plan's own `Restart` event, and clean exits are final.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Whether crashed nodes are restarted at all.
+    pub auto_restart: bool,
+    /// Restarts allowed per node before it is left down for good.
+    pub max_restarts: u32,
+    /// Backoff before restart `k` starts at `backoff_base * 2^k` …
+    pub backoff_base: Duration,
+    /// … and is capped here.
+    pub backoff_cap: Duration,
+}
+
+impl RestartPolicy {
+    /// Never restart: every exit is final.
+    pub fn never() -> Self {
+        RestartPolicy {
+            auto_restart: false,
+            max_restarts: 0,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    /// Rejects policies whose backoff base exceeds its cap.
+    pub fn validate(&self) -> io::Result<()> {
+        if self.auto_restart && self.backoff_base > self.backoff_cap {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "RestartPolicy backoff_base exceeds backoff_cap",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The pause before a node's restart, given how many restarts it has
+    /// already had: exponential in the count, capped.
+    pub fn backoff(&self, prior_restarts: u32) -> Duration {
+        let exp = prior_restarts.min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_cap)
+    }
+}
+
+impl Default for RestartPolicy {
+    /// Restart crashed nodes up to 5 times, backing off 50 ms → 500 ms.
+    fn default() -> Self {
+        RestartPolicy {
+            auto_restart: true,
+            max_restarts: 5,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let policy = RestartPolicy::default();
+        assert_eq!(policy.backoff(0), Duration::from_millis(50));
+        assert_eq!(policy.backoff(1), Duration::from_millis(100));
+        assert_eq!(policy.backoff(2), Duration::from_millis(200));
+        assert_eq!(policy.backoff(4), Duration::from_millis(500), "capped");
+        assert_eq!(policy.backoff(30), Duration::from_millis(500), "capped");
+    }
+
+    #[test]
+    fn never_policy_is_valid_and_inert() {
+        let policy = RestartPolicy::never();
+        assert!(policy.validate().is_ok());
+        assert!(!policy.auto_restart);
+        assert_eq!(policy.backoff(3), Duration::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_inverted_backoff() {
+        let policy = RestartPolicy {
+            backoff_base: Duration::from_secs(10),
+            backoff_cap: Duration::from_millis(1),
+            ..RestartPolicy::default()
+        };
+        assert!(policy.validate().is_err());
+    }
+
+    #[test]
+    fn exit_records_serialize_for_the_report_artifact() {
+        let record = NodeExitRecord {
+            id: NodeId::new(7),
+            kind: NodeExitKind::Crashed {
+                reason: "boom".into(),
+            },
+            at_ms: 1234,
+            restarted: true,
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        let back: NodeExitRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+}

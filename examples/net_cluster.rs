@@ -30,7 +30,7 @@ async fn main() -> std::io::Result<()> {
     };
 
     println!("spawning 24 nodes on loopback…");
-    let cluster = LocalCluster::spawn(cfg).await?;
+    let mut cluster = LocalCluster::spawn(cfg).await?;
     println!("gossiping for 1.5 s (~100 periods)…");
     for _ in 0..5 {
         cluster.run_for(Duration::from_millis(300)).await;

@@ -1,0 +1,181 @@
+//! Soak: the networked runtime under crash/restart chaos plus wire loss,
+//! cross-validated against the deterministic simulator.
+//!
+//! The simulator is the controlled counterpart of the socket runtime: same
+//! protocol code, same partition, same fault magnitudes (10% loss, 20% of
+//! the population crashing and later returning). Its final SDM is the
+//! oracle band — the real cluster, with genuine concurrency, timeouts and
+//! supervision, must land in the same order of disorder, not merely
+//! "survive".
+//!
+//! Ignored by default (runs ~10 s of wall clock); CI runs it in release in
+//! the `net-chaos` job:
+//!
+//! ```text
+//! cargo test --release -p dslice --test net_chaos_soak -- --ignored
+//! ```
+//!
+//! The harvested [`ClusterReport`] is written as JSON to the path in
+//! `NET_CHAOS_REPORT` (default `target/net-chaos-report.json`) so the CI
+//! job can upload it as an artifact whether the band check passes or not.
+
+use dslice::prelude::*;
+use dslice::sim::churn::ChurnPlan;
+use std::time::Duration;
+
+const N: usize = 20;
+const SLICES: usize = 2;
+const VIEW: usize = 8;
+const SEED: u64 = 0x50AC;
+const PERIOD: Duration = Duration::from_millis(40);
+/// Total run length, in gossip periods / simulator cycles.
+const CYCLES: usize = 150;
+/// Crash 20% of the population at this period, restart it at twice this.
+const CRASH_AT: usize = 30;
+const LOSS: f64 = 0.1;
+
+fn crash_count() -> usize {
+    N / 5
+}
+
+fn attrs() -> Vec<Attribute> {
+    (0..N)
+        .map(|i| Attribute::new(((i * 37) % N) as f64).unwrap())
+        .collect()
+}
+
+/// The simulator-side mirror of the chaos plan: the lowest-id fifth of the
+/// population leaves at [`CRASH_AT`] and rejoins (same attribute values,
+/// fresh identities and state) at `2 * CRASH_AT` — exactly what a crash
+/// plus supervised restart looks like from the protocol's point of view.
+struct CrashRestartChurn {
+    stash: Vec<Attribute>,
+}
+
+impl ChurnModel for CrashRestartChurn {
+    fn plan(
+        &mut self,
+        cycle: usize,
+        population: &[(NodeId, Attribute)],
+        _rng: &mut dyn rand::RngCore,
+    ) -> ChurnPlan {
+        if cycle == CRASH_AT {
+            let mut pop = population.to_vec();
+            pop.sort_by_key(|(id, _)| id.as_u64());
+            pop.truncate(crash_count());
+            self.stash = pop.iter().map(|&(_, a)| a).collect();
+            ChurnPlan {
+                leavers: pop.into_iter().map(|(id, _)| id).collect(),
+                joiners: Vec::new(),
+            }
+        } else if cycle == 2 * CRASH_AT {
+            ChurnPlan {
+                leavers: Vec::new(),
+                joiners: std::mem::take(&mut self.stash),
+            }
+        } else {
+            ChurnPlan::quiet()
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "crash-restart"
+    }
+}
+
+/// Runs the deterministic oracle: same n, slices, view, loss, and the
+/// mirrored crash/restart schedule. Returns its final SDM.
+fn oracle_sdm() -> f64 {
+    let cfg = SimConfig {
+        n: N,
+        view_size: VIEW,
+        partition: Partition::equal(SLICES).unwrap(),
+        seed: SEED,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(cfg, ProtocolKind::Ranking)
+        .unwrap()
+        .with_churn(Box::new(CrashRestartChurn { stash: Vec::new() }));
+    engine.set_drop_rate(LOSS).unwrap();
+    let record = engine.run(CYCLES);
+    record.final_sdm().expect("oracle ran at least one cycle")
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+#[ignore = "soak test: ~10 s wall clock; CI runs it in the net-chaos job"]
+async fn chaotic_cluster_tracks_the_simulator_band() {
+    let k = crash_count();
+    let mut chaos = ChaosPlan::new().at_ms((CRASH_AT as u64) * PERIOD.as_millis() as u64);
+    for i in 0..k {
+        chaos = chaos.crash(NodeId::new(i as u64));
+    }
+    chaos = chaos.at_ms((2 * CRASH_AT as u64) * PERIOD.as_millis() as u64);
+    for i in 0..k {
+        chaos = chaos.restart(NodeId::new(i as u64));
+    }
+
+    let cfg = ClusterConfig {
+        view_size: VIEW,
+        period: PERIOD,
+        bootstrap_degree: 5,
+        seed: SEED,
+        faults: FaultPlan::lossy(LOSS),
+        chaos,
+        ..ClusterConfig::new(
+            attrs(),
+            Partition::equal(SLICES).unwrap(),
+            ProtocolKind::Ranking,
+        )
+    };
+    let mut cluster = LocalCluster::spawn(cfg).await.unwrap();
+    cluster.run_for(PERIOD * CYCLES as u32).await;
+    let report = cluster.shutdown().await;
+
+    // Persist the report for the CI artifact *before* any assertion, so a
+    // red run still ships its evidence.
+    let path =
+        std::env::var("NET_CHAOS_REPORT").unwrap_or_else(|_| "target/net-chaos-report.json".into());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("chaos soak report -> {path}");
+
+    // The chaos plan executed in full.
+    assert_eq!(
+        report.totals.chaos_kills, k as u64,
+        "exits: {:?}",
+        report.exits
+    );
+    assert_eq!(
+        report.totals.restarts, k as u64,
+        "exits: {:?}",
+        report.exits
+    );
+    assert!(report.totals.dropped > 0, "10% loss must drop something");
+    // Everyone — including the restarted fifth — is alive at shutdown.
+    assert_eq!(report.nodes.len(), N);
+
+    // Cross-validation: the socket runtime may be messier than the
+    // deterministic oracle (real timeouts, genuine concurrency, its
+    // crashed nodes lose *all* state), but it must land in the same band
+    // of disorder, not an order of magnitude away.
+    let oracle = oracle_sdm();
+    let net = report.sdm();
+    let band = (oracle * 4.0).max(2.0);
+    eprintln!("SDM: oracle {oracle:.3}, net {net:.3}, band {band:.3}");
+    assert!(
+        net <= band,
+        "net SDM {net:.3} outside the oracle band {band:.3} \
+         (oracle {oracle:.3}; accuracy {:.2})",
+        report.accuracy()
+    );
+
+    // And the survivors genuinely converged: most nodes know their half.
+    let accuracy = report.accuracy();
+    assert!(
+        accuracy >= 0.6,
+        "accuracy {accuracy} too low after crash/restart + loss (SDM {net:.3})"
+    );
+}

@@ -114,6 +114,24 @@ pub mod mpsc {
         }
     }
 
+    /// Why a [`Sender::try_send`] did not enqueue; the value comes back.
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity.
+        Full(T),
+        /// The receiver was dropped.
+        Closed(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "channel full"),
+                TrySendError::Closed(_) => write!(f, "channel closed"),
+            }
+        }
+    }
+
     /// Creates a bounded channel with room for `capacity` queued messages.
     pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         assert!(capacity > 0, "mpsc channel capacity must be positive");
@@ -194,6 +212,23 @@ pub mod mpsc {
             })
             .await
         }
+
+        /// Enqueues a value without waiting: fails immediately when the
+        /// queue is full or the receiver is gone. This is the send used on
+        /// latency-critical paths that must never block on a slow consumer.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if !self.shared.receiver_alive.load(Ordering::Acquire) {
+                return Err(TrySendError::Closed(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            drop(queue);
+            wake_all(&self.shared.recv_waker);
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -216,6 +251,21 @@ pub mod mpsc {
                 Poll::Pending
             })
             .await
+        }
+
+        /// Receives without waiting: `None` when the queue is currently
+        /// empty (regardless of whether senders remain).
+        pub fn try_recv(&mut self) -> Option<T> {
+            let value = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            if value.is_some() {
+                wake_all(&self.shared.send_wakers);
+            }
+            value
         }
     }
 }
@@ -361,6 +411,21 @@ mod tests {
             assert_eq!(rx.recv().await, Some(2));
             drop(tx);
             assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn mpsc_try_send_reports_full_and_closed() {
+        block_on(async {
+            let (tx, mut rx) = mpsc::channel::<u32>(1);
+            assert!(tx.try_send(1).is_ok());
+            assert!(matches!(tx.try_send(2), Err(mpsc::TrySendError::Full(2))));
+            assert_eq!(rx.try_recv(), Some(1));
+            assert_eq!(rx.try_recv(), None);
+            assert!(tx.try_send(3).is_ok());
+            assert_eq!(rx.recv().await, Some(3));
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(mpsc::TrySendError::Closed(4))));
         });
     }
 

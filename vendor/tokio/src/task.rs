@@ -1,20 +1,26 @@
-//! Task spawning: one OS thread per task.
+//! Task spawning: one OS thread per task, with cooperative cancellation.
 
-use crate::runtime::block_on;
 use std::fmt;
 use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::pin::Pin;
+use std::pin::{pin, Pin};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Waker};
-use std::thread;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+use std::time::Duration;
+
+/// How long the task thread parks between polls (mirrors the executor's
+/// park interval in `runtime.rs`). Cancellation latency is bounded by it.
+const PARK_INTERVAL: Duration = Duration::from_micros(500);
 
 /// Shared completion state between the task thread and its handle.
 struct JoinState<T> {
-    result: Mutex<Option<thread::Result<T>>>,
+    result: Mutex<Option<Result<T, JoinError>>>,
     waker: Mutex<Option<Waker>>,
     done: AtomicBool,
+    cancel: AtomicBool,
+    thread: Mutex<Option<Thread>>,
 }
 
 /// An owned permission to await a spawned task's output.
@@ -30,19 +36,81 @@ impl<T> fmt::Debug for JoinHandle<T> {
     }
 }
 
-/// The task being awaited panicked.
+/// Why a task failed to produce its output: it panicked, or it was aborted.
+#[derive(Debug)]
+enum JoinErrorKind {
+    Panic(String),
+    Cancelled,
+}
+
+/// The task being awaited panicked or was aborted.
 #[derive(Debug)]
 pub struct JoinError {
-    panic_msg: String,
+    kind: JoinErrorKind,
+}
+
+impl JoinError {
+    fn panic(msg: String) -> Self {
+        JoinError {
+            kind: JoinErrorKind::Panic(msg),
+        }
+    }
+
+    fn cancelled() -> Self {
+        JoinError {
+            kind: JoinErrorKind::Cancelled,
+        }
+    }
+
+    /// Whether the task was aborted via [`JoinHandle::abort`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.kind, JoinErrorKind::Cancelled)
+    }
+
+    /// Whether the task panicked.
+    pub fn is_panic(&self) -> bool {
+        matches!(self.kind, JoinErrorKind::Panic(_))
+    }
 }
 
 impl fmt::Display for JoinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "task panicked: {}", self.panic_msg)
+        match &self.kind {
+            JoinErrorKind::Panic(msg) => write!(f, "task panicked: {msg}"),
+            JoinErrorKind::Cancelled => write!(f, "task was cancelled"),
+        }
     }
 }
 
 impl std::error::Error for JoinError {}
+
+impl<T> JoinHandle<T> {
+    /// Requests cancellation: the task stops at its next yield point (here:
+    /// between polls, within one park interval) and awaiting the handle
+    /// yields a cancelled [`JoinError`]. A task that already completed is
+    /// unaffected — its output is still returned.
+    ///
+    /// Cancellation drops the task's future, releasing everything it owns
+    /// (sockets, channel endpoints, …), exactly like an abrupt crash from
+    /// the rest of the system's point of view.
+    pub fn abort(&self) {
+        self.state.cancel.store(true, Ordering::Release);
+        if let Some(thread) = self
+            .state
+            .thread
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            thread.unpark();
+        }
+    }
+
+    /// Whether the task has finished (completed, panicked, or cancelled).
+    pub fn is_finished(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+}
 
 impl<T> Future for JoinHandle<T> {
     type Output = Result<T, JoinError>;
@@ -56,9 +124,7 @@ impl<T> Future for JoinHandle<T> {
                 .unwrap_or_else(|e| e.into_inner())
                 .take()
                 .expect("JoinHandle polled after completion");
-            return Poll::Ready(result.map_err(|panic| JoinError {
-                panic_msg: panic_message(&panic),
-            }));
+            return Poll::Ready(result);
         }
         *self.state.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(cx.waker().clone());
         // Re-check: the task may have finished between the check and the
@@ -80,6 +146,36 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// A waker that unparks the task thread.
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives `fut` to completion on the current thread, checking `cancel`
+/// between polls. Returns `None` when cancelled (the future is dropped).
+fn block_on_cancellable<F: Future>(fut: F, cancel: &AtomicBool) -> Option<F::Output> {
+    let waker = Waker::from(Arc::new(ThreadWaker(thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = pin!(fut);
+    loop {
+        if cancel.load(Ordering::Acquire) {
+            return None;
+        }
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return Some(out),
+            Poll::Pending => thread::park_timeout(PARK_INTERVAL),
+        }
+    }
+}
+
 /// Spawns a future as an independent task (here: an OS thread) and returns
 /// a handle that resolves with its output.
 pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
@@ -91,12 +187,22 @@ where
         result: Mutex::new(None),
         waker: Mutex::new(None),
         done: AtomicBool::new(false),
+        cancel: AtomicBool::new(false),
+        thread: Mutex::new(None),
     });
     let task_state = Arc::clone(&state);
     thread::Builder::new()
         .name("tokio-task".to_string())
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| block_on(fut)));
+            *task_state.thread.lock().unwrap_or_else(|e| e.into_inner()) = Some(thread::current());
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                block_on_cancellable(fut, &task_state.cancel)
+            }));
+            let result = match outcome {
+                Ok(Some(value)) => Ok(value),
+                Ok(None) => Err(JoinError::cancelled()),
+                Err(panic) => Err(JoinError::panic(panic_message(&*panic))),
+            };
             *task_state.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
             task_state.done.store(true, Ordering::Release);
             if let Some(waker) = task_state
@@ -110,4 +216,74 @@ where
         })
         .expect("failed to spawn task thread");
     JoinHandle { state }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::block_on;
+
+    #[test]
+    fn abort_cancels_a_pending_task() {
+        block_on(async {
+            let handle = crate::spawn(async {
+                crate::time::sleep(std::time::Duration::from_secs(60)).await;
+                42u32
+            });
+            assert!(!handle.is_finished());
+            handle.abort();
+            let err = handle.await.unwrap_err();
+            assert!(err.is_cancelled());
+            assert!(!err.is_panic());
+        });
+    }
+
+    #[test]
+    fn abort_after_completion_preserves_output() {
+        block_on(async {
+            let handle = crate::spawn(async { 7u32 });
+            // Wait for the task to finish before aborting.
+            while !handle.is_finished() {
+                crate::time::sleep(std::time::Duration::from_millis(1)).await;
+            }
+            handle.abort();
+            assert_eq!(handle.await.unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn panic_is_reported_as_panic() {
+        block_on(async {
+            let handle = crate::spawn(async {
+                panic!("boom");
+            });
+            let err = handle.await.unwrap_err();
+            assert!(err.is_panic());
+            assert!(err.to_string().contains("boom"));
+        });
+    }
+
+    #[test]
+    fn abort_drops_the_future() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        struct SetOnDrop(Arc<AtomicBool>);
+        impl Drop for SetOnDrop {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::Release);
+            }
+        }
+
+        block_on(async {
+            let dropped = Arc::new(AtomicBool::new(false));
+            let flag = SetOnDrop(Arc::clone(&dropped));
+            let handle = crate::spawn(async move {
+                let _keep = flag;
+                crate::time::sleep(std::time::Duration::from_secs(60)).await;
+            });
+            handle.abort();
+            assert!(handle.await.unwrap_err().is_cancelled());
+            assert!(dropped.load(Ordering::Acquire), "future must be dropped");
+        });
+    }
 }

@@ -1,6 +1,9 @@
-//! Timers: `sleep` and `interval`, driven by the executor's poll cadence.
+//! Timers: `sleep`, `timeout` and `interval`, driven by the executor's poll
+//! cadence.
 
-use std::future::poll_fn;
+use std::fmt;
+use std::future::{poll_fn, Future};
+use std::pin::pin;
 use std::task::Poll;
 use std::time::{Duration, Instant};
 
@@ -16,6 +19,47 @@ pub async fn sleep(duration: Duration) {
         } else {
             Poll::Pending
         }
+    })
+    .await
+}
+
+/// The future given to [`timeout`] did not complete before the deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+impl From<Elapsed> for std::io::Error {
+    fn from(_: Elapsed) -> Self {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "deadline has elapsed")
+    }
+}
+
+/// Requires `fut` to complete within `duration`, or resolves to
+/// [`Elapsed`] and drops the future.
+///
+/// The deadline is checked between polls, so a *blocking* leaf operation
+/// (e.g. this stand-in's `TcpStream::connect` handshake) cannot be
+/// preempted mid-call; on the loopback paths this workspace exercises those
+/// complete (or fail) immediately, and all nonblocking I/O — reads, writes,
+/// channel waits, sleeps — times out as expected.
+pub async fn timeout<F: Future>(duration: Duration, fut: F) -> Result<F::Output, Elapsed> {
+    let deadline = Instant::now() + duration;
+    let mut fut = pin!(fut);
+    poll_fn(|cx| {
+        if let Poll::Ready(out) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        if Instant::now() >= deadline {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
     })
     .await
 }
@@ -92,6 +136,22 @@ mod tests {
             let start = Instant::now();
             sleep(Duration::from_millis(20)).await;
             assert!(start.elapsed() >= Duration::from_millis(20));
+        });
+    }
+
+    #[test]
+    fn timeout_passes_through_fast_futures() {
+        block_on(async {
+            let out = timeout(Duration::from_millis(100), async { 5u32 }).await;
+            assert_eq!(out, Ok(5));
+        });
+    }
+
+    #[test]
+    fn timeout_fires_on_slow_futures() {
+        block_on(async {
+            let out = timeout(Duration::from_millis(10), sleep(Duration::from_secs(60))).await;
+            assert_eq!(out, Err(Elapsed));
         });
     }
 

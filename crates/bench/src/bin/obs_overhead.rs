@@ -1,0 +1,142 @@
+//! Measures the tracing overhead of the observability layer and gates on it.
+//!
+//! ```text
+//! obs_overhead [--out FILE] [--max-pct P] [--quick]
+//! ```
+//!
+//! Runs the same ranking simulation twice — once bare, once with the flight
+//! recorder attached at default sampling — and compares ms/cycle. CI runs
+//! this as the observability overhead gate: if the traced run is more than
+//! `--max-pct` percent slower than the untraced run (default 5%), the
+//! process exits non-zero and the `obs` job fails.
+//!
+//! Each arm is measured `REPS` times interleaved (bare, traced, bare, …)
+//! and the minimum per-cycle time is kept, which filters scheduler noise on
+//! shared CI hosts far better than a mean does.
+//!
+//! * `--quick` shrinks the population for fast smoke runs (CI uses the
+//!   default size).
+
+use dslice_core::Partition;
+use dslice_obs::TraceConfig;
+use dslice_sim::{Engine, ProtocolKind, SimConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Interleaved repetitions per arm; the minimum is reported.
+const REPS: usize = 3;
+
+fn engine(n: usize) -> Engine {
+    let cfg = SimConfig {
+        n,
+        view_size: 10,
+        partition: Partition::equal(100).unwrap(),
+        seed: 42,
+        ..SimConfig::default()
+    };
+    Engine::new(cfg, ProtocolKind::Ranking).unwrap()
+}
+
+/// Times `cycles` steady-state cycles; `traced` attaches the recorder at
+/// default sampling first. Returns ms/cycle.
+fn measure(n: usize, cycles: usize, traced: bool) -> f64 {
+    let mut engine = engine(n);
+    if traced {
+        engine.set_tracer(TraceConfig::on());
+    }
+    for _ in 0..2 {
+        engine.step();
+    }
+    let start = Instant::now();
+    for _ in 0..cycles {
+        engine.step();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / cycles as f64
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut max_pct = 5.0_f64;
+    let mut quick = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                let Some(path) = argv.get(i + 1) else {
+                    eprintln!("--out requires a value");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(path.clone());
+                i += 2;
+            }
+            "--max-pct" => {
+                let Some(p) = argv.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--max-pct requires a number");
+                    return ExitCode::FAILURE;
+                };
+                max_pct = p;
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: obs_overhead [--out FILE] [--max-pct P] [--quick]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (n, cycles) = if quick { (2_000, 20) } else { (10_000, 30) };
+
+    let mut bare = f64::INFINITY;
+    let mut traced = f64::INFINITY;
+    for rep in 0..REPS {
+        let b = measure(n, cycles, false);
+        let t = measure(n, cycles, true);
+        bare = bare.min(b);
+        traced = traced.min(t);
+        eprintln!("rep {rep}: bare {b:.3} ms/cycle, traced {t:.3} ms/cycle");
+    }
+
+    let overhead_pct = (traced - bare) / bare * 100.0;
+    let pass = overhead_pct <= max_pct;
+    eprintln!(
+        "n={n}: bare {bare:.3} ms/cycle, traced {traced:.3} ms/cycle, \
+         overhead {overhead_pct:+.2}% (gate {max_pct:.1}%) -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let json = serde_json::to_string_pretty(&serde_json::json!({
+        "n": n,
+        "cycles": cycles,
+        "reps": REPS,
+        "bare_ms_per_cycle": bare,
+        "traced_ms_per_cycle": traced,
+        "overhead_pct": overhead_pct,
+        "max_pct": max_pct,
+        "pass": pass,
+    }))
+    .expect("report serializes");
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("overhead report -> {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -32,19 +32,19 @@ struct Row {
     metrics_every: usize,
     cycles: usize,
     ms_per_cycle: f64,
-    /// Mean per-phase µs over the timed cycles, as `(phase, µs)` rows —
+    /// Mean per-phase ns over the timed cycles, as `(phase, ns)` rows —
     /// driven by [`PhaseTimings::rows`] so a phase added to the engine
     /// shows up here (and in the JSON artifact) without touching this file.
-    phase_us: Vec<(&'static str, u64)>,
+    phase_ns: Vec<(&'static str, u64)>,
 }
 
 impl Row {
-    /// The mean µs of one named phase (0 if unknown).
+    /// The mean ns of one named phase (0 if unknown).
     fn phase(&self, name: &str) -> u64 {
-        self.phase_us
+        self.phase_ns
             .iter()
             .find(|&&(n, _)| n == name)
-            .map_or(0, |&(_, us)| us)
+            .map_or(0, |&(_, ns)| ns)
     }
 }
 
@@ -78,10 +78,10 @@ fn measure(n: usize, shards: usize, metrics_every: usize, cycles: usize) -> Row 
         metrics_every,
         cycles,
         ms_per_cycle,
-        phase_us: phase_total
+        phase_ns: phase_total
             .rows()
             .iter()
-            .map(|&(name, us)| (name, us / cycles as u64))
+            .map(|&(name, ns)| (name, ns / cycles as u64))
             .collect(),
     }
 }
@@ -160,9 +160,9 @@ fn main() -> ExitCode {
         eprintln!(
             "{:.1} ms/cycle (membership {:.1} ms, refresh {:.1} ms, active {:.1} ms)",
             row.ms_per_cycle,
-            row.phase("membership") as f64 / 1000.0,
-            row.phase("refresh") as f64 / 1000.0,
-            row.phase("active") as f64 / 1000.0,
+            row.phase("membership") as f64 / 1e6,
+            row.phase("refresh") as f64 / 1e6,
+            row.phase("active") as f64 / 1e6,
         );
         rows.push(row);
     }
@@ -183,10 +183,18 @@ fn main() -> ExitCode {
                     "metrics_every": row.metrics_every,
                     "cycles": row.cycles,
                     "ms_per_cycle": row.ms_per_cycle,
-                    "phase_us": serde_json::Value::Map(
-                        row.phase_us
+                    "phase_ns": serde_json::Value::Map(
+                        row.phase_ns
                             .iter()
-                            .map(|&(name, us)| (name.to_string(), serde_json::Value::UInt(us)))
+                            .map(|&(name, ns)| (name.to_string(), serde_json::Value::UInt(ns)))
+                            .collect(),
+                    ),
+                    // Deprecated since PR 10 (kept one release cycle):
+                    // microsecond floor-division of `phase_ns`.
+                    "phase_us": serde_json::Value::Map(
+                        row.phase_ns
+                            .iter()
+                            .map(|&(name, ns)| (name.to_string(), serde_json::Value::UInt(ns / 1000)))
                             .collect(),
                     ),
                 })

@@ -54,6 +54,12 @@ pub struct NetRunArgs {
     pub stall: Option<(f64, u64, u64)>,
     pub json: Option<String>,
     pub quiet: bool,
+    /// Write the final scraped metrics registry here (Prometheus text).
+    pub metrics_out: Option<String>,
+    /// Stream the scraped registry here as JSON lines while running.
+    pub metrics_stream: Option<String>,
+    /// Cadence of the metrics stream in milliseconds.
+    pub scrape_every_ms: u64,
 }
 
 impl Default for NetRunArgs {
@@ -77,6 +83,9 @@ impl Default for NetRunArgs {
             stall: None,
             json: None,
             quiet: false,
+            metrics_out: None,
+            metrics_stream: None,
+            scrape_every_ms: 100,
         }
     }
 }
@@ -92,6 +101,14 @@ pub struct ScenarioArgs {
     pub list: bool,
     /// Suppress the trajectory table.
     pub quiet: bool,
+    /// Write a chrome://tracing trace of the run here.
+    pub trace_out: Option<String>,
+    /// Write the trace as JSON lines here.
+    pub trace_jsonl: Option<String>,
+    /// Trace only every Nth cycle.
+    pub trace_sample: u64,
+    /// Write the run's metrics registry here (Prometheus text).
+    pub metrics_out: Option<String>,
 }
 
 /// Arguments of `dslice-cli sim`.
@@ -114,6 +131,14 @@ pub struct SimArgs {
     pub csv: Option<String>,
     pub json: Option<String>,
     pub quiet: bool,
+    /// Write a chrome://tracing trace of the run here.
+    pub trace_out: Option<String>,
+    /// Write the trace as JSON lines here.
+    pub trace_jsonl: Option<String>,
+    /// Trace only every Nth cycle.
+    pub trace_sample: u64,
+    /// Write the run's metrics registry here (Prometheus text).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for SimArgs {
@@ -136,6 +161,10 @@ impl Default for SimArgs {
             csv: None,
             json: None,
             quiet: false,
+            trace_out: None,
+            trace_jsonl: None,
+            trace_sample: 1,
+            metrics_out: None,
         }
     }
 }
@@ -197,11 +226,16 @@ USAGE:
                  [--distribution uniform|pareto:<scale>:<shape>|normal:<mean>:<std>|exp:<rate>]
                  [--shards W] [--metrics-every M] [--time-phases]
                  [--csv FILE] [--json FILE] [--quiet]
+                 [--trace-out FILE] [--trace-jsonl FILE] [--trace-sample N]
+                 [--metrics-out FILE]
+             (`run` is an alias for `sim`)
   dslice-cli analyze lemma41 --beta B --epsilon E --n N [--p P]
   dslice-cli analyze samples --p P --d D [--alpha A]
   dslice-cli analyze population --n N --p P
   dslice-cli slice-of --slices K --rank R
   dslice-cli run-scenario <NAME> [--json FILE] [--quiet]
+                 [--trace-out FILE] [--trace-jsonl FILE] [--trace-sample N]
+                 [--metrics-out FILE]
   dslice-cli run-scenario --list
   dslice-cli net-run [--protocol P] [--sampler S] [--n N] [--slices K]
                      [--view C] [--period-ms MS] [--duration-ms MS] [--seed S]
@@ -210,6 +244,8 @@ USAGE:
                      [--crash FRAC:AT_MS] [--restart AT_MS]
                      [--refuse FRAC:AT_MS:DUR_MS] [--stall FRAC:AT_MS:DUR_MS]
                      [--json FILE] [--quiet]
+                     [--metrics-out FILE] [--metrics-stream FILE]
+                     [--scrape-every-ms MS]
   dslice-cli help";
 
 fn value(argv: &[String], i: usize) -> Result<&str, String> {
@@ -529,6 +565,21 @@ fn parse_net_run(argv: &[String]) -> Result<NetRunArgs, String> {
                 args.quiet = true;
                 i += 1;
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--metrics-stream" => {
+                args.metrics_stream = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--scrape-every-ms" => {
+                args.scrape_every_ms = parse_num("--scrape-every-ms", value(argv, i)?)?;
+                if args.scrape_every_ms == 0 {
+                    return Err("--scrape-every-ms must be positive".into());
+                }
+                i += 2;
+            }
             other => return Err(format!("unknown net-run argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -638,6 +689,25 @@ fn parse_sim(argv: &[String]) -> Result<SimArgs, String> {
                 args.quiet = true;
                 i += 1;
             }
+            "--trace-out" => {
+                args.trace_out = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--trace-jsonl" => {
+                args.trace_jsonl = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--trace-sample" => {
+                args.trace_sample = parse_num("--trace-sample", value(argv, i)?)?;
+                if args.trace_sample == 0 {
+                    return Err("--trace-sample must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
             other => return Err(format!("unknown sim argument {other:?}\n\n{USAGE}")),
         }
     }
@@ -692,6 +762,10 @@ fn parse_scenario(argv: &[String]) -> Result<ScenarioArgs, String> {
         json: None,
         list: false,
         quiet: false,
+        trace_out: None,
+        trace_jsonl: None,
+        trace_sample: 1,
+        metrics_out: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -706,6 +780,25 @@ fn parse_scenario(argv: &[String]) -> Result<ScenarioArgs, String> {
             }
             "--json" => {
                 args.json = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--trace-jsonl" => {
+                args.trace_jsonl = Some(value(argv, i)?.to_string());
+                i += 2;
+            }
+            "--trace-sample" => {
+                args.trace_sample = parse_num("--trace-sample", value(argv, i)?)?;
+                if args.trace_sample == 0 {
+                    return Err("--trace-sample must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(value(argv, i)?.to_string());
                 i += 2;
             }
             flag if flag.starts_with("--") => {
@@ -734,7 +827,7 @@ fn parse_scenario(argv: &[String]) -> Result<ScenarioArgs, String> {
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     match argv.first().map(|s| s.as_str()) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
-        Some("sim") => Ok(Command::Sim(parse_sim(&argv[1..])?)),
+        Some("sim") | Some("run") => Ok(Command::Sim(parse_sim(&argv[1..])?)),
         Some("analyze") => Ok(Command::Analyze(parse_analyze(&argv[1..])?)),
         Some("slice-of") => {
             let rest = &argv[1..];
@@ -1032,6 +1125,10 @@ mod tests {
                 json: Some("out.json".into()),
                 list: false,
                 quiet: false,
+                trace_out: None,
+                trace_jsonl: None,
+                trace_sample: 1,
+                metrics_out: None,
             })
         );
         let Command::RunScenario(l) = parse(&argv("run-scenario --list")).unwrap() else {
@@ -1126,5 +1223,59 @@ mod tests {
     fn unknown_flags_are_rejected() {
         assert!(parse(&argv("sim --frobnicate 3")).is_err());
         assert!(parse(&argv("teleport")).is_err());
+    }
+
+    #[test]
+    fn run_is_an_alias_for_sim() {
+        assert_eq!(
+            parse(&argv("run --n 64 --cycles 10")).unwrap(),
+            parse(&argv("sim --n 64 --cycles 10")).unwrap()
+        );
+    }
+
+    #[test]
+    fn observability_flags_parse_on_sim_and_run_scenario() {
+        let Command::Sim(a) = parse(&argv(
+            "run --n 100 --trace-out t.json --trace-jsonl t.jsonl \
+             --trace-sample 8 --metrics-out m.prom",
+        ))
+        .unwrap() else {
+            panic!("not sim")
+        };
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(a.trace_jsonl.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.trace_sample, 8);
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+        assert!(parse(&argv("sim --trace-sample 0")).is_err());
+
+        let Command::RunScenario(s) = parse(&argv(
+            "run-scenario baseline-static --trace-out t.json --metrics-out m.prom",
+        ))
+        .unwrap() else {
+            panic!("not run-scenario")
+        };
+        assert_eq!(s.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(s.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(s.trace_sample, 1, "default stride traces every cycle");
+    }
+
+    #[test]
+    fn net_run_metrics_flags_parse() {
+        let Command::NetRun(a) = parse(&argv(
+            "net-run --n 8 --metrics-out m.prom --metrics-stream s.jsonl \
+             --scrape-every-ms 50",
+        ))
+        .unwrap() else {
+            panic!("not net-run")
+        };
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(a.metrics_stream.as_deref(), Some("s.jsonl"));
+        assert_eq!(a.scrape_every_ms, 50);
+        assert!(parse(&argv("net-run --scrape-every-ms 0")).is_err());
+        // The cadence default is sane without the flag.
+        let Command::NetRun(d) = parse(&argv("net-run")).unwrap() else {
+            panic!("not net-run")
+        };
+        assert_eq!(d.scrape_every_ms, 100);
     }
 }

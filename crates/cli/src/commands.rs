@@ -4,12 +4,59 @@ use crate::args::{AnalyzeArgs, ChurnSpec, Command, NetRunArgs, ScenarioArgs, Sim
 use dslice_analysis as analysis;
 use dslice_core::{NodeId, Partition};
 use dslice_net::{ChaosPlan, ClusterConfig, FaultPlan, LocalCluster};
+use dslice_obs::{export, Registry, TraceConfig, TraceEvent};
 use dslice_scenario::library;
 use dslice_sim::{ChurnModel, CorrelatedChurn, Engine, SimConfig, UncorrelatedChurn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
 use std::time::Duration;
+
+/// The trace configuration the observability flags describe, if tracing
+/// was requested at all.
+fn trace_config(
+    trace_out: &Option<String>,
+    trace_jsonl: &Option<String>,
+    sample: u64,
+) -> Option<TraceConfig> {
+    (trace_out.is_some() || trace_jsonl.is_some())
+        .then(|| TraceConfig::on().with_sample_every(sample))
+}
+
+/// Writes the requested trace artifacts (chrome://tracing and/or JSON
+/// lines) from a recorder's retained events.
+fn write_trace_files(
+    events: &[TraceEvent],
+    trace_out: &Option<String>,
+    trace_jsonl: &Option<String>,
+    quiet: bool,
+) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        std::fs::write(path, export::to_chrome(events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !quiet {
+            eprintln!("chrome trace ({} events) -> {path}", events.len());
+        }
+    }
+    if let Some(path) = trace_jsonl {
+        std::fs::write(path, export::to_jsonl(events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !quiet {
+            eprintln!("trace JSON lines ({} events) -> {path}", events.len());
+        }
+    }
+    Ok(())
+}
+
+/// Writes a metrics registry in the Prometheus text format.
+fn write_metrics_file(registry: &Registry, path: &str, quiet: bool) -> Result<(), String> {
+    std::fs::write(path, registry.to_prometheus())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    if !quiet {
+        eprintln!("metrics (Prometheus text) -> {path}");
+    }
+    Ok(())
+}
 
 /// Runs a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -105,14 +152,19 @@ fn run_net_run(args: NetRunArgs) -> Result<(), String> {
         }
     }
 
-    let report = tokio::runtime::Runtime::new()
+    let (report, registry) = tokio::runtime::Runtime::new()
         .map_err(|e| e.to_string())?
         .block_on(async {
             let mut cluster = LocalCluster::spawn(cfg).await?;
+            if let Some(path) = &args.metrics_stream {
+                cluster.stream_metrics(path.as_str(), Duration::from_millis(args.scrape_every_ms));
+            }
             cluster
                 .run_for(Duration::from_millis(args.duration_ms))
                 .await;
-            Ok::<_, std::io::Error>(cluster.shutdown().await)
+            // Scrape before shutdown: the registry reads live snapshots.
+            let registry = args.metrics_out.is_some().then(|| cluster.scrape());
+            Ok::<_, std::io::Error>((cluster.shutdown().await, registry))
         })
         .map_err(|e| format!("cluster run failed: {e}"))?;
 
@@ -126,8 +178,14 @@ fn run_net_run(args: NetRunArgs) -> Result<(), String> {
         let t = &report.totals;
         println!(
             "wire:  {} retries, {} timeouts, {} send failures, {} evictions, \
-             {} dropped, {} queue drops",
-            t.retries, t.timeouts, t.send_failures, t.evictions, t.dropped, t.queue_drops
+             {} dropped, {} queue drops, peak queue depth {}",
+            t.retries,
+            t.timeouts,
+            t.send_failures,
+            t.evictions,
+            t.dropped,
+            t.queue_drops,
+            t.peak_queue_depth
         );
         println!(
             "chaos: {} crash(es), {} chaos kill(s), {} restart(s)",
@@ -149,6 +207,14 @@ fn run_net_run(args: NetRunArgs) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
         if !args.quiet {
             eprintln!("cluster report JSON -> {path}");
+        }
+    }
+    if let (Some(path), Some(reg)) = (&args.metrics_out, &registry) {
+        write_metrics_file(reg, path, args.quiet)?;
+    }
+    if let Some(path) = &args.metrics_stream {
+        if !args.quiet {
+            eprintln!("metrics stream (JSON lines) -> {path}");
         }
     }
     Ok(())
@@ -177,7 +243,14 @@ fn run_scenario(args: ScenarioArgs) -> Result<(), String> {
             library::names().join(", ")
         )
     })?;
-    let report = scenario.run().map_err(|e| e.to_string())?;
+    let trace = trace_config(&args.trace_out, &args.trace_jsonl, args.trace_sample);
+    let (report, recorder) = match trace {
+        Some(tc) => {
+            let (report, recorder) = scenario.run_traced(tc).map_err(|e| e.to_string())?;
+            (report, Some(recorder))
+        }
+        None => (scenario.run().map_err(|e| e.to_string())?, None),
+    };
 
     if !args.quiet {
         eprintln!(
@@ -220,6 +293,13 @@ fn run_scenario(args: ScenarioArgs) -> Result<(), String> {
             eprintln!("scenario report JSON -> {path}");
         }
     }
+    if let Some(recorder) = recorder {
+        let events = recorder.into_events();
+        write_trace_files(&events, &args.trace_out, &args.trace_jsonl, args.quiet)?;
+    }
+    if let Some(path) = &args.metrics_out {
+        write_metrics_file(&report.metrics_registry(), path, args.quiet)?;
+    }
     Ok(())
 }
 
@@ -254,6 +334,9 @@ fn run_sim(args: SimArgs) -> Result<(), String> {
     };
     if let Some(churn) = churn {
         engine = engine.with_churn(churn);
+    }
+    if let Some(tc) = trace_config(&args.trace_out, &args.trace_jsonl, args.trace_sample) {
+        engine.set_tracer(tc);
     }
 
     if !args.quiet {
@@ -337,6 +420,13 @@ fn run_sim(args: SimArgs) -> Result<(), String> {
             eprintln!("run record JSON -> {path}");
         }
     }
+    if let Some(recorder) = engine.take_recorder() {
+        let events = recorder.into_events();
+        write_trace_files(&events, &args.trace_out, &args.trace_jsonl, args.quiet)?;
+    }
+    if let Some(path) = &args.metrics_out {
+        write_metrics_file(&record.metrics_registry(), path, args.quiet)?;
+    }
     Ok(())
 }
 
@@ -353,19 +443,19 @@ fn print_phase_breakdown(record: &dslice_sim::RunRecord) {
     if cycles == 0 {
         return;
     }
-    let grand = total.total_us().max(1);
+    let grand = total.total_ns().max(1);
     println!("\nper-phase cost (mean over {cycles} cycles):");
-    for (name, us) in total.rows() {
+    for (name, ns) in total.rows() {
         println!(
             "  {name:<10} {:>10.1} µs/cycle {:>5.1}%",
-            us as f64 / cycles as f64,
-            100.0 * us as f64 / grand as f64
+            ns as f64 / 1000.0 / cycles as f64,
+            100.0 * ns as f64 / grand as f64
         );
     }
     println!(
         "  {:<10} {:>10.1} µs/cycle",
         "total",
-        grand as f64 / cycles as f64
+        grand as f64 / 1000.0 / cycles as f64
     );
 }
 

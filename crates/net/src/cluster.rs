@@ -25,6 +25,7 @@ use crate::supervisor::{NodeExitKind, NodeExitRecord, RestartPolicy};
 use dslice_algorithms::ProtocolKind;
 use dslice_core::{metrics, rank, Attribute, NodeId, Partition, ProtocolMsg, ViewEntry};
 use dslice_gossip::SamplerKind;
+use dslice_obs::{labeled, FlightRecorder, Registry, TraceConfig, TraceKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -115,6 +116,9 @@ pub struct ClusterTotals {
     pub chaos_kills: u64,
     /// Restarts performed (by policy or by plan).
     pub restarts: u64,
+    /// Deepest outbound link queue observed by any node (max-folded, not
+    /// summed: it is a high-water mark, not a volume).
+    pub peak_queue_depth: u64,
 }
 
 /// The harvested outcome of a cluster run.
@@ -208,6 +212,15 @@ struct Slot {
     last: NodeSnapshot,
 }
 
+/// A live metrics stream: the scraped registry is appended to `path` as one
+/// JSON object per line, every `every`.
+#[derive(Debug)]
+struct MetricsStream {
+    path: std::path::PathBuf,
+    every: Duration,
+    due: Instant,
+}
+
 /// A running, supervised local cluster.
 #[derive(Debug)]
 pub struct LocalCluster {
@@ -223,6 +236,15 @@ pub struct LocalCluster {
     schedule: Vec<ChaosEvent>,
     fired: usize,
     started: Instant,
+    /// Flight recorder for supervision-level events (chaos, exits, fault
+    /// counter deltas). Strictly observational.
+    recorder: Option<FlightRecorder>,
+    /// Last fault counters seen per node, so the recorder logs deltas
+    /// instead of repeating totals: `[retries, timeouts, send_failures,
+    /// evictions, queue_drops]`.
+    trace_seen: HashMap<NodeId, [u64; 5]>,
+    /// Live metrics streaming, serviced by [`run_for`](Self::run_for).
+    stream: Option<MetricsStream>,
 }
 
 impl LocalCluster {
@@ -284,6 +306,9 @@ impl LocalCluster {
             schedule,
             fired: 0,
             started: Instant::now(),
+            recorder: None,
+            trace_seen: HashMap::new(),
+            stream: None,
             cfg,
         };
         cluster.bootstrap().await;
@@ -369,6 +394,197 @@ impl LocalCluster {
     /// Exit records reaped so far.
     pub fn exits(&self) -> &[NodeExitRecord] {
         &self.exits
+    }
+
+    /// Attaches a flight recorder: chaos actions, reaped exits and per-node
+    /// fault-counter deltas are recorded as instants (the event `cycle` is
+    /// the cluster's elapsed-ms clock). Strictly observational — attaching
+    /// a recorder never changes what the cluster does.
+    pub fn set_tracer(&mut self, cfg: TraceConfig) {
+        self.recorder = cfg.enabled.then(|| FlightRecorder::new(cfg));
+    }
+
+    /// Detaches and returns the flight recorder, if one was attached.
+    pub fn take_recorder(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take()
+    }
+
+    /// Streams live metrics while [`run_for`](Self::run_for) runs: the
+    /// scraped registry is appended to `path` as one compact JSON object
+    /// per line, every `every`.
+    pub fn stream_metrics(&mut self, path: impl Into<std::path::PathBuf>, every: Duration) {
+        self.stream = Some(MetricsStream {
+            path: path.into(),
+            every,
+            due: Instant::now(),
+        });
+    }
+
+    /// Scrapes the live cluster into a metrics [`Registry`] under the
+    /// `dslice_net_*` namespace: per-node labeled gauges plus aggregate
+    /// counters folded over the live snapshots and exit records.
+    pub fn scrape(&self) -> Registry {
+        let mut reg = Registry::new();
+        let snapshots = self.snapshots();
+        reg.gauge_set(
+            "dslice_net_nodes_live",
+            "Nodes currently running.",
+            snapshots.len() as f64,
+        );
+        reg.gauge_set(
+            "dslice_net_uptime_ms",
+            "Cluster wall-clock uptime in milliseconds.",
+            self.elapsed_ms() as f64,
+        );
+        reg.gauge_set(
+            "dslice_net_sdm",
+            "Slice disorder measure over the live estimates.",
+            self.live_sdm(),
+        );
+
+        let mut sums = [0u64; 7];
+        let mut peak = 0u64;
+        for s in &snapshots {
+            let node = s.id.as_u64();
+            reg.gauge_set(
+                &labeled("dslice_net_node_estimate", "node", node),
+                "Current rank estimate.",
+                s.estimate,
+            );
+            reg.gauge_set(
+                &labeled("dslice_net_node_ticks", "node", node),
+                "Gossip ticks executed.",
+                s.ticks as f64,
+            );
+            reg.gauge_set(
+                &labeled("dslice_net_node_uptime_ms", "node", node),
+                "Wall-clock ms since this node instance started.",
+                s.uptime_ms as f64,
+            );
+            reg.gauge_set(
+                &labeled("dslice_net_node_peak_queue_depth", "node", node),
+                "Deepest outbound link queue this node has seen.",
+                s.peak_queue_depth as f64,
+            );
+            let parts = [
+                s.retries,
+                s.timeouts,
+                s.send_failures,
+                s.evictions,
+                s.queue_drops,
+                s.dropped,
+                s.ticks,
+            ];
+            for (sum, v) in sums.iter_mut().zip(parts) {
+                *sum += v;
+            }
+            peak = peak.max(s.peak_queue_depth);
+        }
+        let aggregates = [
+            (
+                "dslice_net_retries_total",
+                "Delivery retries across live nodes.",
+            ),
+            (
+                "dslice_net_timeouts_total",
+                "Connect/write timeouts across live nodes.",
+            ),
+            (
+                "dslice_net_send_failures_total",
+                "Messages undelivered after all attempts.",
+            ),
+            (
+                "dslice_net_evictions_total",
+                "Dead-peer evictions performed.",
+            ),
+            (
+                "dslice_net_queue_drops_total",
+                "Messages shed because a link queue was full.",
+            ),
+            (
+                "dslice_net_fault_dropped_total",
+                "Messages dropped by wire-level fault injection.",
+            ),
+            ("dslice_net_ticks_total", "Gossip ticks across live nodes."),
+        ];
+        for ((name, help), v) in aggregates.iter().zip(sums) {
+            reg.counter_add(name, help, v);
+        }
+        reg.gauge_set(
+            "dslice_net_peak_queue_depth",
+            "Deepest outbound link queue across live nodes.",
+            peak as f64,
+        );
+
+        let (mut crashes, mut kills, mut restarts) = (0u64, 0u64, 0u64);
+        for record in &self.exits {
+            match record.kind {
+                NodeExitKind::Crashed { .. } => crashes += 1,
+                NodeExitKind::KilledByChaos => kills += 1,
+                NodeExitKind::Clean => {}
+            }
+            if record.restarted {
+                restarts += 1;
+            }
+        }
+        reg.counter_add(
+            "dslice_net_crashes_total",
+            "Node tasks that panicked.",
+            crashes,
+        );
+        reg.counter_add(
+            "dslice_net_chaos_kills_total",
+            "Node tasks killed by the chaos plan.",
+            kills,
+        );
+        reg.counter_add(
+            "dslice_net_restarts_total",
+            "Supervised restarts performed.",
+            restarts,
+        );
+        reg
+    }
+
+    /// Records the fault-counter deltas of one live snapshot as instants.
+    fn trace_counters(&mut self, snap: &NodeSnapshot) {
+        const KINDS: [TraceKind; 5] = [
+            TraceKind::NetRetry,
+            TraceKind::NetTimeout,
+            TraceKind::NetSendFailure,
+            TraceKind::NetEviction,
+            TraceKind::NetQueueDrop,
+        ];
+        let at_ms = self.started.elapsed().as_millis() as u64;
+        let Some(rec) = self.recorder.as_mut() else {
+            return;
+        };
+        let seen = self.trace_seen.entry(snap.id).or_default();
+        let now = [
+            snap.retries,
+            snap.timeouts,
+            snap.send_failures,
+            snap.evictions,
+            snap.queue_drops,
+        ];
+        for ((kind, cur), prev) in KINDS.iter().zip(now).zip(seen.iter_mut()) {
+            if cur > *prev {
+                rec.instant(*kind, at_ms, Some(snap.id.as_u64()), cur - *prev, 0);
+            }
+            *prev = cur;
+        }
+    }
+
+    /// Records one reaped exit as an instant (`a`: 0 clean, 1 crashed,
+    /// 2 killed).
+    fn trace_exit(&mut self, id: NodeId, kind: &NodeExitKind, at_ms: u64) {
+        let code = match kind {
+            NodeExitKind::Clean => 0,
+            NodeExitKind::Crashed { .. } => 1,
+            NodeExitKind::KilledByChaos => 2,
+        };
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.instant(TraceKind::NetExit, at_ms, Some(id.as_u64()), code, 0);
+        }
     }
 
     fn elapsed_ms(&self) -> u64 {
@@ -458,6 +674,22 @@ impl LocalCluster {
         let Some(idx) = self.slots.iter().position(|s| s.id == event.node) else {
             return;
         };
+        let action_code = match event.action {
+            ChaosAction::Crash => 0,
+            ChaosAction::Restart => 1,
+            ChaosAction::Refuse { .. } => 2,
+            ChaosAction::Stall { .. } => 3,
+        };
+        let at_ms = self.elapsed_ms();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.instant(
+                TraceKind::NetChaos,
+                at_ms,
+                Some(event.node.as_u64()),
+                action_code,
+                0,
+            );
+        }
         match event.action {
             ChaosAction::Crash => {
                 if !matches!(self.slots[idx].state, SlotState::Running(_)) {
@@ -472,6 +704,7 @@ impl LocalCluster {
                 let exit = handle.reap().await;
                 self.slots[idx].last = exit.last_snapshot();
                 let at_ms = self.elapsed_ms();
+                self.trace_exit(event.node, &NodeExitKind::KilledByChaos, at_ms);
                 self.exits.push(NodeExitRecord {
                     id: event.node,
                     kind: NodeExitKind::KilledByChaos,
@@ -509,6 +742,18 @@ impl LocalCluster {
     /// restart crashed nodes whose backoff has elapsed.
     async fn supervise(&mut self, now: Instant) {
         for idx in 0..self.slots.len() {
+            // Trace fault-counter deltas off the live snapshot (cheap: a
+            // watch-channel read; skipped entirely when untraced).
+            if self.recorder.is_some() {
+                let snap = match &self.slots[idx].state {
+                    SlotState::Running(h) => Some(h.snapshot()),
+                    _ => None,
+                };
+                if let Some(snap) = snap {
+                    self.trace_counters(&snap);
+                }
+            }
+
             // Reopen gates whose chaos window has elapsed.
             if self.slots[idx].gate_restore.is_some_and(|t| t <= now) {
                 if let SlotState::Running(handle) = &self.slots[idx].state {
@@ -529,9 +774,11 @@ impl LocalCluster {
                 let exit = handle.reap().await;
                 self.slots[idx].last = exit.last_snapshot();
                 let at_ms = self.elapsed_ms();
+                let kind = Self::exit_kind(&exit);
+                self.trace_exit(self.slots[idx].id, &kind, at_ms);
                 self.exits.push(NodeExitRecord {
                     id: self.slots[idx].id,
-                    kind: Self::exit_kind(&exit),
+                    kind,
                     at_ms,
                     restarted: false,
                 });
@@ -574,6 +821,19 @@ impl LocalCluster {
             }
             self.supervise(now).await;
             let now = Instant::now();
+            if self.stream.as_ref().is_some_and(|s| now >= s.due) {
+                let line = self.scrape().to_json_line();
+                let stream = self.stream.as_mut().expect("checked above");
+                stream.due = now + stream.every;
+                use std::io::Write;
+                if let Ok(mut file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&stream.path)
+                {
+                    let _ = writeln!(file, "{line}");
+                }
+            }
             if now >= deadline {
                 return;
             }
@@ -690,6 +950,7 @@ impl LocalCluster {
             totals.evictions += snapshot.evictions;
             totals.dropped += snapshot.dropped;
             totals.queue_drops += snapshot.queue_drops;
+            totals.peak_queue_depth = totals.peak_queue_depth.max(snapshot.peak_queue_depth);
         }
         for record in &exits {
             match record.kind {
@@ -775,6 +1036,60 @@ mod tests {
             "SDM should not grow: {sdm_start} -> {sdm_end}"
         );
         assert_eq!(report.assignments().len(), 12);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn scrape_streams_and_traces_without_disturbing_the_run() {
+        let values: Vec<f64> = (0..8).map(|i| i as f64 * 5.0).collect();
+        let cfg = ClusterConfig {
+            period: Duration::from_millis(10),
+            chaos: ChaosPlan::new().at_ms(60).crash(NodeId::new(3)),
+            ..ClusterConfig::new(
+                attrs(&values),
+                Partition::equal(2).unwrap(),
+                ProtocolKind::Ranking,
+            )
+        };
+        let mut cluster = LocalCluster::spawn(cfg).await.unwrap();
+        cluster.set_tracer(dslice_obs::TraceConfig::on());
+        let dir = std::env::temp_dir().join(format!("dslice-net-stream-{}", std::process::id()));
+        let stream_path = dir.join("metrics.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(&stream_path);
+        cluster.stream_metrics(&stream_path, Duration::from_millis(30));
+        cluster.run_for(Duration::from_millis(250)).await;
+
+        // The scrape carries per-node labeled series and aggregates.
+        let reg = cluster.scrape();
+        assert_eq!(reg.gauge("dslice_net_nodes_live"), Some(7.0));
+        let prom = reg.to_prometheus();
+        assert!(dslice_obs::validate_prometheus(&prom).unwrap() > 10);
+        assert!(prom.contains("dslice_net_node_ticks{node=\"0\"}"));
+        assert!(prom.contains("dslice_net_chaos_kills_total 1"));
+
+        // The metrics stream wrote at least one valid JSON line.
+        let streamed = std::fs::read_to_string(&stream_path).unwrap();
+        let lines: Vec<&str> = streamed.lines().collect();
+        assert!(!lines.is_empty(), "stream file must have lines");
+        for line in &lines {
+            serde_json::from_str::<serde_json::Value>(line).unwrap();
+        }
+
+        // The recorder saw the chaos kill and its exit.
+        let recorder = cluster.take_recorder().unwrap();
+        let kinds: Vec<_> = recorder.events().map(|e| e.kind).collect();
+        assert!(kinds.contains(&dslice_obs::TraceKind::NetChaos));
+        assert!(kinds.contains(&dslice_obs::TraceKind::NetExit));
+
+        let report = cluster.shutdown().await;
+        assert_eq!(report.totals.chaos_kills, 1);
+        // Snapshots carry the new fields: every survivor has been up for
+        // most of the run and pushed at least one message through a link.
+        for s in &report.nodes {
+            assert!(s.uptime_ms >= 100, "node {} uptime {}ms", s.id, s.uptime_ms);
+        }
+        assert!(report.totals.peak_queue_depth >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

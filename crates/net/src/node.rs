@@ -161,6 +161,13 @@ pub struct NodeSnapshot {
     pub evictions: u64,
     /// Messages dropped because a link queue was full.
     pub queue_drops: u64,
+    /// Wall-clock milliseconds since this runtime instance started (a
+    /// restarted node starts again from zero).
+    pub uptime_ms: u64,
+    /// The deepest any outbound link queue has ever been, in messages —
+    /// the early-warning signal that a peer is falling behind before
+    /// `queue_drops` starts counting.
+    pub peak_queue_depth: u64,
 }
 
 /// How a node task ended, as observed by whoever reaps the handle.
@@ -304,6 +311,9 @@ struct Link {
     seed: u64,
     counters: Arc<NetCounters>,
     strikes: Arc<AtomicU32>,
+    /// Messages currently queued on this link; the node increments on
+    /// enqueue, the link task decrements per dequeue.
+    depth: Arc<AtomicU64>,
     verdict: mpsc::Sender<DeadVerdict>,
 }
 
@@ -317,6 +327,7 @@ impl Link {
     async fn run(self, mut rx: mpsc::Receiver<Outbound>) {
         let mut conn: Option<TcpStream> = None;
         while let Some(out) = rx.try_recv() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
             match self.deliver(&out, &mut conn).await {
                 Ok(()) => {
                     self.strikes.store(0, Ordering::Release);
@@ -402,11 +413,13 @@ pub struct NodeRuntime {
     directory: Directory,
     rng: StdRng,
     my_addr: SocketAddr,
+    started: std::time::Instant,
     ticks: u64,
     dropped: u64,
     queue_drops: u64,
     evictions: u64,
-    links: HashMap<NodeId, mpsc::Sender<Outbound>>,
+    peak_queue_depth: u64,
+    links: HashMap<NodeId, (mpsc::Sender<Outbound>, Arc<AtomicU64>)>,
     strikes: HashMap<NodeId, Arc<AtomicU32>>,
     counters: Arc<NetCounters>,
     verdict_tx: mpsc::Sender<DeadVerdict>,
@@ -472,6 +485,8 @@ impl NodeRuntime {
             send_failures: 0,
             evictions: 0,
             queue_drops: 0,
+            uptime_ms: 0,
+            peak_queue_depth: 0,
         };
         let (snapshot_tx, snapshot_rx) = watch::channel(snapshot);
         let (shutdown_tx, shutdown_rx) = watch::channel(false);
@@ -498,10 +513,12 @@ impl NodeRuntime {
             directory,
             rng,
             my_addr,
+            started: std::time::Instant::now(),
             ticks: 0,
             dropped: 0,
             queue_drops: 0,
             evictions: 0,
+            peak_queue_depth: 0,
             links: HashMap::new(),
             strikes: HashMap::new(),
             counters: Arc::new(NetCounters::default()),
@@ -632,6 +649,8 @@ impl NodeRuntime {
             send_failures: self.counters.send_failures.load(Ordering::Relaxed),
             evictions: self.evictions,
             queue_drops: self.queue_drops,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            peak_queue_depth: self.peak_queue_depth,
         }
     }
 
@@ -759,9 +778,13 @@ impl NodeRuntime {
     /// Hands a message to the peer's link task, spawning or respawning the
     /// link as needed.
     fn enqueue(&mut self, to: NodeId, out: Outbound) {
-        if let Some(tx) = self.links.get(&to) {
+        if let Some((tx, depth)) = self.links.get(&to) {
             match tx.try_send(out) {
-                Ok(()) => return,
+                Ok(()) => {
+                    let d = depth.fetch_add(1, Ordering::AcqRel) + 1;
+                    self.peak_queue_depth = self.peak_queue_depth.max(d);
+                    return;
+                }
                 Err(TrySendError::Full(_)) => {
                     // The peer is badly behind; shed load like a lost
                     // datagram rather than blocking the node loop.
@@ -785,6 +808,8 @@ impl NodeRuntime {
         let (tx, rx) = mpsc::channel::<Outbound>(LINK_QUEUE);
         tx.try_send(out)
             .unwrap_or_else(|_| unreachable!("fresh link queue has capacity"));
+        let depth = Arc::new(AtomicU64::new(1));
+        self.peak_queue_depth = self.peak_queue_depth.max(1);
         let strikes = Arc::clone(
             self.strikes
                 .entry(to)
@@ -797,10 +822,11 @@ impl NodeRuntime {
             seed: self.cfg.seed,
             counters: Arc::clone(&self.counters),
             strikes,
+            depth: Arc::clone(&depth),
             verdict: self.verdict_tx.clone(),
         };
         tokio::spawn(link.run(rx));
-        self.links.insert(to, tx);
+        self.links.insert(to, (tx, depth));
     }
 
     /// Seeds the sampler view (used before spawning in custom setups).

@@ -1,0 +1,219 @@
+//! Trace exporters: JSON-lines and chrome://tracing trace-event JSON.
+//!
+//! Both formats are lossless — every field of [`TraceEvent`] survives a
+//! round-trip, which the test suite exercises in both directions. The chrome
+//! format stores the display timestamps in microseconds (what `about:tracing`
+//! and Perfetto expect) but carries the exact nanosecond values in `args`, so
+//! parsing back never loses precision.
+
+use serde::Value;
+
+use crate::trace::{TraceEvent, TraceKind};
+
+fn uint(v: u64) -> Value {
+    if v <= i64::MAX as u64 {
+        Value::Int(v as i64)
+    } else {
+        Value::UInt(v)
+    }
+}
+
+fn event_value(ev: &TraceEvent) -> Value {
+    Value::Map(vec![
+        ("seq".to_string(), uint(ev.seq)),
+        ("ts_ns".to_string(), uint(ev.ts_ns)),
+        ("dur_ns".to_string(), uint(ev.dur_ns)),
+        ("cycle".to_string(), uint(ev.cycle)),
+        ("node".to_string(), ev.node.map_or(Value::Null, uint)),
+        ("kind".to_string(), Value::Str(ev.kind.name().to_string())),
+        ("a".to_string(), uint(ev.a)),
+        ("b".to_string(), uint(ev.b)),
+    ])
+}
+
+fn field<'a>(map: &'a [(String, Value)], name: &str) -> Result<&'a Value, String> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{name}`"))
+}
+
+fn as_u64(v: &Value, name: &str) -> Result<u64, String> {
+    match v {
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        Value::UInt(u) => Ok(*u),
+        Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as u64),
+        other => Err(format!(
+            "field `{name}`: expected unsigned int, got {other:?}"
+        )),
+    }
+}
+
+fn event_from_value(v: &Value) -> Result<TraceEvent, String> {
+    let m = v.as_map().ok_or("trace event is not a JSON object")?;
+    let kind_name = field(m, "kind")?
+        .as_str()
+        .ok_or("field `kind`: expected string")?;
+    let kind = TraceKind::from_name(kind_name)
+        .ok_or_else(|| format!("unknown trace kind `{kind_name}`"))?;
+    let node = match field(m, "node")? {
+        Value::Null => None,
+        other => Some(as_u64(other, "node")?),
+    };
+    Ok(TraceEvent {
+        seq: as_u64(field(m, "seq")?, "seq")?,
+        ts_ns: as_u64(field(m, "ts_ns")?, "ts_ns")?,
+        dur_ns: as_u64(field(m, "dur_ns")?, "dur_ns")?,
+        cycle: as_u64(field(m, "cycle")?, "cycle")?,
+        node,
+        kind,
+        a: as_u64(field(m, "a")?, "a")?,
+        b: as_u64(field(m, "b")?, "b")?,
+    })
+}
+
+/// Serializes events as JSON-lines: one compact JSON object per line.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(&event_value(ev)).expect("trace event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines trace back into events (blank lines are skipped).
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: invalid JSON: {e}", i + 1))?;
+        out.push(event_from_value(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Serializes events as a chrome://tracing trace-event JSON document.
+///
+/// Spans become `ph:"X"` complete events, instants become `ph:"i"` global
+/// instants. `tid` carries the node id (0 when unattributed); the exact
+/// nanosecond payload rides in `args` so [`from_chrome`] is lossless.
+pub fn to_chrome(events: &[TraceEvent]) -> String {
+    let trace_events: Vec<Value> = events
+        .iter()
+        .map(|ev| {
+            let mut fields = vec![
+                ("name".to_string(), Value::Str(ev.kind.name().to_string())),
+                (
+                    "ph".to_string(),
+                    Value::Str(if ev.kind.is_span() { "X" } else { "i" }.to_string()),
+                ),
+                ("pid".to_string(), Value::Int(0)),
+                ("tid".to_string(), uint(ev.node.unwrap_or(0))),
+                ("ts".to_string(), Value::Float(ev.ts_ns as f64 / 1000.0)),
+            ];
+            if ev.kind.is_span() {
+                fields.push(("dur".to_string(), Value::Float(ev.dur_ns as f64 / 1000.0)));
+            } else {
+                fields.push(("s".to_string(), Value::Str("g".to_string())));
+            }
+            fields.push(("args".to_string(), event_value(ev)));
+            Value::Map(fields)
+        })
+        .collect();
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(trace_events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("chrome trace serializes")
+}
+
+/// Parses a chrome trace-event document produced by [`to_chrome`] back into
+/// events, reading the lossless `args` payload.
+pub fn from_chrome(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let m = doc.as_map().ok_or("chrome trace is not a JSON object")?;
+    let events = field(m, "traceEvents")?
+        .as_seq()
+        .ok_or("`traceEvents` is not an array")?;
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let em = entry
+                .as_map()
+                .ok_or_else(|| format!("traceEvents[{i}] is not an object"))?;
+            event_from_value(field(em, "args")?).map_err(|e| format!("traceEvents[{i}]: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ALL_KINDS;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        ALL_KINDS
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| TraceEvent {
+                seq: i as u64,
+                ts_ns: 1_000 * i as u64 + 7,
+                dur_ns: if kind.is_span() { 12_345 } else { 0 },
+                cycle: i as u64 / 3,
+                node: if i % 2 == 0 { Some(i as u64) } else { None },
+                kind,
+                a: i as u64 * 11,
+                b: u64::MAX - i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        assert_eq!(from_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn chrome_roundtrip_is_lossless() {
+        let events = sample_events();
+        let text = to_chrome(&events);
+        assert_eq!(from_chrome(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn jsonl_to_chrome_to_jsonl_is_identity() {
+        let events = sample_events();
+        let jsonl = to_jsonl(&events);
+        let via_chrome = from_chrome(&to_chrome(&from_jsonl(&jsonl).unwrap())).unwrap();
+        assert_eq!(to_jsonl(&via_chrome), jsonl);
+    }
+
+    #[test]
+    fn chrome_doc_has_expected_shape() {
+        let events = sample_events();
+        let doc: Value = serde_json::from_str(&to_chrome(&events)).unwrap();
+        let m = doc.as_map().unwrap();
+        let list = field(m, "traceEvents").unwrap().as_seq().unwrap();
+        assert_eq!(list.len(), events.len());
+        let first = list[0].as_map().unwrap();
+        assert_eq!(field(first, "ph").unwrap().as_str(), Some("X"));
+        assert!(field(first, "dur").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_position() {
+        assert!(from_jsonl("{\"seq\":0}").unwrap_err().contains("line 1"));
+        assert!(from_chrome("[]").is_err());
+        let bad_kind = "{\"seq\":0,\"ts_ns\":0,\"dur_ns\":0,\"cycle\":0,\"node\":null,\"kind\":\"x\",\"a\":0,\"b\":0}";
+        assert!(from_jsonl(bad_kind)
+            .unwrap_err()
+            .contains("unknown trace kind"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # dslice_obs — the workspace observability layer
+//!
+//! Three pillars, all deliberately off the deterministic output path:
+//!
+//! 1. **Flight recorder** ([`trace`]): a bounded ring buffer of structured
+//!    [`TraceEvent`]s — phase spans with nanosecond timings, per-cycle
+//!    churn/swap/defense summaries, and net retry/timeout/eviction/chaos
+//!    instants — recorded behind a sampling [`TraceConfig`]. Recording only
+//!    reads the wall clock and writes into the ring; it never touches RNG or
+//!    protocol state, so every committed golden stays byte-identical with
+//!    tracing enabled (enforced by test in `dslice_scenario`).
+//! 2. **Metrics registry** ([`metrics`]): typed counters, gauges, and
+//!    fixed-bucket deterministic histograms under one namespace
+//!    (`dslice_sim_*`, `dslice_scenario_*`, `dslice_net_*`), exportable as
+//!    Prometheus text ([`Registry::to_prometheus`]) and JSON
+//!    ([`Registry::to_json`]).
+//! 3. **Exporters** ([`export`], [`prom`]): lossless JSON-lines and
+//!    chrome://tracing trace-event JSON for traces, plus a Prometheus text
+//!    parser used to validate every rendered artifact.
+//!
+//! See `docs/OBSERVABILITY.md` for the trace schema, metric namespace, and
+//! measured overhead numbers.
+
+pub mod export;
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+pub use metrics::{labeled, Histogram, Metric, MetricValue, Registry, COUNT_BUCKETS, NS_BUCKETS};
+pub use prom::{parse as parse_prometheus, validate as validate_prometheus, PromSample};
+pub use trace::{FlightRecorder, TraceConfig, TraceEvent, TraceKind, ALL_KINDS};

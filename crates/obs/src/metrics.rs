@@ -1,0 +1,363 @@
+//! The typed metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! The registry is deliberately simple and deterministic: metrics live in a
+//! `Vec` in first-registration order (so exports are stable and diffable),
+//! histogram buckets are fixed at registration, and nothing reads a clock or
+//! RNG. Labels are encoded in the metric name itself using the Prometheus
+//! convention (`name{label="value"}`) — the exporters understand that shape
+//! and group labeled series under one `# TYPE` header.
+
+use std::collections::HashMap;
+
+use serde::Value;
+
+/// Exponential bucket bounds for nanosecond durations (1 µs … 10 s).
+pub const NS_BUCKETS: [f64; 8] = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Bucket bounds for per-cycle event counts (1 … 100 000).
+pub const COUNT_BUCKETS: [f64; 11] = [
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0, 10_000.0, 50_000.0, 100_000.0,
+];
+
+/// A fixed-bucket histogram (cumulative-on-export, like Prometheus).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts[bounds.len()]` is the
+    /// overflow (`+Inf`) bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending finite upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// The configured upper bounds (excluding `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative counts per bound, ending with the `+Inf` total.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// The value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotone counter.
+    Counter(u64),
+    /// A point-in-time value.
+    Gauge(f64),
+    /// A fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// The Prometheus type keyword for this value.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric: full name (labels included), help text, and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Full series name, e.g. `dslice_net_retries_total{node="3"}`.
+    pub name: String,
+    /// One-line help text (attached to the first series of a base name).
+    pub help: String,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    /// The name with any `{label="…"}` suffix stripped.
+    pub fn base_name(&self) -> &str {
+        base_of(&self.name)
+    }
+
+    /// The `label="…"` body, if the name carries labels.
+    pub fn labels(&self) -> Option<&str> {
+        let open = self.name.find('{')?;
+        let close = self.name.rfind('}')?;
+        Some(&self.name[open + 1..close])
+    }
+}
+
+pub(crate) fn base_of(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+/// Builds a labeled series name: `labeled("x_total", "node", "3")` →
+/// `x_total{node="3"}`.
+pub fn labeled(base: &str, label: &str, value: impl std::fmt::Display) -> String {
+    format!("{base}{{{label}=\"{value}\"}}")
+}
+
+/// An insertion-ordered collection of typed metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Vec<Metric>,
+    index: HashMap<String, usize>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn entry(&mut self, name: &str, help: &str, init: MetricValue) -> &mut Metric {
+        let idx = match self.index.get(name) {
+            Some(&i) => i,
+            None => {
+                self.entries.push(Metric {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    value: init,
+                });
+                let i = self.entries.len() - 1;
+                self.index.insert(name.to_string(), i);
+                i
+            }
+        };
+        &mut self.entries[idx]
+    }
+
+    /// Adds `delta` to a counter, registering it at 0 on first touch.
+    pub fn counter_add(&mut self, name: &str, help: &str, delta: u64) {
+        let m = self.entry(name, help, MetricValue::Counter(0));
+        match &mut m.value {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("metric `{name}` is a {}, not a counter", other.type_name()),
+        }
+    }
+
+    /// Sets a gauge to `v`, registering it on first touch.
+    pub fn gauge_set(&mut self, name: &str, help: &str, v: f64) {
+        let m = self.entry(name, help, MetricValue::Gauge(0.0));
+        match &mut m.value {
+            MetricValue::Gauge(g) => *g = v,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.type_name()),
+        }
+    }
+
+    /// Observes `v` in a histogram, registering it with `bounds` on first
+    /// touch (later calls reuse the registered buckets).
+    pub fn observe(&mut self, name: &str, help: &str, bounds: &[f64], v: f64) {
+        let m = self.entry(name, help, MetricValue::Histogram(Histogram::new(bounds)));
+        match &mut m.value {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => panic!(
+                "metric `{name}` is a {}, not a histogram",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Looks up a metric by full name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.index.get(name).map(|&i| &self.entries[i].value)
+    }
+
+    /// A counter's current value, if `name` is a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// A gauge's current value, if `name` is a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// All metrics in first-registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metric> {
+        self.entries.iter()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::render(self)
+    }
+
+    /// Renders the registry as a pretty JSON object keyed by series name.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("registry serializes")
+    }
+
+    /// Renders the registry as one compact JSON line (for JSON-lines
+    /// metric streams).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("registry serializes")
+    }
+
+    /// The registry as a JSON value, keyed by series name in insertion
+    /// order.
+    pub fn to_value(&self) -> Value {
+        let entries: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|m| {
+                let mut fields = vec![
+                    ("type".to_string(), Value::Str(m.value.type_name().into())),
+                    ("help".to_string(), Value::Str(m.help.clone())),
+                ];
+                match &m.value {
+                    MetricValue::Counter(c) => {
+                        fields.push(("value".to_string(), Value::UInt(*c)));
+                    }
+                    MetricValue::Gauge(g) => {
+                        fields.push(("value".to_string(), Value::Float(*g)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        let buckets: Vec<Value> =
+                            h.bounds().iter().map(|b| Value::Float(*b)).collect();
+                        let cumulative: Vec<Value> =
+                            h.cumulative().iter().map(|&c| Value::UInt(c)).collect();
+                        fields.push(("bounds".to_string(), Value::Seq(buckets)));
+                        fields.push(("cumulative".to_string(), Value::Seq(cumulative)));
+                        fields.push(("sum".to_string(), Value::Float(h.sum())));
+                        fields.push(("count".to_string(), Value::UInt(h.count())));
+                    }
+                }
+                (m.name.clone(), Value::Map(fields))
+            })
+            .collect();
+        Value::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = Registry::new();
+        r.counter_add("x_total", "x", 2);
+        r.counter_add("x_total", "x", 3);
+        assert_eq!(r.counter("x_total"), Some(5));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        r.gauge_set("g", "g", 1.5);
+        r.gauge_set("g", "g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_le_semantics() {
+        let mut h = Histogram::new(&[1.0, 5.0, 10.0]);
+        for v in [0.5, 1.0, 2.0, 5.0, 7.0, 50.0] {
+            h.observe(v);
+        }
+        // le=1: {0.5, 1.0}; le=5: +{2.0, 5.0}; le=10: +{7.0}; +Inf: +{50.0}
+        assert_eq!(h.cumulative(), vec![2, 4, 5, 6]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 65.5);
+    }
+
+    #[test]
+    fn labeled_names_split_into_base_and_labels() {
+        let name = labeled("dslice_net_retries_total", "node", 3);
+        assert_eq!(name, "dslice_net_retries_total{node=\"3\"}");
+        let m = Metric {
+            name,
+            help: String::new(),
+            value: MetricValue::Counter(0),
+        };
+        assert_eq!(m.base_name(), "dslice_net_retries_total");
+        assert_eq!(m.labels(), Some("node=\"3\""));
+    }
+
+    #[test]
+    fn registration_order_is_preserved() {
+        let mut r = Registry::new();
+        r.counter_add("b", "b", 1);
+        r.counter_add("a", "a", 1);
+        r.gauge_set("c", "c", 0.0);
+        let names: Vec<&str> = r.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let mut r = Registry::new();
+        r.counter_add("a_total", "a", 7);
+        r.observe("h", "h", &COUNT_BUCKETS, 3.0);
+        let v: serde::Value = serde_json::from_str(&r.to_json()).unwrap();
+        let m = v.as_map().unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, "a_total");
+    }
+}

@@ -1,0 +1,272 @@
+//! Prometheus text exposition: rendering a [`Registry`] and a small parser
+//! used by tests (and CI) to prove the rendered text is well-formed.
+
+use crate::metrics::{Metric, MetricValue, Registry};
+
+/// Formats a float the way Prometheus expects: integers without a trailing
+/// `.0`, everything else via shortest-roundtrip `Display`.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn series_name(base: &str, suffix: &str, labels: Option<&str>, extra: Option<&str>) -> String {
+    let mut body = String::new();
+    if let Some(l) = labels {
+        body.push_str(l);
+    }
+    if let Some(e) = extra {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        body.push_str(e);
+    }
+    if body.is_empty() {
+        format!("{base}{suffix}")
+    } else {
+        format!("{base}{suffix}{{{body}}}")
+    }
+}
+
+fn render_metric(out: &mut String, m: &Metric) {
+    let base = m.base_name().to_string();
+    let labels = m.labels();
+    match &m.value {
+        MetricValue::Counter(c) => {
+            out.push_str(&series_name(&base, "", labels, None));
+            out.push(' ');
+            out.push_str(&c.to_string());
+            out.push('\n');
+        }
+        MetricValue::Gauge(g) => {
+            out.push_str(&series_name(&base, "", labels, None));
+            out.push(' ');
+            out.push_str(&fmt_num(*g));
+            out.push('\n');
+        }
+        MetricValue::Histogram(h) => {
+            let cumulative = h.cumulative();
+            for (bound, count) in h.bounds().iter().zip(&cumulative) {
+                let le = format!("le=\"{}\"", fmt_num(*bound));
+                out.push_str(&series_name(&base, "_bucket", labels, Some(&le)));
+                out.push(' ');
+                out.push_str(&count.to_string());
+                out.push('\n');
+            }
+            out.push_str(&series_name(&base, "_bucket", labels, Some("le=\"+Inf\"")));
+            out.push(' ');
+            out.push_str(&cumulative.last().copied().unwrap_or(0).to_string());
+            out.push('\n');
+            out.push_str(&series_name(&base, "_sum", labels, None));
+            out.push(' ');
+            out.push_str(&fmt_num(h.sum()));
+            out.push('\n');
+            out.push_str(&series_name(&base, "_count", labels, None));
+            out.push(' ');
+            out.push_str(&h.count().to_string());
+            out.push('\n');
+        }
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// `# HELP` / `# TYPE` headers are emitted once per base name, at its first
+/// occurrence, so labeled series of the same family group under one header.
+pub fn render(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut seen_bases: Vec<String> = Vec::new();
+    for m in reg.iter() {
+        let base = m.base_name();
+        if !seen_bases.iter().any(|b| b == base) {
+            seen_bases.push(base.to_string());
+            out.push_str(&format!("# HELP {base} {}\n", m.help));
+            out.push_str(&format!("# TYPE {base} {}\n", m.value.type_name()));
+        }
+        render_metric(&mut out, m);
+    }
+    out
+}
+
+/// One parsed sample line from a Prometheus text document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The series name (without labels).
+    pub name: String,
+    /// Parsed `key="value"` labels, in document order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` bounds parse as `f64::INFINITY`).
+    pub value: f64,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label `{rest}`: missing `=`"))?;
+        let key = rest[..eq].trim();
+        if !valid_name(key) {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label `{key}`: value is not quoted"));
+        }
+        let close = rest[1..]
+            .find('"')
+            .ok_or_else(|| format!("label `{key}`: unterminated value"))?;
+        labels.push((key.to_string(), rest[1..1 + close].to_string()));
+        rest = rest[close + 2..].trim_start_matches(',');
+    }
+    Ok(labels)
+}
+
+/// Parses a Prometheus text document into its sample lines, validating the
+/// line grammar (`# HELP`/`# TYPE` headers are checked and skipped).
+pub fn parse(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let ctx = |e: String| format!("line {}: {e}", i + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let words: Vec<&str> = comment.split_whitespace().collect();
+            match words.first() {
+                Some(&"HELP") | Some(&"TYPE") => {
+                    if words.len() < 3 {
+                        return Err(ctx(format!("malformed `# {}` header", words[0])));
+                    }
+                    if !valid_name(words[1]) {
+                        return Err(ctx(format!("invalid metric name `{}`", words[1])));
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        let (series, value_str) = line
+            .rsplit_once(char::is_whitespace)
+            .ok_or_else(|| ctx("missing value".to_string()))?;
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            s => s
+                .parse::<f64>()
+                .map_err(|_| ctx(format!("invalid value `{s}`")))?,
+        };
+        let series = series.trim();
+        let (name, labels) = match series.find('{') {
+            Some(open) => {
+                if !series.ends_with('}') {
+                    return Err(ctx(format!("unterminated labels in `{series}`")));
+                }
+                let labels = parse_labels(&series[open + 1..series.len() - 1]).map_err(ctx)?;
+                (&series[..open], labels)
+            }
+            None => (series, Vec::new()),
+        };
+        if !valid_name(name) {
+            return Err(ctx(format!("invalid metric name `{name}`")));
+        }
+        samples.push(PromSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Convenience wrapper: parses and returns the sample count, for "this text
+/// is valid Prometheus" assertions.
+pub fn validate(text: &str) -> Result<usize, String> {
+    parse(text).map(|s| s.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{labeled, COUNT_BUCKETS};
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("dslice_sim_swaps_applied_total", "Swaps applied.", 42);
+        r.gauge_set("dslice_sim_sdm", "Final slice disorder measure.", 0.125);
+        for node in 0..2u64 {
+            r.counter_add(
+                &labeled("dslice_net_retries_total", "node", node),
+                "Delivery retries.",
+                node + 1,
+            );
+        }
+        r.observe(
+            "dslice_sim_swaps_per_cycle",
+            "Swaps per cycle.",
+            &COUNT_BUCKETS,
+            3.0,
+        );
+        r
+    }
+
+    #[test]
+    fn rendered_text_parses_and_counts_samples() {
+        let text = sample_registry().to_prometheus();
+        // 1 counter + 1 gauge + 2 labeled counters + (11 buckets + Inf + sum + count)
+        assert_eq!(validate(&text).unwrap(), 4 + COUNT_BUCKETS.len() + 3);
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_header() {
+        let text = sample_registry().to_prometheus();
+        let headers = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE dslice_net_retries_total "))
+            .count();
+        assert_eq!(headers, 1);
+        assert!(text.contains("dslice_net_retries_total{node=\"0\"} 1"));
+        assert!(text.contains("dslice_net_retries_total{node=\"1\"} 2"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_with_inf() {
+        let mut r = Registry::new();
+        r.observe("h", "h", &[1.0, 2.0], 0.5);
+        r.observe("h", "h", &[1.0, 2.0], 5.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("h_bucket{le=\"1\"} 1"));
+        assert!(text.contains("h_bucket{le=\"2\"} 1"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("h_sum 5.5"));
+        assert!(text.contains("h_count 2"));
+        let samples = parse(&text).unwrap();
+        let inf = samples
+            .iter()
+            .find(|s| s.labels.iter().any(|(_, v)| v == "+Inf"))
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("no_value").is_err());
+        assert!(parse("1bad_name 3").is_err());
+        assert!(parse("x{unclosed 3").is_err());
+        assert!(parse("# HELP only_two").is_err());
+        assert!(parse("x 1e3").unwrap()[0].value == 1000.0);
+    }
+}

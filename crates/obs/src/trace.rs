@@ -1,0 +1,362 @@
+//! The deterministic flight recorder: a bounded ring buffer of structured
+//! trace events.
+//!
+//! The recorder is strictly *observational*: recording an event reads the
+//! wall clock and writes into a pre-sized ring, but never touches RNG state,
+//! never allocates per event once the ring is warm, and is never consulted by
+//! the code being traced. That is what keeps every committed golden
+//! byte-identical whether tracing is on or off (enforced by test in
+//! `dslice_scenario`).
+//!
+//! Timestamps are nanoseconds since the recorder was created, so traces from
+//! one run are internally comparable but carry no absolute wall-clock time.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Sampling and capacity knobs for a [`FlightRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. A disabled config records nothing.
+    pub enabled: bool,
+    /// Ring capacity in events. When full, the oldest event is evicted and
+    /// [`FlightRecorder::dropped`] is incremented.
+    pub capacity: usize,
+    /// Record cycle-scoped events only every `sample_every`-th cycle
+    /// (1 = every cycle). Instant events outside a cycle (e.g. net chaos)
+    /// are always recorded.
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: 65_536,
+            sample_every: 1,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The default on-configuration (every cycle, 65 536-event ring).
+    pub fn on() -> Self {
+        TraceConfig::default()
+    }
+
+    /// A disabled configuration.
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Sets the cycle sampling stride (clamped to at least 1).
+    pub fn with_sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every.max(1);
+        self
+    }
+
+    /// Sets the ring capacity (clamped to at least 1).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+}
+
+/// What a [`TraceEvent`] describes.
+///
+/// `phase.*` kinds are spans (`dur_ns` is meaningful); all other kinds are
+/// instants (`dur_ns` is 0). The wire name (used by both exporters) is the
+/// dotted string returned by [`TraceKind::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant meanings are the name strings below
+pub enum TraceKind {
+    PhaseChurn,
+    PhaseDrain,
+    PhaseMembership,
+    PhaseRefresh,
+    PhaseActive,
+    PhaseDelivery,
+    PhaseMetrics,
+    /// Per-cycle churn summary: `a` = joined, `b` = left.
+    CycleChurn,
+    /// Per-cycle swap summary: `a` = swaps applied, `b` = swaps useless.
+    CycleSwaps,
+    /// Per-cycle defense summary: `a` = samples rejected, `b` = swaps abandoned.
+    CycleDefense,
+    /// Net delivery retries since the previous scrape (`a` = delta).
+    NetRetry,
+    /// Net connect/write timeouts since the previous scrape (`a` = delta).
+    NetTimeout,
+    /// Net send failures since the previous scrape (`a` = delta).
+    NetSendFailure,
+    /// Dead-peer evictions since the previous scrape (`a` = delta).
+    NetEviction,
+    /// Outbound queue drops since the previous scrape (`a` = delta).
+    NetQueueDrop,
+    /// A chaos action fired at `node` (`a` = action code: 0 crash, 1 restart,
+    /// 2 refuse, 3 stall).
+    NetChaos,
+    /// A node exit was reaped (`a` = 0 clean, 1 crashed, 2 killed).
+    NetExit,
+}
+
+/// All kinds, in wire order (used by exporters and tests).
+pub const ALL_KINDS: [TraceKind; 17] = [
+    TraceKind::PhaseChurn,
+    TraceKind::PhaseDrain,
+    TraceKind::PhaseMembership,
+    TraceKind::PhaseRefresh,
+    TraceKind::PhaseActive,
+    TraceKind::PhaseDelivery,
+    TraceKind::PhaseMetrics,
+    TraceKind::CycleChurn,
+    TraceKind::CycleSwaps,
+    TraceKind::CycleDefense,
+    TraceKind::NetRetry,
+    TraceKind::NetTimeout,
+    TraceKind::NetSendFailure,
+    TraceKind::NetEviction,
+    TraceKind::NetQueueDrop,
+    TraceKind::NetChaos,
+    TraceKind::NetExit,
+];
+
+impl TraceKind {
+    /// The dotted wire name (stable across exporter formats).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::PhaseChurn => "phase.churn",
+            TraceKind::PhaseDrain => "phase.drain",
+            TraceKind::PhaseMembership => "phase.membership",
+            TraceKind::PhaseRefresh => "phase.refresh",
+            TraceKind::PhaseActive => "phase.active",
+            TraceKind::PhaseDelivery => "phase.delivery",
+            TraceKind::PhaseMetrics => "phase.metrics",
+            TraceKind::CycleChurn => "cycle.churn",
+            TraceKind::CycleSwaps => "cycle.swaps",
+            TraceKind::CycleDefense => "cycle.defense",
+            TraceKind::NetRetry => "net.retry",
+            TraceKind::NetTimeout => "net.timeout",
+            TraceKind::NetSendFailure => "net.send_failure",
+            TraceKind::NetEviction => "net.eviction",
+            TraceKind::NetQueueDrop => "net.queue_drop",
+            TraceKind::NetChaos => "net.chaos",
+            TraceKind::NetExit => "net.exit",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        ALL_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Whether this kind is a span (has a meaningful duration).
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            TraceKind::PhaseChurn
+                | TraceKind::PhaseDrain
+                | TraceKind::PhaseMembership
+                | TraceKind::PhaseRefresh
+                | TraceKind::PhaseActive
+                | TraceKind::PhaseDelivery
+                | TraceKind::PhaseMetrics
+        )
+    }
+}
+
+/// One recorded event. Fixed-size and `Copy` so the ring never allocates per
+/// event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number assigned at record time (survives ring
+    /// eviction, so gaps reveal dropped events).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Simulation cycle or net supervision tick the event belongs to
+    /// (0 when not cycle-scoped).
+    pub cycle: u64,
+    /// The node the event is attributed to, if any.
+    pub node: Option<u64>,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Kind-specific payload (see [`TraceKind`] variant docs).
+    pub a: u64,
+    /// Kind-specific payload (see [`TraceKind`] variant docs).
+    pub b: u64,
+}
+
+/// A bounded, deterministic ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cfg: TraceConfig,
+    start: Instant,
+    buf: VecDeque<TraceEvent>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder; the ring is pre-sized to `cfg.capacity`.
+    pub fn new(cfg: TraceConfig) -> Self {
+        let capacity = cfg.capacity.max(1);
+        FlightRecorder {
+            cfg: TraceConfig { capacity, ..cfg },
+            start: Instant::now(),
+            buf: VecDeque::with_capacity(capacity),
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The configuration this recorder was built with.
+    pub fn config(&self) -> TraceConfig {
+        self.cfg
+    }
+
+    /// Nanoseconds elapsed since the recorder was created.
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Whether cycle-scoped events should be recorded for `cycle` under the
+    /// configured sampling stride.
+    pub fn wants_cycle(&self, cycle: u64) -> bool {
+        self.cfg.enabled && cycle.is_multiple_of(self.cfg.sample_every.max(1))
+    }
+
+    /// Records a span with an explicit start timestamp and duration.
+    pub fn span(&mut self, kind: TraceKind, cycle: u64, ts_ns: u64, dur_ns: u64) {
+        self.push(TraceEvent {
+            seq: 0,
+            ts_ns,
+            dur_ns,
+            cycle,
+            node: None,
+            kind,
+            a: 0,
+            b: 0,
+        });
+    }
+
+    /// Records an instant event stamped with the current recorder clock.
+    pub fn instant(&mut self, kind: TraceKind, cycle: u64, node: Option<u64>, a: u64, b: u64) {
+        let ts_ns = self.now_ns();
+        self.push(TraceEvent {
+            seq: 0,
+            ts_ns,
+            dur_ns: 0,
+            cycle,
+            node,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    fn push(&mut self, mut ev: TraceEvent) {
+        if !self.cfg.enabled {
+            return;
+        }
+        ev.seq = self.seq;
+        self.seq += 1;
+        if self.buf.len() == self.cfg.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Consumes the recorder, returning the retained events oldest first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in ALL_KINDS {
+            assert_eq!(TraceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(TraceKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = FlightRecorder::new(TraceConfig::on().with_capacity(4));
+        for i in 0..10 {
+            r.instant(TraceKind::CycleSwaps, i, None, i, 0);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.recorded(), 10);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = FlightRecorder::new(TraceConfig::off());
+        r.instant(TraceKind::NetChaos, 0, Some(3), 0, 0);
+        r.span(TraceKind::PhaseChurn, 1, 0, 10);
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 0);
+        assert!(!r.wants_cycle(1));
+    }
+
+    #[test]
+    fn sampling_stride_gates_cycles() {
+        let r = FlightRecorder::new(TraceConfig::on().with_sample_every(4));
+        assert!(r.wants_cycle(0));
+        assert!(!r.wants_cycle(1));
+        assert!(!r.wants_cycle(3));
+        assert!(r.wants_cycle(4));
+        assert!(r.wants_cycle(8));
+    }
+
+    #[test]
+    fn zero_sample_every_behaves_as_one() {
+        let cfg = TraceConfig {
+            sample_every: 0,
+            ..TraceConfig::on()
+        };
+        let r = FlightRecorder::new(cfg);
+        assert!(r.wants_cycle(1));
+        assert!(r.wants_cycle(2));
+    }
+}

@@ -8,8 +8,8 @@
 //! (golden scenarios never do).
 
 use crate::dsl::TimedEvent;
+use dslice_obs::{Registry, COUNT_BUCKETS};
 use dslice_sim::{CycleStats, PhaseTimings};
-use serde::{Deserialize, Serialize};
 
 /// One sampled point of the run's trajectory.
 #[derive(Clone, Debug, PartialEq)]
@@ -258,7 +258,13 @@ impl serde::Deserialize for Totals {
 }
 
 /// The structured result of one scenario run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written (not derived) to pin the golden byte shape: untimed
+/// reports end with exactly `"phase_us": null` — the derived shape every
+/// golden was committed with — while timed reports additionally carry the
+/// nanosecond block under `phase_ns` (with `phase_us` kept, floor-divided,
+/// for one deprecation cycle).
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioReport {
     /// Scenario name (the report/golden file stem).
     pub name: String,
@@ -290,9 +296,148 @@ pub struct ScenarioReport {
     pub final_honest_accuracy: f64,
     /// Live lying nodes at the end of the run.
     pub liars: usize,
-    /// Per-phase wall-clock totals over the run — host noise, present only
-    /// when the scenario opted into timing; never part of goldens.
-    pub phase_us: Option<PhaseTimings>,
+    /// Per-phase wall-clock totals over the run, in nanoseconds — host
+    /// noise, present only when the scenario opted into timing; never part
+    /// of goldens (which pin the untimed `"phase_us": null` shape).
+    pub phase_ns: Option<PhaseTimings>,
+}
+
+/// Field order of the scalar golden columns, shared by both hand-written
+/// impls below so they cannot drift apart.
+const REPORT_HEAD_FIELDS: [&str; 7] = [
+    "name",
+    "protocol",
+    "seed",
+    "initial_n",
+    "final_n",
+    "slices",
+    "cycles",
+];
+
+/// The µs timing keys, in the order the pre-PR-10 derived impl emitted them.
+const PHASE_US_FIELDS: [&str; 7] = [
+    "churn_us",
+    "drain_us",
+    "membership_us",
+    "refresh_us",
+    "active_us",
+    "delivery_us",
+    "metrics_us",
+];
+
+impl serde::Serialize for ScenarioReport {
+    fn to_value(&self) -> serde::Value {
+        let mut map: Vec<(String, serde::Value)> = vec![
+            ("name".into(), self.name.to_value()),
+            ("protocol".into(), self.protocol.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("initial_n".into(), self.initial_n.to_value()),
+            ("final_n".into(), self.final_n.to_value()),
+            ("slices".into(), self.slices.to_value()),
+            ("cycles".into(), self.cycles.to_value()),
+            ("events".into(), self.events.to_value()),
+            ("trajectory".into(), self.trajectory.to_value()),
+            ("totals".into(), self.totals.to_value()),
+            ("final_sdm".into(), self.final_sdm.to_value()),
+            ("final_gdm".into(), self.final_gdm.to_value()),
+            ("final_accuracy".into(), self.final_accuracy.to_value()),
+            (
+                "final_honest_accuracy".into(),
+                self.final_honest_accuracy.to_value(),
+            ),
+            ("liars".into(), self.liars.to_value()),
+        ];
+        match &self.phase_ns {
+            // The exact byte the goldens pin: a literal null, last.
+            None => map.push(("phase_us".into(), serde::Value::Null)),
+            Some(t) => {
+                let us: Vec<(String, serde::Value)> = PHASE_US_FIELDS
+                    .iter()
+                    .zip(t.rows_us())
+                    .map(|(name, (_, us))| (name.to_string(), us.to_value()))
+                    .collect();
+                map.push(("phase_us".into(), serde::Value::Map(us)));
+                map.push(("phase_ns".into(), t.to_value()));
+            }
+        }
+        serde::Value::Map(map)
+    }
+}
+
+impl serde::Deserialize for ScenarioReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct ScenarioReport"))?;
+        let ctx = |name: &str, e: serde::Error| {
+            serde::Error::custom(format!("ScenarioReport.{name}: {e}"))
+        };
+        // Validate the head columns exist (same strictness the derived impl
+        // had), then read each typed field.
+        for name in REPORT_HEAD_FIELDS {
+            if matches!(serde::__field(m, name), serde::Value::Null) {
+                return Err(serde::Error::custom(format!(
+                    "ScenarioReport.{name}: missing"
+                )));
+            }
+        }
+        // Timings: prefer the nanosecond block; fall back to a pre-PR-10
+        // microsecond block (×1000) so old timed manifests still parse.
+        let phase_ns = match serde::__field(m, "phase_ns") {
+            serde::Value::Null => match serde::__field(m, "phase_us") {
+                serde::Value::Null => None,
+                us => {
+                    let um = us.as_map().ok_or_else(|| {
+                        serde::Error::custom("ScenarioReport.phase_us: expected map or null")
+                    })?;
+                    let mut t = PhaseTimings::default();
+                    let slots = [
+                        &mut t.churn_ns,
+                        &mut t.drain_ns,
+                        &mut t.membership_ns,
+                        &mut t.refresh_ns,
+                        &mut t.active_ns,
+                        &mut t.delivery_ns,
+                        &mut t.metrics_ns,
+                    ];
+                    for (slot, name) in slots.into_iter().zip(PHASE_US_FIELDS) {
+                        let us_v = u64::from_value(serde::__field(um, name))
+                            .map_err(|e| ctx("phase_us", e))?;
+                        *slot = us_v * 1000;
+                    }
+                    Some(t)
+                }
+            },
+            ns => Some(PhaseTimings::from_value(ns).map_err(|e| ctx("phase_ns", e))?),
+        };
+        Ok(ScenarioReport {
+            name: String::from_value(serde::__field(m, "name")).map_err(|e| ctx("name", e))?,
+            protocol: String::from_value(serde::__field(m, "protocol"))
+                .map_err(|e| ctx("protocol", e))?,
+            seed: u64::from_value(serde::__field(m, "seed")).map_err(|e| ctx("seed", e))?,
+            initial_n: usize::from_value(serde::__field(m, "initial_n"))
+                .map_err(|e| ctx("initial_n", e))?,
+            final_n: usize::from_value(serde::__field(m, "final_n"))
+                .map_err(|e| ctx("final_n", e))?,
+            slices: usize::from_value(serde::__field(m, "slices")).map_err(|e| ctx("slices", e))?,
+            cycles: usize::from_value(serde::__field(m, "cycles")).map_err(|e| ctx("cycles", e))?,
+            events: Vec::from_value(serde::__field(m, "events")).map_err(|e| ctx("events", e))?,
+            trajectory: Vec::from_value(serde::__field(m, "trajectory"))
+                .map_err(|e| ctx("trajectory", e))?,
+            totals: Totals::from_value(serde::__field(m, "totals"))
+                .map_err(|e| ctx("totals", e))?,
+            final_sdm: f64::from_value(serde::__field(m, "final_sdm"))
+                .map_err(|e| ctx("final_sdm", e))?,
+            final_gdm: f64::from_value(serde::__field(m, "final_gdm"))
+                .map_err(|e| ctx("final_gdm", e))?,
+            final_accuracy: f64::from_value(serde::__field(m, "final_accuracy"))
+                .map_err(|e| ctx("final_accuracy", e))?,
+            final_honest_accuracy: f64::from_value(serde::__field(m, "final_honest_accuracy"))
+                .map_err(|e| ctx("final_honest_accuracy", e))?,
+            liars: usize::from_value(serde::__field(m, "liars")).map_err(|e| ctx("liars", e))?,
+            phase_ns,
+        })
+    }
 }
 
 impl ScenarioReport {
@@ -312,6 +457,135 @@ impl ScenarioReport {
         self.trajectory
             .iter()
             .max_by(|a, b| a.sdm.total_cmp(&b.sdm))
+    }
+
+    /// Exports the report under the `dslice_scenario_*` metric namespace:
+    /// final gauges, whole-run totals as counters, per-phase timing counters
+    /// (when timed), and deterministic per-sample activity histograms.
+    ///
+    /// Everything here derives from simulated state (except the opt-in
+    /// `phase_ns` block), so for an untimed scenario the rendered registry
+    /// is byte-identical across reruns and shard counts.
+    pub fn metrics_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.gauge_set(
+            "dslice_scenario_final_n",
+            "Final population.",
+            self.final_n as f64,
+        );
+        reg.gauge_set(
+            "dslice_scenario_cycles",
+            "Run length in cycles.",
+            self.cycles as f64,
+        );
+        reg.gauge_set(
+            "dslice_scenario_final_sdm",
+            "Final slice disorder measure.",
+            self.final_sdm,
+        );
+        reg.gauge_set(
+            "dslice_scenario_final_gdm",
+            "Final global disorder measure.",
+            self.final_gdm,
+        );
+        reg.gauge_set(
+            "dslice_scenario_final_accuracy",
+            "Final full-population accuracy.",
+            self.final_accuracy,
+        );
+        reg.gauge_set(
+            "dslice_scenario_final_honest_accuracy",
+            "Final honest-only accuracy.",
+            self.final_honest_accuracy,
+        );
+        reg.gauge_set(
+            "dslice_scenario_liars",
+            "Live lying nodes at the end.",
+            self.liars as f64,
+        );
+        for (name, help, v) in [
+            (
+                "dslice_scenario_swaps_proposed_total",
+                "Swap proposals sent.",
+                self.totals.swaps_proposed,
+            ),
+            (
+                "dslice_scenario_swaps_applied_total",
+                "Swaps applied.",
+                self.totals.swaps_applied,
+            ),
+            (
+                "dslice_scenario_swaps_useless_total",
+                "Unsuccessful swaps.",
+                self.totals.swaps_useless,
+            ),
+            (
+                "dslice_scenario_updates_sent_total",
+                "UPD samples sent.",
+                self.totals.updates_sent,
+            ),
+            (
+                "dslice_scenario_samples_absorbed_total",
+                "Samples absorbed.",
+                self.totals.samples_absorbed,
+            ),
+            (
+                "dslice_scenario_dropped_messages_total",
+                "Messages dropped.",
+                self.totals.dropped_messages,
+            ),
+            (
+                "dslice_scenario_left_total",
+                "Departures.",
+                self.totals.left,
+            ),
+            (
+                "dslice_scenario_joined_total",
+                "Arrivals.",
+                self.totals.joined,
+            ),
+            (
+                "dslice_scenario_slice_changes_total",
+                "Believed-slice changes.",
+                self.totals.slice_changes,
+            ),
+            (
+                "dslice_scenario_swaps_abandoned_total",
+                "Swaps abandoned unresolved.",
+                self.totals.swaps_abandoned,
+            ),
+            (
+                "dslice_scenario_samples_rejected_total",
+                "Samples rejected by admission.",
+                self.totals.samples_rejected,
+            ),
+        ] {
+            reg.counter_add(name, help, v);
+        }
+        for p in &self.trajectory {
+            reg.observe(
+                "dslice_scenario_slice_changes_per_sample",
+                "Believed-slice changes per sampled cycle.",
+                &COUNT_BUCKETS,
+                p.slice_changes as f64,
+            );
+            reg.observe(
+                "dslice_scenario_joined_per_sample",
+                "Arrivals per sampled cycle.",
+                &COUNT_BUCKETS,
+                p.joined as f64,
+            );
+        }
+        if let Some(t) = &self.phase_ns {
+            for (phase, ns) in t.rows() {
+                reg.counter_add(
+                    &dslice_obs::labeled("dslice_scenario_phase_ns_total", "phase", phase),
+                    "Wall-clock nanoseconds spent per engine phase.",
+                    ns,
+                );
+            }
+        }
+        reg
     }
 
     /// One-line human summary for matrix output.
@@ -383,7 +657,7 @@ mod tests {
             final_accuracy: 0.95,
             final_honest_accuracy: 0.95,
             liars: 0,
-            phase_us: None,
+            phase_ns: None,
         }
     }
 
@@ -392,6 +666,48 @@ mod tests {
         let r = report();
         let parsed = ScenarioReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn untimed_report_pins_the_golden_null_shape() {
+        // The goldens all end with `"phase_us": null` as the last key; the
+        // hand-written impl must keep emitting exactly that, and no
+        // `phase_ns` key at all.
+        let json = report().to_json();
+        assert!(json.trim_end().ends_with("\"phase_us\": null\n}"), "{json}");
+        assert!(!json.contains("phase_ns"), "golden drift: {json}");
+    }
+
+    #[test]
+    fn timed_report_roundtrips_with_both_blocks() {
+        let mut r = report();
+        r.phase_ns = Some(PhaseTimings {
+            churn_ns: 999, // floors to 0 µs
+            membership_ns: 2_500,
+            ..PhaseTimings::default()
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"churn_us\": 0"));
+        assert!(json.contains("\"membership_us\": 2"));
+        assert!(json.contains("\"membership_ns\": 2500"));
+        let parsed = ScenarioReport::from_json(&json).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn pre_pr10_microsecond_block_still_parses() {
+        // A timed report written before the nanosecond migration: only a
+        // `phase_us` map. It parses with each phase scaled back to ns.
+        let mut json = report().to_json();
+        json = json.replace(
+            "\"phase_us\": null",
+            "\"phase_us\": {\"churn_us\": 1, \"drain_us\": 0, \"membership_us\": 3,\
+             \"refresh_us\": 0, \"active_us\": 0, \"delivery_us\": 0, \"metrics_us\": 0}",
+        );
+        let parsed = ScenarioReport::from_json(&json).unwrap();
+        let t = parsed.phase_ns.unwrap();
+        assert_eq!(t.churn_ns, 1_000);
+        assert_eq!(t.membership_ns, 3_000);
     }
 
     #[test]

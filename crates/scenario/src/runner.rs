@@ -12,6 +12,7 @@ use crate::dsl::{Scenario, ScenarioEvent, Schedule};
 use crate::report::{ScenarioReport, Totals, TrajectoryPoint};
 use crate::script::ScriptedChurn;
 use dslice_core::{Partition, Result};
+use dslice_obs::{FlightRecorder, TraceConfig};
 use dslice_sim::{Engine, PhaseTimings};
 
 impl Scenario {
@@ -19,17 +20,38 @@ impl Scenario {
     ///
     /// The run is fully determined by `(scenario, seed)` and byte-identical
     /// at any [`shards`](dslice_sim::SimConfig::shards) setting, except for
-    /// the wall-clock `phase_us` block when
+    /// the wall-clock `phase_ns` block when
     /// [`time_phases`](dslice_sim::SimConfig::time_phases) is on.
     pub fn run(&self) -> Result<ScenarioReport> {
         let schedule = self.compile()?;
-        self.execute(&schedule)
+        Ok(self.execute(&schedule, None)?.0)
     }
 
-    fn execute(&self, schedule: &Schedule) -> Result<ScenarioReport> {
+    /// [`run`](Scenario::run) with a flight recorder attached: returns the
+    /// report **and** the recorder holding the run's trace events.
+    ///
+    /// Tracing is observational only — the report is byte-identical to an
+    /// untraced [`run`](Scenario::run) (the golden-identity test pins this).
+    pub fn run_traced(&self, trace: TraceConfig) -> Result<(ScenarioReport, FlightRecorder)> {
+        let schedule = self.compile()?;
+        let (report, recorder) = self.execute(&schedule, Some(trace))?;
+        Ok((
+            report,
+            recorder.unwrap_or_else(|| FlightRecorder::new(TraceConfig::off())),
+        ))
+    }
+
+    fn execute(
+        &self,
+        schedule: &Schedule,
+        trace: Option<TraceConfig>,
+    ) -> Result<(ScenarioReport, Option<FlightRecorder>)> {
         let config = self.config().clone();
         let mut engine = Engine::new(config.clone(), self.protocol())?
             .with_churn(Box::new(ScriptedChurn::new(schedule, config.distribution)));
+        if let Some(cfg) = trace {
+            engine.set_tracer(cfg);
+        }
 
         // Control events, cycle-ordered (the schedule already is).
         let controls: Vec<(usize, &ScenarioEvent)> = schedule
@@ -42,7 +64,7 @@ impl Scenario {
 
         let mut totals = Totals::default();
         let mut trajectory = Vec::new();
-        let mut phase_us = config.time_phases.then(PhaseTimings::default);
+        let mut phase_ns = config.time_phases.then(PhaseTimings::default);
         let mut slices = config.partition.len();
 
         for cycle in 1..=schedule.cycles {
@@ -82,7 +104,7 @@ impl Scenario {
 
             let stats = engine.step();
             totals.accumulate(&stats);
-            if let (Some(acc), Some(t)) = (phase_us.as_mut(), stats.timings.as_ref()) {
+            if let (Some(acc), Some(t)) = (phase_ns.as_mut(), stats.timings.as_ref()) {
                 acc.accumulate(t);
             }
             if cycle.is_multiple_of(self.sampling()) || cycle == schedule.cycles {
@@ -111,7 +133,7 @@ impl Scenario {
             }
         }
 
-        Ok(ScenarioReport {
+        let report = ScenarioReport {
             name: self.name().to_string(),
             protocol: self.protocol().label().to_string(),
             seed: config.seed,
@@ -127,8 +149,9 @@ impl Scenario {
             final_accuracy: engine.accuracy(),
             final_honest_accuracy: engine.honest_accuracy(),
             liars: engine.liar_count(),
-            phase_us,
-        })
+            phase_ns,
+        };
+        Ok((report, engine.take_recorder()))
     }
 }
 
@@ -158,7 +181,7 @@ mod tests {
         assert!(last.sdm < first.sdm, "disorder must fall over a static run");
         assert_eq!(report.final_accuracy, report.final_honest_accuracy);
         assert_eq!(report.liars, 0);
-        assert!(report.phase_us.is_none(), "timings stay off by default");
+        assert!(report.phase_ns.is_none(), "timings stay off by default");
     }
 
     #[test]

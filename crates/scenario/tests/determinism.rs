@@ -4,6 +4,7 @@
 //! goldens under `docs/scenarios/goldens/` (and `scenario_matrix --check`)
 //! meaningful.
 
+use dslice_obs::TraceConfig;
 use dslice_scenario::{Scenario, ScenarioReport};
 use dslice_sim::{AttackerSpec, AttributeDistribution, LatencyModel, ProtocolKind};
 
@@ -120,6 +121,83 @@ fn defended_protocol_variants_are_shard_invariant() {
                 "{kind:?}: shard count {shards} leaked into the report"
             );
         }
+    }
+}
+
+#[test]
+fn tracing_is_invisible_in_the_report_bytes() {
+    // The flight recorder must be pure observation: a traced run's report —
+    // the same bytes the goldens pin — is identical to the untraced run's,
+    // at the default sampling and at a sparse stride, and at shard count 4.
+    let plain = eventful(42).run().unwrap().to_json();
+    let (traced, recorder) = eventful(42).run_traced(TraceConfig::on()).unwrap();
+    assert_eq!(plain, traced.to_json(), "tracing perturbed the report");
+    assert!(!recorder.is_empty(), "the recorder must actually record");
+    let (sampled, sparse) = eventful(42)
+        .run_traced(TraceConfig::on().with_sample_every(8))
+        .unwrap();
+    assert_eq!(
+        plain,
+        sampled.to_json(),
+        "sampled tracing perturbed the report"
+    );
+    assert!(
+        sparse.recorded() < recorder.recorded(),
+        "sampling must thin the event stream"
+    );
+    let mut cfg = eventful(42).config().clone();
+    cfg.shards = 4;
+    let (sharded, _) = eventful(42)
+        .with_config(cfg)
+        .run_traced(TraceConfig::on())
+        .unwrap();
+    assert_eq!(plain, sharded.to_json(), "traced sharded run diverged");
+}
+
+#[test]
+fn metrics_registries_are_deterministic_across_shard_counts() {
+    // The exported registry — histograms included — derives from simulated
+    // state only, so its Prometheus rendering must be byte-identical at
+    // shard counts 1/2/4/8.
+    let reference = eventful(7)
+        .run()
+        .unwrap()
+        .metrics_registry()
+        .to_prometheus();
+    assert!(dslice_obs::validate_prometheus(&reference).unwrap() > 20);
+    for shards in [2usize, 4, 8] {
+        let mut cfg = eventful(7).config().clone();
+        cfg.shards = shards;
+        let sharded = eventful(7)
+            .with_config(cfg)
+            .run()
+            .unwrap()
+            .metrics_registry()
+            .to_prometheus();
+        assert_eq!(
+            reference, sharded,
+            "shard count {shards} leaked into metrics"
+        );
+    }
+}
+
+/// Full-size, so `#[ignore]`d out of tier-1 like the library shard sweep:
+/// a *traced* library run must reproduce its committed golden byte-for-byte.
+#[test]
+#[ignore = "full library scenario against the committed golden; run in release"]
+fn traced_library_run_matches_the_committed_golden_bytes() {
+    use dslice_scenario::library;
+    let golden_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/scenarios/goldens");
+    for scenario in library::all() {
+        let name = scenario.name().to_string();
+        let golden = std::fs::read_to_string(format!("{golden_dir}/{name}.json"))
+            .unwrap_or_else(|e| panic!("golden for `{name}`: {e}"));
+        let (report, _) = scenario.run_traced(TraceConfig::on()).unwrap();
+        assert_eq!(
+            report.to_json(),
+            golden,
+            "`{name}`: tracing broke the golden"
+        );
     }
 }
 

@@ -95,6 +95,7 @@ use dslice_core::{
     ViewEntry,
 };
 use dslice_gossip::{build_sampler, PeerSampler, SamplerKind};
+use dslice_obs::{FlightRecorder, TraceConfig, TraceKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngCore, SeedableRng};
@@ -364,11 +365,11 @@ impl PhaseTimer {
         }
     }
 
-    /// Records the time since the previous lap into `slot`.
+    /// Records the time since the previous lap into `slot`, in nanoseconds.
     fn lap(&mut self, slot: &mut u64) {
         if let Some(last) = &mut self.last {
             let now = std::time::Instant::now();
-            *slot = now.duration_since(*last).as_micros() as u64;
+            *slot = now.duration_since(*last).as_nanos() as u64;
             *last = now;
         }
     }
@@ -406,6 +407,11 @@ pub struct Engine {
     /// Test hook: when `Some`, each step records its membership schedule as
     /// `(initiator, partner, batch)` triples.
     schedule_log: Option<Vec<(u64, u64, usize)>>,
+    /// Optional flight recorder (see [`set_tracer`](Engine::set_tracer)).
+    /// Strictly observational: recording reads the wall clock and engine
+    /// state but never the RNG, so traced runs stay byte-identical to
+    /// untraced ones (enforced by test).
+    recorder: Option<FlightRecorder>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -456,6 +462,7 @@ impl Engine {
             liars: HashSet::new(),
             fault: NetworkFault::default(),
             schedule_log: None,
+            recorder: None,
         };
         engine.bootstrap_views(&ids);
         engine.last_sdm = engine.sdm();
@@ -467,6 +474,29 @@ impl Engine {
     pub fn with_churn(mut self, churn: Box<dyn ChurnModel>) -> Self {
         self.churn = churn;
         self
+    }
+
+    /// Attaches a flight recorder; subsequent steps record phase spans and
+    /// per-cycle churn/swap/defense events on sampled cycles. A disabled
+    /// config detaches any existing recorder.
+    pub fn set_tracer(&mut self, cfg: TraceConfig) {
+        self.recorder = cfg.enabled.then(|| FlightRecorder::new(cfg));
+    }
+
+    /// Builder-style [`set_tracer`](Engine::set_tracer).
+    pub fn with_tracer(mut self, cfg: TraceConfig) -> Self {
+        self.set_tracer(cfg);
+        self
+    }
+
+    /// The attached flight recorder, if tracing is on.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches and returns the flight recorder (to export its events).
+    pub fn take_recorder(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take()
     }
 
     /// Seeds every listed node's view with up to `c` random other nodes.
@@ -835,9 +865,19 @@ impl Engine {
             slices: self.cfg.partition.len(),
             view_size: self.cfg.view_size,
             cycles: Vec::with_capacity(cycles),
+            phase_ns: None,
         };
         for _ in 0..cycles {
             record.cycles.push(self.step());
+        }
+        if self.cfg.time_phases {
+            let mut totals = PhaseTimings::default();
+            for stats in &record.cycles {
+                if let Some(t) = &stats.timings {
+                    totals.accumulate(t);
+                }
+            }
+            record.phase_ns = Some(totals);
         }
         record
     }
@@ -850,10 +890,21 @@ impl Engine {
             self.heal_network_partition();
         }
         let mut timings = PhaseTimings::default();
-        let mut timer = PhaseTimer::new(self.cfg.time_phases);
+        // Tracing needs the laps too, but never changes what lands in
+        // `CycleStats` (which stays gated on `time_phases` alone).
+        let trace_cycle = self
+            .recorder
+            .as_ref()
+            .is_some_and(|r| r.wants_cycle(self.cycle as u64));
+        let cycle_start_ns = if trace_cycle {
+            self.recorder.as_ref().map(|r| r.now_ns()).unwrap_or(0)
+        } else {
+            0
+        };
+        let mut timer = PhaseTimer::new(self.cfg.time_phases || trace_cycle);
 
         let (left, joined) = self.apply_churn();
-        timer.lap(&mut timings.churn_us);
+        timer.lap(&mut timings.churn_ns);
 
         let mut counters = EventCounters::default();
         let mut dropped = 0u64;
@@ -890,13 +941,13 @@ impl Engine {
                 }
             }
         }
-        timer.lap(&mut timings.drain_us);
+        timer.lap(&mut timings.drain_ns);
 
         // Membership phase: schedule → conflict-free batches → sharded
         // execute (see module docs). A network partition severs cross-band
         // exchanges here too (their REQ′ never crosses).
         self.membership_phase(&mut dropped);
-        timer.lap(&mut timings.membership_us);
+        timer.lap(&mut timings.membership_ns);
 
         // Refresh phase: every value snapshot in every view is brought up to
         // date ("the view is up-to-date when a message is sent", §4.5.2) —
@@ -904,12 +955,12 @@ impl Engine {
         if self.cfg.concurrency.fresh_views() {
             self.refresh_phase();
         }
-        timer.lap(&mut timings.refresh_us);
+        timer.lap(&mut timings.refresh_ns);
 
         // Active phase: node-local protocol steps on per-node RNG streams,
         // sharded across worker threads; buffers merged in slot order.
         let phase_buffers = self.active_phase(&mut counters);
-        timer.lap(&mut timings.active_us);
+        timer.lap(&mut timings.active_ns);
 
         // Delivery phase, in slot order. Non-overlapping messages complete
         // as atomic exchanges (with conflict replay, see module docs);
@@ -950,7 +1001,7 @@ impl Engine {
         }
         self.scratch.late = late;
         self.scratch.queue = queue;
-        timer.lap(&mut timings.delivery_us);
+        timer.lap(&mut timings.delivery_ns);
 
         // Metrics, on the configured cadence.
         let n = self.nodes.len();
@@ -968,7 +1019,55 @@ impl Engine {
         } else {
             (self.last_sdm, self.last_gdm, 0)
         };
-        timer.lap(&mut timings.metrics_us);
+        timer.lap(&mut timings.metrics_ns);
+
+        if trace_cycle {
+            if let Some(rec) = &mut self.recorder {
+                const PHASES: [TraceKind; 7] = [
+                    TraceKind::PhaseChurn,
+                    TraceKind::PhaseDrain,
+                    TraceKind::PhaseMembership,
+                    TraceKind::PhaseRefresh,
+                    TraceKind::PhaseActive,
+                    TraceKind::PhaseDelivery,
+                    TraceKind::PhaseMetrics,
+                ];
+                let cycle = self.cycle as u64;
+                let mut ts = cycle_start_ns;
+                for (kind, (_, dur)) in PHASES.into_iter().zip(timings.rows()) {
+                    rec.span(kind, cycle, ts, dur);
+                    ts += dur;
+                }
+                if left + joined > 0 {
+                    rec.instant(
+                        TraceKind::CycleChurn,
+                        cycle,
+                        None,
+                        joined as u64,
+                        left as u64,
+                    );
+                }
+                if counters.swaps_applied + counters.swaps_useless > 0 {
+                    rec.instant(
+                        TraceKind::CycleSwaps,
+                        cycle,
+                        None,
+                        counters.swaps_applied,
+                        counters.swaps_useless,
+                    );
+                }
+                if counters.samples_rejected + counters.swaps_abandoned > 0 {
+                    rec.instant(
+                        TraceKind::CycleDefense,
+                        cycle,
+                        None,
+                        counters.samples_rejected,
+                        counters.swaps_abandoned,
+                    );
+                }
+            }
+        }
+
         CycleStats {
             cycle: self.cycle,
             n,

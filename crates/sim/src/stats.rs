@@ -4,10 +4,12 @@
 //! disorder measure (GDM) and the percentage of unsuccessful swaps against
 //! the cycle count. [`CycleStats`] captures all of them (plus message
 //! accounting), and [`RunRecord`] bundles a whole run with its configuration
-//! for the figure pipeline — serializable to JSON and dumpable as CSV.
+//! for the figure pipeline — serializable to JSON, dumpable as CSV, and
+//! exportable as a `dslice_obs` metrics registry.
 
 use dslice_core::protocol::Event;
-use serde::{Deserialize, Serialize};
+use dslice_obs::{Registry, COUNT_BUCKETS};
+use serde::{Deserialize, Serialize, Value};
 use std::io::{self, Write};
 
 /// Counters of protocol events within one cycle.
@@ -69,66 +71,75 @@ impl EventCounters {
     }
 }
 
-/// Wall-clock cost of each engine phase within one cycle, in microseconds.
+/// Wall-clock cost of each engine phase within one cycle, in nanoseconds.
 ///
 /// Filled only when [`time_phases`](crate::SimConfig::time_phases) is on —
 /// timings are host noise, so the determinism contract excludes them: two
 /// runs of the same seed produce identical simulated bytes but different
 /// timings, which is why they ride in an `Option` the goldens keep `None`.
+///
+/// Timings were recorded in microseconds before PR 10; nanoseconds stop
+/// sub-microsecond phases (churn/drain at small n) from flooring to zero.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PhaseTimings {
     /// Churn phase: leave/join application, view pruning, rank-cache merge.
-    pub churn_us: u64,
+    pub churn_ns: u64,
     /// Latency drain: delivery of messages whose cross-cycle delay elapsed.
-    pub drain_us: u64,
+    pub drain_ns: u64,
     /// Membership phase: exchange scheduling, batching and execution (or
     /// the oracle refill).
-    pub membership_us: u64,
+    pub membership_ns: u64,
     /// Refresh phase: value-snapshot refresh of every view.
-    pub refresh_us: u64,
+    pub refresh_ns: u64,
     /// Active phase: per-node protocol steps.
-    pub active_us: u64,
+    pub active_ns: u64,
     /// Delivery phase plus the end-of-cycle deferred drain.
-    pub delivery_us: u64,
+    pub delivery_ns: u64,
     /// Metrics: SDM/GDM/stability evaluation (on measured cycles).
-    pub metrics_us: u64,
+    pub metrics_ns: u64,
 }
 
 impl PhaseTimings {
-    /// Sum over all phases.
-    pub fn total_us(&self) -> u64 {
-        self.churn_us
-            + self.drain_us
-            + self.membership_us
-            + self.refresh_us
-            + self.active_us
-            + self.delivery_us
-            + self.metrics_us
+    /// Sum over all phases, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.churn_ns
+            + self.drain_ns
+            + self.membership_ns
+            + self.refresh_ns
+            + self.active_ns
+            + self.delivery_ns
+            + self.metrics_ns
     }
 
     /// Adds another cycle's timings into this accumulator (used to average
     /// over a run).
     pub fn accumulate(&mut self, other: &PhaseTimings) {
-        self.churn_us += other.churn_us;
-        self.drain_us += other.drain_us;
-        self.membership_us += other.membership_us;
-        self.refresh_us += other.refresh_us;
-        self.active_us += other.active_us;
-        self.delivery_us += other.delivery_us;
-        self.metrics_us += other.metrics_us;
+        self.churn_ns += other.churn_ns;
+        self.drain_ns += other.drain_ns;
+        self.membership_ns += other.membership_ns;
+        self.refresh_ns += other.refresh_ns;
+        self.active_ns += other.active_ns;
+        self.delivery_ns += other.delivery_ns;
+        self.metrics_ns += other.metrics_ns;
     }
 
-    /// The phases as `(name, µs)` rows, for tabular output.
+    /// The phases as `(name, ns)` rows, for tabular output and tracing.
     pub fn rows(&self) -> [(&'static str, u64); 7] {
         [
-            ("churn", self.churn_us),
-            ("drain", self.drain_us),
-            ("membership", self.membership_us),
-            ("refresh", self.refresh_us),
-            ("active", self.active_us),
-            ("delivery", self.delivery_us),
-            ("metrics", self.metrics_us),
+            ("churn", self.churn_ns),
+            ("drain", self.drain_ns),
+            ("membership", self.membership_ns),
+            ("refresh", self.refresh_ns),
+            ("active", self.active_ns),
+            ("delivery", self.delivery_ns),
+            ("metrics", self.metrics_ns),
         ]
+    }
+
+    /// The phases as `(name, µs)` rows — the pre-PR-10 granularity, kept for
+    /// one deprecation cycle (`scale_bench` still emits `phase_us`).
+    pub fn rows_us(&self) -> [(&'static str, u64); 7] {
+        self.rows().map(|(name, ns)| (name, ns / 1000))
     }
 }
 
@@ -167,7 +178,11 @@ impl CycleStats {
 }
 
 /// A complete simulation run: configuration summary plus per-cycle stats.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written (not derived) so the aggregate `phase_ns` key is
+/// *omitted* when timing was off — run manifests written before PR 10 parse
+/// unchanged, and untimed manifests stay byte-identical to the old shape.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
     /// Free-form run label (protocol, scenario).
     pub label: String,
@@ -181,6 +196,43 @@ pub struct RunRecord {
     pub view_size: usize,
     /// Per-cycle measurements, in cycle order.
     pub cycles: Vec<CycleStats>,
+    /// Whole-run per-phase wall-clock totals (sum over timed cycles); `None`
+    /// unless [`time_phases`](crate::SimConfig::time_phases) was set.
+    pub phase_ns: Option<PhaseTimings>,
+}
+
+impl Serialize for RunRecord {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("initial_n".to_string(), self.initial_n.to_value()),
+            ("slices".to_string(), self.slices.to_value()),
+            ("view_size".to_string(), self.view_size.to_value()),
+            ("cycles".to_string(), self.cycles.to_value()),
+        ];
+        if let Some(t) = &self.phase_ns {
+            fields.push(("phase_ns".to_string(), t.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for RunRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("RunRecord: expected map"))?;
+        Ok(RunRecord {
+            label: String::from_value(serde::__field(m, "label"))?,
+            seed: u64::from_value(serde::__field(m, "seed"))?,
+            initial_n: usize::from_value(serde::__field(m, "initial_n"))?,
+            slices: usize::from_value(serde::__field(m, "slices"))?,
+            view_size: usize::from_value(serde::__field(m, "view_size"))?,
+            cycles: Vec::from_value(serde::__field(m, "cycles"))?,
+            phase_ns: Option::from_value(serde::__field(m, "phase_ns"))?,
+        })
+    }
 }
 
 impl RunRecord {
@@ -237,6 +289,111 @@ impl RunRecord {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("RunRecord serializes")
     }
+
+    /// Exports the run under the `dslice_sim_*` metric namespace: final
+    /// gauges, whole-run event counters, per-phase timing counters (when
+    /// timed), and deterministic per-cycle activity histograms.
+    pub fn metrics_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.gauge_set(
+            "dslice_sim_population",
+            "Live population after the last cycle.",
+            self.cycles.last().map_or(self.initial_n, |c| c.n) as f64,
+        );
+        reg.gauge_set(
+            "dslice_sim_cycles",
+            "Number of simulated cycles.",
+            self.cycles.len() as f64,
+        );
+        if let Some(sdm) = self.final_sdm() {
+            reg.gauge_set("dslice_sim_sdm", "Final slice disorder measure.", sdm);
+        }
+        if let Some(gdm) = self.final_gdm() {
+            reg.gauge_set("dslice_sim_gdm", "Final global disorder measure.", gdm);
+        }
+        let mut events = EventCounters::default();
+        let (mut dropped, mut left, mut joined, mut slice_changes) = (0u64, 0u64, 0u64, 0u64);
+        for c in &self.cycles {
+            events.merge(&c.events);
+            dropped += c.dropped_messages;
+            left += c.left as u64;
+            joined += c.joined as u64;
+            slice_changes += c.slice_changes as u64;
+            reg.observe(
+                "dslice_sim_swaps_applied_per_cycle",
+                "Distribution of swaps applied per cycle.",
+                &COUNT_BUCKETS,
+                c.events.swaps_applied as f64,
+            );
+            reg.observe(
+                "dslice_sim_updates_per_cycle",
+                "Distribution of UPD samples sent per cycle.",
+                &COUNT_BUCKETS,
+                c.events.updates_sent as f64,
+            );
+        }
+        for (name, help, v) in [
+            (
+                "dslice_sim_swaps_proposed_total",
+                "Swap proposals sent.",
+                events.swaps_proposed,
+            ),
+            (
+                "dslice_sim_swaps_applied_total",
+                "Swaps applied.",
+                events.swaps_applied,
+            ),
+            (
+                "dslice_sim_swaps_useless_total",
+                "Stale (unsuccessful) swap messages.",
+                events.swaps_useless,
+            ),
+            (
+                "dslice_sim_updates_sent_total",
+                "UPD attribute samples sent.",
+                events.updates_sent,
+            ),
+            (
+                "dslice_sim_samples_absorbed_total",
+                "Attribute samples absorbed.",
+                events.samples_absorbed,
+            ),
+            (
+                "dslice_sim_swaps_abandoned_total",
+                "Swap proposals abandoned unresolved.",
+                events.swaps_abandoned,
+            ),
+            (
+                "dslice_sim_samples_rejected_total",
+                "Samples rejected by robust admission.",
+                events.samples_rejected,
+            ),
+            (
+                "dslice_sim_dropped_messages_total",
+                "Messages dropped (target departed).",
+                dropped,
+            ),
+            ("dslice_sim_left_total", "Nodes that left.", left),
+            ("dslice_sim_joined_total", "Nodes that joined.", joined),
+            (
+                "dslice_sim_slice_changes_total",
+                "Believed-slice changes.",
+                slice_changes,
+            ),
+        ] {
+            reg.counter_add(name, help, v);
+        }
+        if let Some(t) = &self.phase_ns {
+            for (phase, ns) in t.rows() {
+                reg.counter_add(
+                    &dslice_obs::labeled("dslice_sim_phase_ns_total", "phase", phase),
+                    "Wall-clock nanoseconds spent per engine phase.",
+                    ns,
+                );
+            }
+        }
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +412,18 @@ mod tests {
             joined: 0,
             slice_changes: 0,
             timings: None,
+        }
+    }
+
+    fn record(cycles: Vec<CycleStats>) -> RunRecord {
+        RunRecord {
+            label: "test".into(),
+            seed: 7,
+            initial_n: 100,
+            slices: 10,
+            view_size: 5,
+            cycles,
+            phase_ns: None,
         }
     }
 
@@ -309,14 +478,7 @@ mod tests {
 
     #[test]
     fn record_summaries() {
-        let rec = RunRecord {
-            label: "test".into(),
-            seed: 7,
-            initial_n: 100,
-            slices: 10,
-            view_size: 5,
-            cycles: vec![stats(1, 50.0), stats(2, 10.0), stats(3, 2.0)],
-        };
+        let rec = record(vec![stats(1, 50.0), stats(2, 10.0), stats(3, 2.0)]);
         assert_eq!(rec.final_sdm(), Some(2.0));
         assert_eq!(rec.final_gdm(), Some(1.0));
         assert_eq!(rec.cycles_to_reach_sdm(10.0), Some(2));
@@ -325,14 +487,7 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let rec = RunRecord {
-            label: "csv".into(),
-            seed: 1,
-            initial_n: 10,
-            slices: 2,
-            view_size: 3,
-            cycles: vec![stats(1, 5.0)],
-        };
+        let rec = record(vec![stats(1, 5.0)]);
         let mut buf = Vec::new();
         rec.write_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -346,56 +501,89 @@ mod tests {
     fn phase_timings_total_and_accumulate() {
         let mut acc = PhaseTimings::default();
         let cycle = PhaseTimings {
-            churn_us: 1,
-            drain_us: 2,
-            membership_us: 3,
-            refresh_us: 4,
-            active_us: 5,
-            delivery_us: 6,
-            metrics_us: 7,
+            churn_ns: 1,
+            drain_ns: 2,
+            membership_ns: 3,
+            refresh_ns: 4,
+            active_ns: 5,
+            delivery_ns: 6,
+            metrics_ns: 7,
         };
-        assert_eq!(cycle.total_us(), 28);
+        assert_eq!(cycle.total_ns(), 28);
         acc.accumulate(&cycle);
         acc.accumulate(&cycle);
-        assert_eq!(acc.total_us(), 56);
-        assert_eq!(acc.membership_us, 6);
+        assert_eq!(acc.total_ns(), 56);
+        assert_eq!(acc.membership_ns, 6);
         let rows = cycle.rows();
         assert_eq!(rows.len(), 7);
         assert_eq!(rows[2], ("membership", 3));
-        assert_eq!(rows.iter().map(|&(_, us)| us).sum::<u64>(), 28);
+        assert_eq!(rows.iter().map(|&(_, ns)| ns).sum::<u64>(), 28);
+    }
+
+    #[test]
+    fn rows_us_floor_divides_nanoseconds() {
+        let t = PhaseTimings {
+            churn_ns: 999,
+            membership_ns: 2_500,
+            ..PhaseTimings::default()
+        };
+        let us = t.rows_us();
+        assert_eq!(us[0], ("churn", 0));
+        assert_eq!(us[2], ("membership", 2));
     }
 
     #[test]
     fn timings_roundtrip_through_json() {
         let mut s = stats(1, 5.0);
         s.timings = Some(PhaseTimings {
-            membership_us: 42,
+            membership_ns: 42,
             ..PhaseTimings::default()
         });
-        let rec = RunRecord {
-            label: "timed".into(),
-            seed: 1,
-            initial_n: 10,
-            slices: 2,
-            view_size: 3,
-            cycles: vec![s],
-        };
+        let mut rec = record(vec![s]);
+        rec.phase_ns = Some(PhaseTimings {
+            membership_ns: 42,
+            ..PhaseTimings::default()
+        });
         let parsed: RunRecord = serde_json::from_str(&rec.to_json()).unwrap();
         assert_eq!(parsed, rec);
-        assert_eq!(parsed.cycles[0].timings.unwrap().membership_us, 42);
+        assert_eq!(parsed.cycles[0].timings.unwrap().membership_ns, 42);
+        assert_eq!(parsed.phase_ns.unwrap().membership_ns, 42);
+    }
+
+    #[test]
+    fn untimed_record_omits_phase_ns_key() {
+        let rec = record(vec![stats(1, 5.0)]);
+        let json = rec.to_json();
+        assert!(!json.contains("phase_ns"));
+        let parsed: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, rec);
     }
 
     #[test]
     fn json_roundtrip() {
-        let rec = RunRecord {
-            label: "json".into(),
-            seed: 1,
-            initial_n: 10,
-            slices: 2,
-            view_size: 3,
-            cycles: vec![stats(1, 5.0)],
-        };
+        let rec = record(vec![stats(1, 5.0)]);
         let parsed: RunRecord = serde_json::from_str(&rec.to_json()).unwrap();
         assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn metrics_registry_unifies_counters_and_phases() {
+        let mut s = stats(1, 5.0);
+        s.events.swaps_applied = 4;
+        s.events.updates_sent = 9;
+        let mut rec = record(vec![s]);
+        rec.phase_ns = Some(PhaseTimings {
+            membership_ns: 1_000,
+            ..PhaseTimings::default()
+        });
+        let reg = rec.metrics_registry();
+        assert_eq!(reg.counter("dslice_sim_swaps_applied_total"), Some(4));
+        assert_eq!(reg.gauge("dslice_sim_sdm"), Some(5.0));
+        assert_eq!(
+            reg.counter("dslice_sim_phase_ns_total{phase=\"membership\"}"),
+            Some(1_000)
+        );
+        let text = reg.to_prometheus();
+        assert!(dslice_obs::validate_prometheus(&text).unwrap() > 10);
     }
 }
